@@ -1,0 +1,105 @@
+"""Ablation: the compression threshold (paper §4.1).
+
+XingTian compresses message bodies over 1 MB by default, trading CPU for
+memory/bandwidth.  Swept thresholds on compressible payloads show the
+trade: always-compress minimizes stored bytes; never-compress minimizes
+CPU; the paper's >1MB threshold only pays CPU where it matters.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.compression import CompressionPolicy
+from repro.core.object_store import InMemoryObjectStore
+from repro.core.serialization import serialize
+from repro.bench.reporting import format_table
+
+from .conftest import emit
+
+SMALL = 64 * 1024
+LARGE = 4 << 20
+
+
+def _payload(nbytes: int) -> np.ndarray:
+    # Structured rollout-like data: compressible, as real frames are.
+    base = np.arange(256, dtype=np.uint8)
+    return np.tile(base, nbytes // 256 + 1)[:nbytes]
+
+
+def _measure(threshold):
+    policy = CompressionPolicy(enabled=threshold is not None,
+                               threshold=threshold or 0)
+    store = InMemoryObjectStore(copy_on_fetch=True, compression=policy)
+    elapsed = 0.0
+    stored_bytes = 0
+    for nbytes in (SMALL, SMALL, LARGE):
+        payload = _payload(nbytes)
+        started = time.monotonic()
+        object_id = store.put(payload)
+        fetched = store.get(object_id)
+        elapsed += time.monotonic() - started
+        assert np.array_equal(fetched, payload)
+        stored_bytes += store.used_bytes
+        store.release(object_id)
+    return elapsed * 1e3, stored_bytes
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_compression_threshold(once):
+    def experiment():
+        return {
+            "always (threshold 0)": _measure(0),
+            "paper default (>1MB)": _measure(1 << 20),
+            "never": _measure(None),
+        }
+
+    results = once(experiment)
+    rows = [
+        [name, elapsed_ms, stored] for name, (elapsed_ms, stored) in results.items()
+    ]
+    emit(
+        "ablation_compression",
+        format_table(
+            ["policy", "roundtrip ms", "bytes held in store"],
+            rows,
+            title="Ablation: compression threshold (compressible payloads)",
+        ),
+    )
+    always_ms, always_bytes = results["always (threshold 0)"]
+    default_ms, default_bytes = results["paper default (>1MB)"]
+    never_ms, never_bytes = results["never"]
+    # Compression shrinks stored bytes dramatically on compressible data.
+    assert always_bytes < never_bytes / 5
+    # The threshold policy compresses the large body (storage near 'always')
+    assert default_bytes < never_bytes / 2
+    # ...while skipping CPU on small ones (not slower than always-compress).
+    assert default_ms <= always_ms * 1.5
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_compression_costs_cpu_on_incompressible(once):
+    """Random bytes: compression pays CPU for nothing — why it's optional."""
+
+    def experiment():
+        payload = np.random.default_rng(0).integers(
+            0, 256, size=LARGE, dtype=np.uint8
+        )
+        compressed_policy = CompressionPolicy(threshold=0)
+        blob = serialize(payload)
+        started = time.monotonic()
+        framed, did_compress = compressed_policy.encode(blob)
+        compress_ms = (time.monotonic() - started) * 1e3
+        return did_compress, len(framed) / len(blob), compress_ms
+
+    did_compress, size_ratio, compress_ms = once(experiment)
+    emit(
+        "ablation_compression_incompressible",
+        f"random 4MB body: compressed={did_compress}, size ratio "
+        f"{size_ratio:.3f}, cpu {compress_ms:.1f}ms — no size win, pure cost",
+    )
+    assert did_compress
+    assert size_ratio > 0.9  # no real shrink on incompressible data

@@ -1,0 +1,84 @@
+"""Ablation: thread-backed deployment vs true OS processes.
+
+DESIGN.md substitutes thread-backed "processes" for the paper's OS
+processes and claims the communication behaviour is preserved.  This bench
+checks the claim's load-bearing part directly: the same IMPALA workload
+runs under the thread deployment (`repro.cluster`) and under the real
+multi-process deployment (`repro.mp`, shared-memory segments +
+multiprocessing queues, the paper's §4.1 shape), and both must exhibit the
+push-model signature — the learner's wait-for-data is a small fraction of
+its training time, i.e. communication stays off the critical path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_training_xingtian
+from repro.bench.reporting import format_table
+from repro.mp import MpSession
+
+from .conftest import emit
+
+MODEL_CONFIG = {"obs_dim": 4, "num_actions": 2, "hidden_sizes": [32], "seed": 0}
+COMMON = dict(fragment_steps=128, seed=0)
+BUDGET_SECONDS = 6.0
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_threads_vs_processes(once):
+    def experiment():
+        threads = run_training_xingtian(
+            "impala", "CartPole",
+            explorers=2,
+            algorithm_config={"lr": 1e-3},
+            model_config={"hidden_sizes": [32]},
+            copy_bandwidth=None,
+            max_seconds=BUDGET_SECONDS,
+            **COMMON,
+        )
+        processes = MpSession(
+            dict(
+                algorithm="impala",
+                environment="CartPole",
+                model="actor_critic",
+                model_config=dict(MODEL_CONFIG),
+                algorithm_config={"lr": 1e-3},
+                **COMMON,
+            ),
+            num_explorers=2,
+        ).run(max_seconds=BUDGET_SECONDS)
+        return threads, processes
+
+    threads, processes = once(experiment)
+    rows = [
+        [
+            "threads (repro.cluster)",
+            threads.throughput_steps_per_s,
+            threads.mean_wait_s * 1e3,
+            threads.mean_train_s * 1e3,
+        ],
+        [
+            "OS processes (repro.mp)",
+            processes.throughput_steps_per_s,
+            processes.mean_wait_s * 1e3,
+            processes.mean_train_s * 1e3,
+        ],
+    ]
+    emit(
+        "ablation_threads_vs_processes",
+        format_table(
+            ["deployment", "steps/s", "learner wait ms", "train ms"],
+            rows,
+            title="Ablation: thread-backed vs true multi-process deployment",
+        ),
+    )
+    # Both deployments train substantially.
+    assert threads.trained_steps > 1000
+    assert processes.trained_steps > 1000
+    # The push-model signature holds in both deployments: the learner's
+    # wait-for-data stays in the low-millisecond range (rollouts are already
+    # in its buffers when it needs them), far below fragment production
+    # time (128 CartPole steps ≈ tens of ms).
+    assert threads.mean_wait_s < 0.020
+    assert processes.mean_wait_s < 0.020

@@ -1,0 +1,88 @@
+"""Fig. 10: PPO throughput and transmission-time analysis.
+
+Even though PPO's learner and explorers run synchronously, XingTian wins
+(paper: +30.91% throughput) because fast explorers' rollout transmission
+overlaps with slow explorers' environment interaction — the learner's
+actual wait is well below the total transmission time it would pay pulling
+everything serially.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_training_raylike, run_training_xingtian
+from repro.bench.reporting import format_table, improvement_pct
+
+from .conftest import emit
+
+KWARGS = dict(
+    environment="BeamRider",
+    env_config={"obs_shape": (42, 42), "step_compute_s": 0.0002},
+    explorers=4,
+    fragment_steps=200,
+    algorithm_config={"lr": 3e-4, "epochs": 1, "minibatch_size": 200},
+    copy_bandwidth=100e6,
+    max_seconds=12.0,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def fig10_runs():
+    xt = run_training_xingtian("ppo", **KWARGS)
+    rl = run_training_raylike("ppo", **KWARGS)
+    return xt, rl
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10a_throughput(once, fig10_runs):
+    xt, rl = once(lambda: fig10_runs)
+    emit(
+        "fig10a_ppo_throughput",
+        format_table(
+            ["framework", "steps/s", "train sessions"],
+            [
+                ["XingTian", xt.throughput_steps_per_s, xt.train_sessions],
+                ["RLLib-like", rl.throughput_steps_per_s, rl.train_sessions],
+            ],
+            title=(
+                "Fig 10(a) (scaled) PPO throughput — XingTian "
+                f"{improvement_pct(xt.throughput_steps_per_s, rl.throughput_steps_per_s):+.1f}%"
+            ),
+        ),
+    )
+    assert xt.throughput_steps_per_s > rl.throughput_steps_per_s
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10b_latency_breakdown(once, fig10_runs):
+    """Per-iteration overhead comparison.
+
+    At paper scale training dominates (1.3s) so the learner's measured wait
+    isolates transmission; at our scale environment interaction dominates
+    both sides' waits.  The comparable quantity is the *non-training time
+    per iteration* — everything the learner spends not updating the DNN —
+    which XingTian keeps smaller by overlapping fast explorers' rollout
+    transmission with slow explorers' interaction.
+    """
+    xt, rl = once(lambda: fig10_runs)
+    xt_overhead = xt.elapsed_s / max(xt.train_sessions, 1) - xt.mean_train_s
+    rl_overhead = rl.elapsed_s / max(rl.train_sessions, 1) - rl.mean_train_s
+    emit(
+        "fig10b_ppo_latency",
+        format_table(
+            ["quantity", "ms"],
+            [
+                ["RLLib-like transmission (per iteration)",
+                 rl.mean_transfer_s * 1e3],
+                ["XingTian actual wait (per iteration)", xt.mean_wait_s * 1e3],
+                ["XingTian non-train time / iteration", xt_overhead * 1e3],
+                ["RLLib-like non-train time / iteration", rl_overhead * 1e3],
+                ["XingTian train time", xt.mean_train_s * 1e3],
+                ["RLLib-like train time", rl.mean_train_s * 1e3],
+            ],
+            title="Fig 10(b) (scaled) PPO latency breakdown",
+        ),
+    )
+    assert xt_overhead < rl_overhead

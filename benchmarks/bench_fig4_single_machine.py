@@ -1,0 +1,115 @@
+"""Fig. 4: single-machine data-transmission efficiency vs message size.
+
+The dummy DRL algorithm (§5.1) with 1 explorer (Fig. 4a) and a multi-
+explorer configuration (Fig. 4b), swept over message sizes, on XingTian /
+RLLib-like / Launchpad+Reverb-like.  Paper shapes reproduced:
+
+* XingTian transmits at least ~2x as much data per second as the pull
+  framework at large message sizes;
+* the Launchpad+Reverb buffer is 1-2 orders of magnitude slower, and more
+  explorers do not help it (the buffer is the bottleneck).
+
+Scale mapping: the paper sweeps 1KB-64MB with 20 messages/explorer and 16
+explorers; we sweep 16KB-2MB with 5 messages/explorer and 4 explorers, with
+cost constants in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.dummy_algorithm import (
+    run_dummy_buffer,
+    run_dummy_raylike,
+    run_dummy_xingtian,
+)
+from repro.bench.reporting import format_table
+
+from .conftest import emit
+
+SIZES = [16 * 1024, 256 * 1024, 1 << 20, 2 << 20]
+MESSAGES = 5
+COPY_BANDWIDTH = 200e6
+BUFFER_KW = dict(processing_bandwidth=8e6, item_overhead=0.001)
+
+
+def _sweep(num_explorers: int):
+    rows = []
+    curves = {"xingtian": [], "raylike": [], "launchpad_reverb": []}
+    for size in SIZES:
+        xt = run_dummy_xingtian(
+            num_explorers, size, messages_per_explorer=MESSAGES,
+            copy_bandwidth=COPY_BANDWIDTH,
+        )
+        rl = run_dummy_raylike(
+            num_explorers, size, messages_per_explorer=MESSAGES,
+            copy_bandwidth=COPY_BANDWIDTH,
+        )
+        # The buffer framework is slow; probe it at the two smaller sizes.
+        if size <= 256 * 1024:
+            buffered = run_dummy_buffer(
+                num_explorers, size, messages_per_explorer=MESSAGES, **BUFFER_KW
+            )
+            buffer_tput, buffer_lat = buffered.throughput_mb_s, buffered.elapsed_s
+        else:
+            buffer_tput, buffer_lat = float("nan"), float("nan")
+        rows.append(
+            [size // 1024, xt.throughput_mb_s, rl.throughput_mb_s, buffer_tput,
+             xt.elapsed_s, rl.elapsed_s, buffer_lat]
+        )
+        curves["xingtian"].append(xt.throughput_mb_s)
+        curves["raylike"].append(rl.throughput_mb_s)
+        curves["launchpad_reverb"].append(buffer_tput)
+    return rows, curves
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4a_one_explorer(once):
+    rows, curves = once(_sweep, 1)
+    emit(
+        "fig4a_one_explorer",
+        format_table(
+            ["KB", "XT MB/s", "RLLib-like MB/s", "Reverb-like MB/s",
+             "XT lat s", "RL lat s", "Reverb lat s"],
+            rows,
+            title="Fig 4(a) (scaled): single machine, 1 explorer",
+        ),
+    )
+    # At the largest size XingTian beats the pull framework...
+    assert curves["xingtian"][-1] > curves["raylike"][-1]
+    # ...and the buffer framework is >=10x slower than XingTian where probed.
+    assert curves["xingtian"][1] > 10 * curves["launchpad_reverb"][1]
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4b_multi_explorer(once):
+    rows, curves = once(_sweep, 4)
+    emit(
+        "fig4b_multi_explorer",
+        format_table(
+            ["KB", "XT MB/s", "RLLib-like MB/s", "Reverb-like MB/s",
+             "XT lat s", "RL lat s", "Reverb lat s"],
+            rows,
+            title="Fig 4(b) (scaled): single machine, 4 explorers",
+        ),
+    )
+    assert curves["xingtian"][-1] > curves["raylike"][-1]
+    assert curves["xingtian"][1] > 10 * curves["launchpad_reverb"][1]
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_buffer_plateaus_with_explorers(once):
+    """Deploying more explorers does not improve Reverb-like throughput."""
+
+    def experiment():
+        few = run_dummy_buffer(1, 64 * 1024, messages_per_explorer=4, **BUFFER_KW)
+        many = run_dummy_buffer(4, 64 * 1024, messages_per_explorer=4, **BUFFER_KW)
+        return few.throughput_mb_s, many.throughput_mb_s
+
+    few, many = once(experiment)
+    emit(
+        "fig4_buffer_plateau",
+        f"Reverb-like throughput: 1 explorer {few:.2f} MB/s, "
+        f"4 explorers {many:.2f} MB/s (no scaling: bottleneck is the buffer)",
+    )
+    assert many < few * 2.5

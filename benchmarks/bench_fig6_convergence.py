@@ -1,0 +1,142 @@
+"""Fig. 6: average episode return, XingTian vs RLLib-like, per algorithm.
+
+The paper trains IMPALA/DQN/PPO to a fixed consumed-step budget on CartPole
+and four Atari games and compares average episode return: XingTian attains
+better or similar convergent performance (same hyperparameters both sides).
+
+Scale mapping: CartPole with small step budgets (the learnable environment);
+the Atari-sims are exercised by the throughput figures instead.  "Better or
+similar" is asserted as XingTian >= 0.7x the baseline's return (training at
+this scale is noisy).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_training_raylike, run_training_xingtian
+from repro.bench.reporting import format_table, improvement_pct
+
+from .conftest import emit
+
+COMMON = dict(environment="CartPole", copy_bandwidth=None, seed=0)
+
+CONFIGS = {
+    "impala": dict(
+        explorers=2, fragment_steps=100,
+        algorithm_config={"lr": 1e-3, "entropy_coef": 0.01},
+        max_trained_steps=60_000, max_seconds=25.0,
+    ),
+    "ppo": dict(
+        explorers=2, fragment_steps=100,
+        algorithm_config={"lr": 1e-3, "epochs": 2, "minibatch_size": 100},
+        max_trained_steps=60_000, max_seconds=25.0,
+    ),
+    "dqn": dict(
+        explorers=1, fragment_steps=32,
+        algorithm_config={
+            "buffer_size": 20_000, "learn_start": 500, "train_every": 4,
+            "batch_size": 32, "broadcast_every": 5, "lr": 2.5e-4,
+            "target_update_every": 500,
+        },
+        agent_config={"epsilon_decay_steps": 3_000, "epsilon_end": 0.02},
+        model_config={"hidden_sizes": [64, 64]},
+        max_trained_steps=200_000, max_seconds=20.0,
+    ),
+}
+
+
+def _compare(algorithm: str):
+    kwargs = dict(COMMON)
+    kwargs.update(CONFIGS[algorithm])
+    xt = run_training_xingtian(algorithm, **kwargs)
+    rl = run_training_raylike(algorithm, **kwargs)
+    return xt, rl
+
+
+def _run_and_emit(once, algorithm: str):
+    xt, rl = once(_compare, algorithm)
+    # Best 100-episode window: robust to post-peak collapse at small scale
+    # (see TrainingResult.best_window_return).
+    xt_return = xt.best_window_return() or 0.0
+    rl_return = rl.best_window_return() or 0.0
+    emit(
+        f"fig6_{algorithm}",
+        format_table(
+            ["framework", "avg episode return", "episodes", "trained steps"],
+            [
+                ["XingTian", xt_return, len(xt.returns), xt.trained_steps],
+                ["RLLib-like", rl_return, len(rl.returns), rl.trained_steps],
+            ],
+            title=(
+                f"Fig 6 (scaled) {algorithm.upper()} on CartPole — "
+                f"XingTian vs baseline: {improvement_pct(xt_return, max(rl_return, 1e-9)):+.1f}%"
+            ),
+        ),
+    )
+    return xt_return, rl_return
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6a_impala_convergence(once):
+    xt_return, rl_return = _run_and_emit(once, "impala")
+    assert xt_return > 40  # clearly above the random policy (~22)
+    assert xt_return >= 0.7 * rl_return  # better or similar
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6b_dqn_convergence(once):
+    xt_return, rl_return = _run_and_emit(once, "dqn")
+    assert xt_return > 25
+    assert xt_return >= 0.7 * rl_return
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6c_ppo_convergence(once):
+    xt_return, rl_return = _run_and_emit(once, "ppo")
+    assert xt_return > 40
+    assert xt_return >= 0.7 * rl_return
+
+
+ATARI_SIM_KWARGS = dict(
+    environment="Breakout",
+    env_config={"obs_shape": (8, 8), "num_states": 8, "lives": 5},
+    model_config={"hidden_sizes": [64]},
+    explorers=2,
+    fragment_steps=100,
+    algorithm_config={"lr": 1e-3, "entropy_coef": 0.01},
+    copy_bandwidth=None,
+    max_seconds=15.0,
+    seed=0,
+)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_atari_sim_convergence(once):
+    """One synthetic-Atari panel: the latent MDP is fully learnable (the
+    latent state is stamped into the frame), so returns grow by orders of
+    magnitude — and XingTian stays better or similar to the baseline."""
+
+    def experiment():
+        xt = run_training_xingtian("impala", **ATARI_SIM_KWARGS)
+        rl = run_training_raylike("impala", **ATARI_SIM_KWARGS)
+        return xt, rl
+
+    xt, rl = once(experiment)
+    xt_return = xt.best_window_return() or 0.0
+    rl_return = rl.best_window_return() or 0.0
+    emit(
+        "fig6_atari_sim",
+        format_table(
+            ["framework", "best-window return", "episodes", "trained steps"],
+            [
+                ["XingTian", xt_return, len(xt.returns), xt.trained_steps],
+                ["RLLib-like", rl_return, len(rl.returns), rl.trained_steps],
+            ],
+            title=(
+                "Fig 6 (scaled) IMPALA on synthetic Breakout — "
+                f"XingTian vs baseline: {improvement_pct(xt_return, max(rl_return, 1e-9)):+.1f}%"
+            ),
+        ),
+    )
+    assert xt_return > 50  # learned far past the random policy (~5)
+    assert xt_return >= 0.7 * rl_return

@@ -1,0 +1,110 @@
+"""Fig. 8: IMPALA throughput and transmission-time analysis.
+
+Three panels reproduced at scale:
+
+(a) learner throughput (steps/s): XingTian above the RLLib-like baseline
+    (paper: +70.71% on average);
+(b) latency breakdown: in the pull framework the learner waits the full
+    rollout transmission before each training session, while XingTian's
+    *actual wait* is a small fraction of the raw transmission time, because
+    transmission overlaps with training on other explorers' rollouts;
+(c) the CDF of XingTian's wait-before-training: the distribution's mass
+    sits at small waits (paper: <=20ms in 96.61% of cases).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_training_raylike, run_training_xingtian
+from repro.bench.reporting import (
+    cdf_fraction_below,
+    format_series,
+    format_table,
+    improvement_pct,
+)
+
+from .conftest import emit
+
+KWARGS = dict(
+    environment="BeamRider",
+    env_config={"obs_shape": (42, 42), "step_compute_s": 0.0002},
+    explorers=4,
+    fragment_steps=200,
+    algorithm_config={"lr": 3e-4},
+    copy_bandwidth=100e6,
+    max_seconds=12.0,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def fig8_runs():
+    xt = run_training_xingtian("impala", **KWARGS)
+    rl = run_training_raylike("impala", **KWARGS)
+    return xt, rl
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8a_throughput(once, fig8_runs):
+    xt, rl = once(lambda: fig8_runs)
+    emit(
+        "fig8a_impala_throughput",
+        format_table(
+            ["framework", "steps/s", "train sessions"],
+            [
+                ["XingTian", xt.throughput_steps_per_s, xt.train_sessions],
+                ["RLLib-like", rl.throughput_steps_per_s, rl.train_sessions],
+            ],
+            title=(
+                "Fig 8(a) (scaled) IMPALA throughput — XingTian "
+                f"{improvement_pct(xt.throughput_steps_per_s, rl.throughput_steps_per_s):+.1f}%"
+            ),
+        )
+        + "\n"
+        + format_series(
+            xt.throughput_series, name="XingTian steps/s over time",
+            x_label="s", y_label="steps/s",
+        ),
+    )
+    assert xt.throughput_steps_per_s > rl.throughput_steps_per_s
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8b_latency_breakdown(once, fig8_runs):
+    xt, rl = once(lambda: fig8_runs)
+    emit(
+        "fig8b_impala_latency",
+        format_table(
+            ["quantity", "ms"],
+            [
+                ["RLLib-like transmission (per train)", rl.mean_transfer_s * 1e3],
+                ["XingTian actual wait (per train)", xt.mean_wait_s * 1e3],
+                ["XingTian train time", xt.mean_train_s * 1e3],
+                ["RLLib-like train time", rl.mean_train_s * 1e3],
+            ],
+            title="Fig 8(b) (scaled) IMPALA latency breakdown",
+        ),
+    )
+    # The overlap claim: XingTian's wait is far below the baseline's
+    # serial transmission time.
+    assert xt.mean_wait_s < rl.mean_transfer_s * 0.5
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8c_wait_cdf(once, fig8_runs):
+    xt, _ = once(lambda: fig8_runs)
+    # The paper reports the fraction of waits under a small threshold
+    # (96.61% under 20ms at testbed scale); we report the same curve.
+    threshold = 0.02
+    fraction = cdf_fraction_below(xt.wait_cdf, threshold) or 0.0
+    emit(
+        "fig8c_wait_cdf",
+        format_series(
+            xt.wait_cdf, name="XingTian wait-before-training CDF",
+            x_label="seconds", y_label="fraction",
+        )
+        + f"\nfraction of waits <= {threshold*1e3:.0f}ms: {fraction:.2%}",
+    )
+    assert xt.wait_cdf
+    assert fraction > 0.5

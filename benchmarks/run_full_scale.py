@@ -1,0 +1,113 @@
+"""Full-scale transmission sweep: the paper's exact Fig. 4/5 parameters.
+
+The pytest benchmarks run scaled-down sweeps so the whole suite finishes in
+minutes.  This standalone script runs the paper's actual parameters — 1 KB
+to 64 MB messages, 20 messages per explorer, 16 explorers, the measured
+118.04 MB/s NIC — and prints Fig. 4(a)/4(b)/5(a) tables.  Expect ~30-60
+minutes of wall time.
+
+Usage::
+
+    python benchmarks/run_full_scale.py             # everything
+    python benchmarks/run_full_scale.py --max-mb 8  # cap the sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.dummy_algorithm import (
+    run_dummy_buffer,
+    run_dummy_raylike,
+    run_dummy_xingtian,
+)
+from repro.bench.reporting import format_table
+from repro.bench.workloads import FULL_MESSAGE_SIZES_KB
+
+COPY_BANDWIDTH = 1e9  # bytes/s, generous for a 2666 MT/s DRAM testbed
+NIC = 118.04e6  # the paper's measured 1GbE
+MESSAGES = 20  # the paper's per-explorer message count
+BUFFER_KW = dict(processing_bandwidth=2e6, item_overhead=0.002)  # Reverb-like
+
+
+def sweep_single_machine(num_explorers: int, sizes_kb) -> str:
+    rows = []
+    for size_kb in sizes_kb:
+        size = size_kb * 1024
+        xt = run_dummy_xingtian(
+            num_explorers, size, messages_per_explorer=MESSAGES,
+            copy_bandwidth=COPY_BANDWIDTH, timeout_s=3600,
+        )
+        rl = run_dummy_raylike(
+            num_explorers, size, messages_per_explorer=MESSAGES,
+            copy_bandwidth=COPY_BANDWIDTH,
+        )
+        if size_kb <= 1024:  # the buffer path is ~2 MB/s; cap its sweep
+            buffered = run_dummy_buffer(
+                num_explorers, size, messages_per_explorer=MESSAGES,
+                timeout_s=3600, **BUFFER_KW,
+            ).throughput_mb_s
+        else:
+            buffered = float("nan")
+        rows.append(
+            [size_kb, xt.throughput_mb_s, rl.throughput_mb_s, buffered,
+             xt.elapsed_s, rl.elapsed_s]
+        )
+        print(f"  {size_kb} KB done", file=sys.stderr)
+    return format_table(
+        ["KB", "XingTian MB/s", "RLLib-like MB/s", "Reverb-like MB/s",
+         "XT latency s", "RL latency s"],
+        rows,
+        title=f"Fig 4 full scale: single machine, {num_explorers} explorers",
+    )
+
+
+def sweep_two_machines(sizes_kb) -> str:
+    rows = []
+    for size_kb in sizes_kb:
+        size = size_kb * 1024
+        spread = run_dummy_xingtian(
+            32, size, messages_per_explorer=MESSAGES, machines=[16, 16],
+            copy_bandwidth=COPY_BANDWIDTH, nic_bandwidth=NIC, timeout_s=3600,
+        )
+        remote = run_dummy_xingtian(
+            16, size, messages_per_explorer=MESSAGES, machines=[0, 16],
+            copy_bandwidth=COPY_BANDWIDTH, nic_bandwidth=NIC, timeout_s=3600,
+        )
+        pull = run_dummy_raylike(
+            32, size, messages_per_explorer=MESSAGES, machines=[16, 16],
+            copy_bandwidth=COPY_BANDWIDTH, nic_bandwidth=NIC,
+        )
+        rows.append(
+            [size_kb, spread.throughput_mb_s, remote.throughput_mb_s,
+             pull.throughput_mb_s]
+        )
+        print(f"  {size_kb} KB done", file=sys.stderr)
+    rows.append(["(NIC)", NIC / 1e6, NIC / 1e6, NIC / 1e6])
+    return format_table(
+        ["KB", "XT 32 spread MB/s", "XT 16 remote MB/s", "RLLib-like 32 MB/s"],
+        rows,
+        title="Fig 5 full scale: two machines (NIC 118.04 MB/s)",
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-mb", type=float, default=64.0,
+                        help="largest message size in MB (default: 64)")
+    parser.add_argument("--skip-two-machines", action="store_true")
+    args = parser.parse_args()
+    sizes_kb = [kb for kb in FULL_MESSAGE_SIZES_KB if kb <= args.max_mb * 1024]
+
+    print(sweep_single_machine(1, sizes_kb))
+    print()
+    print(sweep_single_machine(16, sizes_kb))
+    if not args.skip_two_machines:
+        print()
+        print(sweep_two_machines(sizes_kb))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Multi-machine deployment: explorers across simulated machines.
+
+Deploys IMPALA over two and four simulated machines (NIC-throttled links
+between brokers, learner machine at the data-transmission center, as in
+Fig. 2b) and shows throughput holding up as the deployment scales out —
+the paper's §5.3 scalability property.
+
+Run:  python examples/multi_machine_deployment.py
+"""
+
+from __future__ import annotations
+
+from repro import MachineSpec, StopCondition, XingTianConfig, run_config
+from repro.bench.reporting import format_table
+
+
+def deploy(machines, label):
+    config = XingTianConfig(
+        algorithm="impala",
+        environment="BeamRider",
+        model="actor_critic",
+        env_config={"obs_shape": (42, 42), "step_compute_s": 0.002},
+        model_config={"hidden_sizes": [32]},
+        machines=machines,
+        fragment_steps=200,
+        algorithm_config={"lr": 3e-4},
+        copy_bandwidth=200e6,
+        nic_bandwidth=80e6,  # simulated NIC between machines (bytes/s)
+        stop=StopCondition(max_seconds=6.0),
+        seed=0,
+    )
+    result = run_config(config)
+    explorers = sum(machine.explorers for machine in machines)
+    return [label, explorers, result.throughput_steps_per_s,
+            result.mean_wait_s * 1e3]
+
+
+def main() -> None:
+    rows = [
+        deploy(
+            [MachineSpec("m0", explorers=4, has_learner=True)],
+            "1 machine",
+        ),
+        deploy(
+            [
+                MachineSpec("m0", explorers=2, has_learner=True),
+                MachineSpec("m1", explorers=2),
+            ],
+            "2 machines",
+        ),
+        deploy(
+            [MachineSpec("m0", explorers=1, has_learner=True)]
+            + [MachineSpec(f"m{i}", explorers=1) for i in range(1, 4)],
+            "4 machines",
+        ),
+    ]
+    print(
+        format_table(
+            ["deployment", "explorers", "learner steps/s", "learner wait ms"],
+            rows,
+            title="IMPALA under XingTian across simulated machines",
+        )
+    )
+    print(
+        "\nCross-machine rollouts flow edge-broker -> center-broker over\n"
+        "NIC-throttled links, pushed the moment they are produced; the\n"
+        "learner's wait stays low because transmission keeps overlapping\n"
+        "with training as the deployment scales out."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro — reproduction of "Optimizing Communication in Deep Reinforcement
+Learning with XingTian" (Middleware '22).
+
+Public entry points:
+
+* :class:`repro.runtime.XingTianSession` / :func:`repro.runtime.run_config`
+  — run a full DRL algorithm under XingTian from a configuration;
+* :mod:`repro.core` — the framework itself (brokers, communicators,
+  routers, explorer/learner processes);
+* :mod:`repro.api` — the researcher-facing Environment / Model /
+  Algorithm / Agent classes;
+* :mod:`repro.algorithms` — the algorithm zoo (DQN, PPO, IMPALA, DDPG);
+* :mod:`repro.baselines` — models of the comparison frameworks (RLLib-like
+  pull, Launchpad/Reverb-like central buffer);
+* :mod:`repro.bench` — the experiment harness regenerating the paper's
+  tables and figures.
+"""
+
+__version__ = "1.0.0"
+
+from .core.config import (
+    MachineSpec,
+    StopCondition,
+    XingTianConfig,
+    single_machine_config,
+)
+from .runtime import RunResult, XingTianSession, run_config
+
+__all__ = [
+    "__version__",
+    "MachineSpec",
+    "StopCondition",
+    "XingTianConfig",
+    "single_machine_config",
+    "RunResult",
+    "XingTianSession",
+    "run_config",
+]

@@ -1,0 +1,87 @@
+"""Command-line entry point: run a XingTian configuration file.
+
+Usage::
+
+    python -m repro --config my_run.json
+    python -m repro --algorithm impala --environment CartPole \\
+        --model actor_critic --explorers 4 --max-seconds 20
+
+The JSON configuration mirrors :class:`repro.core.config.XingTianConfig`
+(see ``XingTianConfig.from_dict``); command-line flags build a simple
+single-machine run without a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .core.config import StopCondition, XingTianConfig, single_machine_config
+from .core.visualize import render_run_summary
+from .runtime import run_config
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run a DRL algorithm under the XingTian reproduction.",
+    )
+    parser.add_argument("--config", help="path to a JSON configuration file")
+    parser.add_argument("--algorithm", default="impala")
+    parser.add_argument("--environment", default="CartPole")
+    parser.add_argument("--model", default="actor_critic")
+    parser.add_argument("--explorers", type=int, default=2)
+    parser.add_argument("--fragment-steps", type=int, default=100)
+    parser.add_argument("--max-seconds", type=float, default=20.0)
+    parser.add_argument(
+        "--trained-steps", type=int, default=None,
+        help="stop after the learner consumes this many rollout steps",
+    )
+    parser.add_argument(
+        "--target-return", type=float, default=None,
+        help="stop once the average episode return reaches this value",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--quiet", action="store_true", help="print only the summary line"
+    )
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> XingTianConfig:
+    if args.config:
+        with open(args.config) as handle:
+            return XingTianConfig.from_dict(json.load(handle))
+    stop = StopCondition(
+        max_seconds=args.max_seconds,
+        total_trained_steps=args.trained_steps,
+        target_return=args.target_return,
+    )
+    return single_machine_config(
+        args.algorithm,
+        args.environment,
+        args.model,
+        explorers=args.explorers,
+        fragment_steps=args.fragment_steps,
+        stop=stop,
+        seed=args.seed,
+    )
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    config = config_from_args(args)
+    result = run_config(config)
+    if args.quiet:
+        print(
+            f"{result.shutdown_reason} | steps={result.total_trained_steps} "
+            f"| return={result.average_return}"
+        )
+    else:
+        print(render_run_summary(result))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""The DRL algorithm zoo (paper §4.2).
+
+Covers all three model-free families the paper classifies: value-based
+(DQN), actor-critic on-policy (PPO) and actor-critic off-policy (IMPALA,
+via V-trace), plus DDPG for continuous control.  Importing this package
+registers every algorithm with the global registry so configuration files
+can name them.
+"""
+
+from .rollout import (
+    concat_rollouts,
+    discounted_returns,
+    flatten_observations,
+    rollout_length,
+    rollout_nbytes,
+)
+from .dqn import DQNAgent, DQNAlgorithm, QNetworkModel
+from .ppo import PPOAgent, PPOAlgorithm, ActorCriticModel
+from .impala import ImpalaAgent, ImpalaAlgorithm
+from .ddpg import DDPGAgent, DDPGAlgorithm, DDPGModel
+from .a2c import A2CAgent, A2CAlgorithm
+from .muzero import MuZeroAgent, MuZeroAlgorithm, MuZeroModel
+
+__all__ = [
+    "concat_rollouts",
+    "discounted_returns",
+    "flatten_observations",
+    "rollout_length",
+    "rollout_nbytes",
+    "DQNAgent",
+    "DQNAlgorithm",
+    "QNetworkModel",
+    "PPOAgent",
+    "PPOAlgorithm",
+    "ActorCriticModel",
+    "ImpalaAgent",
+    "ImpalaAlgorithm",
+    "DDPGAgent",
+    "DDPGAlgorithm",
+    "DDPGModel",
+    "A2CAgent",
+    "A2CAlgorithm",
+    "MuZeroAgent",
+    "MuZeroAlgorithm",
+    "MuZeroModel",
+]

@@ -1,0 +1,6 @@
+"""A2C: synchronous advantage actor-critic (Mnih et al., 2016, sync variant)."""
+
+from .algorithm import A2CAlgorithm
+from .agent import A2CAgent
+
+__all__ = ["A2CAlgorithm", "A2CAgent"]

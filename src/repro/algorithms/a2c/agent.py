@@ -1,0 +1,32 @@
+"""A2C agent: softmax sampling; no extras needed (the learner recomputes
+values with its own, identical-version weights — the round is lock-step)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ...api.agent import Agent
+from ...api.algorithm import Algorithm
+from ...api.environment import Environment
+from ...api.registry import register_agent
+from ...nn import losses
+from ..rollout import flatten_observations
+
+
+@register_agent("a2c")
+class A2CAgent(Agent):
+    def __init__(
+        self,
+        algorithm: Algorithm,
+        environment: Environment,
+        config: Optional[Dict[str, Any]] = None,
+    ):
+        super().__init__(algorithm, environment, config)
+        self._rng = np.random.default_rng(self.config.get("seed"))
+
+    def infer_action(self, observation: Any) -> Tuple[int, Dict[str, Any]]:
+        flat = flatten_observations(np.asarray(observation)[None])
+        logits = self.algorithm.model.policy.forward(flat)
+        return int(losses.categorical_sample(logits, self._rng)[0]), {}

@@ -1,0 +1,133 @@
+"""A2C training logic.
+
+The synchronous lock-step pattern the paper cites for classical actor-critic
+methods (§2.1, refs [10, 17, 18]): the learner collects one fragment from
+every explorer, takes a single policy-gradient + value step on the whole
+batch, and broadcasts fresh weights.  Like PPO it is on-policy, but with no
+surrogate clipping and no epoch reuse — one gradient step per round.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ...api.algorithm import Algorithm
+from ...api.registry import register_algorithm
+from ...nn import Adam, losses
+from ..ppo.gae import generalized_advantage_estimation
+from ..ppo.model import ActorCriticModel
+from ..rollout import flatten_observations, rollout_length
+
+
+@register_algorithm("a2c")
+class A2CAlgorithm(Algorithm):
+    """Synchronous advantage actor-critic.
+
+    Config: ``num_explorers`` (round size), ``gamma`` (0.99), ``lam`` (1.0 —
+    plain discounted returns by default), ``lr`` (7e-4), ``entropy_coef``
+    (0.01), ``value_coef`` (0.5), ``max_grad_norm`` (0.5), ``seed``.
+    """
+
+    on_policy = True
+    broadcast_mode = "all"
+    broadcast_every = 1
+
+    def __init__(self, model: ActorCriticModel, config: Optional[Dict[str, Any]] = None):
+        super().__init__(model, config)
+        cfg = self.config
+        self.num_explorers = int(cfg.get("num_explorers", 1))
+        self.gamma = float(cfg.get("gamma", 0.99))
+        self.lam = float(cfg.get("lam", 1.0))
+        self.entropy_coef = float(cfg.get("entropy_coef", 0.01))
+        self.value_coef = float(cfg.get("value_coef", 0.5))
+        self.max_grad_norm = float(cfg.get("max_grad_norm", 0.5))
+        self._staged: Dict[str, Dict[str, np.ndarray]] = {}
+        self._policy_opt = Adam(
+            self.model.policy.params, self.model.policy.grads, lr=float(cfg.get("lr", 7e-4))
+        )
+        self._value_opt = Adam(
+            self.model.value.params, self.model.value.grads, lr=float(cfg.get("lr", 7e-4))
+        )
+
+    # -- data path -----------------------------------------------------------
+    def prepare_data(self, rollout: Dict[str, Any], source: str = "") -> None:
+        self._staged[source] = rollout
+
+    def ready_to_train(self) -> bool:
+        return len(self._staged) >= self.num_explorers
+
+    def staged_steps(self) -> int:
+        return sum(rollout_length(r) for r in self._staged.values())
+
+    # -- training ---------------------------------------------------------------
+    def _train(self) -> Dict[str, float]:
+        sources = list(self._staged)
+        fragments = [self._staged[source] for source in sources]
+        self._staged.clear()
+        self.note_consumed_sources(sources)
+
+        obs_list: List[np.ndarray] = []
+        act_list: List[np.ndarray] = []
+        adv_list: List[np.ndarray] = []
+        target_list: List[np.ndarray] = []
+        for fragment in fragments:
+            obs = flatten_observations(fragment["obs"])
+            values = self.model.value.forward(obs)[:, 0]
+            bootstrap = self._bootstrap_value(fragment)
+            advantages, targets = generalized_advantage_estimation(
+                np.asarray(fragment["reward"], dtype=np.float64),
+                values,
+                np.asarray(fragment["done"], dtype=np.float64),
+                bootstrap,
+                self.gamma,
+                self.lam,
+            )
+            obs_list.append(obs)
+            act_list.append(np.asarray(fragment["action"], dtype=np.int64))
+            adv_list.append(advantages)
+            target_list.append(targets)
+
+        obs = np.concatenate(obs_list)
+        actions = np.concatenate(act_list)
+        advantages = np.concatenate(adv_list)
+        targets = np.concatenate(target_list)
+        advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+        batch = len(obs)
+        rows = np.arange(batch)
+
+        # One policy-gradient step on the whole round.
+        logits = self.model.policy.forward(obs)
+        log_probs = losses.log_softmax(logits)
+        grad_logp = -advantages / batch
+        probs = losses.softmax(logits)
+        grad_logits = probs * (-grad_logp[:, None])
+        grad_logits[rows, actions] += grad_logp
+        grad_logits -= self.entropy_coef * losses.entropy_grad(logits)
+        self.model.policy.zero_grads()
+        self.model.policy.backward(grad_logits)
+        self._policy_opt.clip_grads(self.max_grad_norm)
+        self._policy_opt.step()
+
+        # One value-regression step.
+        values = self.model.value.forward(obs)[:, 0]
+        value_loss, grad_values = losses.mse(values, targets)
+        self.model.value.zero_grads()
+        self.model.value.backward(self.value_coef * grad_values[:, None])
+        self._value_opt.clip_grads(self.max_grad_norm)
+        self._value_opt.step()
+
+        policy_loss = float(-(advantages * log_probs[rows, actions]).mean())
+        return {
+            "policy_loss": policy_loss,
+            "value_loss": float(value_loss),
+            "entropy": float(losses.entropy(logits).mean()),
+            "trained_steps": float(batch),
+        }
+
+    def _bootstrap_value(self, fragment: Dict[str, np.ndarray]) -> float:
+        if bool(np.asarray(fragment["done"])[-1]):
+            return 0.0
+        last_next = flatten_observations(np.asarray(fragment["next_obs"])[-1:])
+        return float(self.model.value.forward(last_next)[0, 0])

@@ -1,0 +1,7 @@
+"""DDPG: actor-critic, off-policy, continuous control (Lillicrap et al., 2016)."""
+
+from .model import DDPGModel
+from .algorithm import DDPGAlgorithm
+from .agent import DDPGAgent
+
+__all__ = ["DDPGModel", "DDPGAlgorithm", "DDPGAgent"]

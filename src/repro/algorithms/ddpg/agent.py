@@ -1,0 +1,43 @@
+"""DDPG agent: deterministic policy plus exploration noise."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ...api.agent import Agent
+from ...api.algorithm import Algorithm
+from ...api.environment import Environment
+from ...api.registry import register_agent
+from ..rollout import flatten_observations
+
+
+@register_agent("ddpg")
+class DDPGAgent(Agent):
+    """Acts with actor(obs) + Gaussian noise, clipped to the action space.
+
+    Config: ``noise_scale`` (0.1, relative to action bound), ``warmup_steps``
+    (500 — uniform random actions before the actor is trusted), ``seed``.
+    """
+
+    def __init__(
+        self,
+        algorithm: Algorithm,
+        environment: Environment,
+        config: Optional[Dict[str, Any]] = None,
+    ):
+        super().__init__(algorithm, environment, config)
+        self.noise_scale = float(self.config.get("noise_scale", 0.1))
+        self.warmup_steps = int(self.config.get("warmup_steps", 500))
+        self._rng = np.random.default_rng(self.config.get("seed"))
+
+    def infer_action(self, observation: Any) -> Tuple[np.ndarray, Dict[str, Any]]:
+        space = self.environment.action_space
+        if self.total_steps < self.warmup_steps:
+            return space.sample(self._rng).astype(np.float64), {}
+        flat = flatten_observations(np.asarray(observation)[None])
+        action = self.algorithm.model.forward(flat)[0]
+        bound = self.algorithm.model.action_bound
+        noise = self._rng.normal(0.0, self.noise_scale * bound, size=action.shape)
+        return np.clip(action + noise, space.low, space.high), {}

@@ -1,0 +1,120 @@
+"""DDPG training logic: replay + target networks + deterministic PG."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ...api.algorithm import Algorithm
+from ...api.registry import register_algorithm
+from ...nn import Adam, losses
+from ...replay import ReplayBuffer
+from ..rollout import flatten_observations
+from .model import DDPGModel
+
+
+@register_algorithm("ddpg")
+class DDPGAlgorithm(Algorithm):
+    """Deep deterministic policy gradient.
+
+    Config: ``buffer_size`` (100_000), ``learn_start`` (1_000),
+    ``train_every`` (1), ``batch_size`` (64), ``gamma`` (0.99), ``tau``
+    (0.005, Polyak rate), ``actor_lr`` (1e-4), ``critic_lr`` (1e-3),
+    ``broadcast_every`` (5), ``seed``.
+    """
+
+    on_policy = False
+    broadcast_mode = "all"
+
+    def __init__(self, model: DDPGModel, config: Optional[Dict[str, Any]] = None):
+        super().__init__(model, config)
+        cfg = self.config
+        self.batch_size = int(cfg.get("batch_size", 64))
+        self.gamma = float(cfg.get("gamma", 0.99))
+        self.tau = float(cfg.get("tau", 0.005))
+        self.learn_start = int(cfg.get("learn_start", 1_000))
+        self.train_every = int(cfg.get("train_every", 1))
+        self.broadcast_every = int(cfg.get("broadcast_every", 5))
+        self.replay = ReplayBuffer(int(cfg.get("buffer_size", 100_000)), seed=cfg.get("seed"))
+        self._pending_inserts = 0
+        self._target_weights: List[np.ndarray] = self.model.get_weights()
+        self._actor_opt = Adam(
+            self.model.actor.params, self.model.actor.grads, lr=float(cfg.get("actor_lr", 1e-4))
+        )
+        self._critic_opt = Adam(
+            self.model.critic.params,
+            self.model.critic.grads,
+            lr=float(cfg.get("critic_lr", 1e-3)),
+        )
+
+    # -- data path -----------------------------------------------------------
+    def prepare_data(self, rollout: Dict[str, Any], source: str = "") -> None:
+        added = self.replay.add_rollout(rollout)
+        self._pending_inserts += added
+        self.note_consumed_sources([source] if source else [])
+
+    def ready_to_train(self) -> bool:
+        return (
+            len(self.replay) >= min(self.learn_start, self.replay.capacity)
+            and self._pending_inserts >= self.train_every
+        )
+
+    def staged_steps(self) -> int:
+        return self._pending_inserts
+
+    # -- training ---------------------------------------------------------------
+    def _train(self) -> Dict[str, float]:
+        self._pending_inserts -= self.train_every
+        batch = self.replay.sample(self.batch_size)
+        obs = flatten_observations(batch["obs"])
+        next_obs = flatten_observations(batch["next_obs"])
+        actions = np.asarray(batch["action"], dtype=np.float64).reshape(len(obs), -1)
+        rewards = np.asarray(batch["reward"], dtype=np.float64)
+        dones = np.asarray(batch["done"], dtype=np.float64)
+
+        # Critic target from target networks.
+        live = self.model.get_weights()
+        self.model.set_weights(self._target_weights)
+        next_actions = self.model.forward(next_obs)
+        next_q = self.model.q_value(next_obs, next_actions)
+        self.model.set_weights(live)
+        targets = rewards + self.gamma * (1.0 - dones) * next_q
+
+        # Critic update.
+        scaled_actions = actions / self.model.action_bound
+        critic_in = np.concatenate([obs, scaled_actions], axis=1)
+        q_pred = self.model.critic.forward(critic_in)[:, 0]
+        critic_loss, grad_q = losses.mse(q_pred, targets)
+        self.model.critic.zero_grads()
+        self.model.critic.backward(grad_q[:, None])
+        self._critic_opt.clip_grads(10.0)
+        self._critic_opt.step()
+
+        # Actor update: maximize Q(s, actor(s)) via chain rule through the
+        # critic's input gradient (the action slice).
+        actor_actions = self.model.actor.forward(obs)  # in [-1, 1]
+        critic_in = np.concatenate([obs, actor_actions], axis=1)
+        q_actor = self.model.critic.forward(critic_in)
+        self.model.critic.zero_grads()
+        grad_input = self.model.critic.backward(
+            -np.ones_like(q_actor) / len(obs)
+        )
+        self.model.critic.zero_grads()  # discard critic grads from this pass
+        grad_actions = grad_input[:, self.model.obs_dim :]
+        self.model.actor.zero_grads()
+        self.model.actor.backward(grad_actions)
+        self._actor_opt.clip_grads(10.0)
+        self._actor_opt.step()
+
+        # Polyak-average target networks toward the live networks.
+        live = self.model.get_weights()
+        self._target_weights = [
+            (1.0 - self.tau) * target + self.tau * current
+            for target, current in zip(self._target_weights, live)
+        ]
+        return {
+            "critic_loss": float(critic_loss),
+            "mean_q": float(q_pred.mean()),
+            "trained_steps": float(self.batch_size),
+        }

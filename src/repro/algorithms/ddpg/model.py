@@ -1,0 +1,50 @@
+"""DDPG actor + critic networks."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ...api.model import Model
+from ...api.registry import register_model
+from ...nn import Sequential, Tanh, mlp
+
+
+@register_model("ddpg")
+class DDPGModel(Model):
+    """Deterministic actor (obs → action in [-bound, bound]) and critic
+    (concat(obs, action) → Q).
+
+    Config: ``obs_dim``, ``action_dim``, ``action_bound`` (1.0),
+    ``hidden_sizes`` ([64, 64]), ``seed``.
+    """
+
+    def __init__(self, config: Optional[Dict[str, Any]] = None):
+        super().__init__(config)
+        obs_dim = int(self.config["obs_dim"])
+        action_dim = int(self.config["action_dim"])
+        self.action_bound = float(self.config.get("action_bound", 1.0))
+        hidden = list(self.config.get("hidden_sizes", [64, 64]))
+        rng = np.random.default_rng(self.config.get("seed"))
+        actor_body = mlp([obs_dim] + hidden + [action_dim], activation="relu", rng=rng)
+        self.actor = Sequential(actor_body.layers + [Tanh()])
+        self.critic = mlp([obs_dim + action_dim] + hidden + [1], activation="relu", rng=rng)
+        self.obs_dim = obs_dim
+        self.action_dim = action_dim
+
+    def forward(self, observation: np.ndarray) -> np.ndarray:
+        """Actor forward: deterministic bounded actions."""
+        return self.action_bound * self.actor.forward(observation)
+
+    def q_value(self, observation: np.ndarray, action: np.ndarray) -> np.ndarray:
+        scaled = np.asarray(action, dtype=np.float64) / self.action_bound
+        return self.critic.forward(np.concatenate([observation, scaled], axis=1))[:, 0]
+
+    def get_weights(self) -> List[np.ndarray]:
+        return self.actor.get_weights() + self.critic.get_weights()
+
+    def set_weights(self, weights: List[np.ndarray]) -> None:
+        split = len(self.actor.params)
+        self.actor.set_weights(weights[:split])
+        self.critic.set_weights(weights[split:])

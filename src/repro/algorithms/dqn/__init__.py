@@ -1,0 +1,7 @@
+"""DQN: value-based, off-policy (Mnih et al., 2013)."""
+
+from .model import QNetworkModel
+from .algorithm import DQNAlgorithm
+from .agent import DQNAgent
+
+__all__ = ["QNetworkModel", "DQNAlgorithm", "DQNAgent"]

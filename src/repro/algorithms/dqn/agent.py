@@ -1,0 +1,45 @@
+"""DQN agent: epsilon-greedy environment interaction."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ...api.agent import Agent
+from ...api.algorithm import Algorithm
+from ...api.environment import Environment
+from ...api.registry import register_agent
+from ..rollout import flatten_observations
+
+
+@register_agent("dqn")
+class DQNAgent(Agent):
+    """Epsilon-greedy agent with linear epsilon decay.
+
+    Config: ``epsilon_start`` (1.0), ``epsilon_end`` (0.05),
+    ``epsilon_decay_steps`` (10_000), ``seed``.
+    """
+
+    def __init__(
+        self,
+        algorithm: Algorithm,
+        environment: Environment,
+        config: Optional[Dict[str, Any]] = None,
+    ):
+        super().__init__(algorithm, environment, config)
+        self.epsilon_start = float(self.config.get("epsilon_start", 1.0))
+        self.epsilon_end = float(self.config.get("epsilon_end", 0.05))
+        self.epsilon_decay_steps = int(self.config.get("epsilon_decay_steps", 10_000))
+        self._rng = np.random.default_rng(self.config.get("seed"))
+
+    def epsilon(self) -> float:
+        fraction = min(self.total_steps / max(self.epsilon_decay_steps, 1), 1.0)
+        return self.epsilon_start + fraction * (self.epsilon_end - self.epsilon_start)
+
+    def infer_action(self, observation: Any) -> Tuple[int, Dict[str, Any]]:
+        if self._rng.random() < self.epsilon():
+            return int(self._rng.integers(self.environment.action_space.n)), {}
+        flat = flatten_observations(np.asarray(observation)[None])
+        q_values = self.algorithm.predict(flat)[0]
+        return int(q_values.argmax()), {}

@@ -1,0 +1,155 @@
+"""DQN training logic.
+
+Matches the paper's experimental setup (§5.2): a replay buffer maintained
+*inside the learner's trainer thread*; after ``learn_start`` steps are
+collected, every ``train_every`` newly-inserted steps trigger one training
+session on a sampled batch; weights go out every ``broadcast_every``
+sessions.  The replay buffer living learner-local (not behind an RPC actor)
+is one of XingTian's explicit design decisions — Fig. 9 measures it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ...api.algorithm import Algorithm
+from ...api.registry import register_algorithm
+from ...nn import Adam, losses
+from ...replay import PrioritizedReplayBuffer, ReplayBuffer
+from ...replay.nstep import NStepAccumulator
+from ..rollout import flatten_observations
+from .model import QNetworkModel
+
+
+@register_algorithm("dqn")
+class DQNAlgorithm(Algorithm):
+    """Deep Q-learning with target network and optional prioritized replay.
+
+    Config keys (defaults match the paper where it states them):
+    ``buffer_size`` (1_000_000), ``learn_start`` (20_000), ``train_every``
+    (4), ``batch_size`` (32), ``gamma`` (0.99), ``lr`` (1e-3),
+    ``target_update_every`` (500 sessions), ``broadcast_every`` (5),
+    ``prioritized`` (False), ``priority_beta`` (0.4), ``double`` (False —
+    double-DQN action selection by the online network), ``n_step`` (1 —
+    n-step transition folding), ``seed``.
+    """
+
+    on_policy = False
+    broadcast_mode = "all"
+
+    def __init__(self, model: QNetworkModel, config: Optional[Dict[str, Any]] = None):
+        super().__init__(model, config)
+        cfg = self.config
+        self.batch_size = int(cfg.get("batch_size", 32))
+        self.gamma = float(cfg.get("gamma", 0.99))
+        self.learn_start = int(cfg.get("learn_start", 20_000))
+        self.train_every = int(cfg.get("train_every", 4))
+        self.target_update_every = int(cfg.get("target_update_every", 500))
+        self.broadcast_every = int(cfg.get("broadcast_every", 5))
+        self.prioritized = bool(cfg.get("prioritized", False))
+        self.priority_beta = float(cfg.get("priority_beta", 0.4))
+        self.double = bool(cfg.get("double", False))
+        self.n_step = int(cfg.get("n_step", 1))
+        buffer_size = int(cfg.get("buffer_size", 1_000_000))
+        seed = cfg.get("seed")
+        if self.prioritized:
+            self.replay: ReplayBuffer = PrioritizedReplayBuffer(buffer_size, seed=seed)
+        else:
+            self.replay = ReplayBuffer(buffer_size, seed=seed)
+        self._nstep = (
+            NStepAccumulator(self.replay, n=self.n_step, gamma=self.gamma)
+            if self.n_step > 1
+            else None
+        )
+        self._pending_inserts = 0
+        self._rng = np.random.default_rng(seed)
+        self._target_weights = self.model.get_weights()
+        self._optimizer = Adam(
+            self.model.network.params,
+            self.model.network.grads,
+            lr=float(cfg.get("lr", 1e-3)),
+        )
+
+    # -- data path -----------------------------------------------------------
+    def prepare_data(self, rollout: Dict[str, Any], source: str = "") -> None:
+        if self._nstep is not None:
+            added = self._nstep.add_rollout(rollout)
+        else:
+            added = self.replay.add_rollout(rollout)
+        self._pending_inserts += added
+        self.note_consumed_sources([source] if source else [])
+
+    def ready_to_train(self) -> bool:
+        return (
+            len(self.replay) >= min(self.learn_start, self.replay.capacity)
+            and self._pending_inserts >= self.train_every
+        )
+
+    def staged_steps(self) -> int:
+        return self._pending_inserts
+
+    # -- training ---------------------------------------------------------------
+    def _train(self) -> Dict[str, float]:
+        self._pending_inserts -= self.train_every
+        if self.prioritized:
+            batch, is_weights, indices = self.replay.sample(
+                self.batch_size, beta=self.priority_beta
+            )
+        else:
+            batch = self.replay.sample(self.batch_size)
+            is_weights, indices = None, None
+
+        obs = flatten_observations(batch["obs"])
+        next_obs = flatten_observations(batch["next_obs"])
+        actions = np.asarray(batch["action"], dtype=np.int64)
+        rewards = np.asarray(batch["reward"], dtype=np.float64)
+        dones = np.asarray(batch["done"], dtype=np.float64)
+
+        # Target: r + discount * (1 - done) * Q_target(s', a*) where a* is
+        # argmax under the target net (vanilla) or the online net (double
+        # DQN, van Hasselt et al. 2016).  With n-step folding the discount
+        # is gamma^n, carried per transition by the accumulator.
+        if self._nstep is not None and "n_discount" in batch:
+            discounts = np.asarray(batch["n_discount"], dtype=np.float64)
+        else:
+            discounts = self.gamma
+        if self.double:
+            online_next_q = self.model.forward(next_obs)
+        live_weights = self.model.get_weights()
+        self.model.set_weights(self._target_weights)
+        next_q = self.model.forward(next_obs)
+        self.model.set_weights(live_weights)
+        if self.double:
+            best_actions = online_next_q.argmax(axis=1)
+            next_values = next_q[np.arange(len(best_actions)), best_actions]
+        else:
+            next_values = next_q.max(axis=1)
+        targets = rewards + discounts * (1.0 - dones) * next_values
+
+        network = self.model.network
+        q_values = network.forward(obs)
+        rows = np.arange(len(actions))
+        chosen = q_values[rows, actions]
+        td_error = chosen - targets
+        loss, grad_chosen = losses.huber(chosen, targets)
+        if is_weights is not None:
+            grad_chosen = grad_chosen * is_weights
+            loss = float(np.mean(is_weights * np.abs(td_error)))
+        grad_q = np.zeros_like(q_values)
+        grad_q[rows, actions] = grad_chosen
+        network.zero_grads()
+        network.backward(grad_q)
+        self._optimizer.clip_grads(10.0)
+        self._optimizer.step()
+
+        if indices is not None:
+            self.replay.update_priorities(indices, np.abs(td_error) + 1e-6)
+        if (self.train_count + 1) % self.target_update_every == 0:
+            self._target_weights = self.model.get_weights()
+        return {
+            "loss": float(loss),
+            "mean_q": float(chosen.mean()),
+            "trained_steps": float(self.batch_size),
+        }

@@ -1,0 +1,40 @@
+"""Q-network model."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ...api.model import Model
+from ...api.registry import register_model
+from ...nn import Sequential, mlp
+
+
+@register_model("qnet")
+class QNetworkModel(Model):
+    """MLP mapping flattened observations to per-action Q-values.
+
+    Config: ``obs_dim``, ``num_actions``, ``hidden_sizes`` (default
+    ``[64, 64]``), ``seed``.
+    """
+
+    def __init__(self, config: Optional[Dict[str, Any]] = None):
+        super().__init__(config)
+        obs_dim = int(self.config["obs_dim"])
+        num_actions = int(self.config["num_actions"])
+        hidden = list(self.config.get("hidden_sizes", [64, 64]))
+        rng = np.random.default_rng(self.config.get("seed"))
+        self.network: Sequential = mlp(
+            [obs_dim] + hidden + [num_actions], activation="relu", rng=rng
+        )
+        self.num_actions = num_actions
+
+    def forward(self, observation: np.ndarray) -> np.ndarray:
+        return self.network.forward(observation)
+
+    def get_weights(self) -> List[np.ndarray]:
+        return self.network.get_weights()
+
+    def set_weights(self, weights: List[np.ndarray]) -> None:
+        self.network.set_weights(weights)

@@ -1,0 +1,12 @@
+"""IMPALA: actor-critic, off-policy via V-trace (Espeholt et al., 2018)."""
+
+from .vtrace import vtrace_from_importance_weights, vtrace_from_logps
+from .algorithm import ImpalaAlgorithm
+from .agent import ImpalaAgent
+
+__all__ = [
+    "vtrace_from_importance_weights",
+    "vtrace_from_logps",
+    "ImpalaAlgorithm",
+    "ImpalaAgent",
+]

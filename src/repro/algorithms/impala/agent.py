@@ -1,0 +1,39 @@
+"""IMPALA agent: behaviour-policy sampling, recording behaviour logp."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ...api.agent import Agent
+from ...api.algorithm import Algorithm
+from ...api.environment import Environment
+from ...api.registry import register_agent
+from ...nn import losses
+from ..rollout import flatten_observations
+
+
+@register_agent("impala")
+class ImpalaAgent(Agent):
+    """Samples from the (possibly stale) local policy copy.
+
+    Unlike the PPO agent it does not record value estimates: the learner
+    evaluates V(s) with the *current* value function when applying V-trace.
+    """
+
+    def __init__(
+        self,
+        algorithm: Algorithm,
+        environment: Environment,
+        config: Optional[Dict[str, Any]] = None,
+    ):
+        super().__init__(algorithm, environment, config)
+        self._rng = np.random.default_rng(self.config.get("seed"))
+
+    def infer_action(self, observation: Any) -> Tuple[int, Dict[str, Any]]:
+        flat = flatten_observations(np.asarray(observation)[None])
+        logits = self.algorithm.model.policy.forward(flat)
+        action = int(losses.categorical_sample(logits, self._rng)[0])
+        logp = float(losses.log_softmax(logits)[0, action])
+        return action, {"logp": logp}

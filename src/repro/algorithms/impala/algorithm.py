@@ -1,0 +1,128 @@
+"""IMPALA training logic.
+
+The learner trains the moment *one* explorer's rollout arrives (batch of one
+fragment, §5.2) and sends updated weights exactly to the explorers whose
+rollouts it consumed (§2.1, Fig. 1c).  V-trace makes the stale-policy
+rollouts usable off-policy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Tuple
+
+import numpy as np
+
+from ...api.algorithm import Algorithm
+from ...api.registry import register_algorithm
+from ...nn import Adam, losses
+from ..rollout import flatten_observations, rollout_length
+from ..ppo.model import ActorCriticModel
+from .vtrace import vtrace_from_logps
+
+
+@register_algorithm("impala")
+class ImpalaAlgorithm(Algorithm):
+    """Importance-weighted actor-learner with V-trace correction.
+
+    Config: ``gamma`` (0.99), ``lr`` (3e-4), ``entropy_coef`` (0.01),
+    ``value_coef`` (0.5), ``clip_rho`` (1.0), ``clip_c`` (1.0),
+    ``max_grad_norm`` (40.0), ``max_queued_fragments`` (64), ``seed``.
+    """
+
+    on_policy = False
+    broadcast_mode = "sources"
+    broadcast_every = 1
+
+    def __init__(self, model: ActorCriticModel, config: Optional[Dict[str, Any]] = None):
+        super().__init__(model, config)
+        cfg = self.config
+        self.gamma = float(cfg.get("gamma", 0.99))
+        self.entropy_coef = float(cfg.get("entropy_coef", 0.01))
+        self.value_coef = float(cfg.get("value_coef", 0.5))
+        self.clip_rho = float(cfg.get("clip_rho", 1.0))
+        self.clip_c = float(cfg.get("clip_c", 1.0))
+        self.max_grad_norm = float(cfg.get("max_grad_norm", 40.0))
+        max_queue = int(cfg.get("max_queued_fragments", 64))
+        self._queue: Deque[Tuple[str, Dict[str, np.ndarray]]] = deque(maxlen=max_queue)
+        self._policy_opt = Adam(
+            self.model.policy.params, self.model.policy.grads, lr=float(cfg.get("lr", 3e-4))
+        )
+        self._value_opt = Adam(
+            self.model.value.params, self.model.value.grads, lr=float(cfg.get("lr", 3e-4))
+        )
+
+    # -- data path -----------------------------------------------------------
+    def prepare_data(self, rollout: Dict[str, Any], source: str = "") -> None:
+        self._queue.append((source, rollout))
+
+    def ready_to_train(self) -> bool:
+        return bool(self._queue)
+
+    def staged_steps(self) -> int:
+        return sum(rollout_length(rollout) for _, rollout in self._queue)
+
+    # -- training ---------------------------------------------------------------
+    def _train(self) -> Dict[str, float]:
+        source, fragment = self._queue.popleft()
+        self.note_consumed_sources([source])
+
+        obs = flatten_observations(fragment["obs"])
+        actions = np.asarray(fragment["action"], dtype=np.int64)
+        rewards = np.asarray(fragment["reward"], dtype=np.float64)
+        dones = np.asarray(fragment["done"], dtype=np.float64)
+        behaviour_logp = np.asarray(fragment["logp"], dtype=np.float64)
+        batch = len(obs)
+        rows = np.arange(batch)
+
+        # Current-policy quantities for the whole fragment.
+        logits = self.model.policy.forward(obs)
+        log_probs = losses.log_softmax(logits)
+        target_logp = log_probs[rows, actions]
+        values = self.model.value.forward(obs)[:, 0]
+        bootstrap = self._bootstrap_value(fragment)
+
+        returns = vtrace_from_logps(
+            behaviour_logp,
+            target_logp,
+            rewards,
+            dones,
+            values,
+            bootstrap,
+            gamma=self.gamma,
+            clip_rho=self.clip_rho,
+            clip_c=self.clip_c,
+        )
+
+        # Policy gradient: -E[pg_adv * log pi(a|s)] - entropy bonus.
+        grad_logp = -returns.pg_advantages / batch
+        probs = losses.softmax(logits)
+        grad_logits = probs * (-grad_logp[:, None])
+        grad_logits[rows, actions] += grad_logp
+        grad_logits -= self.entropy_coef * losses.entropy_grad(logits)
+        self.model.policy.zero_grads()
+        self.model.policy.backward(grad_logits)
+        self._policy_opt.clip_grads(self.max_grad_norm)
+        self._policy_opt.step()
+
+        # Value regression to v_s targets (fresh forward for clean cache).
+        values = self.model.value.forward(obs)[:, 0]
+        value_loss, grad_values = losses.mse(values, returns.vs)
+        self.model.value.zero_grads()
+        self.model.value.backward(self.value_coef * grad_values[:, None])
+        self._value_opt.clip_grads(self.max_grad_norm)
+        self._value_opt.step()
+
+        policy_loss = float(-(returns.pg_advantages * target_logp).mean())
+        return {
+            "policy_loss": policy_loss,
+            "value_loss": float(value_loss),
+            "mean_rho": float(returns.rhos.mean()),
+            "trained_steps": float(batch),
+        }
+
+    def _bootstrap_value(self, fragment: Dict[str, np.ndarray]) -> float:
+        if bool(np.asarray(fragment["done"])[-1]):
+            return 0.0
+        last_next = flatten_observations(np.asarray(fragment["next_obs"])[-1:])
+        return float(self.model.value.forward(last_next)[0, 0])

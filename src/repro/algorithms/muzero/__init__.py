@@ -1,0 +1,9 @@
+"""MuZero: model-based planning with a learned model (Schrittwieser et al.,
+2020) — the model-based member of the paper's algorithm zoo (§4.2)."""
+
+from .model import MuZeroModel
+from .mcts import MCTS, Node
+from .algorithm import MuZeroAlgorithm
+from .agent import MuZeroAgent
+
+__all__ = ["MuZeroModel", "MCTS", "Node", "MuZeroAlgorithm", "MuZeroAgent"]

@@ -1,0 +1,61 @@
+"""MuZero agent: acts by planning with MCTS over the learned model.
+
+Each step runs a search from the current observation, samples an action
+from the visit-count distribution (with a temperature that anneals to
+greedy), and records the visit distribution and root value — the learner's
+policy and value targets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ...api.agent import Agent
+from ...api.algorithm import Algorithm
+from ...api.environment import Environment
+from ...api.registry import register_agent
+from ..rollout import flatten_observations
+from .mcts import MCTS
+
+
+@register_agent("muzero")
+class MuZeroAgent(Agent):
+    """Config: ``num_simulations`` (16), ``temperature`` (1.0),
+    ``temperature_decay_steps`` (5_000 — anneals toward greedy), ``seed``."""
+
+    def __init__(
+        self,
+        algorithm: Algorithm,
+        environment: Environment,
+        config: Optional[Dict[str, Any]] = None,
+    ):
+        super().__init__(algorithm, environment, config)
+        self._rng = np.random.default_rng(self.config.get("seed"))
+        self.temperature = float(self.config.get("temperature", 1.0))
+        self.temperature_decay_steps = int(
+            self.config.get("temperature_decay_steps", 5_000)
+        )
+        self.mcts = MCTS(
+            self.algorithm.model,
+            num_simulations=int(self.config.get("num_simulations", 16)),
+            gamma=float(getattr(self.algorithm, "gamma", 0.997)),
+            rng=self._rng,
+        )
+
+    def _current_temperature(self) -> float:
+        fraction = min(self.total_steps / max(self.temperature_decay_steps, 1), 1.0)
+        return self.temperature * (1.0 - fraction) + 0.1 * fraction
+
+    def infer_action(self, observation: Any) -> Tuple[int, Dict[str, Any]]:
+        flat = flatten_observations(np.asarray(observation)[None])[0]
+        policy, root_value = self.mcts.run(flat, add_noise=True)
+        temperature = self._current_temperature()
+        if temperature <= 0.05:
+            action = int(policy.argmax())
+        else:
+            heated = policy ** (1.0 / temperature)
+            heated = heated / heated.sum()
+            action = int(self._rng.choice(len(policy), p=heated))
+        return action, {"mcts_policy": policy, "root_value": float(root_value)}

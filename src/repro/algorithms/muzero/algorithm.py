@@ -1,0 +1,216 @@
+"""MuZero training: K-step unrolled model learning.
+
+Explorers record, for every step, the MCTS visit distribution and root
+value alongside the transition.  The learner cuts trajectories into
+windows, then trains the three networks jointly by unrolling the dynamics
+network K steps from a real observation and regressing:
+
+* policy logits at every unroll step -> the recorded MCTS policies,
+* values -> n-step bootstrapped returns (bootstrap = recorded root value),
+* predicted rewards -> observed rewards.
+
+Gradients flow back through the unroll (dynamics applied K times); as in
+the paper, the gradient entering each unrolled latent is scaled by 1/2 to
+keep deep unrolls stable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+import numpy as np
+
+from ...api.algorithm import Algorithm
+from ...api.registry import register_algorithm
+from ...nn import Adam, losses
+from ..rollout import flatten_observations
+from .model import MuZeroModel
+
+
+@register_algorithm("muzero")
+class MuZeroAlgorithm(Algorithm):
+    """Config: ``unroll_steps`` (3), ``td_steps`` (5), ``gamma`` (0.997),
+    ``batch_size`` (32), ``buffer_windows`` (2000), ``learn_start`` (64
+    windows), ``train_every`` (16 new windows), ``lr`` (1e-3),
+    ``value_coef`` (0.25), ``reward_coef`` (1.0), ``broadcast_every`` (2),
+    ``latent_grad_scale`` (0.5), ``seed``."""
+
+    on_policy = False
+    broadcast_mode = "all"
+
+    def __init__(self, model: MuZeroModel, config: Optional[Dict[str, Any]] = None):
+        super().__init__(model, config)
+        cfg = self.config
+        self.unroll_steps = int(cfg.get("unroll_steps", 3))
+        self.td_steps = int(cfg.get("td_steps", 5))
+        self.gamma = float(cfg.get("gamma", 0.997))
+        self.batch_size = int(cfg.get("batch_size", 32))
+        self.learn_start = int(cfg.get("learn_start", 64))
+        self.train_every = int(cfg.get("train_every", 16))
+        self.value_coef = float(cfg.get("value_coef", 0.25))
+        self.reward_coef = float(cfg.get("reward_coef", 1.0))
+        self.broadcast_every = int(cfg.get("broadcast_every", 2))
+        self.latent_grad_scale = float(cfg.get("latent_grad_scale", 0.5))
+        self._windows: Deque[Dict[str, np.ndarray]] = deque(
+            maxlen=int(cfg.get("buffer_windows", 2000))
+        )
+        self._pending = 0
+        self._rng = np.random.default_rng(cfg.get("seed"))
+        params = (
+            self.model.representation.params
+            + self.model.dynamics.params
+            + self.model.prediction.params
+        )
+        grads = (
+            self.model.representation.grads
+            + self.model.dynamics.grads
+            + self.model.prediction.grads
+        )
+        self._optimizer = Adam(params, grads, lr=float(cfg.get("lr", 1e-3)))
+
+    # -- data path -----------------------------------------------------------
+    def prepare_data(self, rollout: Dict[str, Any], source: str = "") -> None:
+        """Cut a fragment into unroll windows with precomputed targets."""
+        self.note_consumed_sources([source] if source else [])
+        steps = len(rollout["reward"])
+        if steps == 0:
+            return
+        obs = flatten_observations(rollout["obs"])
+        actions = np.asarray(rollout["action"], dtype=np.int64)
+        rewards = np.asarray(rollout["reward"], dtype=np.float64)
+        dones = np.asarray(rollout["done"], dtype=np.float64)
+        policies = np.asarray(rollout["mcts_policy"], dtype=np.float64)
+        root_values = np.asarray(rollout["root_value"], dtype=np.float64)
+
+        value_targets = self._n_step_targets(rewards, dones, root_values)
+        K = self.unroll_steps
+        for start in range(0, steps - K):
+            window_dones = dones[start : start + K]
+            if np.any(window_dones):
+                continue  # keep unrolls inside one episode
+            self._windows.append(
+                {
+                    "obs": obs[start],
+                    "actions": actions[start : start + K],
+                    "rewards": rewards[start : start + K],
+                    "policies": policies[start : start + K + 1],
+                    "values": value_targets[start : start + K + 1],
+                }
+            )
+            self._pending += 1
+
+    def _n_step_targets(
+        self, rewards: np.ndarray, dones: np.ndarray, root_values: np.ndarray
+    ) -> np.ndarray:
+        """z_t = sum_{i<n} gamma^i r_{t+i} + gamma^n root_value_{t+n}."""
+        steps = len(rewards)
+        targets = np.zeros(steps, dtype=np.float64)
+        for t in range(steps):
+            value = 0.0
+            discount = 1.0
+            for i in range(self.td_steps):
+                if t + i >= steps:
+                    break
+                value += discount * rewards[t + i]
+                discount *= self.gamma
+                if dones[t + i]:
+                    discount = 0.0
+                    break
+            bootstrap_index = t + self.td_steps
+            if discount > 0 and bootstrap_index < steps:
+                value += discount * root_values[bootstrap_index]
+            targets[t] = value
+        return targets
+
+    def ready_to_train(self) -> bool:
+        return (
+            len(self._windows) >= self.learn_start
+            and self._pending >= self.train_every
+        )
+
+    def staged_steps(self) -> int:
+        return self._pending
+
+    # -- training ---------------------------------------------------------------
+    def _train(self) -> Dict[str, float]:
+        self._pending = max(0, self._pending - self.train_every)
+        indices = self._rng.integers(len(self._windows), size=self.batch_size)
+        batch = [self._windows[int(i)] for i in indices]
+        K = self.unroll_steps
+        B = len(batch)
+        A = self.model.num_actions
+
+        obs = np.stack([w["obs"] for w in batch])
+        actions = np.stack([w["actions"] for w in batch])  # (B, K)
+        rewards = np.stack([w["rewards"] for w in batch])  # (B, K)
+        policies = np.stack([w["policies"] for w in batch])  # (B, K+1, A)
+        values = np.stack([w["values"] for w in batch])  # (B, K+1)
+
+        # ---- forward, storing every network input ----
+        latents: List[np.ndarray] = [self.model.represent(obs)]
+        dyn_inputs: List[np.ndarray] = []
+        reward_preds: List[np.ndarray] = []
+        pred_outs: List[np.ndarray] = []
+        for k in range(K):
+            dyn_in = self.model.dynamics_input(latents[k], actions[:, k])
+            dyn_inputs.append(dyn_in)
+            out = self.model.dynamics.forward(dyn_in)
+            latents.append(out[:, : self.model.latent_dim])
+            reward_preds.append(out[:, self.model.latent_dim])
+        for k in range(K + 1):
+            pred_outs.append(self.model.prediction.forward(latents[k]))
+
+        # ---- losses and output gradients per step ----
+        policy_losses, value_losses, reward_losses = [], [], []
+        pred_grads: List[np.ndarray] = []
+        scale = 1.0 / (K + 1)
+        for k in range(K + 1):
+            logits = pred_outs[k][:, :A]
+            value_pred = pred_outs[k][:, A]
+            log_probs = losses.log_softmax(logits)
+            policy_losses.append(float(-(policies[:, k] * log_probs).sum(axis=1).mean()))
+            value_losses.append(float(np.mean((value_pred - values[:, k]) ** 2)))
+            grad_logits = (losses.softmax(logits) - policies[:, k]) / B * scale
+            grad_value = 2.0 * (value_pred - values[:, k]) / B * self.value_coef * scale
+            pred_grads.append(
+                np.concatenate([grad_logits, grad_value[:, None]], axis=1)
+            )
+        reward_grads: List[np.ndarray] = []
+        for k in range(K):
+            diff = reward_preds[k] - rewards[:, k]
+            reward_losses.append(float(np.mean(diff**2)))
+            reward_grads.append(2.0 * diff / B * self.reward_coef * scale)
+
+        # ---- backward in reverse unroll order ----
+        # The Sequential caches hold only the *last* forward, so each step
+        # re-forwards with its stored input immediately before backward.
+        self.model.representation.zero_grads()
+        self.model.dynamics.zero_grads()
+        self.model.prediction.zero_grads()
+        grad_latent = np.zeros_like(latents[K])
+        for k in range(K, -1, -1):
+            self.model.prediction.forward(latents[k])
+            grad_latent += self.model.prediction.backward(pred_grads[k])
+            if k > 0:
+                self.model.dynamics.forward(dyn_inputs[k - 1])
+                grad_dyn_out = np.concatenate(
+                    [
+                        grad_latent * self.latent_grad_scale,
+                        reward_grads[k - 1][:, None],
+                    ],
+                    axis=1,
+                )
+                grad_input = self.model.dynamics.backward(grad_dyn_out)
+                grad_latent = grad_input[:, : self.model.latent_dim]
+        self.model.representation.forward(obs)
+        self.model.representation.backward(grad_latent)
+
+        self._optimizer.clip_grads(5.0)
+        self._optimizer.step()
+        return {
+            "policy_loss": float(np.mean(policy_losses)),
+            "value_loss": float(np.mean(value_losses)),
+            "reward_loss": float(np.mean(reward_losses)),
+            "trained_steps": float(B),
+        }

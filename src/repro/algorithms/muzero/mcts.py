@@ -1,0 +1,190 @@
+"""Monte-Carlo tree search over the learned model (pUCT, as in MuZero).
+
+Search never touches the real environment: children are expanded with the
+dynamics network, leaves evaluated with the prediction network, and values
+backed up along the path with discounting.  Dirichlet noise at the root
+keeps self-play exploratory.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...nn import losses
+from .model import MuZeroModel
+
+
+class Node:
+    """One search node: a latent state plus per-action child statistics."""
+
+    __slots__ = (
+        "latent",
+        "reward",
+        "prior",
+        "children",
+        "visit_count",
+        "value_sum",
+    )
+
+    def __init__(self, latent: Optional[np.ndarray], reward: float, prior: float):
+        self.latent = latent
+        self.reward = reward
+        self.prior = prior
+        self.children: Dict[int, "Node"] = {}
+        self.visit_count = 0
+        self.value_sum = 0.0
+
+    @property
+    def expanded(self) -> bool:
+        return bool(self.children)
+
+    def value(self) -> float:
+        if self.visit_count == 0:
+            return 0.0
+        return self.value_sum / self.visit_count
+
+
+class _MinMax:
+    """Normalizes backed-up values into [0, 1] for the pUCT score."""
+
+    def __init__(self):
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def update(self, value: float) -> None:
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def normalize(self, value: float) -> float:
+        if self.maximum > self.minimum:
+            return (value - self.minimum) / (self.maximum - self.minimum)
+        return value
+
+
+class MCTS:
+    """pUCT search.
+
+    Parameters: ``num_simulations`` (paper MuZero uses 50 on Atari; default
+    16 keeps CPU search usable), ``gamma``, ``c1``/``c2`` (pUCT constants),
+    ``dirichlet_alpha``/``exploration_fraction`` (root noise).
+    """
+
+    def __init__(
+        self,
+        model: MuZeroModel,
+        *,
+        num_simulations: int = 16,
+        gamma: float = 0.997,
+        c1: float = 1.25,
+        c2: float = 19_652.0,
+        dirichlet_alpha: float = 0.3,
+        exploration_fraction: float = 0.25,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.model = model
+        self.num_simulations = num_simulations
+        self.gamma = gamma
+        self.c1 = c1
+        self.c2 = c2
+        self.dirichlet_alpha = dirichlet_alpha
+        self.exploration_fraction = exploration_fraction
+        self._rng = rng or np.random.default_rng()
+
+    # -- public -------------------------------------------------------------
+    def run(self, observation: np.ndarray, add_noise: bool = True) -> Tuple[np.ndarray, float]:
+        """Search from ``observation``; returns (visit distribution, root value)."""
+        latent = self.model.represent(observation[None])[0]
+        logits, value = self.model.predict_latent(latent[None])
+        root = Node(latent, reward=0.0, prior=1.0)
+        self._expand(root, logits[0])
+        if add_noise:
+            self._add_root_noise(root)
+
+        min_max = _MinMax()
+        for _ in range(self.num_simulations):
+            self._simulate(root, min_max)
+
+        visits = np.array(
+            [
+                root.children[a].visit_count if a in root.children else 0
+                for a in range(self.model.num_actions)
+            ],
+            dtype=np.float64,
+        )
+        total = visits.sum()
+        policy = visits / total if total > 0 else np.full_like(visits, 1.0 / len(visits))
+        return policy, root.value() if root.visit_count else float(value[0])
+
+    # -- internals ----------------------------------------------------------
+    def _simulate(self, root: Node, min_max: _MinMax) -> None:
+        node = root
+        path: List[Node] = [root]
+        actions: List[int] = []
+        while node.expanded:
+            action, node = self._select_child(node, min_max)
+            path.append(node)
+            actions.append(action)
+
+        parent = path[-2]
+        leaf = path[-1]
+        next_latent, reward = self.model.step_latent(
+            parent.latent[None], np.array([actions[-1]])
+        )
+        leaf.latent = next_latent[0]
+        leaf.reward = float(reward[0])
+        logits, value = self.model.predict_latent(leaf.latent[None])
+        self._expand(leaf, logits[0])
+        self._backup(path, float(value[0]), min_max)
+
+    def _expand(self, node: Node, logits: np.ndarray) -> None:
+        priors = losses.softmax(logits[None])[0]
+        for action in range(self.model.num_actions):
+            node.children[action] = Node(None, reward=0.0, prior=float(priors[action]))
+
+    def _add_root_noise(self, root: Node) -> None:
+        noise = self._rng.dirichlet([self.dirichlet_alpha] * self.model.num_actions)
+        fraction = self.exploration_fraction
+        for action, child in root.children.items():
+            child.prior = child.prior * (1 - fraction) + noise[action] * fraction
+
+    def _select_child(self, node: Node, min_max: _MinMax) -> Tuple[int, Node]:
+        best_score = -float("inf")
+        best_action = 0
+        best_child: Optional[Node] = None
+        for action, child in node.children.items():
+            score = self._ucb_score(node, child, min_max)
+            if score > best_score:
+                best_score = score
+                best_action = action
+                best_child = child
+        assert best_child is not None
+        return best_action, best_child
+
+    def _ucb_score(self, parent: Node, child: Node, min_max: _MinMax) -> float:
+        exploration = (
+            self.c1 + math.log((parent.visit_count + self.c2 + 1) / self.c2)
+        ) * math.sqrt(parent.visit_count) / (child.visit_count + 1)
+        prior_score = exploration * child.prior
+        if child.visit_count > 0:
+            value_score = min_max.normalize(
+                child.reward + self.gamma * child.value()
+            )
+        else:
+            # First-play urgency: an unvisited child starts from the
+            # parent's running value rather than 0.  With all-positive
+            # environment rewards a 0 default starves siblings of the first
+            # child visited (its backed-up value only grows as its subtree
+            # deepens); the parent average keeps the comparison fair.
+            value_score = min_max.normalize(parent.value())
+        return prior_score + value_score
+
+    def _backup(self, path: List[Node], leaf_value: float, min_max: _MinMax) -> None:
+        value = leaf_value
+        for node in reversed(path):
+            node.value_sum += value
+            node.visit_count += 1
+            min_max.update(node.reward + self.gamma * node.value())
+            value = node.reward + self.gamma * value

@@ -1,0 +1,92 @@
+"""MuZero's three networks.
+
+* representation  h(observation) -> latent state
+* dynamics        g(latent, action) -> (next latent, reward)
+* prediction      f(latent) -> (policy logits, value)
+
+All are MLPs over a shared latent width.  The dynamics input is the latent
+concatenated with a one-hot action; its output head splits into the next
+latent and a scalar reward.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...api.model import Model
+from ...api.registry import register_model
+from ...nn import Sequential, mlp
+
+
+@register_model("muzero")
+class MuZeroModel(Model):
+    """Config: ``obs_dim``, ``num_actions``, ``latent_dim`` (32),
+    ``hidden_sizes`` ([64]), ``seed``."""
+
+    def __init__(self, config: Optional[Dict[str, Any]] = None):
+        super().__init__(config)
+        obs_dim = int(self.config["obs_dim"])
+        num_actions = int(self.config["num_actions"])
+        latent_dim = int(self.config.get("latent_dim", 32))
+        hidden = list(self.config.get("hidden_sizes", [64]))
+        rng = np.random.default_rng(self.config.get("seed"))
+
+        self.num_actions = num_actions
+        self.latent_dim = latent_dim
+        self.representation: Sequential = mlp(
+            [obs_dim] + hidden + [latent_dim], activation="tanh", rng=rng
+        )
+        # Dynamics outputs [next_latent | reward].
+        self.dynamics: Sequential = mlp(
+            [latent_dim + num_actions] + hidden + [latent_dim + 1],
+            activation="tanh",
+            rng=rng,
+        )
+        # Prediction outputs [policy logits | value].
+        self.prediction: Sequential = mlp(
+            [latent_dim] + hidden + [num_actions + 1], activation="tanh", rng=rng
+        )
+
+    # -- functional API ----------------------------------------------------
+    def represent(self, observations: np.ndarray) -> np.ndarray:
+        return self.representation.forward(observations)
+
+    def predict_latent(self, latents: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        out = self.prediction.forward(latents)
+        return out[:, : self.num_actions], out[:, self.num_actions]
+
+    def step_latent(
+        self, latents: np.ndarray, actions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Apply the learned dynamics; returns (next latents, rewards)."""
+        inputs = self.dynamics_input(latents, actions)
+        out = self.dynamics.forward(inputs)
+        return out[:, : self.latent_dim], out[:, self.latent_dim]
+
+    def dynamics_input(self, latents: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        one_hot = np.zeros((len(latents), self.num_actions))
+        one_hot[np.arange(len(latents)), np.asarray(actions, dtype=np.int64)] = 1.0
+        return np.concatenate([latents, one_hot], axis=1)
+
+    def forward(self, observation: np.ndarray):
+        """Model interface: initial inference (latent, logits, value)."""
+        latents = self.represent(observation)
+        logits, values = self.predict_latent(latents)
+        return latents, logits, values
+
+    # -- weights ------------------------------------------------------------
+    def get_weights(self) -> List[np.ndarray]:
+        return (
+            self.representation.get_weights()
+            + self.dynamics.get_weights()
+            + self.prediction.get_weights()
+        )
+
+    def set_weights(self, weights: List[np.ndarray]) -> None:
+        first = len(self.representation.params)
+        second = first + len(self.dynamics.params)
+        self.representation.set_weights(weights[:first])
+        self.dynamics.set_weights(weights[first:second])
+        self.prediction.set_weights(weights[second:])

@@ -1,0 +1,13 @@
+"""PPO: actor-critic, on-policy (Schulman et al., 2017)."""
+
+from .model import ActorCriticModel
+from .gae import generalized_advantage_estimation
+from .algorithm import PPOAlgorithm
+from .agent import PPOAgent
+
+__all__ = [
+    "ActorCriticModel",
+    "generalized_advantage_estimation",
+    "PPOAlgorithm",
+    "PPOAgent",
+]

@@ -1,0 +1,35 @@
+"""PPO agent: samples from the softmax policy, records logp and value."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ...api.agent import Agent
+from ...api.algorithm import Algorithm
+from ...api.environment import Environment
+from ...api.registry import register_agent
+from ...nn import losses
+from ..rollout import flatten_observations
+
+
+@register_agent("ppo")
+class PPOAgent(Agent):
+    """On-policy sampling agent for actor-critic algorithms."""
+
+    def __init__(
+        self,
+        algorithm: Algorithm,
+        environment: Environment,
+        config: Optional[Dict[str, Any]] = None,
+    ):
+        super().__init__(algorithm, environment, config)
+        self._rng = np.random.default_rng(self.config.get("seed"))
+
+    def infer_action(self, observation: Any) -> Tuple[int, Dict[str, Any]]:
+        flat = flatten_observations(np.asarray(observation)[None])
+        logits, values = self.algorithm.predict(flat)
+        action = int(losses.categorical_sample(logits, self._rng)[0])
+        logp = float(losses.log_softmax(logits)[0, action])
+        return action, {"logp": logp, "value": float(values[0])}

@@ -1,0 +1,170 @@
+"""PPO training logic.
+
+On-policy: the learner waits to collect rollouts from *all* explorers before
+a training iteration, and every explorer then waits for the fresh weights
+(§2.1, Fig. 1a).  Even so, XingTian accelerates PPO because fast explorers'
+rollout transmission overlaps with slow explorers' environment interaction
+(§3.2.1) — nothing here needs to know that; it falls out of the channel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...api.algorithm import Algorithm
+from ...api.registry import register_algorithm
+from ...nn import Adam, losses
+from ..rollout import flatten_observations, minibatch_indices, rollout_length
+from .gae import generalized_advantage_estimation
+from .model import ActorCriticModel
+
+
+@register_algorithm("ppo")
+class PPOAlgorithm(Algorithm):
+    """Clipped-surrogate PPO with GAE.
+
+    Config: ``num_explorers`` (required — defines a full collection round),
+    ``clip_eps`` (0.2), ``epochs`` (4), ``minibatch_size`` (128), ``gamma``
+    (0.99), ``lam`` (0.95), ``lr`` (3e-4), ``entropy_coef`` (0.01),
+    ``value_coef`` (0.5), ``max_grad_norm`` (0.5), ``seed``.
+    """
+
+    on_policy = True
+    broadcast_mode = "all"
+    broadcast_every = 1
+
+    def __init__(self, model: ActorCriticModel, config: Optional[Dict[str, Any]] = None):
+        super().__init__(model, config)
+        cfg = self.config
+        self.num_explorers = int(cfg.get("num_explorers", 1))
+        self.clip_eps = float(cfg.get("clip_eps", 0.2))
+        self.epochs = int(cfg.get("epochs", 4))
+        self.minibatch_size = int(cfg.get("minibatch_size", 128))
+        self.gamma = float(cfg.get("gamma", 0.99))
+        self.lam = float(cfg.get("lam", 0.95))
+        self.entropy_coef = float(cfg.get("entropy_coef", 0.01))
+        self.value_coef = float(cfg.get("value_coef", 0.5))
+        self.max_grad_norm = float(cfg.get("max_grad_norm", 0.5))
+        self._rng = np.random.default_rng(cfg.get("seed"))
+        self._staged: Dict[str, Dict[str, np.ndarray]] = {}
+        self._policy_opt = Adam(
+            self.model.policy.params, self.model.policy.grads, lr=float(cfg.get("lr", 3e-4))
+        )
+        self._value_opt = Adam(
+            self.model.value.params, self.model.value.grads, lr=float(cfg.get("lr", 3e-4))
+        )
+
+    # -- data path -----------------------------------------------------------
+    def prepare_data(self, rollout: Dict[str, Any], source: str = "") -> None:
+        """Stage one explorer's fragment; a round completes when all arrive.
+
+        A second fragment from the same source before the round closes
+        replaces the first (cannot happen in the synchronous regime, but
+        keeps the invariant under test harnesses).
+        """
+        self._staged[source] = rollout
+
+    def ready_to_train(self) -> bool:
+        return len(self._staged) >= self.num_explorers
+
+    def staged_steps(self) -> int:
+        return sum(rollout_length(r) for r in self._staged.values())
+
+    # -- training ---------------------------------------------------------------
+    def _train(self) -> Dict[str, float]:
+        sources = list(self._staged)
+        fragments = [self._staged[source] for source in sources]
+        self._staged.clear()
+        self.note_consumed_sources(sources)
+
+        obs_list, act_list, logp_list, adv_list, target_list = [], [], [], [], []
+        for fragment in fragments:
+            obs = flatten_observations(fragment["obs"])
+            rewards = np.asarray(fragment["reward"], dtype=np.float64)
+            dones = np.asarray(fragment["done"], dtype=np.float64)
+            values = np.asarray(fragment["value"], dtype=np.float64)
+            bootstrap = self._bootstrap_value(fragment)
+            advantages, targets = generalized_advantage_estimation(
+                rewards, values, dones, bootstrap, self.gamma, self.lam
+            )
+            obs_list.append(obs)
+            act_list.append(np.asarray(fragment["action"], dtype=np.int64))
+            logp_list.append(np.asarray(fragment["logp"], dtype=np.float64))
+            adv_list.append(advantages)
+            target_list.append(targets)
+
+        obs = np.concatenate(obs_list)
+        actions = np.concatenate(act_list)
+        behaviour_logp = np.concatenate(logp_list)
+        advantages = np.concatenate(adv_list)
+        targets = np.concatenate(target_list)
+        advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+
+        policy_losses: List[float] = []
+        value_losses: List[float] = []
+        for _ in range(self.epochs):
+            for indices in minibatch_indices(len(obs), self.minibatch_size, self._rng):
+                p_loss, v_loss = self._train_minibatch(
+                    obs[indices],
+                    actions[indices],
+                    behaviour_logp[indices],
+                    advantages[indices],
+                    targets[indices],
+                )
+                policy_losses.append(p_loss)
+                value_losses.append(v_loss)
+        return {
+            "policy_loss": float(np.mean(policy_losses)),
+            "value_loss": float(np.mean(value_losses)),
+            "trained_steps": float(len(obs)),
+        }
+
+    def _bootstrap_value(self, fragment: Dict[str, np.ndarray]) -> float:
+        """V(s_T) for the state after the fragment's final step."""
+        if bool(np.asarray(fragment["done"])[-1]):
+            return 0.0
+        last_next = flatten_observations(np.asarray(fragment["next_obs"])[-1:])
+        return float(self.model.value.forward(last_next)[0, 0])
+
+    def _train_minibatch(
+        self,
+        obs: np.ndarray,
+        actions: np.ndarray,
+        behaviour_logp: np.ndarray,
+        advantages: np.ndarray,
+        targets: np.ndarray,
+    ) -> Tuple[float, float]:
+        batch = len(obs)
+        rows = np.arange(batch)
+
+        # Policy: clipped surrogate + entropy bonus.
+        logits = self.model.policy.forward(obs)
+        log_probs = losses.log_softmax(logits)
+        logp = log_probs[rows, actions]
+        ratio = np.exp(logp - behaviour_logp)
+        clipped = np.clip(ratio, 1.0 - self.clip_eps, 1.0 + self.clip_eps)
+        surrogate = np.minimum(ratio * advantages, clipped * advantages)
+        policy_loss = -float(surrogate.mean())
+
+        # d(-surrogate)/d(logp): active only where the unclipped branch wins.
+        unclipped_active = (ratio * advantages) <= (clipped * advantages) + 1e-12
+        grad_logp = np.where(unclipped_active, -ratio * advantages, 0.0) / batch
+        probs = losses.softmax(logits)
+        grad_logits = probs * (-grad_logp[:, None])
+        grad_logits[rows, actions] += grad_logp
+        grad_logits -= self.entropy_coef * losses.entropy_grad(logits)
+        self.model.policy.zero_grads()
+        self.model.policy.backward(grad_logits)
+        self._policy_opt.clip_grads(self.max_grad_norm)
+        self._policy_opt.step()
+
+        # Value: MSE to GAE targets.
+        values = self.model.value.forward(obs)[:, 0]
+        value_loss, grad_values = losses.mse(values, targets)
+        self.model.value.zero_grads()
+        self.model.value.backward(self.value_coef * grad_values[:, None])
+        self._value_opt.clip_grads(self.max_grad_norm)
+        self._value_opt.step()
+        return policy_loss, value_loss

@@ -1,0 +1,40 @@
+"""Generalized advantage estimation (Schulman et al., 2016)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def generalized_advantage_estimation(
+    rewards: np.ndarray,
+    values: np.ndarray,
+    dones: np.ndarray,
+    bootstrap_value: float,
+    gamma: float = 0.99,
+    lam: float = 0.95,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """GAE(γ, λ); returns (advantages, value_targets).
+
+    ``values[t]`` is V(s_t) under the behaviour policy; ``bootstrap_value``
+    is V(s_T) for the state following the fragment's last step (ignored when
+    that step terminated).  With λ=1 the advantage reduces to the discounted
+    return minus the value baseline; with λ=0 to the one-step TD error.
+    """
+    rewards = np.asarray(rewards, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    dones = np.asarray(dones, dtype=np.float64)
+    if not (len(rewards) == len(values) == len(dones)):
+        raise ValueError("rewards, values, dones must have equal length")
+    steps = len(rewards)
+    advantages = np.zeros(steps, dtype=np.float64)
+    next_value = float(bootstrap_value)
+    running = 0.0
+    for t in reversed(range(steps)):
+        non_terminal = 1.0 - dones[t]
+        delta = rewards[t] + gamma * next_value * non_terminal - values[t]
+        running = delta + gamma * lam * non_terminal * running
+        advantages[t] = running
+        next_value = values[t]
+    return advantages, advantages + values

@@ -1,0 +1,46 @@
+"""Actor-critic model: policy and value networks (shared by PPO & IMPALA)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...api.model import Model
+from ...api.registry import register_model
+from ...nn import Sequential, mlp
+
+
+@register_model("actor_critic")
+class ActorCriticModel(Model):
+    """Separate policy (obs → logits) and value (obs → scalar) MLPs.
+
+    Config: ``obs_dim``, ``num_actions``, ``hidden_sizes`` ([64, 64]),
+    ``seed``.
+    """
+
+    def __init__(self, config: Optional[Dict[str, Any]] = None):
+        super().__init__(config)
+        obs_dim = int(self.config["obs_dim"])
+        num_actions = int(self.config["num_actions"])
+        hidden = list(self.config.get("hidden_sizes", [64, 64]))
+        rng = np.random.default_rng(self.config.get("seed"))
+        self.policy: Sequential = mlp(
+            [obs_dim] + hidden + [num_actions], activation="tanh", rng=rng
+        )
+        self.value: Sequential = mlp([obs_dim] + hidden + [1], activation="tanh", rng=rng)
+        self.num_actions = num_actions
+
+    def forward(self, observation: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Returns (logits, values) for a batch of flat observations."""
+        logits = self.policy.forward(observation)
+        values = self.value.forward(observation)[:, 0]
+        return logits, values
+
+    def get_weights(self) -> List[np.ndarray]:
+        return self.policy.get_weights() + self.value.get_weights()
+
+    def set_weights(self, weights: List[np.ndarray]) -> None:
+        split = len(self.policy.params)
+        self.policy.set_weights(weights[:split])
+        self.value.set_weights(weights[split:])

@@ -1,0 +1,81 @@
+"""Rollout containers and helpers shared across the algorithm zoo.
+
+A rollout is a dict of equally-long stacked NumPy arrays keyed by field
+(``obs``, ``action``, ``reward``, ``next_obs``, ``done``, plus
+algorithm-specific extras such as ``logp`` and ``value``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def rollout_length(rollout: Dict[str, np.ndarray]) -> int:
+    """Number of rollout steps (0 for an empty rollout)."""
+    if not rollout:
+        return 0
+    return len(next(iter(rollout.values())))
+
+
+def rollout_nbytes(rollout: Dict[str, np.ndarray]) -> int:
+    """Total payload bytes of all fields."""
+    return int(sum(np.asarray(value).nbytes for value in rollout.values()))
+
+
+def concat_rollouts(rollouts: Sequence[Dict[str, np.ndarray]]) -> Dict[str, np.ndarray]:
+    """Concatenate rollouts along the step axis (all must share fields)."""
+    rollouts = [r for r in rollouts if rollout_length(r) > 0]
+    if not rollouts:
+        return {}
+    keys = set(rollouts[0])
+    for rollout in rollouts[1:]:
+        if set(rollout) != keys:
+            raise ValueError(
+                f"cannot concat rollouts with differing fields: "
+                f"{sorted(keys)} vs {sorted(rollout)}"
+            )
+    return {
+        key: np.concatenate([np.asarray(rollout[key]) for rollout in rollouts])
+        for key in keys
+    }
+
+
+def discounted_returns(
+    rewards: np.ndarray, dones: np.ndarray, gamma: float, bootstrap: float = 0.0
+) -> np.ndarray:
+    """Backward-accumulated discounted returns, reset at episode boundaries."""
+    returns = np.zeros(len(rewards), dtype=np.float64)
+    running = float(bootstrap)
+    for index in reversed(range(len(rewards))):
+        running = rewards[index] + gamma * running * (1.0 - float(dones[index]))
+        returns[index] = running
+    return returns
+
+
+def flatten_observations(observations: np.ndarray) -> np.ndarray:
+    """Flatten per-step observations to float vectors.
+
+    ``uint8`` image frames are scaled to [0, 1]; everything else is cast to
+    float64 unchanged.  Output shape is (steps, features).
+    """
+    array = np.asarray(observations)
+    if array.dtype == np.uint8:
+        array = array.astype(np.float64) / 255.0
+    else:
+        array = array.astype(np.float64)
+    return array.reshape(array.shape[0], -1)
+
+
+def minibatch_indices(
+    total: int, minibatch_size: int, rng: np.random.Generator
+) -> List[np.ndarray]:
+    """Shuffled index chunks covering [0, total) once."""
+    if minibatch_size < 1:
+        raise ValueError("minibatch_size must be >= 1")
+    order = rng.permutation(total)
+    return [
+        order[start : start + minibatch_size]
+        for start in range(0, total, minibatch_size)
+    ]

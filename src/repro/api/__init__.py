@@ -1,0 +1,32 @@
+"""Researcher-facing API (paper §4.2).
+
+XingTian exposes four classes — :class:`Environment`, :class:`Model`,
+:class:`Algorithm`, :class:`Agent` — which together answer the four
+questions the paper lists: which environment, which DNN, how to train with
+rollouts, and how to interact to collect rollouts.  A configuration file
+combines registered implementations into a runnable DRL algorithm.
+"""
+
+from .environment import Environment
+from .model import Model
+from .algorithm import Algorithm
+from .agent import Agent
+from .registry import (
+    registry,
+    register_environment,
+    register_model,
+    register_algorithm,
+    register_agent,
+)
+
+__all__ = [
+    "Environment",
+    "Model",
+    "Algorithm",
+    "Agent",
+    "registry",
+    "register_environment",
+    "register_model",
+    "register_algorithm",
+    "register_agent",
+]

@@ -1,0 +1,111 @@
+"""The Agent class: how to interact with the environment (paper §4.2).
+
+Researchers implement ``infer_action`` (action selection given an
+observation) and ``handle_env_feedback`` (how to sort observations and
+rewards into rollout records).  The agent holds an :class:`Algorithm`
+instance to maintain its copy of the DNNs, exactly as the paper describes.
+
+:meth:`run_fragment` is the rollout-worker inner loop: it advances the
+environment ``fragment_steps`` steps, building a rollout dict of stacked
+arrays plus episode statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .algorithm import Algorithm
+from .environment import Environment
+
+
+class Agent:
+    """Base class for environment interaction."""
+
+    def __init__(
+        self,
+        algorithm: Algorithm,
+        environment: Environment,
+        config: Optional[Dict[str, Any]] = None,
+    ):
+        self.algorithm = algorithm
+        self.environment = environment
+        self.config = dict(config or {})
+        self._observation: Any = None
+        self._episode_return = 0.0
+        self._episode_length = 0
+        self.total_steps = 0
+        self.completed_episodes = 0
+
+    # -- researcher hooks ------------------------------------------------------
+    def infer_action(self, observation: Any) -> Tuple[Any, Dict[str, Any]]:
+        """Choose an action; returns (action, extras-to-record)."""
+        raise NotImplementedError
+
+    def handle_env_feedback(
+        self,
+        observation: Any,
+        action: Any,
+        reward: float,
+        next_observation: Any,
+        done: bool,
+        info: Dict[str, Any],
+        extras: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        """Turn one transition into a rollout-step record (a flat dict)."""
+        record = {
+            "obs": observation,
+            "action": action,
+            "reward": reward,
+            "next_obs": next_observation,
+            "done": done,
+        }
+        record.update(extras)
+        return record
+
+    # -- weights ----------------------------------------------------------------
+    def set_weights(self, weights: List[np.ndarray]) -> None:
+        self.algorithm.set_weights(weights)
+
+    # -- rollout loop -------------------------------------------------------------
+    def run_fragment(self, fragment_steps: int) -> Tuple[Dict[str, Any], List[float]]:
+        """Advance ``fragment_steps`` steps; returns (rollout, episode_returns).
+
+        The rollout is a dict of stacked NumPy arrays keyed by record field;
+        ``episode_returns`` lists the returns of episodes that *finished*
+        inside this fragment.
+        """
+        if self._observation is None:
+            self._observation = self.environment.reset()
+        records: List[Dict[str, Any]] = []
+        finished_returns: List[float] = []
+        for _ in range(fragment_steps):
+            action, extras = self.infer_action(self._observation)
+            next_observation, reward, done, info = self.environment.step(action)
+            record = self.handle_env_feedback(
+                self._observation, action, reward, next_observation, done, info, extras
+            )
+            records.append(record)
+            self._episode_return += reward
+            self._episode_length += 1
+            self.total_steps += 1
+            if done:
+                finished_returns.append(self._episode_return)
+                self.completed_episodes += 1
+                self._episode_return = 0.0
+                self._episode_length = 0
+                self._observation = self.environment.reset()
+            else:
+                self._observation = next_observation
+        return self._stack(records), finished_returns
+
+    @staticmethod
+    def _stack(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+        if not records:
+            return {}
+        rollout: Dict[str, Any] = {}
+        for key in records[0]:
+            values = [record[key] for record in records]
+            rollout[key] = np.asarray(values)
+        return rollout

@@ -1,0 +1,133 @@
+"""The Algorithm class: how to update DNNs with rollouts (paper §4.2).
+
+Researchers implement ``prepare_data`` (how received rollouts are organized
+— replay-buffer maintenance also happens here) and ``train`` (one training
+session).  The base class additionally provides DNN inference and periodic
+checkpointing for fault tolerance, as the paper describes.
+
+The learner process drives a generic loop::
+
+    on ROLLOUT message:  algorithm.prepare_data(rollout, source)
+    while algorithm.ready_to_train():  metrics = algorithm.train()
+                                       maybe broadcast weights
+
+Three knobs let one loop serve all algorithm families:
+
+* ``on_policy``       — explorers wait for fresh weights after each send
+                        (PPO) vs. keep sampling (DQN/IMPALA);
+* ``broadcast_every`` — send weights every N training sessions;
+* ``broadcast_mode``  — ``"all"`` (PPO/DQN broadcast) or ``"sources"``
+                        (IMPALA sends exactly to the explorers whose
+                        rollouts were consumed, §2.1).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..core.errors import CheckpointError
+from .model import Model
+
+
+class Algorithm:
+    """Base class for training logic."""
+
+    #: explorers must wait for fresh weights after sending a rollout
+    on_policy: bool = False
+    #: broadcast weights every this many training sessions
+    broadcast_every: int = 1
+    #: "all" or "sources"
+    broadcast_mode: str = "all"
+
+    def __init__(self, model: Model, config: Optional[Dict[str, Any]] = None):
+        self.model = model
+        self.config = dict(config or {})
+        self.train_count = 0
+        self._last_consumed_sources: List[str] = []
+
+    # -- data path -----------------------------------------------------------
+    def prepare_data(self, rollout: Dict[str, Any], source: str = "") -> None:
+        """Organize a received rollout (stage it, or insert into replay)."""
+        raise NotImplementedError
+
+    def ready_to_train(self) -> bool:
+        """Whether enough data is staged for one training session."""
+        raise NotImplementedError
+
+    def train(self) -> Dict[str, float]:
+        """Run one training session; returns metrics.
+
+        Subclasses implement :meth:`_train`; this wrapper maintains the
+        session counter used for broadcast scheduling.
+        """
+        metrics = self._train()
+        self.train_count += 1
+        return metrics
+
+    def _train(self) -> Dict[str, float]:
+        raise NotImplementedError
+
+    # -- inference -------------------------------------------------------------
+    def predict(self, observation: np.ndarray) -> Any:
+        """DNN inference (provided, per the paper)."""
+        return self.model.forward(observation)
+
+    # -- weights ---------------------------------------------------------------
+    def get_weights(self) -> List[np.ndarray]:
+        return self.model.get_weights()
+
+    def set_weights(self, weights: List[np.ndarray]) -> None:
+        self.model.set_weights(weights)
+
+    def should_broadcast(self) -> bool:
+        return self.train_count % max(1, self.broadcast_every) == 0
+
+    def broadcast_targets(self, all_explorers: List[str]) -> List[str]:
+        """Which explorers receive the updated weights."""
+        if self.broadcast_mode == "sources":
+            targets = [s for s in self._last_consumed_sources if s in all_explorers]
+            return targets or list(all_explorers)
+        return list(all_explorers)
+
+    def note_consumed_sources(self, sources: List[str]) -> None:
+        self._last_consumed_sources = list(sources)
+
+    # -- checkpointing -----------------------------------------------------------
+    def save_checkpoint(self, path: str) -> None:
+        """Atomically write model weights + train counter to ``path``."""
+        state = {
+            "train_count": self.train_count,
+            "weights": self.get_weights(),
+            "config": self.config,
+        }
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(state, handle, protocol=5)
+            os.replace(tmp_path, path)
+        except OSError as exc:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise CheckpointError(f"failed to save checkpoint to {path}: {exc}") from exc
+
+    def restore_checkpoint(self, path: str) -> None:
+        """Restore weights and counters written by :meth:`save_checkpoint`."""
+        try:
+            with open(path, "rb") as handle:
+                state = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError) as exc:
+            raise CheckpointError(f"failed to restore checkpoint {path}: {exc}") from exc
+        self.set_weights(state["weights"])
+        self.train_count = state["train_count"]
+
+    # -- introspection ------------------------------------------------------------
+    def staged_steps(self) -> int:
+        """Rollout steps staged and not yet consumed (0 if not tracked)."""
+        return 0

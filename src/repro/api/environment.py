@@ -1,0 +1,48 @@
+"""The Environment class: gym-style wrapper (paper §4.2).
+
+Wraps both the bundled testbed environments and self-defined ones behind
+standard ``reset``/``step`` interfaces.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # avoid the api <-> envs import cycle at runtime
+    from ..envs.spaces import Space
+
+
+class Environment:
+    """Gym-style environment interface.
+
+    Subclasses implement :meth:`reset` and :meth:`step`; ``observation_space``
+    and ``action_space`` describe the MDP's S and A.
+    """
+
+    def __init__(self, config: Optional[Dict[str, Any]] = None):
+        self.config = dict(config or {})
+
+    @property
+    def observation_space(self) -> "Space":
+        raise NotImplementedError
+
+    @property
+    def action_space(self) -> "Space":
+        raise NotImplementedError
+
+    def reset(self) -> Any:
+        """Start a new episode; returns the initial observation."""
+        raise NotImplementedError
+
+    def step(self, action: Any) -> Tuple[Any, float, bool, Dict[str, Any]]:
+        """Apply ``action``; returns (observation, reward, done, info)."""
+        raise NotImplementedError
+
+    def seed(self, seed: Optional[int] = None) -> None:
+        """Seed the environment's randomness (no-op by default)."""
+
+    def close(self) -> None:
+        """Release environment resources (no-op by default)."""
+
+    def render(self) -> Any:  # pragma: no cover - optional visualisation
+        return None

@@ -1,0 +1,38 @@
+"""The Model class: holds the DNN definition and weight APIs (paper §4.2).
+
+Researchers are free to back a Model with any deep-learning framework; this
+repo bundles a NumPy substrate (:mod:`repro.nn`).  The framework only needs
+``get_weights``/``set_weights`` (weights are shipped between learner and
+explorers) and ``forward`` for inference.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+
+class Model:
+    """Interface for DNN holders."""
+
+    def __init__(self, config: Optional[Dict[str, Any]] = None):
+        self.config = dict(config or {})
+
+    def forward(self, observation: np.ndarray) -> Any:
+        """Run inference for a batch of observations."""
+        raise NotImplementedError
+
+    def get_weights(self) -> List[np.ndarray]:
+        """Snapshot the parameters as a flat list of arrays (copied)."""
+        raise NotImplementedError
+
+    def set_weights(self, weights: List[np.ndarray]) -> None:
+        """Load a parameter snapshot produced by :meth:`get_weights`."""
+        raise NotImplementedError
+
+    def num_parameters(self) -> int:
+        return int(sum(w.size for w in self.get_weights()))
+
+    def weights_nbytes(self) -> int:
+        return int(sum(w.nbytes for w in self.get_weights()))

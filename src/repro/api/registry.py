@@ -1,0 +1,67 @@
+"""Registries combining implementations via the configuration file (§4.2).
+
+The configuration file names an environment, model, algorithm, and agent;
+XingTian instantiates them in the rollout worker and trainer threads upon
+initialization.  Registrations are process-global.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Type
+
+from ..core.errors import RegistryError
+
+
+class Registry:
+    """Four namespaced name→class tables."""
+
+    _KINDS = ("environment", "model", "algorithm", "agent")
+
+    def __init__(self):
+        self._tables: Dict[str, Dict[str, Any]] = {kind: {} for kind in self._KINDS}
+
+    def register(self, kind: str, name: str, cls: Any, *, overwrite: bool = False) -> None:
+        table = self._table(kind)
+        if name in table and not overwrite:
+            raise RegistryError(f"{kind} {name!r} is already registered")
+        table[name] = cls
+
+    def get(self, kind: str, name: str) -> Any:
+        table = self._table(kind)
+        try:
+            return table[name]
+        except KeyError:
+            raise RegistryError(
+                f"unknown {kind} {name!r}; registered: {sorted(table)}"
+            ) from None
+
+    def names(self, kind: str):
+        return sorted(self._table(kind))
+
+    def _table(self, kind: str) -> Dict[str, Any]:
+        try:
+            return self._tables[kind]
+        except KeyError:
+            raise RegistryError(
+                f"unknown registry kind {kind!r}; kinds: {self._KINDS}"
+            ) from None
+
+
+registry = Registry()
+
+
+def _make_decorator(kind: str) -> Callable[[str], Callable[[Type], Type]]:
+    def decorator_factory(name: str, *, overwrite: bool = False):
+        def decorator(cls: Type) -> Type:
+            registry.register(kind, name, cls, overwrite=overwrite)
+            return cls
+
+        return decorator
+
+    return decorator_factory
+
+
+register_environment = _make_decorator("environment")
+register_model = _make_decorator("model")
+register_algorithm = _make_decorator("algorithm")
+register_agent = _make_decorator("agent")

@@ -1,0 +1,34 @@
+"""Models of the comparison frameworks (paper §5).
+
+These reproduce the *communication structure* of the paper's comparators —
+not their internals (DESIGN.md §2):
+
+* :mod:`rpc` — synchronous, caller-blocking simulated RPC: every transfer's
+  serialize/wire/deserialize cost lands on the calling thread, which is the
+  essence of receiver-initiated pulling;
+* :mod:`taskgraph` — task graph + centralized driver loop, the programming
+  model the paper attributes to prior DRL frameworks (§2.2);
+* :mod:`raylike` — RLLib-like framework: parallel remote workers, but all
+  data transfer happens inside the central driver's pull calls;
+* :mod:`bufferframework` — Acme/Launchpad/Reverb-like framework: a central
+  data buffer every rollout crosses twice over RPC.
+"""
+
+from .rpc import RpcChannel, RpcFuture
+from .taskgraph import CentralDriver, Task, TaskGraph
+from .raylike import RaylikeTrainer, RaylikeWorker, ReplayActor
+from .bufferframework import BufferFrameworkTrainer, BufferServer, BufferWorker
+
+__all__ = [
+    "RpcChannel",
+    "RpcFuture",
+    "Task",
+    "TaskGraph",
+    "CentralDriver",
+    "RaylikeWorker",
+    "RaylikeTrainer",
+    "ReplayActor",
+    "BufferServer",
+    "BufferWorker",
+    "BufferFrameworkTrainer",
+]

@@ -1,0 +1,127 @@
+"""Simulated synchronous RPC.
+
+The defining property of the pull model: the *caller's* thread pays for the
+whole transfer — serialization of the request, wire time, execution wait,
+serialization of the response, wire time back, deserialization (§2.2).
+Nothing overlaps with the caller's other work, because the caller *is*
+blocked inside the call.
+
+Costs are charged with the same models XingTian's channel uses: an optional
+``copy_bandwidth`` (bytes/s) for serialize/deserialize memory traffic (one
+charge per direction per payload) and an optional ``wire_bandwidth`` for
+NIC-bounded cross-machine transfer, plus a fixed per-call latency.  Setting
+identical constants on both sides makes the comparison apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from ..core.serialization import payload_nbytes
+
+
+class RpcChannel:
+    """A caller-blocking call channel with explicit cost accounting."""
+
+    def __init__(
+        self,
+        *,
+        call_latency: float = 0.0005,
+        copy_bandwidth: Optional[float] = None,
+        wire_bandwidth: Optional[float] = None,
+        wire_lock: Optional[threading.Lock] = None,
+    ):
+        if copy_bandwidth is not None and copy_bandwidth <= 0:
+            raise ValueError("copy_bandwidth must be positive")
+        if wire_bandwidth is not None and wire_bandwidth <= 0:
+            raise ValueError("wire_bandwidth must be positive")
+        self.call_latency = call_latency
+        self.copy_bandwidth = copy_bandwidth
+        self.wire_bandwidth = wire_bandwidth
+        # Concurrent RPCs crossing the same NIC share it; an external lock
+        # lets several channels model one physical link.
+        self._wire_lock = wire_lock or threading.Lock()
+        self.calls = 0
+        self.bytes_transferred = 0
+
+    # -- cost model -------------------------------------------------------------
+    def charge_copy(self, nbytes: int) -> None:
+        if self.copy_bandwidth is not None and nbytes > 0:
+            time.sleep(nbytes / self.copy_bandwidth)
+
+    def charge_wire(self, nbytes: int) -> None:
+        if self.wire_bandwidth is not None and nbytes > 0:
+            with self._wire_lock:
+                time.sleep(nbytes / self.wire_bandwidth)
+
+    def transfer(self, payload: Any) -> int:
+        """Charge one full payload transfer; returns the byte count."""
+        nbytes = payload_nbytes(payload)
+        self.charge_copy(nbytes)  # sender-side serialization
+        self.charge_wire(nbytes)  # NIC occupancy (if cross-machine)
+        self.charge_copy(nbytes)  # receiver-side deserialization
+        self.bytes_transferred += nbytes
+        return nbytes
+
+    # -- calls -------------------------------------------------------------------
+    def call(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Invoke ``fn`` remotely: request transfer, execute, response
+        transfer — all on the calling thread."""
+        self.calls += 1
+        if self.call_latency > 0:
+            time.sleep(self.call_latency)
+        for arg in args:
+            self.transfer(arg)
+        result = fn(*args, **kwargs)
+        if result is not None:
+            self.transfer(result)
+        return result
+
+
+class RpcFuture:
+    """Result slot for a request executing on a remote worker's thread.
+
+    ``wait`` blocks until the remote computation finished; fetching the
+    result (and paying its transfer) is the caller's job — see
+    :meth:`raylike.RaylikeTrainer._fetch`.
+    """
+
+    def __init__(self):
+        self._done = threading.Event()
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+
+    def set_result(self, result: Any) -> None:
+        self._result = result
+        self._done.set()
+
+    def set_error(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._done.wait(timeout=timeout)
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if not self._done.wait(timeout=timeout):
+            raise TimeoutError("rpc future not ready")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+def wait_any(futures, poll: float = 0.0005) -> int:
+    """Index of the first completed future (Ray's ``ray.wait`` analogue)."""
+    if not futures:
+        raise ValueError("wait_any needs at least one future")
+    while True:
+        for index, future in enumerate(futures):
+            if future.done:
+                return index
+        time.sleep(poll)

@@ -1,0 +1,114 @@
+"""Task graphs with centralized control logic (§2.2).
+
+Prior DRL frameworks "organize the computational components of DRL
+algorithms into task graphs, and use the centralized control logic to
+specify the components' execution order".  This module provides that
+programming model so the ablation benchmarks can run the *same*
+computational components under pull scheduling and compare against
+XingTian's push channel.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..core.stats import LatencyRecorder, ThroughputMeter
+
+
+class Task:
+    """One node of the task graph: a named callable with dependencies."""
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[Dict[str, Any]], Any],
+        deps: Sequence[str] = (),
+    ):
+        self.name = name
+        self.fn = fn
+        self.deps = list(deps)
+
+
+class TaskGraph:
+    """A DAG of tasks; ``order()`` yields a deterministic topological order."""
+
+    def __init__(self):
+        self._tasks: Dict[str, Task] = {}
+
+    def add(self, task: Task) -> None:
+        if task.name in self._tasks:
+            raise ValueError(f"duplicate task {task.name!r}")
+        for dep in task.deps:
+            if dep not in self._tasks:
+                raise ValueError(f"task {task.name!r} depends on unknown {dep!r}")
+        self._tasks[task.name] = task
+
+    def order(self) -> List[Task]:
+        """Kahn's algorithm; insertion order breaks ties."""
+        in_degree = {name: len(task.deps) for name, task in self._tasks.items()}
+        dependents: Dict[str, List[str]] = {name: [] for name in self._tasks}
+        for name, task in self._tasks.items():
+            for dep in task.deps:
+                dependents[dep].append(name)
+        ready = [name for name, degree in in_degree.items() if degree == 0]
+        ordered: List[Task] = []
+        while ready:
+            name = ready.pop(0)
+            ordered.append(self._tasks[name])
+            for dependent in dependents[name]:
+                in_degree[dependent] -= 1
+                if in_degree[dependent] == 0:
+                    ready.append(dependent)
+        if len(ordered) != len(self._tasks):
+            raise ValueError("task graph has a cycle")
+        return ordered
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+
+class CentralDriver:
+    """The centralized control loop: execute the graph, iteration after
+    iteration, every task on the driver's own thread.
+
+    Each task receives a context dict holding prior tasks' outputs (keyed by
+    task name).  Communication a task performs (RPC pulls) therefore blocks
+    the whole pipeline — the behaviour the paper critiques.
+    """
+
+    def __init__(self, graph: TaskGraph):
+        self.graph = graph
+        self.iterations = 0
+        self.iteration_time = LatencyRecorder("driver.iteration")
+        self.task_time: Dict[str, LatencyRecorder] = {}
+        self.throughput = ThroughputMeter()
+
+    def run(
+        self,
+        *,
+        max_iterations: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+        stop_when: Optional[Callable[[Dict[str, Any]], bool]] = None,
+    ) -> Dict[str, Any]:
+        """Drive the loop; returns the final iteration's context."""
+        if max_iterations is None and max_seconds is None and stop_when is None:
+            raise ValueError("need at least one stop criterion")
+        ordered = self.graph.order()
+        for task in ordered:
+            self.task_time.setdefault(task.name, LatencyRecorder(task.name))
+        deadline = time.monotonic() + max_seconds if max_seconds else None
+        context: Dict[str, Any] = {}
+        while True:
+            if max_iterations is not None and self.iterations >= max_iterations:
+                return context
+            if deadline is not None and time.monotonic() >= deadline:
+                return context
+            context = {}
+            with self.iteration_time.time():
+                for task in ordered:
+                    with self.task_time[task.name].time():
+                        context[task.name] = task.fn(context)
+            self.iterations += 1
+            if stop_when is not None and stop_when(context):
+                return context

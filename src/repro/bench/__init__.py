@@ -1,0 +1,34 @@
+"""Experiment harness regenerating the paper's tables and figures.
+
+See DESIGN.md §4 for the experiment index.  ``dummy_algorithm`` implements
+the paper's dummy DRL algorithm (§5.1) on XingTian, the RLLib-like pull
+framework, and the Launchpad/Reverb-like buffer framework; ``harness`` runs
+full training experiments on XingTian vs the RLLib model; ``reporting``
+prints rows/series shaped like the paper's figures.
+"""
+
+from .dummy_algorithm import (
+    TransmissionResult,
+    run_dummy_buffer,
+    run_dummy_raylike,
+    run_dummy_xingtian,
+    run_transmission,
+)
+from .harness import TrainingResult, run_training_raylike, run_training_xingtian
+from .workloads import atari_workload, cartpole_workload, message_size_sweep
+from . import reporting
+
+__all__ = [
+    "TransmissionResult",
+    "run_transmission",
+    "run_dummy_xingtian",
+    "run_dummy_raylike",
+    "run_dummy_buffer",
+    "TrainingResult",
+    "run_training_xingtian",
+    "run_training_raylike",
+    "atari_workload",
+    "cartpole_workload",
+    "message_size_sweep",
+    "reporting",
+]

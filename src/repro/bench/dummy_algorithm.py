@@ -1,0 +1,348 @@
+"""The paper's dummy DRL algorithm (§5.1), on all three frameworks.
+
+Explorers only send a fixed number of fixed-size messages; the learner
+receives them asynchronously in rounds (one message per explorer per round)
+and reports end-to-end latency and data-transmission throughput.  The
+learner broadcasts nothing back — the paper measures the explorer→learner
+direction that bounds DRL throughput.
+
+All frameworks are charged the *same* cost constants (copy bandwidth for
+serialize/deserialize, NIC bandwidth for cross-machine wire time); only the
+communication structure differs:
+
+* XingTian — sender-push through brokers: copies and wire time happen on
+  channel threads, overlapping each other and the learner's consumption;
+* RLLib-like — the learner pulls each message; every copy and wire charge
+  lands serially on the learner's own thread;
+* Launchpad/Reverb-like — every message crosses a central buffer server
+  that processes requests one at a time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines.bufferframework import BufferServer
+from ..baselines.rpc import RpcChannel
+from ..core.broker import Broker
+from ..core.compression import CompressionPolicy, disabled_policy
+from ..core.endpoint import ProcessEndpoint
+from ..core.message import MsgType, make_message
+from ..core.object_store import InMemoryObjectStore
+from ..transport.fabric import Fabric
+
+LEARNER = "learner"
+
+# Default cost constants shared by every framework in a comparison run.
+DEFAULT_COPY_BANDWIDTH = 1e9  # bytes/s — serialize/deserialize memcpy
+DEFAULT_NIC_BANDWIDTH = 118.04e6  # bytes/s — the paper's measured 1GbE
+DEFAULT_RPC_LATENCY = 0.0005  # per pull call
+DEFAULT_BUFFER_BANDWIDTH = 8e6  # Reverb-like server processing rate
+DEFAULT_BUFFER_OVERHEAD = 0.001  # per buffer op
+
+
+@dataclass
+class TransmissionResult:
+    """One data point of Figs. 4/5."""
+
+    framework: str
+    num_explorers: int
+    message_bytes: int
+    messages_total: int
+    elapsed_s: float
+    rounds: int
+    round_latencies: List[float] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.message_bytes * self.messages_total
+
+    @property
+    def throughput_mb_s(self) -> float:
+        return self.total_bytes / max(self.elapsed_s, 1e-9) / 1e6
+
+    @property
+    def end_to_end_latency_s(self) -> float:
+        return self.elapsed_s
+
+
+def _payload(message_bytes: int, seed: int = 0) -> np.ndarray:
+    """Random bytes: incompressible, like serialized rollouts usually are."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=max(1, message_bytes), dtype=np.uint8)
+
+
+# ---------------------------------------------------------------------------
+# XingTian
+# ---------------------------------------------------------------------------
+def run_dummy_xingtian(
+    num_explorers: int,
+    message_bytes: int,
+    *,
+    messages_per_explorer: int = 20,
+    machines: Optional[Sequence[int]] = None,
+    copy_bandwidth: Optional[float] = DEFAULT_COPY_BANDWIDTH,
+    nic_bandwidth: float = DEFAULT_NIC_BANDWIDTH,
+    nic_latency: float = 0.0002,
+    compression: Optional[CompressionPolicy] = None,
+    timeout_s: float = 300.0,
+) -> TransmissionResult:
+    """Dummy algorithm on XingTian.
+
+    ``machines`` lists explorer counts per machine; the learner lives on
+    machine 0 (which may host 0 explorers — the "16 remote explorers"
+    configuration of Fig. 5).  ``None`` means everything on one machine.
+    """
+    if machines is None:
+        machines = [num_explorers]
+    if sum(machines) != num_explorers:
+        raise ValueError("machines must sum to num_explorers")
+    compression = compression or disabled_policy()
+
+    fabric = Fabric("dummy-data")
+    brokers: List[Broker] = []
+    for index in range(len(machines)):
+        store = InMemoryObjectStore(
+            copy_on_fetch=False, compression=compression, copy_bandwidth=copy_bandwidth
+        )
+        brokers.append(Broker(f"m{index}.broker", store=store, fabric=fabric))
+    for index in range(1, len(brokers)):
+        fabric.connect_bidirectional(
+            brokers[index].name,
+            brokers[0].name,
+            bandwidth=nic_bandwidth,
+            latency=nic_latency,
+        )
+
+    learner_endpoint = ProcessEndpoint(LEARNER, brokers[0])
+    explorer_endpoints: List[ProcessEndpoint] = []
+    explorer_index = 0
+    for machine_index, count in enumerate(machines):
+        for _ in range(count):
+            name = f"m{machine_index}.explorer-{explorer_index}"
+            explorer_endpoints.append(ProcessEndpoint(name, brokers[machine_index]))
+            if machine_index != 0:
+                brokers[machine_index].add_remote_route(LEARNER, brokers[0].name)
+            explorer_index += 1
+
+    total_messages = num_explorers * messages_per_explorer
+    round_latencies: List[float] = []
+    done = threading.Event()
+
+    def learner_loop() -> None:
+        received = 0
+        round_start = time.monotonic()
+        while received < total_messages:
+            message = learner_endpoint.receive(timeout=1.0)
+            if message is None:
+                if done.is_set():
+                    return
+                continue
+            received += 1
+            # A round is over after one message per explorer (the paper's
+            # learner does not care which explorers they came from).
+            if received % num_explorers == 0:
+                now = time.monotonic()
+                round_latencies.append(now - round_start)
+                round_start = now
+        done.set()
+
+    def explorer_loop(endpoint: ProcessEndpoint, seed: int) -> None:
+        body = _payload(message_bytes, seed)
+        for _ in range(messages_per_explorer):
+            endpoint.send(
+                make_message(
+                    endpoint.name, [LEARNER], MsgType.DATA, body, body_size=body.nbytes
+                )
+            )
+
+    for broker in brokers:
+        broker.start()
+    learner_endpoint.start()
+    for endpoint in explorer_endpoints:
+        endpoint.start()
+
+    started = time.monotonic()
+    learner_thread = threading.Thread(target=learner_loop, daemon=True)
+    learner_thread.start()
+    explorer_threads = [
+        threading.Thread(target=explorer_loop, args=(endpoint, seed), daemon=True)
+        for seed, endpoint in enumerate(explorer_endpoints)
+    ]
+    for thread in explorer_threads:
+        thread.start()
+
+    finished = done.wait(timeout=timeout_s)
+    elapsed = time.monotonic() - started
+    done.set()
+    learner_thread.join(timeout=5.0)
+    for endpoint in explorer_endpoints:
+        endpoint.stop()
+    learner_endpoint.stop()
+    for broker in brokers:
+        broker.stop()
+    fabric.close()
+    if not finished:
+        raise TimeoutError(
+            f"xingtian dummy run did not finish within {timeout_s}s "
+            f"({num_explorers} explorers x {message_bytes} bytes)"
+        )
+    return TransmissionResult(
+        framework="xingtian",
+        num_explorers=num_explorers,
+        message_bytes=message_bytes,
+        messages_total=total_messages,
+        elapsed_s=elapsed,
+        rounds=messages_per_explorer,
+        round_latencies=round_latencies,
+    )
+
+
+# ---------------------------------------------------------------------------
+# RLLib-like (pull)
+# ---------------------------------------------------------------------------
+def run_dummy_raylike(
+    num_explorers: int,
+    message_bytes: int,
+    *,
+    messages_per_explorer: int = 20,
+    machines: Optional[Sequence[int]] = None,
+    copy_bandwidth: Optional[float] = DEFAULT_COPY_BANDWIDTH,
+    nic_bandwidth: float = DEFAULT_NIC_BANDWIDTH,
+    rpc_latency: float = DEFAULT_RPC_LATENCY,
+) -> TransmissionResult:
+    """Dummy algorithm on the pull model (RLLib's low-level streaming API).
+
+    Workers have their payload ready instantly; the learner still must ask.
+    Every fetch charges copy + (cross-machine) wire + copy on the learner's
+    thread, one message after another.
+    """
+    if machines is None:
+        machines = [num_explorers]
+    if sum(machines) != num_explorers:
+        raise ValueError("machines must sum to num_explorers")
+
+    # One shared NIC per remote machine pair (machine 0 hosts the learner).
+    wire_lock = threading.Lock()
+    channels: List[RpcChannel] = []
+    explorer_machine: List[int] = []
+    for machine_index, count in enumerate(machines):
+        for _ in range(count):
+            cross_machine = machine_index != 0
+            channels.append(
+                RpcChannel(
+                    call_latency=rpc_latency,
+                    copy_bandwidth=copy_bandwidth,
+                    wire_bandwidth=nic_bandwidth if cross_machine else None,
+                    wire_lock=wire_lock,
+                )
+            )
+            explorer_machine.append(machine_index)
+
+    payloads = [_payload(message_bytes, seed) for seed in range(num_explorers)]
+    round_latencies: List[float] = []
+    started = time.monotonic()
+    round_start = started
+    for _ in range(messages_per_explorer):
+        for explorer, channel in enumerate(channels):
+            if channel.call_latency > 0:
+                time.sleep(channel.call_latency)
+            channel.transfer(payloads[explorer])
+        now = time.monotonic()
+        round_latencies.append(now - round_start)
+        round_start = now
+    elapsed = time.monotonic() - started
+    return TransmissionResult(
+        framework="raylike",
+        num_explorers=num_explorers,
+        message_bytes=message_bytes,
+        messages_total=num_explorers * messages_per_explorer,
+        elapsed_s=elapsed,
+        rounds=messages_per_explorer,
+        round_latencies=round_latencies,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Launchpad/Reverb-like (central buffer)
+# ---------------------------------------------------------------------------
+def run_dummy_buffer(
+    num_explorers: int,
+    message_bytes: int,
+    *,
+    messages_per_explorer: int = 20,
+    processing_bandwidth: float = DEFAULT_BUFFER_BANDWIDTH,
+    item_overhead: float = DEFAULT_BUFFER_OVERHEAD,
+    timeout_s: float = 300.0,
+) -> TransmissionResult:
+    """Dummy algorithm through a Reverb-like buffer.
+
+    Explorers insert in parallel, but the buffer server processes one
+    request at a time — adding explorers does not add throughput, exactly
+    the plateau Fig. 4 shows for Launchpad+Reverb.
+    """
+    server = BufferServer(
+        processing_bandwidth=processing_bandwidth, item_overhead=item_overhead
+    )
+    total_messages = num_explorers * messages_per_explorer
+    round_latencies: List[float] = []
+
+    def explorer_loop(seed: int) -> None:
+        body = _payload(message_bytes, seed)
+        for _ in range(messages_per_explorer):
+            server.insert(body, timeout=timeout_s)
+
+    threads = [
+        threading.Thread(target=explorer_loop, args=(seed,), daemon=True)
+        for seed in range(num_explorers)
+    ]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    round_start = started
+    received = 0
+    try:
+        while received < total_messages:
+            server.sample(timeout=timeout_s)
+            received += 1
+            if received % num_explorers == 0:
+                now = time.monotonic()
+                round_latencies.append(now - round_start)
+                round_start = now
+    finally:
+        elapsed = time.monotonic() - started
+        for thread in threads:
+            thread.join(timeout=5.0)
+        server.stop()
+    return TransmissionResult(
+        framework="launchpad_reverb",
+        num_explorers=num_explorers,
+        message_bytes=message_bytes,
+        messages_total=total_messages,
+        elapsed_s=elapsed,
+        rounds=messages_per_explorer,
+        round_latencies=round_latencies,
+    )
+
+
+_RUNNERS = {
+    "xingtian": run_dummy_xingtian,
+    "raylike": run_dummy_raylike,
+    "launchpad_reverb": run_dummy_buffer,
+}
+
+
+def run_transmission(framework: str, num_explorers: int, message_bytes: int, **kwargs):
+    """Dispatch to one of the three dummy-algorithm implementations."""
+    try:
+        runner = _RUNNERS[framework]
+    except KeyError:
+        raise KeyError(
+            f"unknown framework {framework!r}; known: {sorted(_RUNNERS)}"
+        ) from None
+    return runner(num_explorers, message_bytes, **kwargs)

@@ -1,0 +1,93 @@
+"""Row/series printers shaped like the paper's tables and figures."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width text table."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_series(
+    series: Sequence[Tuple[float, float]],
+    *,
+    name: str = "",
+    x_label: str = "t",
+    y_label: str = "y",
+    max_points: int = 20,
+) -> str:
+    """Print a (x, y) series the way a figure panel would show it."""
+    if not series:
+        return f"{name}: (empty series)"
+    step = max(1, len(series) // max_points)
+    sampled = list(series)[::step]
+    lines = [f"{name}  [{x_label} -> {y_label}]"]
+    for x, y in sampled:
+        lines.append(f"  {x:>10.2f}  {y:.4g}")
+    return "\n".join(lines)
+
+
+def ratio(a: float, b: float) -> float:
+    """a/b guarded against zero denominators."""
+    return a / b if b else float("inf")
+
+
+def improvement_pct(new: float, old: float) -> float:
+    """Percentage improvement of ``new`` over ``old`` (the paper's metric)."""
+    if old == 0:
+        return float("inf")
+    return (new - old) / old * 100.0
+
+
+def summarize_comparison(
+    label: str,
+    xingtian_value: float,
+    baseline_value: float,
+    *,
+    unit: str = "",
+    baseline_name: str = "RLLib-like",
+) -> str:
+    pct = improvement_pct(xingtian_value, baseline_value)
+    return (
+        f"{label}: XingTian {xingtian_value:.4g}{unit} vs {baseline_name} "
+        f"{baseline_value:.4g}{unit}  ({pct:+.1f}%)"
+    )
+
+
+def cdf_fraction_below(
+    cdf: Sequence[Tuple[float, float]], threshold: float
+) -> Optional[float]:
+    """Fraction of mass at or below ``threshold`` from a CDF point list."""
+    fraction = None
+    for value, cumulative in cdf:
+        if value <= threshold:
+            fraction = cumulative
+        else:
+            break
+    return fraction

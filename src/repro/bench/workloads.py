@@ -1,0 +1,54 @@
+"""Workload definitions shared by the benchmark files.
+
+The paper's experiments run at testbed scale (10M Atari steps, 64MB
+messages, hours of wall time).  These workloads keep the *shape* — the same
+sweeps, ratios, and bottleneck structure — at laptop scale; EXPERIMENTS.md
+records the mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+# Message-size sweep (Fig. 4/5).  The paper sweeps 1KB..64MB; we sweep a
+# scaled subset whose largest point still exercises the NIC/copy bottleneck.
+FULL_MESSAGE_SIZES_KB = [1, 4, 16, 64, 256, 1024, 2048, 4096, 8192, 16384, 32768, 65536]
+BENCH_MESSAGE_SIZES_KB = [1, 16, 256, 1024]
+
+ATARI_GAMES = ["BeamRider", "Breakout", "Qbert", "SpaceInvaders"]
+
+
+def message_size_sweep(scaled: bool = True) -> List[int]:
+    """Message sizes in bytes for the transmission sweeps."""
+    sizes_kb = BENCH_MESSAGE_SIZES_KB if scaled else FULL_MESSAGE_SIZES_KB
+    return [kb * 1024 for kb in sizes_kb]
+
+
+def cartpole_workload(**overrides: Any) -> Dict[str, Any]:
+    """CartPole training workload (the paper's gym environment)."""
+    workload = {
+        "environment": "CartPole",
+        "env_config": {},
+        "fragment_steps": 200,  # paper: 200-step messages on CartPole
+        "obs_note": "4-float observations",
+    }
+    workload.update(overrides)
+    return workload
+
+
+def atari_workload(game: str = "BeamRider", **overrides: Any) -> Dict[str, Any]:
+    """Synthetic-Atari training workload.
+
+    The paper uses 500-step fragments on Atari.  ``obs_shape`` and
+    ``step_compute_s`` control the communication/computation ratio: (84, 84)
+    frames at 500 steps/fragment give multi-MB rollout messages like the
+    paper's Table 1 sizes.
+    """
+    workload = {
+        "environment": game,
+        "env_config": {"obs_shape": (84, 84), "step_compute_s": 0.0002},
+        "fragment_steps": 500,
+        "obs_note": "84x84 uint8 frames",
+    }
+    workload.update(overrides)
+    return workload

@@ -1,0 +1,6 @@
+"""Multi-machine deployment of XingTian (simulated; see DESIGN.md §2)."""
+
+from .machine import SimulatedMachine
+from .cluster import Cluster, build_cluster
+
+__all__ = ["SimulatedMachine", "Cluster", "build_cluster"]

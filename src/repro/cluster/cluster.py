@@ -1,0 +1,271 @@
+"""Cluster builder: config → machines, brokers, fabrics, processes.
+
+Mirrors the paper's launch sequence (§3.2.2): a center controller starts a
+controller per machine over a fully-connected control fabric, brokers are
+created per machine and joined by a data fabric with the learner's machine
+as the center for data transmission, and finally the learner and explorers
+are attached to their local brokers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..api.agent import Agent
+from ..api.algorithm import Algorithm
+from ..api.registry import registry
+from ..core.broker import Broker
+from ..core.compression import CompressionPolicy
+from ..core.config import XingTianConfig
+from ..core.controller import CenterController, Controller
+from ..core.explorer import ExplorerProcess
+from ..core.learner import LearnerProcess
+from ..core.object_store import InMemoryObjectStore
+from ..transport.fabric import Fabric
+from .machine import SimulatedMachine
+
+LEARNER_NAME = "learner"
+
+
+class Cluster:
+    """A built deployment, ready to start."""
+
+    def __init__(
+        self,
+        config: XingTianConfig,
+        machines: List[SimulatedMachine],
+        center: CenterController,
+        data_fabric: Fabric,
+        control_fabric: Fabric,
+    ):
+        self.config = config
+        self.machines = machines
+        self.center = center
+        self.data_fabric = data_fabric
+        self.control_fabric = control_fabric
+        self._started = False
+
+    # -- lookups ---------------------------------------------------------------
+    @property
+    def learner(self) -> LearnerProcess:
+        for machine in self.machines:
+            for process in machine.processes:
+                if isinstance(process, LearnerProcess):
+                    return process
+        raise LookupError("no learner deployed")
+
+    @property
+    def explorers(self) -> List[ExplorerProcess]:
+        return [
+            process
+            for machine in self.machines
+            for process in machine.processes
+            if isinstance(process, ExplorerProcess)
+        ]
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for machine in self.machines:
+            machine.controller.start_all()
+
+    def stop(self) -> None:
+        # The center broadcasts shutdown; other controllers follow (§3.2.2).
+        self.center.stop_all()
+        for machine in self.machines:
+            machine.controller.stop_all()
+        self.data_fabric.close()
+        self.control_fabric.close()
+
+    def raise_worker_errors(self) -> None:
+        """Surface any exception captured in a workhorse thread."""
+        for machine in self.machines:
+            for process in machine.processes:
+                error = getattr(process.workhorse, "error", None)
+                if error is not None:
+                    raise error
+
+
+def build_cluster(config: XingTianConfig) -> Cluster:
+    """Construct the full deployment described by ``config``."""
+    config.validate()
+    probe_env = registry.get("environment", config.environment)(dict(config.env_config))
+    model_config = _fill_model_config(config, probe_env)
+    probe_env.close()
+
+    data_fabric = Fabric("data")
+    control_fabric = Fabric("control")
+    compression = CompressionPolicy(
+        enabled=config.compression_enabled, threshold=config.compression_threshold
+    )
+
+    learner_machine_name = config.learner_machine.name
+    machines: List[SimulatedMachine] = []
+    brokers: Dict[str, Broker] = {}
+    center: Optional[CenterController] = None
+
+    for spec in config.machines:
+        store = InMemoryObjectStore(
+            copy_on_fetch=config.copy_on_fetch,
+            compression=compression,
+            copy_bandwidth=config.copy_bandwidth,
+        )
+        broker = Broker(f"{spec.name}.broker", store=store, fabric=data_fabric)
+        brokers[spec.name] = broker
+        if spec.name == learner_machine_name:
+            controller: Controller = CenterController(
+                f"{spec.name}.controller",
+                broker,
+                config.stop,
+                control_fabric=control_fabric,
+            )
+            center = controller
+        else:
+            controller = Controller(f"{spec.name}.controller", broker, control_fabric)
+        machines.append(SimulatedMachine(spec.name, broker, controller))
+    assert center is not None
+
+    _wire_fabrics(config, brokers, data_fabric, control_fabric, learner_machine_name)
+    _register_routes(config, brokers, learner_machine_name)
+
+    # Deploy processes.
+    explorer_names = config.explorer_names()
+    controller_endpoint = CenterController.ENDPOINT_NAME
+    seed_base = config.seed if config.seed is not None else 0
+    explorer_index = 0
+    for spec, machine in zip(config.machines, machines):
+        broker = brokers[spec.name]
+        if spec.has_learner:
+            machine.deploy(
+                LearnerProcess(
+                    LEARNER_NAME,
+                    broker,
+                    _algorithm_factory(config, model_config),
+                    explorer_names,
+                    controller_name=controller_endpoint,
+                    stats_interval=config.stats_interval,
+                )
+            )
+        for local_index in range(spec.explorers):
+            name = f"{spec.name}.explorer-{local_index}"
+            machine.deploy(
+                ExplorerProcess(
+                    name,
+                    broker,
+                    _agent_factory(config, model_config, seed_base + explorer_index),
+                    learner_name=LEARNER_NAME,
+                    controller_name=controller_endpoint,
+                    fragment_steps=config.fragment_steps,
+                    stats_interval=config.stats_interval,
+                )
+            )
+            explorer_index += 1
+    return Cluster(config, machines, center, data_fabric, control_fabric)
+
+
+def _fill_model_config(config: XingTianConfig, probe_env) -> Dict:
+    """Derive obs/action dimensions from the environment when unset."""
+    model_config = dict(config.model_config)
+    obs_space = probe_env.observation_space
+    action_space = probe_env.action_space
+    model_config.setdefault("obs_dim", int(np.prod(obs_space.shape)) or 1)
+    if hasattr(action_space, "n"):
+        model_config.setdefault("num_actions", int(action_space.n))
+    else:
+        model_config.setdefault("action_dim", int(np.prod(action_space.shape)))
+        model_config.setdefault("action_bound", float(np.max(np.abs(action_space.high))))
+    if config.seed is not None:
+        model_config.setdefault("seed", config.seed)
+    return model_config
+
+
+def _wire_fabrics(
+    config: XingTianConfig,
+    brokers: Dict[str, Broker],
+    data_fabric: Fabric,
+    control_fabric: Fabric,
+    learner_machine: str,
+) -> None:
+    """Star data fabric centered on the learner's machine; fully-connected
+    control fabric (commands are tiny, links stay direct)."""
+    names = [spec.name for spec in config.machines]
+    for name in names:
+        if name == learner_machine:
+            continue
+        data_fabric.connect_bidirectional(
+            brokers[name].name,
+            brokers[learner_machine].name,
+            bandwidth=config.nic_bandwidth if len(names) > 1 else None,
+            latency=config.nic_latency,
+        )
+
+
+def _register_routes(
+    config: XingTianConfig, brokers: Dict[str, Broker], learner_machine: str
+) -> None:
+    """Teach each broker where every non-local process lives.
+
+    All cross-machine data flows through the learner machine's broker (the
+    center for data transmission, Fig. 2b), so non-center brokers route
+    every remote name there, and the center broker routes per machine.
+    """
+    home: Dict[str, str] = {LEARNER_NAME: learner_machine}
+    home[CenterController.ENDPOINT_NAME] = learner_machine
+    for spec in config.machines:
+        for index in range(spec.explorers):
+            home[f"{spec.name}.explorer-{index}"] = spec.name
+    for spec in config.machines:
+        broker = brokers[spec.name]
+        for process_name, machine_name in home.items():
+            if machine_name == spec.name:
+                continue
+            if spec.name == learner_machine:
+                target = brokers[machine_name].name
+            else:
+                target = brokers[learner_machine].name
+            broker.add_remote_route(process_name, target)
+
+
+def _algorithm_factory(
+    config: XingTianConfig, model_config: Dict
+) -> Callable[[], Algorithm]:
+    algorithm_cls = registry.get("algorithm", config.algorithm)
+    model_cls = registry.get("model", config.model)
+    algorithm_config = dict(config.algorithm_config)
+    algorithm_config.setdefault("num_explorers", config.num_explorers)
+    if config.seed is not None:
+        algorithm_config.setdefault("seed", config.seed)
+
+    def factory() -> Algorithm:
+        return algorithm_cls(model_cls(dict(model_config)), algorithm_config)
+
+    return factory
+
+
+def _agent_factory(
+    config: XingTianConfig, model_config: Dict, seed: int
+) -> Callable[[], Agent]:
+    algorithm_cls = registry.get("algorithm", config.algorithm)
+    model_cls = registry.get("model", config.model)
+    agent_cls = registry.get("agent", config.agent_name)
+    env_cls = registry.get("environment", config.environment)
+
+    def factory() -> Agent:
+        env_config = dict(config.env_config)
+        env_config["seed"] = seed
+        environment = env_cls(env_config)
+        algorithm_config = dict(config.algorithm_config)
+        algorithm_config.setdefault("num_explorers", config.num_explorers)
+        # Explorer-side algorithm copies never train; shrink buffers.
+        algorithm_config["buffer_size"] = 1
+        algorithm_config["learn_start"] = 1
+        algorithm = algorithm_cls(model_cls(dict(model_config)), algorithm_config)
+        agent_config = dict(config.agent_config)
+        agent_config.setdefault("seed", seed)
+        return agent_cls(algorithm, environment, agent_config)
+
+    return factory

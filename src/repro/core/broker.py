@@ -1,0 +1,88 @@
+"""The broker process (§3.2.1).
+
+A broker owns the shared-memory communicator and the algorithm-agnostic
+router.  It is "totally different from the data management buffer in
+existing DRL frameworks": it never interprets or stores data on behalf of
+the algorithm — it only pushes messages to their destinations as fast as
+possible.  Brokers in different machines are connected by a data fabric;
+for PBT, brokers carry a ``rank`` and only same-rank brokers are connected
+(§4.3).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+from ..transport.fabric import Fabric
+from .communicator import ShareMemCommunicator
+from .errors import LifecycleError
+from .object_store import ObjectStore
+from .router import AlgorithmAgnosticRouter
+
+
+class Broker:
+    """Communicator + router, optionally attached to an inter-machine fabric."""
+
+    def __init__(
+        self,
+        name: str = "broker",
+        *,
+        store: Optional[ObjectStore] = None,
+        fabric: Optional[Fabric] = None,
+        rank: int = 0,
+        on_unroutable: str = "raise",
+    ):
+        self.name = name
+        self.rank = rank
+        self.communicator = ShareMemCommunicator(f"{name}.comm", store=store)
+        self._fabric = fabric
+        self.router = AlgorithmAgnosticRouter(
+            self.communicator,
+            name=f"{name}.router",
+            remote_send=self._remote_send if fabric is not None else None,
+            on_unroutable=on_unroutable,
+        )
+        if fabric is not None:
+            fabric.register(self.name, self._on_fabric_receive)
+        self._started = False
+        self._stopped = False
+        self._lock = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        with self._lock:
+            if self._started:
+                raise LifecycleError(f"broker {self.name!r} already started")
+            self._started = True
+        self.router.start()
+
+    def stop(self) -> None:
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+        self.router.stop()
+        self.communicator.close()
+        if self._fabric is not None:
+            self._fabric.unregister(self.name)
+
+    # -- registration -------------------------------------------------------
+    def register_process(self, process_name: str):
+        """Register a local explorer/learner; returns its ID queue."""
+        return self.communicator.register(process_name)
+
+    def add_remote_route(self, process_name: str, remote_broker: str) -> None:
+        """Teach the router that ``process_name`` lives behind another broker."""
+        self.router.remote_table[process_name] = remote_broker
+
+    # -- fabric plumbing ----------------------------------------------------
+    def _remote_send(
+        self, remote_broker: str, header: Dict[str, Any], body: Any, nbytes: int
+    ) -> None:
+        assert self._fabric is not None
+        self._fabric.send(self.name, remote_broker, (header, body), nbytes)
+
+    def _on_fabric_receive(self, item: Any) -> None:
+        header, body = item
+        self.router.on_remote_receive(header, body)

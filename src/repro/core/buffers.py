@@ -1,0 +1,110 @@
+"""Send and receive buffers for intra-process staging.
+
+Each explorer/learner process maintains a send buffer and a receive buffer
+(§3.2.1).  Message headers go into the buffer's header queue; message bodies
+into the data list.  The workhorse threads only ever touch these local
+buffers — the sender/receiver threads move data between the buffers and the
+broker's communicator.
+
+The header queue is ``queue.Queue``-based so monitoring threads can block on
+``get`` and wake event-driven the moment a new header arrives (§4.1).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Dict, Iterator, Optional
+
+from .message import Message
+
+
+class _Closed:
+    """Sentinel placed on the header queue to unblock waiters at shutdown."""
+
+
+_CLOSED = _Closed()
+
+
+class MessageBuffer:
+    """A header queue plus a body table keyed by sequence number.
+
+    ``put`` stages a whole message; ``get`` blocks until a message is
+    available (or the buffer is closed) and hands back header and body
+    together.  FIFO per producer is guaranteed by the underlying queue.
+    """
+
+    def __init__(self, name: str = "", maxsize: int = 0):
+        self.name = name
+        self._headers: "queue.Queue[object]" = queue.Queue(maxsize=maxsize)
+        self._bodies: Dict[int, object] = {}
+        self._lock = threading.Lock()
+        self._closed = threading.Event()
+        self.total_put = 0
+        self.total_got = 0
+
+    def put(self, message: Message, timeout: Optional[float] = None) -> None:
+        if self._closed.is_set():
+            raise RuntimeError(f"buffer {self.name!r} is closed")
+        with self._lock:
+            self._bodies[message.seq] = message.body
+            self.total_put += 1
+        try:
+            self._headers.put(message.header, timeout=timeout)
+        except queue.Full:
+            with self._lock:
+                self._bodies.pop(message.seq, None)
+                self.total_put -= 1
+            raise
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Message]:
+        """Blocking fetch; returns ``None`` once the buffer is closed and
+        drained, mirroring a ``Queue.get`` that was woken by shutdown."""
+        try:
+            header = self._headers.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        if header is _CLOSED:
+            # Re-insert so every waiter wakes up.
+            self._headers.put(_CLOSED)
+            return None
+        with self._lock:
+            body = self._bodies.pop(header["seq"], None)
+            self.total_got += 1
+        return Message(header, body)
+
+    def get_nowait(self) -> Optional[Message]:
+        return self.get(timeout=0.0) if not self.empty() else None
+
+    def drain(self) -> Iterator[Message]:
+        """Yield currently-queued messages without blocking."""
+        while True:
+            message = self.get(timeout=0.0)
+            if message is None:
+                return
+            yield message
+
+    def empty(self) -> bool:
+        return self._headers.empty()
+
+    def qsize(self) -> int:
+        return self._headers.qsize()
+
+    def close(self) -> None:
+        """Wake all blocked getters; subsequent ``get`` returns ``None`` once
+        the queue is drained of real messages."""
+        if not self._closed.is_set():
+            self._closed.set()
+            self._headers.put(_CLOSED)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+
+class SendBuffer(MessageBuffer):
+    """Staging area for messages a workhorse thread has produced."""
+
+
+class ReceiveBuffer(MessageBuffer):
+    """Staging area for messages delivered to a process, awaiting use."""

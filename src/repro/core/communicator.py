@@ -1,0 +1,119 @@
+"""The shared-memory communicator (§3.2.1).
+
+The broker process creates a shared-memory communicator holding:
+
+* a **header queue** — senders push message headers here the instant a body
+  has been inserted into the object store;
+* an **object store** — message bodies live here for zero-copy transfer;
+* one **ID queue per explorer/learner process** — the router drops headers
+  (carrying the body's object ID) into the queues of all destinations.
+
+All queues expose a blocking ``get`` so monitoring threads run event-driven:
+the moment a header lands, the blocked ``get`` returns and transmission
+continues immediately (§4.1).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Dict, List, Optional
+
+from .errors import RoutingError
+from .object_store import InMemoryObjectStore, ObjectStore
+
+
+class HeaderQueue:
+    """A closeable blocking queue of message headers."""
+
+    _CLOSED = object()
+
+    def __init__(self, name: str = "", maxsize: int = 0):
+        self.name = name
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=maxsize)
+        self._closed = threading.Event()
+
+    def put(self, header: Dict[str, Any]) -> None:
+        if self._closed.is_set():
+            return  # drop late headers during shutdown
+        self._queue.put(header)
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """Blocking get; returns ``None`` on timeout or once closed."""
+        try:
+            item = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        if item is self._CLOSED:
+            self._queue.put(self._CLOSED)  # wake any other waiters
+            return None
+        return item
+
+    def close(self) -> None:
+        if not self._closed.is_set():
+            self._closed.set()
+            self._queue.put(self._CLOSED)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    def qsize(self) -> int:
+        return self._queue.qsize()
+
+
+class ShareMemCommunicator:
+    """Header queue + object store + per-destination ID queues.
+
+    The communicator is algorithm-agnostic: it never inspects bodies, only
+    headers (§3.2.1).  Destination processes register to receive an ID
+    queue; the router resolves header destinations to these queues.
+    """
+
+    def __init__(self, name: str = "communicator", store: Optional[ObjectStore] = None):
+        self.name = name
+        self.header_queue = HeaderQueue(f"{name}.headers")
+        self.object_store: ObjectStore = store if store is not None else InMemoryObjectStore()
+        self._id_queues: Dict[str, HeaderQueue] = {}
+        self._lock = threading.Lock()
+
+    # -- registration -----------------------------------------------------
+    def register(self, process_name: str) -> HeaderQueue:
+        """Create (or return) the ID queue for a local process."""
+        with self._lock:
+            id_queue = self._id_queues.get(process_name)
+            if id_queue is None:
+                id_queue = HeaderQueue(f"{self.name}.id.{process_name}")
+                self._id_queues[process_name] = id_queue
+            return id_queue
+
+    def unregister(self, process_name: str) -> None:
+        with self._lock:
+            id_queue = self._id_queues.pop(process_name, None)
+        if id_queue is not None:
+            id_queue.close()
+
+    def id_queue(self, process_name: str) -> HeaderQueue:
+        with self._lock:
+            try:
+                return self._id_queues[process_name]
+            except KeyError:
+                raise RoutingError(
+                    f"no ID queue registered for {process_name!r} on {self.name!r}"
+                ) from None
+
+    def local_names(self) -> List[str]:
+        with self._lock:
+            return list(self._id_queues)
+
+    def is_local(self, process_name: str) -> bool:
+        with self._lock:
+            return process_name in self._id_queues
+
+    # -- shutdown ----------------------------------------------------------
+    def close(self) -> None:
+        self.header_queue.close()
+        with self._lock:
+            queues = list(self._id_queues.values())
+        for id_queue in queues:
+            id_queue.close()

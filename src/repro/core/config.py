@@ -1,0 +1,178 @@
+"""Configuration (paper §3.2.2, §4.2).
+
+The configuration file combines the registered Environment / Model /
+Algorithm / Agent implementations into a specific DRL algorithm, and
+describes the deployment: which machines, where the learner lives, how many
+explorers per machine.  We represent it as a dataclass tree, loadable from a
+plain dict (JSON-compatible) via :meth:`XingTianConfig.from_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .errors import ConfigError
+
+
+@dataclass
+class MachineSpec:
+    """One machine in the deployment: a name, an explorer count, and
+    whether the learner runs here (exactly one machine must host it)."""
+
+    name: str
+    explorers: int = 1
+    has_learner: bool = False
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ConfigError("machine name must be non-empty")
+        if self.explorers < 0:
+            raise ConfigError(f"machine {self.name!r}: explorers must be >= 0")
+
+
+@dataclass
+class StopCondition:
+    """When the center controller shuts the run down (§3.2.2): enough
+    rollout steps consumed, a target return reached, or a time budget."""
+
+    total_env_steps: Optional[int] = None
+    total_trained_steps: Optional[int] = None
+    target_return: Optional[float] = None
+    max_seconds: Optional[float] = None
+
+    def validate(self) -> None:
+        values = (
+            self.total_env_steps,
+            self.total_trained_steps,
+            self.target_return,
+            self.max_seconds,
+        )
+        if all(v is None for v in values):
+            raise ConfigError("stop condition must set at least one criterion")
+        for name in ("total_env_steps", "total_trained_steps", "max_seconds"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ConfigError(f"stop.{name} must be positive, got {value}")
+
+
+@dataclass
+class XingTianConfig:
+    """Full run configuration."""
+
+    algorithm: str
+    environment: str
+    model: str
+    agent: Optional[str] = None  # defaults to the algorithm name
+    env_config: Dict[str, Any] = field(default_factory=dict)
+    model_config: Dict[str, Any] = field(default_factory=dict)
+    algorithm_config: Dict[str, Any] = field(default_factory=dict)
+    agent_config: Dict[str, Any] = field(default_factory=dict)
+    machines: List[MachineSpec] = field(
+        default_factory=lambda: [MachineSpec("machine-0", explorers=1, has_learner=True)]
+    )
+    fragment_steps: int = 200
+    stats_interval: float = 0.25
+    # Communication channel knobs.
+    compression_enabled: bool = True
+    compression_threshold: int = 1 << 20  # paper default: compress >1MB
+    # copy_on_fetch=True gives real serialize/deserialize copy isolation at
+    # the object store (slow, GIL-bound); False passes references and relies
+    # on copy_bandwidth for cost modelling (what benchmarks use).
+    copy_on_fetch: bool = False
+    copy_bandwidth: Optional[float] = None  # modelled memcpy bandwidth (bytes/s)
+    nic_bandwidth: float = 118.04e6  # bytes/s, the paper's measured 1GbE
+    nic_latency: float = 0.0002
+    stop: StopCondition = field(default_factory=lambda: StopCondition(max_seconds=10.0))
+    seed: Optional[int] = None
+
+    # -- derived -------------------------------------------------------------
+    @property
+    def agent_name(self) -> str:
+        return self.agent or self.algorithm
+
+    @property
+    def num_explorers(self) -> int:
+        return sum(machine.explorers for machine in self.machines)
+
+    @property
+    def learner_machine(self) -> MachineSpec:
+        learners = [machine for machine in self.machines if machine.has_learner]
+        if len(learners) != 1:
+            raise ConfigError(
+                f"exactly one machine must host the learner, found {len(learners)}"
+            )
+        return learners[0]
+
+    def explorer_names(self) -> List[str]:
+        names = []
+        for machine in self.machines:
+            for index in range(machine.explorers):
+                names.append(f"{machine.name}.explorer-{index}")
+        return names
+
+    def validate(self) -> None:
+        if not self.algorithm:
+            raise ConfigError("algorithm must be set")
+        if not self.environment:
+            raise ConfigError("environment must be set")
+        if not self.model:
+            raise ConfigError("model must be set")
+        if not self.machines:
+            raise ConfigError("at least one machine is required")
+        seen = set()
+        for machine in self.machines:
+            machine.validate()
+            if machine.name in seen:
+                raise ConfigError(f"duplicate machine name {machine.name!r}")
+            seen.add(machine.name)
+        _ = self.learner_machine  # raises unless exactly one
+        if self.num_explorers < 1:
+            raise ConfigError("at least one explorer is required")
+        if self.fragment_steps < 1:
+            raise ConfigError("fragment_steps must be >= 1")
+        if self.nic_bandwidth <= 0:
+            raise ConfigError("nic_bandwidth must be positive")
+        self.stop.validate()
+
+    # -- (de)serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "XingTianConfig":
+        data = dict(data)
+        machines = [
+            spec if isinstance(spec, MachineSpec) else MachineSpec(**spec)
+            for spec in data.pop("machines", [])
+        ] or [MachineSpec("machine-0", explorers=1, has_learner=True)]
+        stop_data = data.pop("stop", None)
+        if isinstance(stop_data, StopCondition):
+            stop = stop_data
+        elif stop_data:
+            stop = StopCondition(**stop_data)
+        else:
+            stop = StopCondition(max_seconds=10.0)
+        config = cls(machines=machines, stop=stop, **data)
+        config.validate()
+        return config
+
+
+def single_machine_config(
+    algorithm: str,
+    environment: str,
+    model: str,
+    *,
+    explorers: int = 1,
+    **overrides: Any,
+) -> XingTianConfig:
+    """Convenience constructor for the common one-machine deployment."""
+    config = XingTianConfig(
+        algorithm=algorithm,
+        environment=environment,
+        model=model,
+        machines=[MachineSpec("machine-0", explorers=explorers, has_learner=True)],
+        **overrides,
+    )
+    config.validate()
+    return config

@@ -1,0 +1,154 @@
+"""Controllers (§3.2.2).
+
+Each machine runs a :class:`Controller` that manages the life cycle of its
+local broker and processes.  The controller in the launch machine is the
+**center controller**: it collects statistics from explorers and the
+learner (arriving as STATS messages at its own endpoint), evaluates the
+training-goal stop condition, and broadcasts shutdown commands to the other
+controllers over the fully-connected control fabric.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, List, Optional
+
+from ..transport.fabric import Fabric
+from .broker import Broker
+from .config import StopCondition
+from .endpoint import ProcessEndpoint
+from .message import CMD_SHUTDOWN, Command, MsgType
+from .stats import StatsCollector
+
+
+class Controller:
+    """Per-machine lifecycle manager."""
+
+    def __init__(self, name: str, broker: Broker, control_fabric: Optional[Fabric] = None):
+        self.name = name
+        self.broker = broker
+        self._control_fabric = control_fabric
+        self._processes: List[Any] = []
+        self._stopped = threading.Event()
+        if control_fabric is not None:
+            control_fabric.register(self.name, self._on_command)
+
+    def manage(self, process: Any) -> None:
+        """Track a process (Explorer/Learner/...) for lifecycle handling."""
+        self._processes.append(process)
+
+    def start_all(self) -> None:
+        self.broker.start()
+        for process in self._processes:
+            process.start()
+
+    def stop_all(self) -> None:
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        for process in self._processes:
+            process.stop()
+        self.broker.stop()
+
+    def _on_command(self, command: Command) -> None:
+        if command.name == CMD_SHUTDOWN:
+            self.stop_all()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped.is_set()
+
+
+class CenterController(Controller):
+    """The controller in the launch machine (§3.2.2).
+
+    Owns an endpoint registered with the local broker to receive STATS
+    messages, aggregates them, evaluates the stop condition, and broadcasts
+    shutdown to every controller when the training goal is achieved.
+    """
+
+    ENDPOINT_NAME = "controller"
+
+    def __init__(
+        self,
+        name: str,
+        broker: Broker,
+        stop_condition: StopCondition,
+        *,
+        control_fabric: Optional[Fabric] = None,
+        on_shutdown: Optional[Callable[[], None]] = None,
+    ):
+        super().__init__(name, broker, control_fabric)
+        self.stop_condition = stop_condition
+        self.collector = StatsCollector()
+        self.endpoint = ProcessEndpoint(self.ENDPOINT_NAME, broker)
+        self._on_shutdown = on_shutdown
+        self._monitor: Optional[threading.Thread] = None
+        self._monitor_stop = threading.Event()
+        self._started_at: Optional[float] = None
+        self.shutdown_reason: Optional[str] = None
+
+    def start_all(self) -> None:
+        super().start_all()
+        self.endpoint.start()
+        self._started_at = time.monotonic()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name=f"{self.name}.monitor", daemon=True
+        )
+        self._monitor.start()
+
+    def stop_all(self) -> None:
+        if self.stopped:
+            return
+        self._monitor_stop.set()
+        self.endpoint.stop()
+        # Broadcast shutdown to the other controllers first (§3.2.2).
+        if self._control_fabric is not None:
+            for node in self._control_fabric.nodes():
+                if node != self.name:
+                    self._control_fabric.send(self.name, node, Command(CMD_SHUTDOWN))
+        super().stop_all()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+            self._monitor = None
+        if self._on_shutdown is not None:
+            self._on_shutdown()
+
+    # -- stats & stop condition ----------------------------------------------
+    def _monitor_loop(self) -> None:
+        while not self._monitor_stop.is_set():
+            message = self.endpoint.receive(timeout=0.1)
+            if message is not None and message.msg_type == MsgType.STATS:
+                self.collector.add(message.body)
+
+    def elapsed(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+    def should_stop(self) -> Optional[str]:
+        """Returns a human-readable reason when the goal is reached."""
+        cond = self.stop_condition
+        if cond.total_env_steps is not None:
+            if self.collector.total_env_steps >= cond.total_env_steps:
+                return f"collected {self.collector.total_env_steps} env steps"
+        if cond.total_trained_steps is not None:
+            if self.collector.total_trained_steps >= cond.total_trained_steps:
+                return f"consumed {self.collector.total_trained_steps} rollout steps"
+        if cond.target_return is not None:
+            average = self.collector.average_return()
+            if average is not None and average >= cond.target_return:
+                return f"average return {average:.2f} reached target"
+        if cond.max_seconds is not None and self.elapsed() >= cond.max_seconds:
+            return f"time budget of {cond.max_seconds}s exhausted"
+        return None
+
+    def wait(self, poll_interval: float = 0.05) -> str:
+        """Block until the stop condition fires; returns the reason."""
+        while True:
+            reason = self.should_stop()
+            if reason is not None:
+                self.shutdown_reason = reason
+                return reason
+            time.sleep(poll_interval)

@@ -1,0 +1,200 @@
+"""Process endpoints: send/receive buffers plus sender & receiver threads.
+
+An explorer or learner process holds a send buffer, a receive buffer, a
+sender thread and a receiver thread (§3.2.1).  The workhorse thread (rollout
+worker or trainer) deals only with local buffer reads and writes; the
+sender/receiver threads move data between the local buffers and the broker's
+communicator, event-driven off blocking queue gets.
+
+The endpoint is thread-backed: the paper runs these as OS processes, but the
+push-vs-pull ordering and the communication-computation overlap — the
+properties under study — are identical (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from .broker import Broker
+from .buffers import ReceiveBuffer, SendBuffer
+from .errors import LifecycleError
+from .message import COMPRESSED, OBJECT_ID, Message
+from .serialization import payload_nbytes
+from .stats import LatencyRecorder, ThroughputMeter
+from .tracing import Tracer
+
+
+class ProcessEndpoint:
+    """One logical XingTian process attached to a broker."""
+
+    def __init__(self, name: str, broker: Broker):
+        self.name = name
+        self.broker = broker
+        self.send_buffer = SendBuffer(f"{name}.send")
+        self.receive_buffer = ReceiveBuffer(f"{name}.recv")
+        self._id_queue = broker.register_process(name)
+        self._sender: Optional[threading.Thread] = None
+        self._receiver: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._started = False
+        # Instrumentation.
+        self.sent_meter = ThroughputMeter()
+        self.received_meter = ThroughputMeter()
+        self.delivery_latency = LatencyRecorder(f"{name}.delivery")
+        #: optional :class:`Tracer` — records sent/delivered events when set
+        self.tracer: Optional[Tracer] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            raise LifecycleError(f"endpoint {self.name!r} already started")
+        self._started = True
+        self._sender = threading.Thread(
+            target=self._sender_loop, name=f"{self.name}-sender", daemon=True
+        )
+        self._receiver = threading.Thread(
+            target=self._receiver_loop, name=f"{self.name}-receiver", daemon=True
+        )
+        self._sender.start()
+        self._receiver.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        self.send_buffer.close()
+        self.receive_buffer.close()
+        self._id_queue.close()
+        for thread in (self._sender, self._receiver):
+            if thread is not None:
+                thread.join(timeout=timeout)
+        self._sender = None
+        self._receiver = None
+
+    # -- workhorse-facing API ------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Stage a message for transmission — returns immediately.
+
+        This is the only "send" a workhorse thread performs: a local buffer
+        write.  The sender thread pushes it onward asynchronously, which is
+        what lets communication overlap with the computation that follows.
+        """
+        if message.body_size == 0 and message.body is not None:
+            message.header["body_size"] = payload_nbytes(message.body)
+        if self.tracer is not None:
+            self.tracer.record(
+                "sent", self.name, seq=message.seq,
+                dst=",".join(message.dst), nbytes=message.body_size,
+            )
+        try:
+            self.send_buffer.put(message)
+        except RuntimeError:
+            if not self._stop.is_set() and not self.send_buffer.closed:
+                raise
+            # Shutdown is in progress; a workhorse mid-step may still try to
+            # send.  Dropping the message mirrors a process being killed.
+
+    def receive(self, timeout: Optional[float] = None) -> Optional[Message]:
+        """Blocking read from the local receive buffer."""
+        return self.receive_buffer.get(timeout=timeout)
+
+    # -- internal threads -----------------------------------------------------
+    def _sender_loop(self) -> None:
+        """Monitor the send buffer; push each message into the communicator.
+
+        Inserts the body into the object store with a refcount equal to the
+        destination fan-out, attaches the object ID to the header, and puts
+        the header on the communicator's header queue (§3.2.1).
+        """
+        communicator = self.broker.communicator
+        while not self._stop.is_set():
+            message = self.send_buffer.get(timeout=0.25)
+            if message is None:
+                if self.send_buffer.closed:
+                    return
+                continue
+            refcount = max(1, len(message.dst))
+            if message.body is not None:
+                object_id = communicator.object_store.put(
+                    message.body, refcount=refcount, nbytes=message.body_size
+                )
+            else:
+                object_id = None
+            header = dict(message.header)
+            header[OBJECT_ID] = object_id
+            communicator.header_queue.put(header)
+            self.sent_meter.record(max(message.body_size, 1))
+
+    def _receiver_loop(self) -> None:
+        """Monitor the ID queue; copy bodies into the local receive buffer."""
+        communicator = self.broker.communicator
+        while not self._stop.is_set():
+            header = self._id_queue.get(timeout=0.25)
+            if header is None:
+                if self._id_queue.closed:
+                    return
+                continue
+            object_id = header.get(OBJECT_ID)
+            if object_id is not None:
+                body = communicator.object_store.get(object_id)
+                communicator.object_store.release(object_id)
+            else:
+                body = None
+            header = dict(header)
+            header[OBJECT_ID] = None
+            header[COMPRESSED] = False
+            message = Message(header, body)
+            self.delivery_latency.record(message.age())
+            self.received_meter.record(max(message.body_size, 1))
+            if self.tracer is not None:
+                self.tracer.record(
+                    "delivered", self.name, seq=message.seq, src=message.src
+                )
+            try:
+                self.receive_buffer.put(message)
+            except RuntimeError:
+                return  # receive buffer closed during shutdown
+
+
+class WorkhorseThread:
+    """A workhorse (rollout worker or trainer) running a step function.
+
+    ``step_fn`` is called repeatedly until it returns ``False`` or the
+    workhorse is stopped.  Exceptions are captured so a crashing workhorse
+    surfaces at ``join`` instead of dying silently.
+    """
+
+    def __init__(self, name: str, step_fn: Callable[[], bool]):
+        self.name = name
+        self._step_fn = step_fn
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self.error: Optional[BaseException] = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise LifecycleError(f"workhorse {self.name!r} already started")
+        self._thread = threading.Thread(target=self._run, name=self.name, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        try:
+            while not self._stop.is_set():
+                if not self._step_fn():
+                    return
+        except BaseException as exc:  # noqa: BLE001 - surfaced via .error
+            self.error = exc
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()

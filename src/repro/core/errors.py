@@ -1,0 +1,48 @@
+"""Framework exceptions.
+
+All errors raised by the framework derive from :class:`XingTianError` so
+callers can catch framework failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class XingTianError(Exception):
+    """Base class for all framework errors."""
+
+
+class ConfigError(XingTianError):
+    """Raised when a configuration file or object is invalid."""
+
+
+class TransportError(XingTianError):
+    """Raised when a communication channel fails."""
+
+
+class ObjectStoreError(XingTianError):
+    """Raised on object-store failures (unknown ID, store full, ...)."""
+
+
+class UnknownObjectError(ObjectStoreError):
+    """Raised when an object ID is not present in the object store."""
+
+
+class RoutingError(XingTianError):
+    """Raised when a message cannot be routed to its destination."""
+
+
+class UnknownDestinationError(RoutingError):
+    """Raised when a message names a destination no broker knows about."""
+
+
+class LifecycleError(XingTianError):
+    """Raised on invalid lifecycle transitions (start twice, use after stop)."""
+
+
+class RegistryError(XingTianError):
+    """Raised when a registry lookup or registration fails."""
+
+
+class CheckpointError(XingTianError):
+    """Raised when saving or restoring a checkpoint fails."""

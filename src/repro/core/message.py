@@ -1,0 +1,154 @@
+"""Messages and message headers.
+
+The paper organizes message headers as Python dicts (§4.1).  A message is a
+lightweight header plus a body.  Headers carry routing metadata (source,
+destination list, message type, sequence number) and — once the body has been
+inserted into the shared-memory communicator's object store — the body's
+object ID.  Bodies carry the actual payload: rollouts, DNN parameters,
+statistics, or control commands.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterable, List, Optional
+
+
+class MsgType(str, Enum):
+    """Kinds of messages that flow through the asynchronous channel."""
+
+    ROLLOUT = "rollout"
+    WEIGHTS = "weights"
+    STATS = "stats"
+    COMMAND = "command"
+    DATA = "data"  # generic payloads (dummy DRL algorithm, tests)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_SEQ = itertools.count()
+
+# Header keys.  Headers are plain dicts per the paper; these constants keep
+# producers and consumers in agreement.
+SRC = "src"
+DST = "dst"
+TYPE = "type"
+SEQ = "seq"
+OBJECT_ID = "object_id"
+CREATED_AT = "created_at"
+BODY_SIZE = "body_size"
+COMPRESSED = "compressed"
+
+
+def make_header(
+    src: str,
+    dst: Iterable[str],
+    msg_type: MsgType,
+    *,
+    body_size: int = 0,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build a message header dict.
+
+    ``dst`` is a list because weight broadcasts from the learner may target
+    multiple explorers (§3.2.1); rollout messages always target the single
+    learner.
+    """
+    header: Dict[str, Any] = {
+        SRC: src,
+        DST: list(dst),
+        TYPE: MsgType(msg_type),
+        SEQ: next(_SEQ),
+        OBJECT_ID: None,
+        CREATED_AT: time.monotonic(),
+        BODY_SIZE: int(body_size),
+        COMPRESSED: False,
+    }
+    if extra:
+        header.update(extra)
+    return header
+
+
+@dataclass
+class Message:
+    """A header/body pair.
+
+    Inside a process the body travels by reference; across the communicator
+    the body lives in the object store and only the header (with the body's
+    object ID attached) crosses queues.
+    """
+
+    header: Dict[str, Any]
+    body: Any = None
+
+    @property
+    def src(self) -> str:
+        return self.header[SRC]
+
+    @property
+    def dst(self) -> List[str]:
+        return self.header[DST]
+
+    @property
+    def msg_type(self) -> MsgType:
+        return MsgType(self.header[TYPE])
+
+    @property
+    def seq(self) -> int:
+        return self.header[SEQ]
+
+    @property
+    def object_id(self) -> Optional[str]:
+        return self.header.get(OBJECT_ID)
+
+    @property
+    def created_at(self) -> float:
+        return self.header[CREATED_AT]
+
+    @property
+    def body_size(self) -> int:
+        return self.header.get(BODY_SIZE, 0)
+
+    def age(self) -> float:
+        """Seconds since the message was created."""
+        return time.monotonic() - self.created_at
+
+    def with_header(self, **updates: Any) -> "Message":
+        """Return a copy of this message with header fields replaced."""
+        new_header = dict(self.header)
+        new_header.update(updates)
+        return Message(new_header, self.body)
+
+
+def make_message(
+    src: str,
+    dst: Iterable[str],
+    msg_type: MsgType,
+    body: Any,
+    *,
+    body_size: int = 0,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Message:
+    """Convenience constructor pairing :func:`make_header` with a body."""
+    return Message(make_header(src, dst, msg_type, body_size=body_size, extra=extra), body)
+
+
+@dataclass
+class Command:
+    """A control command dispatched by controllers (§3.2.2)."""
+
+    name: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+# Well-known command names used by the controller fabric.
+CMD_START = "start"
+CMD_STOP = "stop"
+CMD_SHUTDOWN = "shutdown"
+CMD_REPORT_STATS = "report_stats"
+CMD_KILL_POPULATION = "kill_population"
+CMD_START_POPULATION = "start_population"

@@ -1,0 +1,190 @@
+"""The algorithm-agnostic router (§3.2.1).
+
+The router monitors the communicator's header queue.  For every new header
+it resolves the destination list:
+
+* **local destinations** — the header (already carrying the body's object
+  ID) is dropped into each destination's ID queue; the body never moves.
+* **remote destinations** — the router fetches the body once per remote
+  machine, ships (header, body) over the broker fabric, and the remote
+  router re-inserts the body into *its* object store before fanning out the
+  header to local ID queues.  Workhorse threads "will not perceive any
+  difference" (§3.2.1).
+
+The router never inspects bodies — it is algorithm agnostic.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .communicator import ShareMemCommunicator
+from .errors import UnknownDestinationError
+from .message import COMPRESSED, DST, OBJECT_ID
+
+RemoteSend = Callable[[str, Dict[str, Any], Any, int], None]
+"""(remote_broker, header, body, nbytes) -> ship over the fabric."""
+
+
+class AlgorithmAgnosticRouter:
+    """Routes headers from the communicator's header queue to ID queues.
+
+    ``remote_table`` maps destination process names to remote broker names;
+    ``remote_send`` performs the actual cross-machine transfer.  Both are
+    optional for single-machine deployments.
+    """
+
+    def __init__(
+        self,
+        communicator: ShareMemCommunicator,
+        *,
+        name: str = "router",
+        remote_table: Optional[Dict[str, str]] = None,
+        remote_send: Optional[RemoteSend] = None,
+        on_unroutable: str = "raise",
+    ):
+        if on_unroutable not in ("raise", "drop"):
+            raise ValueError("on_unroutable must be 'raise' or 'drop'")
+        self.name = name
+        self.communicator = communicator
+        self.remote_table: Dict[str, str] = dict(remote_table or {})
+        self._remote_send = remote_send
+        self._on_unroutable = on_unroutable
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self.routed_local = 0
+        self.routed_remote = 0
+        self.dropped = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._run, name=self.name, daemon=True)
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        self.communicator.header_queue.close()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    # -- routing ------------------------------------------------------------
+    def _run(self) -> None:
+        header_queue = self.communicator.header_queue
+        while not self._stop.is_set():
+            header = header_queue.get(timeout=0.25)
+            if header is None:
+                if header_queue.closed:
+                    return
+                continue
+            try:
+                self.route(header)
+            except UnknownDestinationError:
+                if self._on_unroutable == "raise":
+                    raise
+                self.dropped += 1
+
+    def route(self, header: Dict[str, Any]) -> None:
+        """Dispatch one header to all destinations (public for tests)."""
+        local, remote_groups = self._partition(header[DST])
+        if remote_groups:
+            self._route_remote(header, remote_groups)
+        for destination in local:
+            self.communicator.id_queue(destination).put(dict(header))
+            self.routed_local += 1
+
+    def _partition(
+        self, destinations: List[str]
+    ) -> Tuple[List[str], Dict[str, List[str]]]:
+        local: List[str] = []
+        remote_groups: Dict[str, List[str]] = defaultdict(list)
+        for destination in destinations:
+            if self.communicator.is_local(destination):
+                local.append(destination)
+            elif destination in self.remote_table:
+                remote_groups[self.remote_table[destination]].append(destination)
+            else:
+                raise UnknownDestinationError(
+                    f"router {self.name!r}: no route to {destination!r}"
+                )
+        return local, dict(remote_groups)
+
+    def _route_remote(
+        self, header: Dict[str, Any], remote_groups: Dict[str, List[str]]
+    ) -> None:
+        if self._remote_send is None:
+            raise UnknownDestinationError(
+                f"router {self.name!r}: remote destinations "
+                f"{sorted(remote_groups)} but no fabric attached"
+            )
+        store = self.communicator.object_store
+        object_id = header.get(OBJECT_ID)
+        body = store.get(object_id) if object_id is not None else None
+        nbytes = header.get("body_size", 0)
+        for remote_broker, group in remote_groups.items():
+            remote_header = dict(header)
+            remote_header[DST] = list(group)
+            remote_header[OBJECT_ID] = None
+            self._remote_send(remote_broker, remote_header, body, nbytes)
+            self.routed_remote += len(group)
+        if object_id is not None:
+            for group in remote_groups.values():
+                for _ in group:
+                    store.release(object_id)
+
+    def on_remote_receive(self, header: Dict[str, Any], body: Any) -> None:
+        """Handle a (header, body) pair arriving from another machine.
+
+        Local destinations get the body re-inserted into the local object
+        store and the header fanned out to their ID queues.  Destinations
+        homed behind *other* brokers are forwarded onward — the learner
+        machine's broker is the data-transmission center (Fig. 2b), so
+        edge-to-edge traffic transits through it.
+        """
+        destinations = []
+        transit_groups: Dict[str, List[str]] = defaultdict(list)
+        unroutable = []
+        for destination in header[DST]:
+            if self.communicator.is_local(destination):
+                destinations.append(destination)
+            elif destination in self.remote_table and self._remote_send is not None:
+                transit_groups[self.remote_table[destination]].append(destination)
+            else:
+                unroutable.append(destination)
+        for remote_broker, group in transit_groups.items():
+            transit_header = dict(header)
+            transit_header[DST] = list(group)
+            transit_header[OBJECT_ID] = None
+            self._remote_send(
+                remote_broker, transit_header, body, header.get("body_size", 0)
+            )
+            self.routed_remote += len(group)
+        if unroutable:
+            if self._on_unroutable == "raise":
+                raise UnknownDestinationError(
+                    f"router {self.name!r}: remote message for {unroutable} "
+                    "has no local destination or onward route"
+                )
+            self.dropped += len(unroutable)
+        if not destinations:
+            return
+        object_id = (
+            self.communicator.object_store.put(
+                body,
+                refcount=len(destinations),
+                nbytes=header.get("body_size", 0),
+            )
+            if body is not None
+            else None
+        )
+        for destination in destinations:
+            local_header = dict(header)
+            local_header[DST] = [destination]
+            local_header[OBJECT_ID] = object_id
+            local_header[COMPRESSED] = False
+            self.communicator.id_queue(destination).put(local_header)
+            self.routed_local += 1

@@ -1,0 +1,96 @@
+"""Serialization of message bodies.
+
+Bodies must be serialized before insertion into the object store and
+deserialized when fetched into a receive buffer (§4.1).  The paper uses the
+Arrow/Plasma store; we use pickle with an out-of-band fast path for NumPy
+arrays so large tensors are serialized with a cheap header + raw buffer
+instead of being pickled element-wise.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from typing import Any, List, Tuple
+
+import numpy as np
+
+_MAGIC = b"XTSER1"
+
+
+def serialize(obj: Any) -> bytes:
+    """Serialize ``obj`` to bytes.
+
+    NumPy arrays inside the object graph are extracted out-of-band via
+    pickle 5 buffer callbacks when available, falling back to plain pickle.
+    The result is self-describing; feed it to :func:`deserialize`.
+    """
+    buffers: List[pickle.PickleBuffer] = []
+    payload = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    out = io.BytesIO()
+    out.write(_MAGIC)
+    out.write(len(buffers).to_bytes(4, "little"))
+    out.write(len(payload).to_bytes(8, "little"))
+    out.write(payload)
+    for buf in buffers:
+        raw = buf.raw()
+        out.write(len(raw).to_bytes(8, "little"))
+        out.write(raw)
+    return out.getvalue()
+
+
+def deserialize(data: bytes) -> Any:
+    """Inverse of :func:`serialize`."""
+    view = memoryview(data)
+    if bytes(view[: len(_MAGIC)]) != _MAGIC:
+        raise ValueError("not a XingTian-serialized payload")
+    offset = len(_MAGIC)
+    n_buffers = int.from_bytes(view[offset : offset + 4], "little")
+    offset += 4
+    payload_len = int.from_bytes(view[offset : offset + 8], "little")
+    offset += 8
+    payload = view[offset : offset + payload_len]
+    offset += payload_len
+    buffers = []
+    for _ in range(n_buffers):
+        buf_len = int.from_bytes(view[offset : offset + 8], "little")
+        offset += 8
+        # Copy into a writable buffer: consumers (optimizers, replay) may
+        # mutate arrays in place, and a view into the wire bytes is read-only.
+        buffers.append(bytearray(view[offset : offset + buf_len]))
+        offset += buf_len
+    return pickle.loads(payload, buffers=buffers)
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Estimate the wire size of ``obj`` in bytes without serializing twice.
+
+    Used by senders to fill the ``body_size`` header field and by throttled
+    links to charge bandwidth.  Arrays are charged their buffer size; other
+    objects fall back to a pickled length.
+    """
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (list, tuple)) and obj and all(
+        isinstance(item, np.ndarray) for item in obj
+    ):
+        return sum(item.nbytes for item in obj)
+    if isinstance(obj, dict) and obj and all(
+        isinstance(value, np.ndarray) for value in obj.values()
+    ):
+        return sum(value.nbytes for value in obj.values())
+    try:
+        return len(pickle.dumps(obj, protocol=5))
+    except Exception:
+        return 0
+
+
+def roundtrip(obj: Any) -> Tuple[Any, int]:
+    """Serialize then deserialize ``obj``; returns (copy, wire_size).
+
+    Handy for tests and for transports that want a true copy boundary.
+    """
+    blob = serialize(obj)
+    return deserialize(blob), len(blob)

@@ -1,0 +1,198 @@
+"""Statistics: throughput meters, latency recorders, collectors.
+
+The center controller collects and visualizes statistics from explorers and
+the learner (§3.2.2).  These helpers also produce the measurements behind
+the paper's figures: throughput-over-time series (Figs. 8–10a), latency
+breakdowns (Figs. 8–10b), and wait-time CDFs (Fig. 8c).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class ThroughputMeter:
+    """Counts events (bytes, rollout steps, messages) against wall time.
+
+    ``record(n)`` adds ``n`` units; ``rate()`` is units/second since start;
+    ``series(bucket)`` returns a (t, rate) time series bucketed at ``bucket``
+    seconds, which is what the throughput-over-time figures plot.
+    """
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._events: List[Tuple[float, float]] = []
+        self._total = 0.0
+        self._start = clock()
+
+    def record(self, amount: float = 1.0) -> None:
+        now = self._clock()
+        with self._lock:
+            self._events.append((now, amount))
+            self._total += amount
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return self._total
+
+    def elapsed(self) -> float:
+        return max(self._clock() - self._start, 1e-12)
+
+    def rate(self) -> float:
+        """Average units per second over the meter's lifetime."""
+        return self.total / self.elapsed()
+
+    def series(self, bucket: float = 1.0) -> List[Tuple[float, float]]:
+        """Bucketed (time_offset, units_per_second) series."""
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        with self._lock:
+            events = list(self._events)
+        if not events:
+            return []
+        buckets: Dict[int, float] = {}
+        for timestamp, amount in events:
+            index = int((timestamp - self._start) / bucket)
+            buckets[index] = buckets.get(index, 0.0) + amount
+        return [(index * bucket, amount / bucket) for index, amount in sorted(buckets.items())]
+
+
+class LatencyRecorder:
+    """Accumulates latency samples and reports means, quantiles, and CDFs."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._lock = threading.Lock()
+        self._samples: List[float] = []
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+
+    def time(self):
+        """Context manager that records the elapsed time of its block."""
+        return _Timer(self)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def mean(self) -> float:
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            return sum(self._samples) / len(self._samples)
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
+        index = min(int(q * len(ordered)), len(ordered) - 1)
+        return ordered[index]
+
+    def cdf(self, points: Optional[Sequence[float]] = None) -> List[Tuple[float, float]]:
+        """(value, fraction_of_samples <= value) pairs — Fig. 8(c)'s curve."""
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
+            return []
+        if points is None:
+            points = ordered
+        total = len(ordered)
+        return [(point, bisect_right(ordered, point) / total) for point in points]
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of samples strictly below ``threshold`` seconds."""
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            below = sum(1 for sample in self._samples if sample < threshold)
+            return below / len(self._samples)
+
+    def samples(self) -> List[float]:
+        with self._lock:
+            return list(self._samples)
+
+
+class _Timer:
+    def __init__(self, recorder: LatencyRecorder):
+        self._recorder = recorder
+        self._start = 0.0
+
+    def __enter__(self):
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, *exc):
+        self._recorder.record(time.monotonic() - self._start)
+        return False
+
+
+@dataclass
+class ProcessStats:
+    """One statistics report from a workhorse thread, sent periodically as a
+    STATS message to the center controller."""
+
+    source: str
+    steps: int = 0
+    episodes: int = 0
+    episode_returns: List[float] = field(default_factory=list)
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    train_iterations: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+class StatsCollector:
+    """Aggregates :class:`ProcessStats` reports at the center controller.
+
+    Tracks total consumed rollout steps (the stop condition "the learner has
+    consumed enough rollout steps", §3.2.2) and recent average episode
+    return ("explorers have received the target return").
+    """
+
+    def __init__(self, return_window: int = 100):
+        self._lock = threading.Lock()
+        self._reports: List[ProcessStats] = []
+        self._returns: List[float] = []
+        self._return_window = return_window
+        self.total_env_steps = 0
+        self.total_trained_steps = 0
+        self.total_train_iterations = 0
+
+    def add(self, report: ProcessStats) -> None:
+        with self._lock:
+            self._reports.append(report)
+            self._returns.extend(report.episode_returns)
+            self.total_env_steps += report.steps
+            self.total_train_iterations += report.train_iterations
+            self.total_trained_steps += int(report.extra.get("trained_steps", 0))
+
+    def average_return(self) -> Optional[float]:
+        with self._lock:
+            if not self._returns:
+                return None
+            window = self._returns[-self._return_window :]
+            return sum(window) / len(window)
+
+    def episode_count(self) -> int:
+        with self._lock:
+            return len(self._returns)
+
+    def returns(self) -> List[float]:
+        with self._lock:
+            return list(self._returns)
+
+    def report_count(self) -> int:
+        with self._lock:
+            return len(self._reports)

@@ -1,0 +1,115 @@
+"""Message tracing for debugging the asynchronous channel.
+
+A :class:`Tracer` records timestamped events (message sent, routed,
+delivered, consumed; training sessions; broadcasts) into a bounded ring so
+a misbehaving deployment can be inspected post-mortem.  Attach one to any
+number of components; recording is lock-protected and cheap enough to stay
+on in tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+
+@dataclass
+class TraceEvent:
+    timestamp: float
+    kind: str
+    source: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Bounded in-memory event log."""
+
+    def __init__(self, capacity: int = 10_000, clock=time.monotonic):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._clock = clock
+        self.enabled = True
+
+    def record(self, kind: str, source: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        event = TraceEvent(self._clock(), kind, source, detail)
+        with self._lock:
+            self._events.append(event)
+
+    # -- queries -----------------------------------------------------------
+    def events(
+        self,
+        kind: Optional[str] = None,
+        source: Optional[str] = None,
+    ) -> List[TraceEvent]:
+        with self._lock:
+            snapshot = list(self._events)
+        return [
+            event
+            for event in snapshot
+            if (kind is None or event.kind == kind)
+            and (source is None or event.source == source)
+        ]
+
+    def count(self, kind: Optional[str] = None) -> int:
+        return len(self.events(kind=kind))
+
+    def kinds(self) -> Dict[str, int]:
+        with self._lock:
+            snapshot = list(self._events)
+        histogram: Dict[str, int] = {}
+        for event in snapshot:
+            histogram[event.kind] = histogram.get(event.kind, 0) + 1
+        return histogram
+
+    def span(self, start_kind: str, end_kind: str, key: str) -> List[float]:
+        """Durations between matching start/end events correlated by
+        ``detail[key]`` (e.g. a message seq): transmission latencies."""
+        starts: Dict[Any, float] = {}
+        durations: List[float] = []
+        with self._lock:
+            snapshot = list(self._events)
+        for event in snapshot:
+            correlation = event.detail.get(key)
+            if correlation is None:
+                continue
+            if event.kind == start_kind:
+                starts[correlation] = event.timestamp
+            elif event.kind == end_kind and correlation in starts:
+                durations.append(event.timestamp - starts.pop(correlation))
+        return durations
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def format(self, limit: int = 50) -> str:
+        with self._lock:
+            snapshot = list(self._events)[-limit:]
+        if not snapshot:
+            return "(no trace events)"
+        origin = snapshot[0].timestamp
+        lines = []
+        for event in snapshot:
+            detail = " ".join(f"{k}={v}" for k, v in event.detail.items())
+            lines.append(
+                f"+{event.timestamp - origin:9.4f}s  {event.kind:<12} "
+                f"{event.source:<24} {detail}"
+            )
+        return "\n".join(lines)
+
+
+class TracingEndpointMixin:
+    """Hook points components call when a tracer is attached."""
+
+    tracer: Optional[Tracer] = None
+
+    def trace(self, kind: str, source: str, **detail: Any) -> None:
+        if self.tracer is not None:
+            self.tracer.record(kind, source, **detail)

@@ -1,0 +1,114 @@
+"""Terminal visualization of run statistics.
+
+The center controller "collects and visualizes statistics from explorers
+and the learner" (§3.2.2).  These helpers render the collected series as
+plain-text charts: sparklines for compact progress lines and axis plots for
+run summaries — no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """Render values as a one-line unicode sparkline.
+
+    ``width`` caps the number of characters by averaging adjacent buckets.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if width is not None and width > 0 and len(values) > width:
+        bucket = len(values) / width
+        values = [
+            sum(values[int(i * bucket) : max(int((i + 1) * bucket), int(i * bucket) + 1)])
+            / max(len(values[int(i * bucket) : max(int((i + 1) * bucket), int(i * bucket) + 1)]), 1)
+            for i in range(width)
+        ]
+    low, high = min(values), max(values)
+    span = high - low
+    if span <= 0:
+        return _SPARK_CHARS[0] * len(values)
+    steps = len(_SPARK_CHARS) - 1
+    return "".join(
+        _SPARK_CHARS[int(round((v - low) / span * steps))] for v in values
+    )
+
+
+def ascii_plot(
+    series: Sequence[Tuple[float, float]],
+    *,
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render an (x, y) series as an ASCII scatter/line chart."""
+    if not series:
+        return f"{title}: (empty series)"
+    xs = [float(x) for x, _ in series]
+    ys = [float(y) for _, y in series]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_low) / x_span * (width - 1))
+        row = height - 1 - int((y - y_low) / y_span * (height - 1))
+        grid[row][col] = "*"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{y_high:.3g}"), len(f"{y_low:.3g}"))
+    for index, row in enumerate(grid):
+        if index == 0:
+            label = f"{y_high:.3g}".rjust(label_width)
+        elif index == height - 1:
+            label = f"{y_low:.3g}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    footer = f"{x_low:.3g}".ljust(width // 2) + f"{x_high:.3g}".rjust(width // 2)
+    lines.append(" " * (label_width + 2) + footer)
+    if x_label or y_label:
+        lines.append(" " * (label_width + 2) + f"[x: {x_label}]  [y: {y_label}]")
+    return "\n".join(lines)
+
+
+def render_run_summary(result) -> str:
+    """Visualize a :class:`repro.runtime.RunResult` for the terminal."""
+    lines = [
+        f"run finished: {result.shutdown_reason}",
+        f"  elapsed {result.elapsed_s:.1f}s | trained steps "
+        f"{result.total_trained_steps} | sessions {result.train_sessions} | "
+        f"episodes {result.episode_count}",
+    ]
+    if result.average_return is not None:
+        lines.append(f"  average episode return: {result.average_return:.2f}")
+    if result.returns:
+        lines.append(f"  returns   {sparkline(result.returns, width=60)}")
+    if result.throughput_series:
+        lines.append(
+            f"  steps/s   {sparkline([y for _, y in result.throughput_series], width=60)}"
+        )
+        lines.append(
+            ascii_plot(
+                result.throughput_series,
+                title="  learner throughput over time",
+                x_label="s",
+                y_label="steps/s",
+            )
+        )
+    lines.append(
+        f"  learner mean wait {result.mean_wait_s * 1e3:.2f}ms | "
+        f"mean train {result.mean_train_s * 1e3:.2f}ms"
+    )
+    return "\n".join(lines)

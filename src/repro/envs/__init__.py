@@ -1,0 +1,31 @@
+"""Environment substrate: spaces plus bundled testbed environments."""
+
+from .spaces import Box, Discrete, Space
+from .cartpole import CartPoleEnv
+from .atari_sim import (
+    AtariSimEnv,
+    BeamRiderSimEnv,
+    BreakoutSimEnv,
+    QbertSimEnv,
+    SpaceInvadersSimEnv,
+    make_atari_sim,
+)
+from .dummy import DummyPayloadEnv
+from .pendulum import PendulumEnv
+from . import registration
+
+__all__ = [
+    "Space",
+    "Box",
+    "Discrete",
+    "CartPoleEnv",
+    "AtariSimEnv",
+    "BeamRiderSimEnv",
+    "BreakoutSimEnv",
+    "QbertSimEnv",
+    "SpaceInvadersSimEnv",
+    "make_atari_sim",
+    "DummyPayloadEnv",
+    "PendulumEnv",
+    "registration",
+]

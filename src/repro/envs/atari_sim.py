@@ -1,0 +1,198 @@
+"""Synthetic Atari-like environments.
+
+The paper evaluates on four Atari games (BeamRider, Breakout, Qbert,
+SpaceInvaders).  The ALE is unavailable offline, so these simulators stand in
+(DESIGN.md §2): each game is a small latent-state MDP rendered into an
+image-shaped ``uint8`` observation, with per-game reward magnitudes chosen to
+mimic published score ranges.  What the communication experiments need is
+preserved exactly: realistic observation payload sizes (84×84 frames by
+default), episodic structure, and a tunable per-step computation cost
+standing in for emulator time.
+
+The latent dynamics are simple but learnable: every latent state has a
+"correct" action drawn from a per-game seed; choosing it scores points and
+advances the state, wrong choices cost a life.  The latent state is stamped
+into the top rows of the frame so function approximators can, in principle,
+decode it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..api.environment import Environment
+from .spaces import Box, Discrete
+
+
+class AtariSimEnv(Environment):
+    """Parameterized synthetic Atari-like game.
+
+    Config keys:
+
+    * ``obs_shape`` — observation frame shape, default ``(84, 84)``;
+    * ``num_actions`` — action-space size;
+    * ``num_states`` — latent MDP size;
+    * ``reward_scale`` — points per correct action (per-game score scale);
+    * ``lives`` — wrong actions tolerated before the episode ends;
+    * ``max_episode_steps`` — hard episode cap;
+    * ``step_compute_s`` — busy time per step simulating emulator cost
+      (0 disables; used by throughput benchmarks);
+    * ``seed`` — RNG seed.
+    """
+
+    game_name = "atari-sim"
+
+    def __init__(self, config: Optional[Dict[str, Any]] = None):
+        super().__init__(config)
+        self.obs_shape: Tuple[int, ...] = tuple(self.config.get("obs_shape", (84, 84)))
+        self.num_actions = int(self.config.get("num_actions", 6))
+        self.num_states = int(self.config.get("num_states", 32))
+        self.reward_scale = float(self.config.get("reward_scale", 10.0))
+        self.lives = int(self.config.get("lives", 3))
+        self.max_episode_steps = int(self.config.get("max_episode_steps", 1000))
+        self.step_compute_s = float(self.config.get("step_compute_s", 0.0))
+        seed = self.config.get("seed", 0)
+
+        self._observation_space = Box(0, 255, shape=self.obs_shape, dtype=np.uint8)
+        self._action_space = Discrete(self.num_actions)
+        game_rng = np.random.default_rng(seed)
+        # Frozen per-game structure: correct action per latent state, and a
+        # texture bank so frames look state-dependent without per-step cost.
+        self._correct_action = game_rng.integers(
+            self.num_actions, size=self.num_states
+        )
+        self._textures = game_rng.integers(
+            0, 256, size=(self.num_states,) + self.obs_shape, dtype=np.uint8
+        )
+        self._rng = np.random.default_rng(seed)
+        self._state = 0
+        self._lives_left = self.lives
+        self._steps = 0
+        self._started = False
+
+    @property
+    def observation_space(self) -> Box:
+        return self._observation_space
+
+    @property
+    def action_space(self) -> Discrete:
+        return self._action_space
+
+    def seed(self, seed: Optional[int] = None) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> np.ndarray:
+        self._state = int(self._rng.integers(self.num_states))
+        self._lives_left = self.lives
+        self._steps = 0
+        self._started = True
+        return self._render()
+
+    def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
+        if not self._started:
+            raise RuntimeError("call reset() before step()")
+        if not self._action_space.contains(action):
+            raise ValueError(f"invalid action {action!r} for {self._action_space}")
+        if self.step_compute_s > 0:
+            _busy_wait(self.step_compute_s)
+
+        self._steps += 1
+        correct = int(self._correct_action[self._state])
+        if int(action) == correct:
+            reward = self.reward_scale
+            self._state = (self._state + 1 + int(self._rng.integers(2))) % self.num_states
+        else:
+            reward = 0.0
+            self._lives_left -= 1
+            self._state = int(self._rng.integers(self.num_states))
+
+        done = self._lives_left <= 0 or self._steps >= self.max_episode_steps
+        info = {"lives": self._lives_left, "latent_state": self._state}
+        return self._render(), reward, done, info
+
+    def _render(self) -> np.ndarray:
+        frame = self._textures[self._state].copy()
+        # Stamp the latent state into the top-left corner so the MDP is
+        # observable (one bright column per state index).
+        width = int(np.prod(self.obs_shape[1:])) if len(self.obs_shape) > 1 else 1
+        column = self._state % max(width, 1)
+        flat = frame.reshape(self.obs_shape[0], -1)
+        flat[0, :] = 0
+        flat[0, column] = 255
+        return frame
+
+
+def _busy_wait(seconds: float) -> None:
+    """Model emulator CPU time.
+
+    The paper's explorers are separate OS processes with their own cores, so
+    emulator time does not steal cycles from the learner.  Our explorers are
+    threads; a GIL-holding spin would serialize everyone, so the cost is
+    charged as a sleep — each explorer's wall-clock per step matches a real
+    emulator while the learner's NumPy keeps its core.
+    """
+    time.sleep(seconds)
+
+
+class BeamRiderSimEnv(AtariSimEnv):
+    """BeamRider-like scales: large scores, long episodes."""
+
+    game_name = "BeamRider"
+
+    def __init__(self, config: Optional[Dict[str, Any]] = None):
+        merged = {"reward_scale": 44.0, "num_actions": 9, "lives": 3, "seed": 101}
+        merged.update(config or {})
+        super().__init__(merged)
+
+
+class BreakoutSimEnv(AtariSimEnv):
+    """Breakout-like scales: small per-brick rewards."""
+
+    game_name = "Breakout"
+
+    def __init__(self, config: Optional[Dict[str, Any]] = None):
+        merged = {"reward_scale": 1.0, "num_actions": 4, "lives": 5, "seed": 102}
+        merged.update(config or {})
+        super().__init__(merged)
+
+
+class QbertSimEnv(AtariSimEnv):
+    """Qbert-like scales: 25-point hops."""
+
+    game_name = "Qbert"
+
+    def __init__(self, config: Optional[Dict[str, Any]] = None):
+        merged = {"reward_scale": 25.0, "num_actions": 6, "lives": 4, "seed": 103}
+        merged.update(config or {})
+        super().__init__(merged)
+
+
+class SpaceInvadersSimEnv(AtariSimEnv):
+    """SpaceInvaders-like scales: 5–30 points per invader."""
+
+    game_name = "SpaceInvaders"
+
+    def __init__(self, config: Optional[Dict[str, Any]] = None):
+        merged = {"reward_scale": 15.0, "num_actions": 6, "lives": 3, "seed": 104}
+        merged.update(config or {})
+        super().__init__(merged)
+
+
+_GAMES = {
+    "BeamRider": BeamRiderSimEnv,
+    "Breakout": BreakoutSimEnv,
+    "Qbert": QbertSimEnv,
+    "SpaceInvaders": SpaceInvadersSimEnv,
+}
+
+
+def make_atari_sim(game: str, config: Optional[Dict[str, Any]] = None) -> AtariSimEnv:
+    """Build one of the four bundled synthetic games by name."""
+    try:
+        cls = _GAMES[game]
+    except KeyError:
+        raise KeyError(f"unknown game {game!r}; available: {sorted(_GAMES)}") from None
+    return cls(config)

@@ -1,0 +1,97 @@
+"""CartPole: the classic cart-pole swing-up control problem, from scratch.
+
+Physics follow Barto, Sutton & Anderson (1983) — the same dynamics the gym
+``CartPole-v1`` environment integrates with explicit Euler.  A pole is hinged
+to a cart on a frictionless track; the agent pushes the cart left or right
+and the episode ends when the pole falls past ±12° or the cart leaves ±2.4,
+with +1 reward per surviving step, capped at ``max_episode_steps``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..api.environment import Environment
+from .spaces import Box, Discrete
+
+GRAVITY = 9.8
+CART_MASS = 1.0
+POLE_MASS = 0.1
+TOTAL_MASS = CART_MASS + POLE_MASS
+POLE_HALF_LENGTH = 0.5
+POLE_MASS_LENGTH = POLE_MASS * POLE_HALF_LENGTH
+FORCE_MAG = 10.0
+TAU = 0.02  # seconds between state updates
+THETA_THRESHOLD = 12 * 2 * math.pi / 360
+X_THRESHOLD = 2.4
+
+
+class CartPoleEnv(Environment):
+    """CartPole with gym-compatible observation/action spaces."""
+
+    def __init__(self, config: Optional[Dict[str, Any]] = None):
+        super().__init__(config)
+        self.max_episode_steps = int(self.config.get("max_episode_steps", 500))
+        high = np.array(
+            [X_THRESHOLD * 2, np.inf, THETA_THRESHOLD * 2, np.inf], dtype=np.float32
+        )
+        self._observation_space = Box(-high, high, dtype=np.float32)
+        self._action_space = Discrete(2)
+        self._rng = np.random.default_rng(self.config.get("seed"))
+        self._state: Optional[np.ndarray] = None
+        self._steps = 0
+
+    @property
+    def observation_space(self) -> Box:
+        return self._observation_space
+
+    @property
+    def action_space(self) -> Discrete:
+        return self._action_space
+
+    def seed(self, seed: Optional[int] = None) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> np.ndarray:
+        self._state = self._rng.uniform(-0.05, 0.05, size=4).astype(np.float64)
+        self._steps = 0
+        return self._state.astype(np.float32)
+
+    def step(self, action: int) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
+        if self._state is None:
+            raise RuntimeError("call reset() before step()")
+        if not self._action_space.contains(action):
+            raise ValueError(f"invalid action {action!r} for {self._action_space}")
+
+        x, x_dot, theta, theta_dot = self._state
+        force = FORCE_MAG if action == 1 else -FORCE_MAG
+        cos_theta = math.cos(theta)
+        sin_theta = math.sin(theta)
+
+        temp = (force + POLE_MASS_LENGTH * theta_dot**2 * sin_theta) / TOTAL_MASS
+        theta_acc = (GRAVITY * sin_theta - cos_theta * temp) / (
+            POLE_HALF_LENGTH * (4.0 / 3.0 - POLE_MASS * cos_theta**2 / TOTAL_MASS)
+        )
+        x_acc = temp - POLE_MASS_LENGTH * theta_acc * cos_theta / TOTAL_MASS
+
+        x += TAU * x_dot
+        x_dot += TAU * x_acc
+        theta += TAU * theta_dot
+        theta_dot += TAU * theta_acc
+        self._state = np.array([x, x_dot, theta, theta_dot], dtype=np.float64)
+        self._steps += 1
+
+        fell = bool(
+            x < -X_THRESHOLD
+            or x > X_THRESHOLD
+            or theta < -THETA_THRESHOLD
+            or theta > THETA_THRESHOLD
+        )
+        truncated = self._steps >= self.max_episode_steps
+        done = fell or truncated
+        reward = 1.0
+        info: Dict[str, Any] = {"truncated": truncated and not fell}
+        return self._state.astype(np.float32), reward, done, info

@@ -1,0 +1,54 @@
+"""Dummy payload environment.
+
+Produces observations of an exact configurable byte size with zero
+computation, for exercising the communication path in isolation — the
+environment-side counterpart of the paper's dummy DRL algorithm (§5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..api.environment import Environment
+from .spaces import Box, Discrete
+
+
+class DummyPayloadEnv(Environment):
+    """Observations are ``payload_bytes``-sized uint8 arrays.
+
+    Config keys: ``payload_bytes`` (default 1024), ``episode_length``
+    (default 100), ``seed``.
+    """
+
+    def __init__(self, config: Optional[Dict[str, Any]] = None):
+        super().__init__(config)
+        self.payload_bytes = int(self.config.get("payload_bytes", 1024))
+        if self.payload_bytes < 1:
+            raise ValueError("payload_bytes must be >= 1")
+        self.episode_length = int(self.config.get("episode_length", 100))
+        self._observation_space = Box(0, 255, shape=(self.payload_bytes,), dtype=np.uint8)
+        self._action_space = Discrete(2)
+        self._rng = np.random.default_rng(self.config.get("seed"))
+        self._payload = self._rng.integers(
+            0, 256, size=self.payload_bytes, dtype=np.uint8
+        )
+        self._steps = 0
+
+    @property
+    def observation_space(self) -> Box:
+        return self._observation_space
+
+    @property
+    def action_space(self) -> Discrete:
+        return self._action_space
+
+    def reset(self) -> np.ndarray:
+        self._steps = 0
+        return self._payload
+
+    def step(self, action: Any) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
+        self._steps += 1
+        done = self._steps >= self.episode_length
+        return self._payload, 0.0, done, {}

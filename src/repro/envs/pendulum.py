@@ -1,0 +1,86 @@
+"""Pendulum swing-up: the classic continuous-control testbed, from scratch.
+
+Dynamics match gym's ``Pendulum-v1``: a torque-limited pendulum must swing
+up and balance.  Observations are (cos θ, sin θ, θ̇); the action is a torque
+in [-2, 2]; reward penalizes angle, velocity and effort.  Used by the DDPG
+member of the algorithm zoo.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..api.environment import Environment
+from .spaces import Box
+
+MAX_SPEED = 8.0
+MAX_TORQUE = 2.0
+DT = 0.05
+GRAVITY = 10.0
+MASS = 1.0
+LENGTH = 1.0
+
+
+class PendulumEnv(Environment):
+    """Torque-limited pendulum swing-up."""
+
+    def __init__(self, config: Optional[Dict[str, Any]] = None):
+        super().__init__(config)
+        self.max_episode_steps = int(self.config.get("max_episode_steps", 200))
+        high = np.array([1.0, 1.0, MAX_SPEED], dtype=np.float32)
+        self._observation_space = Box(-high, high, dtype=np.float32)
+        self._action_space = Box(-MAX_TORQUE, MAX_TORQUE, shape=(1,), dtype=np.float32)
+        self._rng = np.random.default_rng(self.config.get("seed"))
+        self._theta = 0.0
+        self._theta_dot = 0.0
+        self._steps = 0
+        self._started = False
+
+    @property
+    def observation_space(self) -> Box:
+        return self._observation_space
+
+    @property
+    def action_space(self) -> Box:
+        return self._action_space
+
+    def seed(self, seed: Optional[int] = None) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> np.ndarray:
+        self._theta = self._rng.uniform(-math.pi, math.pi)
+        self._theta_dot = self._rng.uniform(-1.0, 1.0)
+        self._steps = 0
+        self._started = True
+        return self._observe()
+
+    def step(self, action) -> Tuple[np.ndarray, float, bool, Dict[str, Any]]:
+        if not self._started:
+            raise RuntimeError("call reset() before step()")
+        torque = float(np.clip(np.asarray(action).reshape(-1)[0], -MAX_TORQUE, MAX_TORQUE))
+        theta = self._theta
+        angle_cost = _angle_normalize(theta) ** 2 + 0.1 * self._theta_dot**2 + 0.001 * torque**2
+
+        theta_dot = self._theta_dot + (
+            3.0 * GRAVITY / (2.0 * LENGTH) * math.sin(theta)
+            + 3.0 / (MASS * LENGTH**2) * torque
+        ) * DT
+        theta_dot = float(np.clip(theta_dot, -MAX_SPEED, MAX_SPEED))
+        self._theta = theta + theta_dot * DT
+        self._theta_dot = theta_dot
+        self._steps += 1
+        done = self._steps >= self.max_episode_steps
+        return self._observe(), -angle_cost, done, {}
+
+    def _observe(self) -> np.ndarray:
+        return np.array(
+            [math.cos(self._theta), math.sin(self._theta), self._theta_dot],
+            dtype=np.float32,
+        )
+
+
+def _angle_normalize(theta: float) -> float:
+    return ((theta + math.pi) % (2 * math.pi)) - math.pi

@@ -1,0 +1,33 @@
+"""Register the bundled environments with the global registry."""
+
+from __future__ import annotations
+
+from ..api.registry import registry
+from .atari_sim import (
+    BeamRiderSimEnv,
+    BreakoutSimEnv,
+    QbertSimEnv,
+    SpaceInvadersSimEnv,
+)
+from .cartpole import CartPoleEnv
+from .dummy import DummyPayloadEnv
+from .pendulum import PendulumEnv
+
+_ENVIRONMENTS = {
+    "CartPole": CartPoleEnv,
+    "Pendulum": PendulumEnv,
+    "BeamRider": BeamRiderSimEnv,
+    "Breakout": BreakoutSimEnv,
+    "Qbert": QbertSimEnv,
+    "SpaceInvaders": SpaceInvadersSimEnv,
+    "DummyPayload": DummyPayloadEnv,
+}
+
+
+def register_all() -> None:
+    """Idempotently register every bundled environment."""
+    for name, cls in _ENVIRONMENTS.items():
+        registry.register("environment", name, cls, overwrite=True)
+
+
+register_all()

@@ -1,0 +1,84 @@
+"""Observation/action spaces (the minimal gym-style subset we need)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Space:
+    """Base class for spaces; supports sampling and membership tests."""
+
+    def __init__(self, shape: Tuple[int, ...], dtype):
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+
+    def sample(self, rng: Optional[np.random.Generator] = None):
+        raise NotImplementedError
+
+    def contains(self, value) -> bool:
+        raise NotImplementedError
+
+
+class Discrete(Space):
+    """{0, 1, ..., n-1}."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError(f"Discrete space needs n >= 1, got {n}")
+        super().__init__((), np.int64)
+        self.n = int(n)
+
+    def sample(self, rng: Optional[np.random.Generator] = None) -> int:
+        rng = rng or np.random.default_rng()
+        return int(rng.integers(self.n))
+
+    def contains(self, value) -> bool:
+        try:
+            ivalue = int(value)
+        except (TypeError, ValueError):
+            return False
+        return 0 <= ivalue < self.n and float(value) == ivalue
+
+    def __repr__(self) -> str:
+        return f"Discrete({self.n})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Discrete) and other.n == self.n
+
+
+class Box(Space):
+    """A bounded (possibly unbounded) box in R^n."""
+
+    def __init__(self, low, high, shape: Optional[Sequence[int]] = None, dtype=np.float32):
+        if shape is None:
+            shape = np.broadcast(np.asarray(low), np.asarray(high)).shape
+        super().__init__(tuple(shape), dtype)
+        self.low = np.broadcast_to(np.asarray(low, dtype=self.dtype), self.shape).copy()
+        self.high = np.broadcast_to(np.asarray(high, dtype=self.dtype), self.shape).copy()
+        if np.any(self.low > self.high):
+            raise ValueError("Box low must be <= high elementwise")
+
+    def sample(self, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        rng = rng or np.random.default_rng()
+        low = np.where(np.isfinite(self.low), self.low, -1.0)
+        high = np.where(np.isfinite(self.high), self.high, 1.0)
+        return rng.uniform(low, high, size=self.shape).astype(self.dtype)
+
+    def contains(self, value) -> bool:
+        arr = np.asarray(value)
+        if arr.shape != self.shape:
+            return False
+        return bool(np.all(arr >= self.low) and np.all(arr <= self.high))
+
+    def __repr__(self) -> str:
+        return f"Box(shape={self.shape}, dtype={self.dtype})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Box)
+            and other.shape == self.shape
+            and np.array_equal(other.low, self.low)
+            and np.array_equal(other.high, self.high)
+        )

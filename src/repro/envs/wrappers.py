@@ -1,0 +1,195 @@
+"""Environment wrappers.
+
+The paper's Environment class "is a wrapper for both widely-used testbed
+environments and self-defined ones" (§4.2).  These composable wrappers
+cover the standard DRL preprocessing stack: frame stacking, observation
+normalization, reward clipping/scaling, action repeat, and time limits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..api.environment import Environment
+from .spaces import Box, Space
+
+
+class Wrapper(Environment):
+    """Base wrapper: delegates everything to the wrapped environment."""
+
+    def __init__(self, env: Environment):
+        super().__init__(env.config)
+        self.env = env
+
+    @property
+    def observation_space(self) -> Space:
+        return self.env.observation_space
+
+    @property
+    def action_space(self) -> Space:
+        return self.env.action_space
+
+    def reset(self) -> Any:
+        return self.env.reset()
+
+    def step(self, action: Any) -> Tuple[Any, float, bool, Dict[str, Any]]:
+        return self.env.step(action)
+
+    def seed(self, seed: Optional[int] = None) -> None:
+        self.env.seed(seed)
+
+    def close(self) -> None:
+        self.env.close()
+
+    def unwrapped(self) -> Environment:
+        env = self.env
+        while isinstance(env, Wrapper):
+            env = env.env
+        return env
+
+
+class FrameStack(Wrapper):
+    """Stack the last ``k`` observations along a new leading axis."""
+
+    def __init__(self, env: Environment, k: int = 4):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        super().__init__(env)
+        self.k = k
+        self._frames: deque = deque(maxlen=k)
+        inner = env.observation_space
+        self._space = Box(
+            np.repeat(np.asarray(inner.low)[None], k, axis=0),
+            np.repeat(np.asarray(inner.high)[None], k, axis=0),
+            dtype=inner.dtype,
+        )
+
+    @property
+    def observation_space(self) -> Box:
+        return self._space
+
+    def reset(self) -> np.ndarray:
+        frame = self.env.reset()
+        self._frames.clear()
+        for _ in range(self.k):
+            self._frames.append(frame)
+        return self._observation()
+
+    def step(self, action: Any):
+        frame, reward, done, info = self.env.step(action)
+        self._frames.append(frame)
+        return self._observation(), reward, done, info
+
+    def _observation(self) -> np.ndarray:
+        return np.stack(self._frames)
+
+
+class NormalizeObservation(Wrapper):
+    """Running mean/variance normalization (Welford's algorithm)."""
+
+    def __init__(self, env: Environment, epsilon: float = 1e-8, clip: float = 10.0):
+        super().__init__(env)
+        self.epsilon = epsilon
+        self.clip = clip
+        shape = env.observation_space.shape
+        self._mean = np.zeros(shape, dtype=np.float64)
+        self._m2 = np.zeros(shape, dtype=np.float64)
+        self._count = 0
+
+    def reset(self) -> np.ndarray:
+        return self._normalize(self.env.reset())
+
+    def step(self, action: Any):
+        obs, reward, done, info = self.env.step(action)
+        return self._normalize(obs), reward, done, info
+
+    def _normalize(self, obs: Any) -> np.ndarray:
+        obs = np.asarray(obs, dtype=np.float64)
+        self._count += 1
+        delta = obs - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (obs - self._mean)
+        if self._count < 2:
+            return np.clip(obs - self._mean, -self.clip, self.clip)
+        variance = self._m2 / (self._count - 1)
+        return np.clip(
+            (obs - self._mean) / np.sqrt(variance + self.epsilon),
+            -self.clip,
+            self.clip,
+        )
+
+
+class ClipReward(Wrapper):
+    """Clip rewards to [low, high] (DQN's classic {-1, 0, 1} uses ±1)."""
+
+    def __init__(self, env: Environment, low: float = -1.0, high: float = 1.0):
+        if low > high:
+            raise ValueError("low must be <= high")
+        super().__init__(env)
+        self.low = low
+        self.high = high
+
+    def step(self, action: Any):
+        obs, reward, done, info = self.env.step(action)
+        info = dict(info)
+        info.setdefault("raw_reward", reward)
+        return obs, float(np.clip(reward, self.low, self.high)), done, info
+
+
+class ScaleReward(Wrapper):
+    """Multiply rewards by a constant."""
+
+    def __init__(self, env: Environment, scale: float):
+        super().__init__(env)
+        self.scale = scale
+
+    def step(self, action: Any):
+        obs, reward, done, info = self.env.step(action)
+        return obs, reward * self.scale, done, info
+
+
+class ActionRepeat(Wrapper):
+    """Repeat each action ``k`` times, summing rewards (Atari frame skip)."""
+
+    def __init__(self, env: Environment, k: int = 4):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        super().__init__(env)
+        self.k = k
+
+    def step(self, action: Any):
+        total_reward = 0.0
+        obs, done, info = None, False, {}
+        for _ in range(self.k):
+            obs, reward, done, info = self.env.step(action)
+            total_reward += reward
+            if done:
+                break
+        return obs, total_reward, done, info
+
+
+class TimeLimit(Wrapper):
+    """Truncate episodes after ``max_steps`` steps."""
+
+    def __init__(self, env: Environment, max_steps: int):
+        if max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+        super().__init__(env)
+        self.max_steps = max_steps
+        self._elapsed = 0
+
+    def reset(self) -> Any:
+        self._elapsed = 0
+        return self.env.reset()
+
+    def step(self, action: Any):
+        obs, reward, done, info = self.env.step(action)
+        self._elapsed += 1
+        if self._elapsed >= self.max_steps and not done:
+            done = True
+            info = dict(info)
+            info["truncated"] = True
+        return obs, reward, done, info

@@ -1,0 +1,23 @@
+"""True multi-process deployment (the paper's implementation substrate).
+
+The default deployment in :mod:`repro.cluster` backs "processes" with
+threads for determinism and speed; this package provides the faithful
+alternative: explorer OS processes connected to the learner through
+``multiprocessing.Queue`` header/ID queues and a shared-memory object store
+(``multiprocessing.shared_memory``), exactly the §4.1 implementation notes.
+
+Use :class:`MpSession` for a one-call run, or the lower-level pieces to
+build custom topologies.  Bodies cross process boundaries zero-copy: only
+segment names travel through queues.
+"""
+
+from .channel import MpChannel, read_segment, write_segment
+from .session import MpSession, MpRunResult
+
+__all__ = [
+    "MpChannel",
+    "write_segment",
+    "read_segment",
+    "MpSession",
+    "MpRunResult",
+]

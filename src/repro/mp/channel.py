@@ -1,0 +1,128 @@
+"""Cross-process channel primitives.
+
+``write_segment`` serializes a body into a fresh shared-memory segment and
+returns its name; ``read_segment`` attaches by name, deserializes, and
+(optionally) unlinks.  The :class:`MpChannel` bundles the queues one
+explorer needs: a header queue toward the learner and a weights queue back.
+
+Each message body gets its own segment and the single consumer unlinks it
+after reading — the degenerate (refcount == 1) case of the broker store,
+which is exactly the rollout path's shape (explorer -> learner).  Weight
+broadcasts write one segment per destination.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.serialization import deserialize, serialize
+
+_SIZE_HEADER = 8
+
+
+def write_segment(body: Any, name: Optional[str] = None) -> str:
+    """Serialize ``body`` into a new shared-memory segment; returns its name.
+
+    The first 8 bytes store the payload length so readers can attach
+    without knowing the size out of band.
+    """
+    payload = serialize(body)
+    segment = shared_memory.SharedMemory(
+        name=name, create=True, size=_SIZE_HEADER + len(payload)
+    )
+    try:
+        segment.buf[:_SIZE_HEADER] = len(payload).to_bytes(_SIZE_HEADER, "little")
+        segment.buf[_SIZE_HEADER : _SIZE_HEADER + len(payload)] = payload
+    finally:
+        segment.close()
+    # Ownership transfers to the consumer (it unlinks after reading), so the
+    # creator's resource tracker must forget the segment — otherwise every
+    # cross-process handoff draws a leak warning at interpreter shutdown.
+    _untrack(segment.name)
+    return segment.name
+
+
+def _untrack(name: str) -> None:
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary by version
+        pass
+
+
+def read_segment(name: str, unlink: bool = True) -> Any:
+    """Attach to a segment by name and deserialize its body.
+
+    With ``unlink`` (the default) the segment is freed afterwards — the
+    consumer owns cleanup, matching the release-after-fetch protocol of the
+    in-process store.
+    """
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        length = int.from_bytes(bytes(segment.buf[:_SIZE_HEADER]), "little")
+        body = deserialize(bytes(segment.buf[_SIZE_HEADER : _SIZE_HEADER + length]))
+    finally:
+        segment.close()
+        if unlink:
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+    return body
+
+
+@dataclass
+class MpChannel:
+    """The queue pair connecting one explorer process to the learner.
+
+    ``headers`` carries (explorer_name, segment_name, metadata) tuples —
+    lightweight, like the paper's ID queues; ``weights`` carries segment
+    names of weight snapshots pushed by the learner.
+    """
+
+    headers: Any = field(default_factory=lambda: mp.Queue())
+    weights: Any = field(default_factory=lambda: mp.Queue())
+
+    def send_rollout(self, explorer: str, body: Any, metadata: Optional[Dict] = None) -> None:
+        segment = write_segment(body)
+        self.headers.put((explorer, segment, metadata or {}))
+
+    def receive_rollout(self, timeout: Optional[float] = None) -> Optional[Tuple[str, Any, Dict]]:
+        try:
+            explorer, segment, metadata = self.headers.get(timeout=timeout)
+        except Exception:
+            return None
+        return explorer, read_segment(segment), metadata
+
+    def push_weights(self, body: Any) -> None:
+        self.weights.put(write_segment(body))
+
+    def poll_weights(self) -> Optional[Any]:
+        """Non-blocking: newest weights if any are queued, else None."""
+        latest = None
+        while True:
+            try:
+                segment = self.weights.get_nowait()
+            except Exception:
+                break
+            if latest is not None:
+                # An unconsumed older snapshot: free it.
+                try:
+                    stale = shared_memory.SharedMemory(name=latest)
+                    stale.close()
+                    stale.unlink()
+                except FileNotFoundError:
+                    pass
+            latest = segment
+        if latest is None:
+            return None
+        return read_segment(latest)
+
+    def close(self) -> None:
+        for queue in (self.headers, self.weights):
+            queue.close()
+            queue.join_thread()

@@ -1,0 +1,31 @@
+"""NumPy deep-learning substrate.
+
+Stands in for TensorFlow/PyTorch (DESIGN.md §2): real parameters, real
+gradients, real optimizer state — enough to actually learn CartPole and to
+make training take genuine, tunable CPU time, which is what the
+communication-overlap experiments require.
+"""
+
+from .layers import Dense, Flatten, Layer, ReLU, Tanh
+from .conv import Conv2D, MaxPool2D
+from .network import Sequential, mlp
+from .optimizers import SGD, Adam, Optimizer
+from . import losses
+from . import initializers
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Tanh",
+    "Flatten",
+    "Conv2D",
+    "MaxPool2D",
+    "Sequential",
+    "mlp",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "losses",
+    "initializers",
+]

@@ -1,0 +1,140 @@
+"""Convolution and pooling layers (im2col-based).
+
+Used by the Atari-style image policies; NCHW layout throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import initializers
+from .layers import Layer
+
+
+def _im2col(
+    x: np.ndarray, kernel: int, stride: int, pad: int
+) -> Tuple[np.ndarray, int, int]:
+    batch, channels, height, width = x.shape
+    out_h = (height + 2 * pad - kernel) // stride + 1
+    out_w = (width + 2 * pad - kernel) // stride + 1
+    padded = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    cols = np.empty((batch, channels, kernel, kernel, out_h, out_w), dtype=x.dtype)
+    for ky in range(kernel):
+        y_max = ky + stride * out_h
+        for kx in range(kernel):
+            x_max = kx + stride * out_w
+            cols[:, :, ky, kx, :, :] = padded[:, :, ky:y_max:stride, kx:x_max:stride]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(batch * out_h * out_w, -1), out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    pad: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    batch, channels, height, width = input_shape
+    cols = cols.reshape(batch, out_h, out_w, channels, kernel, kernel).transpose(
+        0, 3, 4, 5, 1, 2
+    )
+    padded = np.zeros((batch, channels, height + 2 * pad, width + 2 * pad), dtype=cols.dtype)
+    for ky in range(kernel):
+        y_max = ky + stride * out_h
+        for kx in range(kernel):
+            x_max = kx + stride * out_w
+            padded[:, :, ky:y_max:stride, kx:x_max:stride] += cols[:, :, ky, kx, :, :]
+    if pad == 0:
+        return padded
+    return padded[:, :, pad:-pad, pad:-pad]
+
+
+class Conv2D(Layer):
+    """2-D convolution with square kernels."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        *,
+        stride: int = 1,
+        pad: int = 0,
+        weight_init: str = "he_normal",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        init = initializers.get(weight_init)
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad
+        self.weight = init(
+            (out_channels, in_channels, kernel, kernel), rng
+        ).astype(np.float64)
+        self.bias = np.zeros(out_channels, dtype=np.float64)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self.params = [self.weight, self.bias]
+        self.grads = [self.grad_weight, self.grad_bias]
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        cols, out_h, out_w = _im2col(x, self.kernel, self.stride, self.pad)
+        flat_weight = self.weight.reshape(self.weight.shape[0], -1).T
+        out = cols @ flat_weight + self.bias
+        batch = x.shape[0]
+        self._cache = (x.shape, cols, out_h, out_w)
+        return out.reshape(batch, out_h, out_w, -1).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        input_shape, cols, out_h, out_w = self._cache
+        out_channels = grad_output.shape[1]
+        grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(-1, out_channels)
+        self.grad_bias += grad_flat.sum(axis=0)
+        self.grad_weight += (grad_flat.T @ cols).reshape(self.weight.shape)
+        flat_weight = self.weight.reshape(out_channels, -1)
+        grad_cols = grad_flat @ flat_weight
+        return _col2im(
+            grad_cols, input_shape, self.kernel, self.stride, self.pad, out_h, out_w
+        )
+
+
+class MaxPool2D(Layer):
+    """Max pooling with square windows (stride == window by default)."""
+
+    def __init__(self, window: int, stride: Optional[int] = None):
+        super().__init__()
+        self.window = window
+        self.stride = stride or window
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        cols, out_h, out_w = _im2col(x, self.window, self.stride, 0)
+        batch, channels = x.shape[0], x.shape[1]
+        cols = cols.reshape(-1, channels, self.window * self.window)
+        argmax = cols.argmax(axis=2)
+        out = cols.max(axis=2)
+        self._cache = (x.shape, argmax, out_h, out_w)
+        return out.reshape(batch, out_h, out_w, channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        input_shape, argmax, out_h, out_w = self._cache
+        channels = input_shape[1]
+        grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(-1, channels)
+        grad_cols = np.zeros(
+            (grad_flat.shape[0], channels, self.window * self.window), dtype=grad_flat.dtype
+        )
+        rows = np.arange(grad_flat.shape[0])[:, None]
+        cols_idx = np.arange(channels)[None, :]
+        grad_cols[rows, cols_idx, argmax] = grad_flat
+        grad_cols = grad_cols.reshape(grad_flat.shape[0], -1)
+        return _col2im(
+            grad_cols, input_shape, self.window, self.stride, 0, out_h, out_w
+        )

@@ -1,0 +1,61 @@
+"""Weight initializers."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def zeros(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    del rng
+    return np.zeros(shape, dtype=np.float64)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def he_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Kaiming normal: N(0, sqrt(2 / fan_in)) — suited to ReLU stacks."""
+    fan_in, _ = _fans(shape)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def orthogonal(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal init (common for policy heads)."""
+    if len(shape) < 2:
+        return rng.normal(0.0, 1.0, size=shape)
+    rows = shape[0]
+    cols = int(np.prod(shape[1:]))
+    matrix = rng.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(matrix)
+    q *= np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols].reshape(shape)
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive
+
+
+def get(name: str):
+    table = {
+        "zeros": zeros,
+        "xavier_uniform": xavier_uniform,
+        "he_normal": he_normal,
+        "orthogonal": orthogonal,
+    }
+    try:
+        return table[name]
+    except KeyError:
+        raise KeyError(f"unknown initializer {name!r}; known: {sorted(table)}") from None

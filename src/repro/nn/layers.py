@@ -1,0 +1,109 @@
+"""Layers with explicit forward/backward passes."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from . import initializers
+
+
+class Layer:
+    """A differentiable module.
+
+    ``forward`` caches whatever ``backward`` needs; ``backward`` receives
+    dL/d(output) and returns dL/d(input), accumulating parameter gradients
+    into :attr:`grads` (aligned with :attr:`params`).
+    """
+
+    def __init__(self):
+        self.params: List[np.ndarray] = []
+        self.grads: List[np.ndarray] = []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def zero_grads(self) -> None:
+        for grad in self.grads:
+            grad.fill(0.0)
+
+
+class Dense(Layer):
+    """Fully connected layer: y = x @ W + b."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        weight_init: str = "he_normal",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        init = initializers.get(weight_init)
+        self.weight = init((in_features, out_features), rng).astype(np.float64)
+        self.bias = np.zeros(out_features, dtype=np.float64)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self.params = [self.weight, self.bias]
+        self.grads = [self.grad_weight, self.grad_bias]
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._input is not None, "forward must run before backward"
+        self.grad_weight += self._input.T @ grad_output
+        self.grad_bias += grad_output.sum(axis=0)
+        return grad_output @ self.weight.T
+
+
+class ReLU(Layer):
+    def __init__(self):
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._mask is not None
+        return grad_output * self._mask
+
+
+class Tanh(Layer):
+    def __init__(self):
+        super().__init__()
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = np.tanh(x)
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._output is not None
+        return grad_output * (1.0 - self._output**2)
+
+
+class Flatten(Layer):
+    """Flatten all non-batch dimensions."""
+
+    def __init__(self):
+        super().__init__()
+        self._shape: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._shape is not None
+        return grad_output.reshape(self._shape)

@@ -1,0 +1,80 @@
+"""Loss functions and probability utilities.
+
+Every loss returns ``(value, grad_wrt_input)`` so training code can feed the
+gradient straight into ``Sequential.backward``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def mse(pred: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean squared error over all elements."""
+    diff = pred - target
+    value = float(np.mean(diff**2))
+    grad = 2.0 * diff / diff.size
+    return value, grad
+
+
+def huber(
+    pred: np.ndarray, target: np.ndarray, delta: float = 1.0
+) -> Tuple[float, np.ndarray]:
+    """Huber loss — quadratic within ``delta``, linear outside (DQN's loss)."""
+    diff = pred - target
+    abs_diff = np.abs(diff)
+    quadratic = np.minimum(abs_diff, delta)
+    linear = abs_diff - quadratic
+    value = float(np.mean(0.5 * quadratic**2 + delta * linear))
+    grad = np.clip(diff, -delta, delta) / diff.size
+    return value, grad
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Cross entropy against integer labels; grad is w.r.t. logits."""
+    batch = logits.shape[0]
+    log_probs = log_softmax(logits)
+    value = float(-log_probs[np.arange(batch), labels].mean())
+    grad = softmax(logits)
+    grad[np.arange(batch), labels] -= 1.0
+    return value, grad / batch
+
+
+def entropy(logits: np.ndarray) -> np.ndarray:
+    """Per-row entropy of the softmax distribution."""
+    log_probs = log_softmax(logits)
+    return -(np.exp(log_probs) * log_probs).sum(axis=-1)
+
+
+def entropy_grad(logits: np.ndarray) -> np.ndarray:
+    """d(mean entropy)/d(logits)."""
+    probs = softmax(logits)
+    log_probs = log_softmax(logits)
+    inner = log_probs + 1.0
+    weighted = probs * inner
+    grad = -(weighted - probs * weighted.sum(axis=-1, keepdims=True))
+    return grad / logits.shape[0]
+
+
+def categorical_sample(
+    logits: np.ndarray, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Sample actions from softmax(logits) row-wise (Gumbel-max trick)."""
+    rng = rng or np.random.default_rng()
+    gumbel = -np.log(-np.log(rng.uniform(1e-12, 1.0, size=logits.shape)))
+    return (logits + gumbel).argmax(axis=-1)

@@ -1,0 +1,82 @@
+"""Sequential networks."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .layers import Dense, Layer, ReLU, Tanh
+
+
+class Sequential:
+    """A stack of layers with shared forward/backward plumbing."""
+
+    def __init__(self, layers: Sequence[Layer]):
+        self.layers: List[Layer] = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    __call__ = forward
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def zero_grads(self) -> None:
+        for layer in self.layers:
+            layer.zero_grads()
+
+    @property
+    def params(self) -> List[np.ndarray]:
+        return [param for layer in self.layers for param in layer.params]
+
+    @property
+    def grads(self) -> List[np.ndarray]:
+        return [grad for layer in self.layers for grad in layer.grads]
+
+    def get_weights(self) -> List[np.ndarray]:
+        return [param.copy() for param in self.params]
+
+    def set_weights(self, weights: List[np.ndarray]) -> None:
+        params = self.params
+        if len(weights) != len(params):
+            raise ValueError(
+                f"weight count mismatch: got {len(weights)}, expected {len(params)}"
+            )
+        for param, weight in zip(params, weights):
+            if param.shape != weight.shape:
+                raise ValueError(
+                    f"weight shape mismatch: got {weight.shape}, expected {param.shape}"
+                )
+            param[...] = weight
+
+
+def mlp(
+    sizes: Sequence[int],
+    *,
+    activation: str = "tanh",
+    rng: Optional[np.random.Generator] = None,
+) -> Sequential:
+    """Build an MLP with the given layer ``sizes`` (input first, output last)."""
+    if len(sizes) < 2:
+        raise ValueError("mlp needs at least input and output sizes")
+    activations = {"relu": ReLU, "tanh": Tanh}
+    try:
+        act_cls = activations[activation]
+    except KeyError:
+        raise KeyError(
+            f"unknown activation {activation!r}; known: {sorted(activations)}"
+        ) from None
+    rng = rng or np.random.default_rng()
+    init = "he_normal" if activation == "relu" else "xavier_uniform"
+    layers: List[Layer] = []
+    for index in range(len(sizes) - 1):
+        layers.append(Dense(sizes[index], sizes[index + 1], weight_init=init, rng=rng))
+        if index < len(sizes) - 2:
+            layers.append(act_cls())
+    return Sequential(layers)

@@ -1,0 +1,98 @@
+"""Optimizers operating on (params, grads) lists."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+class Optimizer:
+    """Interface: ``step`` applies gradients to parameters in place."""
+
+    def __init__(self, params: List[np.ndarray], grads: List[np.ndarray]):
+        if len(params) != len(grads):
+            raise ValueError("params and grads must align")
+        self.params = params
+        self.grads = grads
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grads(self) -> None:
+        for grad in self.grads:
+            grad.fill(0.0)
+
+    def clip_grads(self, max_norm: float) -> float:
+        """Global-norm gradient clipping; returns the pre-clip norm."""
+        total = float(np.sqrt(sum(float(np.sum(g**2)) for g in self.grads)))
+        if total > max_norm and total > 0:
+            scale = max_norm / total
+            for grad in self.grads:
+                grad *= scale
+        return total
+
+
+class SGD(Optimizer):
+    """SGD with optional momentum."""
+
+    def __init__(
+        self,
+        params: List[np.ndarray],
+        grads: List[np.ndarray],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+    ):
+        super().__init__(params, grads)
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: Optional[List[np.ndarray]] = None
+        if momentum:
+            self._velocity = [np.zeros_like(param) for param in params]
+
+    def step(self) -> None:
+        if self._velocity is None:
+            for param, grad in zip(self.params, self.grads):
+                param -= self.lr * grad
+        else:
+            for param, grad, vel in zip(self.params, self.grads, self._velocity):
+                vel *= self.momentum
+                vel += grad
+                param -= self.lr * vel
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        params: List[np.ndarray],
+        grads: List[np.ndarray],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(params, grads)
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(param) for param in params]
+        self._v = [np.zeros_like(param) for param in params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for param, grad, m, v in zip(self.params, self.grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            param -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)

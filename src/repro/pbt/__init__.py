@@ -1,0 +1,23 @@
+"""Population-based training on XingTian (paper §4.3).
+
+XingTian supports PBT natively via isolated broker sets — one per
+population — with the center controller acting as the PBT scheduler: every
+evolution interval it evaluates each population's average episode return,
+kills the worst population's processes, mutates a new hyperparameter
+combination, and starts a replacement population seeded with the best
+population's DNN weights.
+"""
+
+from .mutation import HyperparameterSpace, mutate, crossover
+from .population import Population, PopulationResult
+from .scheduler import PBTScheduler, PBTResult
+
+__all__ = [
+    "HyperparameterSpace",
+    "mutate",
+    "crossover",
+    "Population",
+    "PopulationResult",
+    "PBTScheduler",
+    "PBTResult",
+]

@@ -1,0 +1,79 @@
+"""Hyperparameter mutation and crossover strategies for PBT."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Sequence
+
+import numpy as np
+
+
+@dataclass
+class HyperparameterSpace:
+    """Searchable hyperparameters.
+
+    ``continuous`` maps names to (low, high) bounds (log-uniform when both
+    bounds are positive and span ≥10x); ``categorical`` maps names to the
+    researcher-supplied lists of alternatives (the paper's configuration
+    lists).
+    """
+
+    continuous: Dict[str, tuple] = field(default_factory=dict)
+    categorical: Dict[str, Sequence[Any]] = field(default_factory=dict)
+
+    def sample(self, rng: np.random.Generator) -> Dict[str, Any]:
+        values: Dict[str, Any] = {}
+        for name, (low, high) in self.continuous.items():
+            if low > 0 and high / low >= 10:
+                values[name] = float(np.exp(rng.uniform(np.log(low), np.log(high))))
+            else:
+                values[name] = float(rng.uniform(low, high))
+        for name, options in self.categorical.items():
+            values[name] = options[int(rng.integers(len(options)))]
+        return values
+
+    def clip(self, values: Dict[str, Any]) -> Dict[str, Any]:
+        clipped = dict(values)
+        for name, (low, high) in self.continuous.items():
+            if name in clipped:
+                clipped[name] = float(np.clip(clipped[name], low, high))
+        return clipped
+
+
+def mutate(
+    values: Dict[str, Any],
+    space: HyperparameterSpace,
+    rng: np.random.Generator,
+    *,
+    perturb_factors: Sequence[float] = (0.8, 1.25),
+    resample_prob: float = 0.25,
+) -> Dict[str, Any]:
+    """PBT explore step: perturb continuous values, resample categoricals."""
+    mutated = dict(values)
+    for name in space.continuous:
+        if name not in mutated:
+            continue
+        if rng.random() < resample_prob:
+            mutated[name] = space.sample(rng)[name]
+        else:
+            factor = perturb_factors[int(rng.integers(len(perturb_factors)))]
+            mutated[name] = mutated[name] * factor
+    for name, options in space.categorical.items():
+        if rng.random() < resample_prob:
+            mutated[name] = options[int(rng.integers(len(options)))]
+    return space.clip(mutated)
+
+
+def crossover(
+    parent_a: Dict[str, Any],
+    parent_b: Dict[str, Any],
+    rng: np.random.Generator,
+) -> Dict[str, Any]:
+    """Uniform crossover of two hyperparameter combinations."""
+    child: Dict[str, Any] = {}
+    for name in set(parent_a) | set(parent_b):
+        if name in parent_a and name in parent_b:
+            child[name] = parent_a[name] if rng.random() < 0.5 else parent_b[name]
+        else:
+            child[name] = parent_a.get(name, parent_b.get(name))
+    return child

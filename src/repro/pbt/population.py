@@ -1,0 +1,85 @@
+"""One PBT population: an isolated broker set with its own hyperparameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..cluster import Cluster, build_cluster
+from ..core.config import XingTianConfig
+
+
+@dataclass
+class PopulationResult:
+    """One population's score at the end of an evolution interval."""
+
+    rank: int
+    hyperparameters: Dict[str, Any]
+    average_return: Optional[float]
+    episode_count: int
+    trained_steps: int
+
+
+class Population:
+    """A XingTian deployment running one hyperparameter combination.
+
+    ``rank`` mirrors the paper's broker ranks: populations are fully
+    isolated from one another — each gets its own brokers, learner and
+    explorers (Fig. 3).
+    """
+
+    def __init__(
+        self, rank: int, base_config: XingTianConfig, hyperparameters: Dict[str, Any]
+    ):
+        self.rank = rank
+        self.hyperparameters = dict(hyperparameters)
+        self.config = self._apply_hyperparameters(base_config, hyperparameters)
+        self.cluster: Optional[Cluster] = None
+        self._initial_weights: Optional[List[np.ndarray]] = None
+
+    @staticmethod
+    def _apply_hyperparameters(
+        base: XingTianConfig, hyperparameters: Dict[str, Any]
+    ) -> XingTianConfig:
+        config = XingTianConfig.from_dict(base.to_dict())
+        config.algorithm_config = dict(config.algorithm_config)
+        config.algorithm_config.update(hyperparameters)
+        return config
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self, initial_weights: Optional[List[np.ndarray]] = None) -> None:
+        self.cluster = build_cluster(self.config)
+        if initial_weights is not None:
+            # The paper applies the best population's DNN weights to the new
+            # population so it can catch up at the start of the generation.
+            self.cluster.learner.algorithm.set_weights(initial_weights)
+        self.cluster.start()
+
+    def stop(self) -> PopulationResult:
+        assert self.cluster is not None, "population not started"
+        result = self.snapshot()
+        self._final_weights = self.cluster.learner.algorithm.get_weights()
+        self.cluster.stop()
+        self.cluster = None
+        return result
+
+    def snapshot(self) -> PopulationResult:
+        assert self.cluster is not None, "population not started"
+        collector = self.cluster.center.collector
+        return PopulationResult(
+            rank=self.rank,
+            hyperparameters=dict(self.hyperparameters),
+            average_return=collector.average_return(),
+            episode_count=collector.episode_count(),
+            trained_steps=int(self.cluster.learner.consumed_meter.total),
+        )
+
+    def weights(self) -> List[np.ndarray]:
+        if self.cluster is not None:
+            return self.cluster.learner.algorithm.get_weights()
+        final = getattr(self, "_final_weights", None)
+        if final is None:
+            raise RuntimeError("population has no weights yet")
+        return final

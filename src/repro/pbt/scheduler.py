@@ -1,0 +1,149 @@
+"""The PBT scheduler (paper §4.3).
+
+The center controller acts as the PBT scheduler: every evolution interval
+it evaluates metrics from each population, eliminates the worst, computes a
+new hyperparameter combination (mutation of the best, optionally crossed
+with a runner-up), and starts a replacement population carrying the best
+population's DNN weights.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..core.config import XingTianConfig
+from .mutation import HyperparameterSpace, crossover, mutate
+from .population import Population, PopulationResult
+
+
+@dataclass
+class GenerationRecord:
+    generation: int
+    results: List[PopulationResult]
+    eliminated_rank: int
+    new_hyperparameters: Dict[str, Any]
+
+
+@dataclass
+class PBTResult:
+    best_hyperparameters: Dict[str, Any]
+    best_average_return: Optional[float]
+    history: List[GenerationRecord] = field(default_factory=list)
+
+
+class PBTScheduler:
+    """Run generations of concurrent populations and evolve between them."""
+
+    def __init__(
+        self,
+        base_config: XingTianConfig,
+        space: HyperparameterSpace,
+        *,
+        num_populations: int = 4,
+        evolution_interval_s: float = 2.0,
+        use_crossover: bool = False,
+        seed: Optional[int] = None,
+    ):
+        if num_populations < 2:
+            raise ValueError("PBT needs at least two populations")
+        self.base_config = base_config
+        self.space = space
+        self.num_populations = num_populations
+        self.evolution_interval_s = evolution_interval_s
+        self.use_crossover = use_crossover
+        self._rng = np.random.default_rng(seed)
+        self.populations: List[Population] = [
+            Population(rank, base_config, space.sample(self._rng))
+            for rank in range(num_populations)
+        ]
+        self._carried_weights: Dict[int, Optional[List[np.ndarray]]] = {
+            population.rank: None for population in self.populations
+        }
+
+    def run(self, generations: int) -> PBTResult:
+        """Run ``generations`` evolution intervals; returns the best combo."""
+        history: List[GenerationRecord] = []
+        for generation in range(generations):
+            results = self._run_generation()
+            record = self._evolve(generation, results)
+            history.append(record)
+        scored = [
+            record.results for record in history[-1:]
+        ]  # last generation's results
+        final = sorted(
+            scored[0], key=lambda result: _score(result), reverse=True
+        )
+        best = final[0]
+        return PBTResult(
+            best_hyperparameters=best.hyperparameters,
+            best_average_return=best.average_return,
+            history=history,
+        )
+
+    # -- internals ---------------------------------------------------------
+    def _run_generation(self) -> List[PopulationResult]:
+        for population in self.populations:
+            population.start(self._carried_weights.get(population.rank))
+        time.sleep(self.evolution_interval_s)
+        results = []
+        for population in self.populations:
+            results.append(population.stop())
+        return results
+
+    def _evolve(
+        self, generation: int, results: List[PopulationResult]
+    ) -> GenerationRecord:
+        ordered = sorted(results, key=_score, reverse=True)
+        best, worst = ordered[0], ordered[-1]
+        worst_population = self._by_rank(worst.rank)
+        # Snapshot every population's weights before any replacement.
+        weights_by_rank = {
+            result.rank: self._by_rank(result.rank).weights() for result in results
+        }
+
+        if self.use_crossover and len(ordered) > 2:
+            parent = crossover(
+                best.hyperparameters, ordered[1].hyperparameters, self._rng
+            )
+        else:
+            parent = best.hyperparameters
+        new_hyperparameters = mutate(parent, self.space, self._rng)
+
+        # Replace the eliminated population: new hyperparameters, best's
+        # weights, same rank (a fresh broker set would be created on start).
+        replacement = Population(
+            worst.rank, self.base_config, new_hyperparameters
+        )
+        index = self.populations.index(worst_population)
+        self.populations[index] = replacement
+        # Every surviving population resumes from its own weights; the
+        # replacement catches up from the best population's weights.
+        for population in self.populations:
+            if population.rank == worst.rank:
+                self._carried_weights[population.rank] = weights_by_rank[best.rank]
+            else:
+                self._carried_weights[population.rank] = weights_by_rank[
+                    population.rank
+                ]
+        return GenerationRecord(
+            generation=generation,
+            results=results,
+            eliminated_rank=worst.rank,
+            new_hyperparameters=new_hyperparameters,
+        )
+
+    def _by_rank(self, rank: int) -> Population:
+        for population in self.populations:
+            if population.rank == rank:
+                return population
+        raise LookupError(f"no population with rank {rank}")
+
+
+def _score(result: PopulationResult) -> float:
+    if result.average_return is None:
+        return float("-inf")
+    return result.average_return

@@ -1,0 +1,15 @@
+"""Replay buffers (paper §4.2: "XingTian provides implementations of several
+kinds of replay buffers")."""
+
+from .uniform import ReplayBuffer
+from .prioritized import PrioritizedReplayBuffer
+from .segment_tree import MinSegmentTree, SumSegmentTree
+from .nstep import NStepAccumulator
+
+__all__ = [
+    "ReplayBuffer",
+    "PrioritizedReplayBuffer",
+    "SumSegmentTree",
+    "MinSegmentTree",
+    "NStepAccumulator",
+]

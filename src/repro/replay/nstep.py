@@ -1,0 +1,76 @@
+"""N-step transition accumulation.
+
+Wraps insertion into any replay buffer: consecutive steps are folded into
+n-step transitions (reward = discounted n-step sum, next_obs = observation
+n steps ahead) before storage, the standard Rainbow-style extension to
+one-step TD targets.  Episode boundaries flush the pending window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict
+
+import numpy as np
+
+from .uniform import ReplayBuffer
+
+
+class NStepAccumulator:
+    """Folds single steps into n-step transitions and feeds a buffer."""
+
+    def __init__(self, buffer: ReplayBuffer, n: int = 3, gamma: float = 0.99):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.buffer = buffer
+        self.n = n
+        self.gamma = gamma
+        self._window: Deque[Dict[str, Any]] = deque()
+
+    def add(self, step: Dict[str, Any]) -> int:
+        """Insert one raw step; returns how many n-step transitions were
+        emitted into the underlying buffer."""
+        self._window.append(step)
+        emitted = 0
+        if bool(step["done"]):
+            # Flush everything: every pending step gets a (shorter) return.
+            while self._window:
+                self.buffer.add(self._fold())
+                emitted += 1
+        elif len(self._window) >= self.n:
+            self.buffer.add(self._fold())
+            emitted += 1
+        return emitted
+
+    def add_rollout(self, rollout: Dict[str, np.ndarray]) -> int:
+        if not rollout:
+            return 0
+        length = len(next(iter(rollout.values())))
+        emitted = 0
+        for index in range(length):
+            emitted += self.add({key: value[index] for key, value in rollout.items()})
+        return emitted
+
+    def _fold(self) -> Dict[str, Any]:
+        """Combine the window's head with its n-step lookahead."""
+        first = self._window.popleft()
+        reward = float(first["reward"])
+        discount = self.gamma
+        next_obs = first["next_obs"]
+        done = bool(first["done"])
+        for step in self._window:
+            if done:
+                break
+            reward += discount * float(step["reward"])
+            discount *= self.gamma
+            next_obs = step["next_obs"]
+            done = bool(step["done"])
+        folded = dict(first)
+        folded["reward"] = reward
+        folded["next_obs"] = next_obs
+        folded["done"] = done
+        folded["n_discount"] = discount
+        return folded
+
+    def pending(self) -> int:
+        return len(self._window)

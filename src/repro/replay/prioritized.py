@@ -1,0 +1,76 @@
+"""Prioritized experience replay (Schaul et al., 2016)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .segment_tree import MinSegmentTree, SumSegmentTree
+from .uniform import ReplayBuffer
+
+
+class PrioritizedReplayBuffer(ReplayBuffer):
+    """Replay with proportional prioritization and IS-weight correction."""
+
+    def __init__(
+        self,
+        capacity: int,
+        alpha: float = 0.6,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(capacity, seed=seed)
+        if alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        self.alpha = alpha
+        tree_capacity = 1
+        while tree_capacity < capacity:
+            tree_capacity *= 2
+        self._sum_tree = SumSegmentTree(tree_capacity)
+        self._min_tree = MinSegmentTree(tree_capacity)
+        self._max_priority = 1.0
+
+    def add(self, step: Dict[str, Any]) -> None:
+        index = self._next_index
+        super().add(step)
+        priority = self._max_priority**self.alpha
+        self._sum_tree[index] = priority
+        self._min_tree[index] = priority
+
+    def sample(
+        self, batch_size: int, beta: float = 0.4
+    ) -> Tuple[Dict[str, np.ndarray], np.ndarray, np.ndarray]:
+        """Sample ∝ priority^alpha; returns (batch, is_weights, indices)."""
+        if beta < 0:
+            raise ValueError("beta must be >= 0")
+        if not len(self):
+            raise ValueError("cannot sample from an empty replay buffer")
+        indices = self._sample_proportional(batch_size)
+        total = self._sum_tree.sum(0, len(self))
+        min_prob = self._min_tree.min(0, len(self)) / total
+        max_weight = (min_prob * len(self)) ** (-beta)
+        probs = np.array([self._sum_tree[i] for i in indices]) / total
+        weights = (probs * len(self)) ** (-beta) / max_weight
+        return self._gather(np.asarray(indices)), weights, np.asarray(indices)
+
+    def update_priorities(
+        self, indices: Sequence[int], priorities: Sequence[float]
+    ) -> None:
+        """Set new priorities (e.g. new TD errors) for sampled steps."""
+        for index, priority in zip(indices, priorities):
+            if priority <= 0:
+                raise ValueError(f"priority must be positive, got {priority}")
+            if not 0 <= index < len(self):
+                raise IndexError(index)
+            self._sum_tree[index] = priority**self.alpha
+            self._min_tree[index] = priority**self.alpha
+            self._max_priority = max(self._max_priority, priority)
+
+    def _sample_proportional(self, batch_size: int) -> list:
+        total = self._sum_tree.sum(0, len(self))
+        bounds = np.linspace(0.0, total, batch_size + 1)
+        indices = []
+        for low, high in zip(bounds[:-1], bounds[1:]):
+            mass = self._rng.uniform(low, min(high, total * (1 - 1e-9)))
+            indices.append(self._sum_tree.find_prefixsum_index(mass))
+        return indices

@@ -1,0 +1,95 @@
+"""Segment trees for prioritized experience replay (Schaul et al., 2016)."""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable
+
+
+class SegmentTree:
+    """A fixed-capacity segment tree over an associative operation.
+
+    Capacity must be a power of two; leaves live at ``[capacity, 2*capacity)``.
+    ``reduce(start, end)`` folds the operation over ``[start, end)`` in
+    O(log n).
+    """
+
+    def __init__(self, capacity: int, operation: Callable, neutral):
+        if capacity <= 0 or capacity & (capacity - 1) != 0:
+            raise ValueError(f"capacity must be a positive power of two, got {capacity}")
+        self.capacity = capacity
+        self._operation = operation
+        self._neutral = neutral
+        self._values = [neutral] * (2 * capacity)
+
+    def __setitem__(self, index: int, value) -> None:
+        if not 0 <= index < self.capacity:
+            raise IndexError(index)
+        node = index + self.capacity
+        self._values[node] = value
+        node //= 2
+        while node >= 1:
+            self._values[node] = self._operation(
+                self._values[2 * node], self._values[2 * node + 1]
+            )
+            node //= 2
+
+    def __getitem__(self, index: int):
+        if not 0 <= index < self.capacity:
+            raise IndexError(index)
+        return self._values[index + self.capacity]
+
+    def reduce(self, start: int = 0, end: int | None = None):
+        """Fold the operation over ``[start, end)``."""
+        if end is None:
+            end = self.capacity
+        if end < 0:
+            end += self.capacity
+        if not 0 <= start <= end <= self.capacity:
+            raise IndexError(f"bad range [{start}, {end})")
+        result = self._neutral
+        left = start + self.capacity
+        right = end + self.capacity
+        while left < right:
+            if left & 1:
+                result = self._operation(result, self._values[left])
+                left += 1
+            if right & 1:
+                right -= 1
+                result = self._operation(result, self._values[right])
+            left //= 2
+            right //= 2
+        return result
+
+
+class SumSegmentTree(SegmentTree):
+    def __init__(self, capacity: int):
+        super().__init__(capacity, operator.add, 0.0)
+
+    def sum(self, start: int = 0, end: int | None = None) -> float:
+        return self.reduce(start, end)
+
+    def find_prefixsum_index(self, prefixsum: float) -> int:
+        """Smallest i such that sum(values[0..i]) > prefixsum.
+
+        Used for inverse-CDF sampling proportional to priorities.
+        """
+        if not 0 <= prefixsum <= self.sum() + 1e-5:
+            raise ValueError(f"prefixsum {prefixsum} out of range [0, {self.sum()}]")
+        node = 1
+        while node < self.capacity:
+            left = 2 * node
+            if self._values[left] > prefixsum:
+                node = left
+            else:
+                prefixsum -= self._values[left]
+                node = left + 1
+        return node - self.capacity
+
+
+class MinSegmentTree(SegmentTree):
+    def __init__(self, capacity: int):
+        super().__init__(capacity, min, float("inf"))
+
+    def min(self, start: int = 0, end: int | None = None) -> float:
+        return self.reduce(start, end)

@@ -1,0 +1,60 @@
+"""Uniform experience replay.
+
+In XingTian the replay buffer lives *inside the trainer thread of the
+learner process* (§3.2.1), so sampling never crosses a process boundary —
+one of the paper's explicit design decisions (quantified in Fig. 9).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+
+class ReplayBuffer:
+    """A ring buffer of rollout-step dicts with uniform sampling."""
+
+    def __init__(self, capacity: int, seed: Optional[int] = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._storage: List[Dict[str, Any]] = []
+        self._next_index = 0
+        self._rng = np.random.default_rng(seed)
+        self.total_added = 0
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    def add(self, step: Dict[str, Any]) -> None:
+        """Insert one rollout step, evicting the oldest when full."""
+        if self._next_index >= len(self._storage):
+            self._storage.append(step)
+        else:
+            self._storage[self._next_index] = step
+        self._next_index = (self._next_index + 1) % self.capacity
+        self.total_added += 1
+
+    def add_rollout(self, rollout: Dict[str, np.ndarray]) -> int:
+        """Insert every step of a stacked-rollout dict; returns count added."""
+        if not rollout:
+            return 0
+        length = len(next(iter(rollout.values())))
+        for index in range(length):
+            self.add({key: value[index] for key, value in rollout.items()})
+        return length
+
+    def sample(self, batch_size: int) -> Dict[str, np.ndarray]:
+        """Uniformly sample a batch, stacked per field."""
+        if not self._storage:
+            raise ValueError("cannot sample from an empty replay buffer")
+        indices = self._rng.integers(len(self._storage), size=batch_size)
+        return self._gather(indices)
+
+    def _gather(self, indices: np.ndarray) -> Dict[str, np.ndarray]:
+        batch: Dict[str, np.ndarray] = {}
+        first = self._storage[int(indices[0])]
+        for key in first:
+            batch[key] = np.asarray([self._storage[int(i)][key] for i in indices])
+        return batch

@@ -1,0 +1,99 @@
+"""One-call run API: build a cluster from a config, run it, return results.
+
+``XingTianSession`` is what the examples and benchmarks use::
+
+    config = single_machine_config("ppo", "CartPole", "actor_critic",
+                                   explorers=4,
+                                   stop=StopCondition(total_trained_steps=20_000))
+    result = XingTianSession(config).run()
+    print(result.throughput_steps_per_s, result.average_return)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .cluster import Cluster, build_cluster
+from .core.config import XingTianConfig
+from . import algorithms as _algorithms  # noqa: F401 - populate the registry
+from . import envs as _envs  # noqa: F401 - populate the registry
+
+
+@dataclass
+class RunResult:
+    """Everything the paper's figures need from one run."""
+
+    elapsed_s: float
+    shutdown_reason: str
+    total_env_steps: int
+    total_trained_steps: int
+    train_sessions: int
+    average_return: Optional[float]
+    episode_count: int
+    returns: List[float] = field(default_factory=list)
+    #: learner-consumed rollout steps/s — the paper's throughput metric
+    throughput_steps_per_s: float = 0.0
+    #: (t, steps/s) series for throughput-over-time plots (Figs. 8-10a)
+    throughput_series: List[Tuple[float, float]] = field(default_factory=list)
+    #: trainer blocked-on-data time stats (Figs. 8-10b, 8c)
+    mean_wait_s: float = 0.0
+    wait_cdf: List[Tuple[float, float]] = field(default_factory=list)
+    mean_train_s: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+class XingTianSession:
+    """Owns a cluster for the duration of one run."""
+
+    def __init__(self, config: XingTianConfig):
+        config.validate()
+        self.config = config
+        self.cluster: Optional[Cluster] = None
+
+    def run(self, poll_interval: float = 0.05) -> RunResult:
+        """Start the deployment, wait for the stop condition, tear down."""
+        cluster = build_cluster(self.config)
+        self.cluster = cluster
+        started = time.monotonic()
+        cluster.start()
+        try:
+            while True:
+                reason = cluster.center.should_stop()
+                if reason is not None:
+                    cluster.center.shutdown_reason = reason
+                    break
+                cluster.raise_worker_errors()
+                time.sleep(poll_interval)
+        finally:
+            elapsed = time.monotonic() - started
+            result = self._collect(cluster, elapsed)
+            cluster.stop()
+            cluster.raise_worker_errors()
+        return result
+
+    def _collect(self, cluster: Cluster, elapsed: float) -> RunResult:
+        learner = cluster.learner
+        collector = cluster.center.collector
+        meter = learner.consumed_meter
+        return RunResult(
+            elapsed_s=elapsed,
+            shutdown_reason=cluster.center.shutdown_reason or "",
+            total_env_steps=collector.total_env_steps,
+            total_trained_steps=int(meter.total),
+            train_sessions=learner.train_sessions,
+            average_return=collector.average_return(),
+            episode_count=collector.episode_count(),
+            returns=collector.returns(),
+            throughput_steps_per_s=meter.total / max(elapsed, 1e-9),
+            throughput_series=meter.series(bucket=1.0),
+            mean_wait_s=learner.wait_recorder.mean(),
+            wait_cdf=learner.wait_recorder.cdf(),
+            mean_train_s=learner.train_recorder.mean(),
+        )
+
+
+def run_config(config: XingTianConfig) -> RunResult:
+    """Convenience wrapper: build, run, and tear down in one call."""
+    return XingTianSession(config).run()

@@ -1,0 +1,6 @@
+"""Transport substrate: thread channels, throttled links, broker fabrics."""
+
+from .link import DirectLink, Link, ThrottledLink
+from .fabric import Fabric
+
+__all__ = ["Link", "DirectLink", "ThrottledLink", "Fabric"]

@@ -1,0 +1,105 @@
+"""Fabrics connecting brokers (data) and controllers (commands) (§3.2.2).
+
+A :class:`Fabric` is a set of named nodes with point-to-point links between
+them.  XingTian creates two fabrics: a fully-connected control fabric among
+controllers, and a data fabric among brokers where the learner's machine is
+the center for data transmission.  Links may be throttled to model NICs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .link import DirectLink, Link, ThrottledLink
+
+
+class Fabric:
+    """Named nodes + directed links with per-pair bandwidth/latency.
+
+    Nodes register a delivery callback; ``connect`` wires a directed link.
+    ``send(src, dst, item, nbytes)`` pushes through the (src, dst) link,
+    creating a :class:`DirectLink` lazily if none was configured — so
+    single-machine deployments need no explicit wiring.
+    """
+
+    def __init__(self, name: str = "fabric"):
+        self.name = name
+        self._handlers: Dict[str, Callable[[Any], None]] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._lock = threading.Lock()
+
+    def register(self, node: str, handler: Callable[[Any], None]) -> None:
+        with self._lock:
+            self._handlers[node] = handler
+
+    def unregister(self, node: str) -> None:
+        with self._lock:
+            self._handlers.pop(node, None)
+
+    def connect(
+        self,
+        src: str,
+        dst: str,
+        *,
+        bandwidth: Optional[float] = None,
+        latency: float = 0.0,
+    ) -> Link:
+        """Create the src→dst link.
+
+        With ``bandwidth=None`` the link is direct (same-machine); otherwise
+        a :class:`ThrottledLink` models a NIC at that bandwidth (bytes/s).
+        """
+        with self._lock:
+            handler = self._handlers.get(dst)
+            if handler is None:
+                raise KeyError(f"fabric {self.name!r}: unknown node {dst!r}")
+            if bandwidth is None:
+                link: Link = DirectLink(handler)
+            else:
+                link = ThrottledLink(
+                    handler,
+                    bandwidth=bandwidth,
+                    latency=latency,
+                    name=f"{self.name}:{src}->{dst}",
+                )
+            self._links[(src, dst)] = link
+            return link
+
+    def connect_bidirectional(
+        self,
+        a: str,
+        b: str,
+        *,
+        bandwidth: Optional[float] = None,
+        latency: float = 0.0,
+    ) -> None:
+        self.connect(a, b, bandwidth=bandwidth, latency=latency)
+        self.connect(b, a, bandwidth=bandwidth, latency=latency)
+
+    def send(self, src: str, dst: str, item: Any, nbytes: int = 0) -> None:
+        with self._lock:
+            link = self._links.get((src, dst))
+            if link is None:
+                handler = self._handlers.get(dst)
+                if handler is None:
+                    raise KeyError(f"fabric {self.name!r}: unknown node {dst!r}")
+                link = DirectLink(handler)
+                self._links[(src, dst)] = link
+        link.send(item, nbytes)
+
+    def nodes(self) -> Dict[str, Callable[[Any], None]]:
+        with self._lock:
+            return dict(self._handlers)
+
+    def link(self, src: str, dst: str) -> Optional[Link]:
+        with self._lock:
+            return self._links.get((src, dst))
+
+    def close(self) -> None:
+        with self._lock:
+            links = list(self._links.values())
+            self._links.clear()
+            self._handlers.clear()
+        for link in links:
+            link.close()

@@ -1,0 +1,117 @@
+"""Point-to-point links between machines.
+
+The paper's multi-machine experiments are bounded by a 1 GbE NIC measured at
+118.04 MB/s (Fig. 5).  We model a NIC as a serial resource: one worker drains
+an inbox, charging ``nbytes / bandwidth`` of real time per item plus a fixed
+one-way latency, then delivers to the peer's inbox.  Intra-machine transfers
+use :class:`DirectLink` (no throttling), so the "intra-machine transfer is
+shadowed by inter-machine transfer" effect emerges naturally.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Callable, Optional
+
+
+class Link:
+    """One-directional link interface carrying (item, nbytes) pairs."""
+
+    def send(self, item: Any, nbytes: int = 0) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class DirectLink(Link):
+    """Unthrottled link: delivers synchronously to a callback."""
+
+    def __init__(self, deliver: Callable[[Any], None]):
+        self._deliver = deliver
+        self._closed = False
+        self.bytes_sent = 0
+        self.items_sent = 0
+
+    def send(self, item: Any, nbytes: int = 0) -> None:
+        if self._closed:
+            return
+        self.bytes_sent += nbytes
+        self.items_sent += 1
+        self._deliver(item)
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class ThrottledLink(Link):
+    """Bandwidth- and latency-modelled link (a simulated NIC).
+
+    ``bandwidth`` is in bytes/second; ``latency`` is the one-way propagation
+    delay in seconds.  Sends enqueue immediately (the sender does not block),
+    a single worker thread serializes wire occupancy — concurrent senders
+    share the NIC and queue behind each other, exactly the bottleneck the
+    two-machine experiments exercise.
+    """
+
+    def __init__(
+        self,
+        deliver: Callable[[Any], None],
+        *,
+        bandwidth: float = 118.04e6,
+        latency: float = 0.0002,
+        name: str = "link",
+    ):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.name = name
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self._deliver = deliver
+        self._inbox: "queue.Queue[Optional[Tuple[Any, int]]]" = queue.Queue()
+        self._closed = threading.Event()
+        self.bytes_sent = 0
+        self.items_sent = 0
+        self._worker = threading.Thread(target=self._run, name=f"{name}-nic", daemon=True)
+        self._worker.start()
+
+    def send(self, item: Any, nbytes: int = 0) -> None:
+        if self._closed.is_set():
+            return
+        self._inbox.put((item, max(0, int(nbytes))))
+
+    def _run(self) -> None:
+        while True:
+            entry = self._inbox.get()
+            if entry is None:
+                return
+            item, nbytes = entry
+            # Wire occupancy: the NIC is busy for nbytes/bandwidth seconds.
+            busy = nbytes / self.bandwidth
+            if busy > 0:
+                time.sleep(busy)
+            if self.latency > 0:
+                time.sleep(self.latency)
+            self.bytes_sent += nbytes
+            self.items_sent += 1
+            if not self._closed.is_set():
+                try:
+                    self._deliver(item)
+                except Exception:
+                    # A dying peer must not kill the NIC worker.
+                    pass
+
+    def pending(self) -> int:
+        return self._inbox.qsize()
+
+    def close(self) -> None:
+        if not self._closed.is_set():
+            self._closed.set()
+            self._inbox.put(None)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._worker.join(timeout=timeout)

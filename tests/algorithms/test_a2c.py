@@ -1,0 +1,129 @@
+"""Tests for the A2C family."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.a2c import A2CAgent, A2CAlgorithm
+from repro.algorithms.ppo.model import ActorCriticModel
+from repro.envs.cartpole import CartPoleEnv
+from repro.nn import losses
+
+MODEL_CONFIG = {"obs_dim": 4, "num_actions": 2, "hidden_sizes": [16], "seed": 0}
+
+
+def _algorithm(num_explorers=1, **overrides):
+    config = {"num_explorers": num_explorers, "seed": 0}
+    config.update(overrides)
+    return A2CAlgorithm(ActorCriticModel(dict(MODEL_CONFIG)), config)
+
+
+def _fragment(steps=16, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "obs": rng.normal(size=(steps, 4)),
+        "action": rng.integers(2, size=steps),
+        "reward": rng.normal(size=steps),
+        "next_obs": rng.normal(size=(steps, 4)),
+        "done": np.zeros(steps, dtype=bool),
+    }
+
+
+class TestA2CAlgorithm:
+    def test_on_policy_lockstep_flags(self):
+        algorithm = _algorithm()
+        assert algorithm.on_policy
+        assert algorithm.broadcast_mode == "all"
+        assert algorithm.broadcast_every == 1
+
+    def test_ready_when_round_complete(self):
+        algorithm = _algorithm(num_explorers=2)
+        algorithm.prepare_data(_fragment(), source="e0")
+        assert not algorithm.ready_to_train()
+        algorithm.prepare_data(_fragment(seed=1), source="e1")
+        assert algorithm.ready_to_train()
+
+    def test_train_consumes_round(self):
+        algorithm = _algorithm(num_explorers=2)
+        algorithm.prepare_data(_fragment(), source="e0")
+        algorithm.prepare_data(_fragment(seed=1), source="e1")
+        metrics = algorithm.train()
+        assert metrics["trained_steps"] == 32
+        assert not algorithm.ready_to_train()
+        assert algorithm.staged_steps() == 0
+
+    def test_metrics_finite(self):
+        algorithm = _algorithm()
+        algorithm.prepare_data(_fragment(), source="e0")
+        metrics = algorithm.train()
+        for key in ("policy_loss", "value_loss", "entropy"):
+            assert np.isfinite(metrics[key])
+
+    def test_single_gradient_step_per_round(self):
+        """Unlike PPO there is no epoch reuse: weights move once per round."""
+        algorithm = _algorithm()
+        algorithm.prepare_data(_fragment(), source="e0")
+        before = [w.copy() for w in algorithm.get_weights()]
+        algorithm.train()
+        after = algorithm.get_weights()
+        assert any(not np.allclose(a, b) for a, b in zip(before, after))
+        assert algorithm.train_count == 1
+
+    def test_policy_improves_on_bandit(self):
+        algorithm = _algorithm(lr=0.02, entropy_coef=0.0)
+        model = algorithm.model
+        rng = np.random.default_rng(0)
+        obs = np.zeros((64, 4))
+
+        def make_batch():
+            logits = model.policy.forward(obs)
+            actions = losses.categorical_sample(logits, rng)
+            return {
+                "obs": obs,
+                "action": actions,
+                "reward": (actions == 1).astype(np.float64),
+                "next_obs": obs,
+                "done": np.ones(64, dtype=bool),
+            }
+
+        prob_before = losses.softmax(model.policy.forward(np.zeros((1, 4))))[0, 1]
+        for _ in range(30):
+            algorithm.prepare_data(make_batch(), source="e0")
+            algorithm.train()
+        prob_after = losses.softmax(model.policy.forward(np.zeros((1, 4))))[0, 1]
+        assert prob_after > prob_before
+
+    def test_bootstrap_respects_done(self):
+        algorithm = _algorithm()
+        fragment = _fragment()
+        fragment["done"][-1] = True
+        assert algorithm._bootstrap_value(fragment) == 0.0
+
+
+class TestA2CAgent:
+    def test_no_extras_recorded(self):
+        agent = A2CAgent(_algorithm(), CartPoleEnv({"seed": 0}), {"seed": 0})
+        action, extras = agent.infer_action(np.zeros(4, dtype=np.float32))
+        assert action in (0, 1)
+        assert extras == {}
+
+    def test_fragment_fields(self):
+        agent = A2CAgent(_algorithm(), CartPoleEnv({"seed": 0}), {"seed": 0})
+        rollout, _ = agent.run_fragment(8)
+        assert set(rollout) == {"obs", "action", "reward", "next_obs", "done"}
+
+
+class TestA2CEndToEnd:
+    def test_full_session(self):
+        from repro import StopCondition, run_config, single_machine_config
+
+        result = run_config(
+            single_machine_config(
+                "a2c", "CartPole", "actor_critic",
+                explorers=2, fragment_steps=64,
+                algorithm_config={"lr": 1e-3},
+                stop=StopCondition(total_trained_steps=2000, max_seconds=30),
+                seed=0,
+            )
+        )
+        assert result.total_trained_steps >= 2000
+        assert result.train_sessions >= 10

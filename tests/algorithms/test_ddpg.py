@@ -1,0 +1,150 @@
+"""Tests for the DDPG family."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.ddpg import DDPGAgent, DDPGAlgorithm, DDPGModel
+from repro.envs.pendulum import PendulumEnv
+
+MODEL_CONFIG = {
+    "obs_dim": 3,
+    "action_dim": 1,
+    "action_bound": 2.0,
+    "hidden_sizes": [16],
+    "seed": 0,
+}
+
+
+def _algorithm(**overrides):
+    config = {
+        "buffer_size": 1000,
+        "learn_start": 10,
+        "train_every": 1,
+        "batch_size": 8,
+        "seed": 0,
+    }
+    config.update(overrides)
+    return DDPGAlgorithm(DDPGModel(dict(MODEL_CONFIG)), config)
+
+
+def _rollout(steps, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "obs": rng.normal(size=(steps, 3)),
+        "action": rng.uniform(-2, 2, size=(steps, 1)),
+        "reward": rng.normal(size=steps),
+        "next_obs": rng.normal(size=(steps, 3)),
+        "done": np.zeros(steps, dtype=bool),
+    }
+
+
+class TestDDPGModel:
+    def test_actions_bounded(self):
+        model = DDPGModel(dict(MODEL_CONFIG))
+        actions = model.forward(np.random.default_rng(0).normal(size=(20, 3)) * 10)
+        assert np.all(np.abs(actions) <= 2.0)
+
+    def test_q_value_shape(self):
+        model = DDPGModel(dict(MODEL_CONFIG))
+        q = model.q_value(np.zeros((4, 3)), np.zeros((4, 1)))
+        assert q.shape == (4,)
+
+    def test_weights_roundtrip(self):
+        model_a = DDPGModel(dict(MODEL_CONFIG, seed=1))
+        model_b = DDPGModel(dict(MODEL_CONFIG, seed=2))
+        model_b.set_weights(model_a.get_weights())
+        x = np.random.default_rng(0).normal(size=(3, 3))
+        assert np.allclose(model_a.forward(x), model_b.forward(x))
+
+
+class TestDDPGAlgorithm:
+    def test_readiness_gating(self):
+        algorithm = _algorithm(learn_start=20)
+        algorithm.prepare_data(_rollout(10))
+        assert not algorithm.ready_to_train()
+        algorithm.prepare_data(_rollout(10, seed=1))
+        assert algorithm.ready_to_train()
+
+    def test_train_updates_actor_and_critic(self):
+        algorithm = _algorithm()
+        algorithm.prepare_data(_rollout(30))
+        actor_before = [w.copy() for w in algorithm.model.actor.get_weights()]
+        critic_before = [w.copy() for w in algorithm.model.critic.get_weights()]
+        algorithm.train()
+        assert any(
+            not np.allclose(a, b)
+            for a, b in zip(actor_before, algorithm.model.actor.get_weights())
+        )
+        assert any(
+            not np.allclose(a, b)
+            for a, b in zip(critic_before, algorithm.model.critic.get_weights())
+        )
+
+    def test_polyak_moves_targets_slowly(self):
+        algorithm = _algorithm(tau=0.1)
+        algorithm.prepare_data(_rollout(30))
+        target_before = [w.copy() for w in algorithm._target_weights]
+        algorithm.train()
+        live = algorithm.get_weights()
+        for target_old, target_new, current in zip(
+            target_before, algorithm._target_weights, live
+        ):
+            expected = 0.9 * target_old + 0.1 * current
+            assert np.allclose(target_new, expected)
+
+    def test_metrics_finite(self):
+        algorithm = _algorithm()
+        algorithm.prepare_data(_rollout(30))
+        metrics = algorithm.train()
+        assert np.isfinite(metrics["critic_loss"])
+        assert np.isfinite(metrics["mean_q"])
+
+    def test_critic_fits_fixed_targets(self):
+        """Critic loss should drop when training repeatedly on stable data."""
+        algorithm = _algorithm(batch_size=32, critic_lr=1e-2, tau=0.0)
+        algorithm.prepare_data(_rollout(200, seed=5))
+        first = algorithm.train()["critic_loss"]
+        for _ in range(50):
+            algorithm._pending_inserts += 1
+            last = algorithm.train()["critic_loss"]
+        assert last < first
+
+
+class TestDDPGAgent:
+    def test_warmup_actions_random_within_bounds(self):
+        agent = DDPGAgent(
+            _algorithm(), PendulumEnv({"seed": 0}), {"warmup_steps": 100, "seed": 0}
+        )
+        action, _ = agent.infer_action(np.zeros(3, dtype=np.float32))
+        assert agent.environment.action_space.contains(
+            np.asarray(action, dtype=np.float32)
+        )
+
+    def test_post_warmup_uses_actor_plus_noise(self):
+        agent = DDPGAgent(
+            _algorithm(),
+            PendulumEnv({"seed": 0}),
+            {"warmup_steps": 0, "noise_scale": 0.0, "seed": 0},
+        )
+        obs = np.zeros(3)
+        action, _ = agent.infer_action(obs)
+        expected = agent.algorithm.model.forward(obs[None].astype(np.float64))[0]
+        assert np.allclose(action, expected)
+
+    def test_noise_clipped_to_space(self):
+        agent = DDPGAgent(
+            _algorithm(),
+            PendulumEnv({"seed": 0}),
+            {"warmup_steps": 0, "noise_scale": 10.0, "seed": 0},
+        )
+        for _ in range(20):
+            action, _ = agent.infer_action(np.zeros(3))
+            assert np.all(action <= 2.0) and np.all(action >= -2.0)
+
+    def test_full_fragment_on_pendulum(self):
+        agent = DDPGAgent(
+            _algorithm(), PendulumEnv({"seed": 0}), {"warmup_steps": 5, "seed": 0}
+        )
+        rollout, _ = agent.run_fragment(30)
+        assert rollout["obs"].shape == (30, 3)
+        assert rollout["action"].shape == (30, 1)

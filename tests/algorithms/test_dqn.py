@@ -1,0 +1,189 @@
+"""Tests for the DQN family."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dqn import DQNAgent, DQNAlgorithm, QNetworkModel
+from repro.core.errors import CheckpointError
+from repro.envs.cartpole import CartPoleEnv
+
+MODEL_CONFIG = {"obs_dim": 4, "num_actions": 2, "hidden_sizes": [16], "seed": 0}
+
+
+def _algorithm(**overrides):
+    config = {
+        "buffer_size": 1000,
+        "learn_start": 10,
+        "train_every": 4,
+        "batch_size": 8,
+        "seed": 0,
+    }
+    config.update(overrides)
+    return DQNAlgorithm(QNetworkModel(dict(MODEL_CONFIG)), config)
+
+
+def _rollout(steps, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "obs": rng.normal(size=(steps, 4)),
+        "action": rng.integers(2, size=steps),
+        "reward": rng.normal(size=steps),
+        "next_obs": rng.normal(size=(steps, 4)),
+        "done": np.zeros(steps, dtype=bool),
+    }
+
+
+class TestQNetworkModel:
+    def test_forward_shape(self):
+        model = QNetworkModel(dict(MODEL_CONFIG))
+        q = model.forward(np.zeros((3, 4)))
+        assert q.shape == (3, 2)
+
+    def test_weights_roundtrip(self):
+        model_a = QNetworkModel(dict(MODEL_CONFIG, seed=1))
+        model_b = QNetworkModel(dict(MODEL_CONFIG, seed=2))
+        model_b.set_weights(model_a.get_weights())
+        x = np.random.default_rng(0).normal(size=(5, 4))
+        assert np.allclose(model_a.forward(x), model_b.forward(x))
+
+    def test_param_counts(self):
+        model = QNetworkModel(dict(MODEL_CONFIG))
+        assert model.num_parameters() == 4 * 16 + 16 + 16 * 2 + 2
+        assert model.weights_nbytes() == model.num_parameters() * 8
+
+
+class TestDQNAlgorithm:
+    def test_not_ready_before_learn_start(self):
+        algorithm = _algorithm(learn_start=100)
+        algorithm.prepare_data(_rollout(50))
+        assert not algorithm.ready_to_train()
+
+    def test_ready_after_learn_start_and_new_inserts(self):
+        algorithm = _algorithm(learn_start=10, train_every=4)
+        algorithm.prepare_data(_rollout(12))
+        assert algorithm.ready_to_train()
+
+    def test_train_consumes_pending_budget(self):
+        algorithm = _algorithm(learn_start=10, train_every=4)
+        algorithm.prepare_data(_rollout(12))
+        sessions = 0
+        while algorithm.ready_to_train():
+            algorithm.train()
+            sessions += 1
+        assert sessions == 3  # 12 inserts / train_every 4
+
+    def test_train_returns_metrics(self):
+        algorithm = _algorithm()
+        algorithm.prepare_data(_rollout(20))
+        metrics = algorithm.train()
+        assert "loss" in metrics
+        assert metrics["trained_steps"] == 8
+
+    def test_training_changes_weights(self):
+        algorithm = _algorithm()
+        algorithm.prepare_data(_rollout(20))
+        before = [w.copy() for w in algorithm.get_weights()]
+        algorithm.train()
+        after = algorithm.get_weights()
+        assert any(not np.allclose(b, a) for b, a in zip(before, after))
+
+    def test_target_network_updates_periodically(self):
+        algorithm = _algorithm(target_update_every=2, train_every=1)
+        algorithm.prepare_data(_rollout(40))
+        target_before = [w.copy() for w in algorithm._target_weights]
+        algorithm.train()  # session 1: no target sync
+        assert all(
+            np.allclose(a, b)
+            for a, b in zip(algorithm._target_weights, target_before)
+        )
+        algorithm.train()  # session 2: target sync
+        assert any(
+            not np.allclose(a, b)
+            for a, b in zip(algorithm._target_weights, target_before)
+        )
+
+    def test_learning_reduces_td_loss_on_fixed_problem(self):
+        algorithm = _algorithm(train_every=1, batch_size=32, lr=1e-2)
+        algorithm.prepare_data(_rollout(200, seed=3))
+        first = algorithm.train()["loss"]
+        for _ in range(60):
+            algorithm._pending_inserts += 1
+            last = algorithm.train()["loss"]
+        assert last < first
+
+    def test_prioritized_variant(self):
+        algorithm = _algorithm(prioritized=True, train_every=1)
+        algorithm.prepare_data(_rollout(20))
+        metrics = algorithm.train()
+        assert np.isfinite(metrics["loss"])
+
+    def test_broadcast_schedule(self):
+        algorithm = _algorithm(broadcast_every=3, train_every=1)
+        algorithm.prepare_data(_rollout(20))
+        flags = []
+        for _ in range(6):
+            algorithm.train()
+            flags.append(algorithm.should_broadcast())
+        assert flags == [False, False, True, False, False, True]
+
+    def test_checkpoint_roundtrip(self, tmp_path):
+        algorithm = _algorithm()
+        algorithm.prepare_data(_rollout(20))
+        algorithm.train()
+        path = os.path.join(tmp_path, "ckpt.pkl")
+        algorithm.save_checkpoint(path)
+        restored = _algorithm()
+        restored.restore_checkpoint(path)
+        assert restored.train_count == algorithm.train_count
+        for a, b in zip(restored.get_weights(), algorithm.get_weights()):
+            assert np.allclose(a, b)
+
+    def test_restore_missing_checkpoint_raises(self):
+        with pytest.raises(CheckpointError):
+            _algorithm().restore_checkpoint("/nonexistent/ckpt.pkl")
+
+
+class TestDQNAgent:
+    def test_epsilon_decays_linearly(self):
+        agent = DQNAgent(
+            _algorithm(),
+            CartPoleEnv({"seed": 0}),
+            {"epsilon_start": 1.0, "epsilon_end": 0.1, "epsilon_decay_steps": 100},
+        )
+        assert agent.epsilon() == 1.0
+        agent.total_steps = 50
+        assert agent.epsilon() == pytest.approx(0.55)
+        agent.total_steps = 1000
+        assert agent.epsilon() == pytest.approx(0.1)
+
+    def test_greedy_action_matches_argmax(self):
+        agent = DQNAgent(
+            _algorithm(),
+            CartPoleEnv({"seed": 0}),
+            {"epsilon_start": 0.0, "epsilon_end": 0.0, "seed": 0},
+        )
+        obs = np.zeros(4, dtype=np.float32)
+        action, extras = agent.infer_action(obs)
+        q = agent.algorithm.predict(obs[None].astype(np.float64))
+        assert action == int(q.argmax())
+        assert extras == {}
+
+    def test_run_fragment_produces_rollout(self):
+        agent = DQNAgent(_algorithm(), CartPoleEnv({"seed": 0}), {"seed": 0})
+        rollout, returns = agent.run_fragment(25)
+        assert rollout["obs"].shape == (25, 4)
+        assert rollout["action"].shape == (25,)
+        assert rollout["done"].dtype == bool
+        assert agent.total_steps == 25
+
+    def test_episode_returns_collected(self):
+        agent = DQNAgent(
+            _algorithm(),
+            CartPoleEnv({"seed": 0, "max_episode_steps": 10}),
+            {"epsilon_start": 1.0, "seed": 0},
+        )
+        _, returns = agent.run_fragment(50)
+        assert len(returns) >= 3
+        assert all(r > 0 for r in returns)

@@ -1,0 +1,92 @@
+"""Tests for generalized advantage estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.ppo.gae import generalized_advantage_estimation
+from repro.algorithms.rollout import discounted_returns
+
+
+class TestGAE:
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            generalized_advantage_estimation(
+                np.zeros(3), np.zeros(2), np.zeros(3), 0.0
+            )
+
+    def test_lambda_zero_is_td_error(self):
+        rewards = np.array([1.0, 2.0])
+        values = np.array([0.5, 0.7])
+        dones = np.zeros(2)
+        advantages, _ = generalized_advantage_estimation(
+            rewards, values, dones, bootstrap_value=0.3, gamma=0.9, lam=0.0
+        )
+        assert advantages[0] == pytest.approx(1.0 + 0.9 * 0.7 - 0.5)
+        assert advantages[1] == pytest.approx(2.0 + 0.9 * 0.3 - 0.7)
+
+    def test_lambda_one_is_discounted_return_minus_value(self):
+        rng = np.random.default_rng(0)
+        rewards = rng.normal(size=6)
+        values = rng.normal(size=6)
+        dones = np.zeros(6)
+        bootstrap = 1.5
+        advantages, _ = generalized_advantage_estimation(
+            rewards, values, dones, bootstrap, gamma=0.95, lam=1.0
+        )
+        returns = discounted_returns(rewards, dones, 0.95, bootstrap=bootstrap)
+        assert np.allclose(advantages, returns - values)
+
+    def test_value_targets_are_advantage_plus_value(self, rng):
+        rewards = rng.normal(size=5)
+        values = rng.normal(size=5)
+        advantages, targets = generalized_advantage_estimation(
+            rewards, values, np.zeros(5), 0.0
+        )
+        assert np.allclose(targets, advantages + values)
+
+    def test_done_blocks_bootstrap(self):
+        rewards = np.array([1.0])
+        values = np.array([0.0])
+        dones = np.array([1.0])
+        advantages, _ = generalized_advantage_estimation(
+            rewards, values, dones, bootstrap_value=100.0, gamma=0.9, lam=0.95
+        )
+        assert advantages[0] == pytest.approx(1.0)
+
+    def test_done_resets_accumulation(self):
+        rewards = np.array([0.0, 10.0])
+        values = np.zeros(2)
+        dones = np.array([1.0, 0.0])
+        advantages, _ = generalized_advantage_estimation(
+            rewards, values, dones, 0.0, gamma=0.9, lam=0.9
+        )
+        # Step 0 sees nothing from step 1 because its episode ended.
+        assert advantages[0] == pytest.approx(0.0)
+
+    def test_perfect_value_function_gives_zero_advantage(self):
+        """If V exactly equals the discounted return, advantages vanish."""
+        gamma = 0.9
+        rewards = np.array([1.0, 1.0, 1.0])
+        dones = np.array([0.0, 0.0, 1.0])
+        values = discounted_returns(rewards, dones, gamma)
+        advantages, _ = generalized_advantage_estimation(
+            rewards, values, dones, 0.0, gamma=gamma, lam=0.7
+        )
+        assert np.allclose(advantages, 0.0, atol=1e-12)
+
+    @given(
+        st.lists(st.floats(min_value=-3, max_value=3), min_size=1, max_size=12),
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=0, max_value=1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_targets_consistent(self, rewards, gamma, lam):
+        rewards = np.asarray(rewards)
+        values = np.zeros(len(rewards))
+        advantages, targets = generalized_advantage_estimation(
+            rewards, values, np.zeros(len(rewards)), 0.0, gamma=gamma, lam=lam
+        )
+        assert np.allclose(targets, advantages)
+        assert np.all(np.isfinite(advantages))

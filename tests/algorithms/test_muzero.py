@@ -1,0 +1,274 @@
+"""Tests for MuZero: model, MCTS, unrolled training."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.muzero import (
+    MCTS,
+    MuZeroAgent,
+    MuZeroAlgorithm,
+    MuZeroModel,
+)
+from repro.envs.cartpole import CartPoleEnv
+
+MODEL_CONFIG = {
+    "obs_dim": 4,
+    "num_actions": 2,
+    "latent_dim": 8,
+    "hidden_sizes": [16],
+    "seed": 0,
+}
+
+
+def _model(**overrides):
+    return MuZeroModel({**MODEL_CONFIG, **overrides})
+
+
+def _algorithm(**overrides):
+    config = {
+        "unroll_steps": 2,
+        "td_steps": 4,
+        "batch_size": 8,
+        "learn_start": 8,
+        "train_every": 4,
+        "seed": 0,
+    }
+    config.update(overrides)
+    return MuZeroAlgorithm(_model(), config)
+
+
+def _rollout(steps=16, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "obs": rng.normal(size=(steps, 4)),
+        "action": rng.integers(2, size=steps),
+        "reward": rng.normal(size=steps),
+        "next_obs": rng.normal(size=(steps, 4)),
+        "done": np.zeros(steps, dtype=bool),
+        "mcts_policy": np.full((steps, 2), 0.5),
+        "root_value": rng.normal(size=steps),
+    }
+
+
+class TestMuZeroModel:
+    def test_represent_shape(self):
+        model = _model()
+        latents = model.represent(np.zeros((3, 4)))
+        assert latents.shape == (3, 8)
+
+    def test_predict_latent_shapes(self):
+        model = _model()
+        logits, values = model.predict_latent(np.zeros((5, 8)))
+        assert logits.shape == (5, 2)
+        assert values.shape == (5,)
+
+    def test_step_latent_shapes(self):
+        model = _model()
+        next_latents, rewards = model.step_latent(np.zeros((4, 8)), np.array([0, 1, 0, 1]))
+        assert next_latents.shape == (4, 8)
+        assert rewards.shape == (4,)
+
+    def test_dynamics_input_one_hot(self):
+        model = _model()
+        inputs = model.dynamics_input(np.zeros((2, 8)), np.array([1, 0]))
+        assert inputs.shape == (2, 10)
+        assert inputs[0, 8 + 1] == 1.0 and inputs[0, 8] == 0.0
+        assert inputs[1, 8] == 1.0 and inputs[1, 8 + 1] == 0.0
+
+    def test_weights_roundtrip(self):
+        model_a = _model(seed=1)
+        model_b = _model(seed=2)
+        model_b.set_weights(model_a.get_weights())
+        obs = np.random.default_rng(0).normal(size=(3, 4))
+        latents_a, logits_a, values_a = model_a.forward(obs)
+        latents_b, logits_b, values_b = model_b.forward(obs)
+        assert np.allclose(latents_a, latents_b)
+        assert np.allclose(logits_a, logits_b)
+        assert np.allclose(values_a, values_b)
+
+    def test_dynamics_depends_on_action(self):
+        model = _model()
+        latent = np.random.default_rng(0).normal(size=(1, 8))
+        next_0, _ = model.step_latent(latent, np.array([0]))
+        next_1, _ = model.step_latent(latent, np.array([1]))
+        assert not np.allclose(next_0, next_1)
+
+
+class TestMCTS:
+    def test_policy_is_distribution(self):
+        mcts = MCTS(_model(), num_simulations=8, rng=np.random.default_rng(0))
+        policy, value = mcts.run(np.zeros(4))
+        assert policy.shape == (2,)
+        assert policy.sum() == pytest.approx(1.0)
+        assert np.all(policy >= 0)
+        assert np.isfinite(value)
+
+    def test_simulation_budget_spent(self):
+        mcts = MCTS(_model(), num_simulations=10, rng=np.random.default_rng(0))
+        policy, _ = mcts.run(np.zeros(4))
+        # Total root visits equal the simulation count.
+        assert policy.sum() == pytest.approx(1.0)
+
+    def test_noise_disabled_is_deterministic(self):
+        model = _model()
+        policies = [
+            MCTS(model, num_simulations=8, rng=np.random.default_rng(i)).run(
+                np.zeros(4), add_noise=False
+            )[0]
+            for i in range(2)
+        ]
+        assert np.allclose(policies[0], policies[1])
+
+    def test_both_actions_explored(self):
+        """FPU keeps siblings alive: with enough sims no action starves."""
+        mcts = MCTS(_model(), num_simulations=24, rng=np.random.default_rng(0))
+        policy, _ = mcts.run(np.zeros(4))
+        assert np.all(policy > 0)
+
+    def test_strong_prior_attracts_visits(self):
+        model = _model()
+        # Force a hard prior toward action 0 through the prediction net.
+        policy_net = model.prediction
+        policy_net.layers[-1].bias[0] = 8.0
+        mcts = MCTS(model, num_simulations=16, rng=np.random.default_rng(0),
+                    exploration_fraction=0.0)
+        policy, _ = mcts.run(np.zeros(4))
+        assert policy[0] > policy[1]
+
+
+class TestMuZeroAlgorithm:
+    def test_windows_cut_from_rollouts(self):
+        algorithm = _algorithm()
+        algorithm.prepare_data(_rollout(16), source="e0")
+        # steps - K windows when no episode boundary interferes
+        assert len(algorithm._windows) == 16 - 2
+
+    def test_windows_do_not_cross_episode_boundaries(self):
+        algorithm = _algorithm()
+        rollout = _rollout(10)
+        rollout["done"][4] = True
+        algorithm.prepare_data(rollout, source="e0")
+        for window in algorithm._windows:
+            assert len(window["actions"]) == 2
+
+    def test_ready_gating(self):
+        algorithm = _algorithm(learn_start=20, train_every=4)
+        algorithm.prepare_data(_rollout(12), source="e0")  # 10 windows
+        assert not algorithm.ready_to_train()
+        algorithm.prepare_data(_rollout(14, seed=1), source="e0")
+        assert algorithm.ready_to_train()
+
+    def test_n_step_targets_match_naive(self):
+        algorithm = _algorithm(td_steps=2, gamma=0.5)
+        rewards = np.array([1.0, 2.0, 4.0])
+        dones = np.zeros(3)
+        root_values = np.array([10.0, 20.0, 40.0])
+        targets = algorithm._n_step_targets(rewards, dones, root_values)
+        # z_0 = r0 + 0.5 r1 + 0.25 * v2 ; z_1 = r1 + 0.5 r2 (no bootstrap: index 3 off the end)
+        assert targets[0] == pytest.approx(1.0 + 1.0 + 0.25 * 40.0)
+        assert targets[1] == pytest.approx(2.0 + 2.0)
+        assert targets[2] == pytest.approx(4.0)
+
+    def test_n_step_targets_respect_done(self):
+        algorithm = _algorithm(td_steps=3, gamma=1.0)
+        targets = algorithm._n_step_targets(
+            np.array([1.0, 5.0]), np.array([1.0, 0.0]), np.array([9.0, 9.0])
+        )
+        assert targets[0] == 1.0  # episode ended, no flow from step 1
+
+    def test_train_returns_finite_metrics(self):
+        algorithm = _algorithm()
+        algorithm.prepare_data(_rollout(24), source="e0")
+        metrics = algorithm.train()
+        for key in ("policy_loss", "value_loss", "reward_loss"):
+            assert np.isfinite(metrics[key])
+
+    def test_train_updates_all_three_networks(self):
+        algorithm = _algorithm()
+        algorithm.prepare_data(_rollout(24), source="e0")
+        model = algorithm.model
+        before = {
+            "repr": [w.copy() for w in model.representation.get_weights()],
+            "dyn": [w.copy() for w in model.dynamics.get_weights()],
+            "pred": [w.copy() for w in model.prediction.get_weights()],
+        }
+        algorithm.train()
+        assert any(
+            not np.allclose(a, b)
+            for a, b in zip(before["repr"], model.representation.get_weights())
+        )
+        assert any(
+            not np.allclose(a, b)
+            for a, b in zip(before["dyn"], model.dynamics.get_weights())
+        )
+        assert any(
+            not np.allclose(a, b)
+            for a, b in zip(before["pred"], model.prediction.get_weights())
+        )
+
+    def test_reward_model_fits_constant_rewards(self):
+        """Unrolled training drives the reward head toward observed rewards."""
+        algorithm = _algorithm(lr=5e-3, batch_size=16, train_every=1)
+        rollout = _rollout(40, seed=3)
+        rollout["reward"] = np.ones(40)
+        algorithm.prepare_data(rollout, source="e0")
+        first = algorithm.train()["reward_loss"]
+        for _ in range(40):
+            algorithm._pending += 1
+            last = algorithm.train()["reward_loss"]
+        assert last < first
+
+
+class TestMuZeroAgent:
+    def test_extras_recorded(self):
+        agent = MuZeroAgent(
+            _algorithm(), CartPoleEnv({"seed": 0}),
+            {"num_simulations": 4, "seed": 0},
+        )
+        action, extras = agent.infer_action(np.zeros(4, dtype=np.float32))
+        assert action in (0, 1)
+        assert extras["mcts_policy"].shape == (2,)
+        assert np.isfinite(extras["root_value"])
+
+    def test_temperature_anneals(self):
+        agent = MuZeroAgent(
+            _algorithm(), CartPoleEnv({"seed": 0}),
+            {"num_simulations": 4, "temperature": 1.0,
+             "temperature_decay_steps": 100, "seed": 0},
+        )
+        hot = agent._current_temperature()
+        agent.total_steps = 1000
+        cold = agent._current_temperature()
+        assert hot > cold
+        assert cold == pytest.approx(0.1)
+
+    def test_fragment_has_muzero_fields(self):
+        agent = MuZeroAgent(
+            _algorithm(), CartPoleEnv({"seed": 0}),
+            {"num_simulations": 4, "seed": 0},
+        )
+        rollout, _ = agent.run_fragment(6)
+        assert rollout["mcts_policy"].shape == (6, 2)
+        assert rollout["root_value"].shape == (6,)
+
+
+class TestMuZeroEndToEnd:
+    def test_full_session_under_xingtian(self):
+        from repro import StopCondition, run_config, single_machine_config
+
+        result = run_config(
+            single_machine_config(
+                "muzero", "CartPole", "muzero",
+                explorers=1, fragment_steps=32,
+                model_config={"latent_dim": 8, "hidden_sizes": [16]},
+                algorithm_config={
+                    "unroll_steps": 2, "learn_start": 16, "train_every": 8,
+                    "batch_size": 8,
+                },
+                agent_config={"num_simulations": 4},
+                stop=StopCondition(total_trained_steps=64, max_seconds=60),
+                seed=0,
+            )
+        )
+        assert result.total_trained_steps >= 64
+        assert result.train_sessions >= 1

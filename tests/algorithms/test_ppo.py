@@ -1,0 +1,171 @@
+"""Tests for the PPO family."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.ppo import ActorCriticModel, PPOAgent, PPOAlgorithm
+from repro.envs.cartpole import CartPoleEnv
+from repro.nn import losses
+
+MODEL_CONFIG = {"obs_dim": 4, "num_actions": 2, "hidden_sizes": [16], "seed": 0}
+
+
+def _algorithm(num_explorers=2, **overrides):
+    config = {
+        "num_explorers": num_explorers,
+        "epochs": 2,
+        "minibatch_size": 16,
+        "seed": 0,
+    }
+    config.update(overrides)
+    return PPOAlgorithm(ActorCriticModel(dict(MODEL_CONFIG)), config)
+
+
+def _fragment(steps=16, seed=0):
+    rng = np.random.default_rng(seed)
+    model = ActorCriticModel(dict(MODEL_CONFIG))
+    obs = rng.normal(size=(steps, 4))
+    logits, values = model.forward(obs)
+    actions = losses.categorical_sample(logits, rng)
+    logp = losses.log_softmax(logits)[np.arange(steps), actions]
+    return {
+        "obs": obs,
+        "action": actions,
+        "reward": rng.normal(size=steps),
+        "next_obs": rng.normal(size=(steps, 4)),
+        "done": np.zeros(steps, dtype=bool),
+        "logp": logp,
+        "value": values,
+    }
+
+
+class TestActorCriticModel:
+    def test_forward_shapes(self):
+        model = ActorCriticModel(dict(MODEL_CONFIG))
+        logits, values = model.forward(np.zeros((5, 4)))
+        assert logits.shape == (5, 2)
+        assert values.shape == (5,)
+
+    def test_weights_split_correctly(self):
+        model_a = ActorCriticModel(dict(MODEL_CONFIG, seed=1))
+        model_b = ActorCriticModel(dict(MODEL_CONFIG, seed=2))
+        model_b.set_weights(model_a.get_weights())
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        logits_a, values_a = model_a.forward(x)
+        logits_b, values_b = model_b.forward(x)
+        assert np.allclose(logits_a, logits_b)
+        assert np.allclose(values_a, values_b)
+
+
+class TestPPOAlgorithm:
+    def test_on_policy_flag(self):
+        assert _algorithm().on_policy
+        assert _algorithm().broadcast_mode == "all"
+
+    def test_ready_only_when_all_explorers_staged(self):
+        algorithm = _algorithm(num_explorers=2)
+        algorithm.prepare_data(_fragment(), source="e0")
+        assert not algorithm.ready_to_train()
+        algorithm.prepare_data(_fragment(seed=1), source="e1")
+        assert algorithm.ready_to_train()
+
+    def test_duplicate_source_replaces(self):
+        algorithm = _algorithm(num_explorers=2)
+        algorithm.prepare_data(_fragment(), source="e0")
+        algorithm.prepare_data(_fragment(seed=1), source="e0")
+        assert not algorithm.ready_to_train()
+        assert algorithm.staged_steps() == 16
+
+    def test_train_clears_staging_and_counts_steps(self):
+        algorithm = _algorithm(num_explorers=2)
+        algorithm.prepare_data(_fragment(seed=0), source="e0")
+        algorithm.prepare_data(_fragment(seed=1), source="e1")
+        metrics = algorithm.train()
+        assert metrics["trained_steps"] == 32
+        assert not algorithm.ready_to_train()
+        assert algorithm.staged_steps() == 0
+
+    def test_train_changes_weights(self):
+        algorithm = _algorithm(num_explorers=1)
+        algorithm.prepare_data(_fragment(), source="e0")
+        before = [w.copy() for w in algorithm.get_weights()]
+        algorithm.train()
+        assert any(
+            not np.allclose(b, a) for b, a in zip(before, algorithm.get_weights())
+        )
+
+    def test_broadcast_targets_all(self):
+        algorithm = _algorithm(num_explorers=2)
+        algorithm.prepare_data(_fragment(), source="e0")
+        algorithm.prepare_data(_fragment(seed=1), source="e1")
+        algorithm.train()
+        assert algorithm.broadcast_targets(["e0", "e1"]) == ["e0", "e1"]
+
+    def test_policy_improves_on_bandit_problem(self):
+        """One state, action 1 always pays: PPO should shift probability."""
+        algorithm = _algorithm(num_explorers=1, lr=0.01, epochs=4)
+        model = algorithm.model
+        rng = np.random.default_rng(0)
+        obs = np.zeros((64, 4))
+
+        def make_batch():
+            logits, values = model.forward(obs)
+            actions = losses.categorical_sample(logits, rng)
+            logp = losses.log_softmax(logits)[np.arange(64), actions]
+            rewards = (actions == 1).astype(np.float64)
+            return {
+                "obs": obs,
+                "action": actions,
+                "reward": rewards,
+                "next_obs": obs,
+                "done": np.ones(64, dtype=bool),
+                "logp": logp,
+                "value": values,
+            }
+
+        prob_before = losses.softmax(model.forward(np.zeros((1, 4)))[0])[0, 1]
+        for _ in range(15):
+            algorithm.prepare_data(make_batch(), source="e0")
+            algorithm.train()
+        prob_after = losses.softmax(model.forward(np.zeros((1, 4)))[0])[0, 1]
+        assert prob_after > prob_before
+        assert prob_after > 0.6
+
+    def test_bootstrap_value_zero_on_done(self):
+        algorithm = _algorithm(num_explorers=1)
+        fragment = _fragment()
+        fragment["done"][-1] = True
+        assert algorithm._bootstrap_value(fragment) == 0.0
+
+    def test_bootstrap_value_from_model_when_alive(self):
+        algorithm = _algorithm(num_explorers=1)
+        fragment = _fragment()
+        value = algorithm._bootstrap_value(fragment)
+        expected = algorithm.model.value.forward(
+            np.asarray(fragment["next_obs"])[-1:].astype(np.float64)
+        )[0, 0]
+        assert value == pytest.approx(float(expected))
+
+
+class TestPPOAgent:
+    def test_infer_action_records_logp_and_value(self):
+        agent = PPOAgent(_algorithm(1), CartPoleEnv({"seed": 0}), {"seed": 0})
+        action, extras = agent.infer_action(np.zeros(4, dtype=np.float32))
+        assert action in (0, 1)
+        assert extras["logp"] <= 0.0
+        assert isinstance(extras["value"], float)
+
+    def test_logp_matches_policy(self):
+        agent = PPOAgent(_algorithm(1), CartPoleEnv({"seed": 0}), {"seed": 0})
+        obs = np.zeros(4)
+        action, extras = agent.infer_action(obs)
+        logits, _ = agent.algorithm.predict(obs[None])
+        expected = losses.log_softmax(logits)[0, action]
+        assert extras["logp"] == pytest.approx(float(expected))
+
+    def test_fragment_contains_extras(self):
+        agent = PPOAgent(_algorithm(1), CartPoleEnv({"seed": 0}), {"seed": 0})
+        rollout, _ = agent.run_fragment(10)
+        assert "logp" in rollout
+        assert "value" in rollout
+        assert rollout["logp"].shape == (10,)

@@ -1,0 +1,125 @@
+"""Tests for rollout helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.rollout import (
+    concat_rollouts,
+    discounted_returns,
+    flatten_observations,
+    minibatch_indices,
+    rollout_length,
+    rollout_nbytes,
+)
+
+
+class TestRolloutBasics:
+    def test_rollout_length(self):
+        assert rollout_length({}) == 0
+        assert rollout_length({"reward": np.zeros(7)}) == 7
+
+    def test_rollout_nbytes(self):
+        rollout = {"a": np.zeros(10, dtype=np.float64), "b": np.zeros(10, dtype=np.uint8)}
+        assert rollout_nbytes(rollout) == 80 + 10
+
+    def test_concat(self):
+        a = {"reward": np.array([1.0, 2.0]), "done": np.array([False, True])}
+        b = {"reward": np.array([3.0]), "done": np.array([False])}
+        merged = concat_rollouts([a, b])
+        assert np.array_equal(merged["reward"], [1.0, 2.0, 3.0])
+
+    def test_concat_skips_empty(self):
+        a = {"reward": np.array([1.0])}
+        assert rollout_length(concat_rollouts([{}, a])) == 1
+
+    def test_concat_mismatched_fields_raises(self):
+        with pytest.raises(ValueError, match="fields"):
+            concat_rollouts([{"a": np.zeros(1)}, {"b": np.zeros(1)}])
+
+    def test_concat_empty_list(self):
+        assert concat_rollouts([]) == {}
+
+
+class TestDiscountedReturns:
+    def test_no_discount_sums_rewards(self):
+        rewards = np.array([1.0, 1.0, 1.0])
+        dones = np.zeros(3)
+        returns = discounted_returns(rewards, dones, gamma=1.0)
+        assert np.allclose(returns, [3.0, 2.0, 1.0])
+
+    def test_gamma_decay(self):
+        returns = discounted_returns(
+            np.array([0.0, 0.0, 1.0]), np.zeros(3), gamma=0.5
+        )
+        assert np.allclose(returns, [0.25, 0.5, 1.0])
+
+    def test_reset_at_episode_boundary(self):
+        rewards = np.array([1.0, 1.0, 1.0])
+        dones = np.array([0.0, 1.0, 0.0])
+        returns = discounted_returns(rewards, dones, gamma=0.9)
+        assert returns[2] == 1.0
+        assert returns[1] == 1.0  # episode ended here: no flow from t=2
+        assert returns[0] == pytest.approx(1.0 + 0.9 * 1.0)
+
+    def test_bootstrap_value_flows_in(self):
+        returns = discounted_returns(
+            np.array([0.0]), np.zeros(1), gamma=0.9, bootstrap=10.0
+        )
+        assert returns[0] == pytest.approx(9.0)
+
+    def test_bootstrap_blocked_by_done(self):
+        returns = discounted_returns(
+            np.array([1.0]), np.ones(1), gamma=0.9, bootstrap=10.0
+        )
+        assert returns[0] == 1.0
+
+    @given(
+        st.lists(st.floats(min_value=-5, max_value=5), min_size=1, max_size=20),
+        st.floats(min_value=0.0, max_value=0.999),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_naive_computation(self, rewards, gamma):
+        rewards = np.asarray(rewards)
+        dones = np.zeros(len(rewards))
+        returns = discounted_returns(rewards, dones, gamma)
+        naive = sum(r * gamma**t for t, r in enumerate(rewards))
+        assert returns[0] == pytest.approx(naive, rel=1e-9, abs=1e-9)
+
+
+class TestFlattenObservations:
+    def test_uint8_scaled(self):
+        obs = np.full((3, 4, 4), 255, dtype=np.uint8)
+        flat = flatten_observations(obs)
+        assert flat.shape == (3, 16)
+        assert np.allclose(flat, 1.0)
+
+    def test_float_passthrough(self):
+        obs = np.full((2, 4), 3.5)
+        flat = flatten_observations(obs)
+        assert np.allclose(flat, 3.5)
+
+    def test_1d_observations_get_feature_axis(self):
+        obs = np.zeros((5, 4))
+        assert flatten_observations(obs).shape == (5, 4)
+
+
+class TestMinibatchIndices:
+    def test_covers_all_indices_once(self, rng):
+        chunks = minibatch_indices(10, 3, rng)
+        flat = np.concatenate(chunks)
+        assert sorted(flat.tolist()) == list(range(10))
+
+    def test_chunk_sizes(self, rng):
+        chunks = minibatch_indices(10, 4, rng)
+        assert [len(chunk) for chunk in chunks] == [4, 4, 2]
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            minibatch_indices(10, 0, rng)
+
+    def test_shuffled(self):
+        rng = np.random.default_rng(0)
+        chunks = minibatch_indices(100, 100, rng)
+        assert not np.array_equal(chunks[0], np.arange(100))

@@ -1,0 +1,161 @@
+"""Tests for V-trace (key identities from Espeholt et al., 2018)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.impala.vtrace import (
+    vtrace_from_importance_weights,
+    vtrace_from_logps,
+)
+from repro.algorithms.rollout import discounted_returns
+
+
+class TestVTrace:
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            vtrace_from_importance_weights(
+                np.zeros(2), np.zeros(3), np.zeros(3), np.zeros(3), 0.0
+            )
+
+    def test_on_policy_reduces_to_nstep_return(self):
+        """With rho == 1 (same policy) and no clipping binding, v_s equals
+        the discounted n-step bootstrapped return — the paper's Remark 1."""
+        rng = np.random.default_rng(0)
+        steps = 8
+        rewards = rng.normal(size=steps)
+        values = rng.normal(size=steps)
+        gamma = 0.95
+        bootstrap = 0.7
+        returns = vtrace_from_importance_weights(
+            log_rhos=np.zeros(steps),
+            discounts=np.full(steps, gamma),
+            rewards=rewards,
+            values=values,
+            bootstrap_value=bootstrap,
+        )
+        expected = discounted_returns(
+            rewards, np.zeros(steps), gamma, bootstrap=bootstrap
+        )
+        assert np.allclose(returns.vs, expected)
+
+    def test_perfect_value_function_zero_corrections(self):
+        """When V already equals the target return, vs == V."""
+        gamma = 0.9
+        rewards = np.array([1.0, 2.0, 3.0])
+        dones = np.array([0.0, 0.0, 1.0])
+        values = discounted_returns(rewards, dones, gamma)
+        returns = vtrace_from_logps(
+            behaviour_logp=np.zeros(3),
+            target_logp=np.zeros(3),
+            rewards=rewards,
+            dones=dones,
+            values=values,
+            bootstrap_value=0.0,
+            gamma=gamma,
+        )
+        assert np.allclose(returns.vs, values)
+        assert np.allclose(returns.pg_advantages, 0.0, atol=1e-12)
+
+    def test_rho_clipping_caps_correction(self):
+        """A huge importance ratio is truncated at clip_rho."""
+        returns = vtrace_from_importance_weights(
+            log_rhos=np.array([10.0]),  # rho = e^10
+            discounts=np.array([0.0]),
+            rewards=np.array([1.0]),
+            values=np.array([0.0]),
+            bootstrap_value=0.0,
+            clip_rho=1.0,
+        )
+        # delta = min(rho, 1) * (r - V) = 1.0
+        assert returns.vs[0] == pytest.approx(1.0)
+        assert returns.rhos[0] == 1.0
+
+    def test_tiny_rho_shrinks_correction(self):
+        returns = vtrace_from_importance_weights(
+            log_rhos=np.array([-10.0]),
+            discounts=np.array([0.0]),
+            rewards=np.array([1.0]),
+            values=np.array([0.5]),
+            bootstrap_value=0.0,
+        )
+        # delta = e^-10 * (1 - 0.5) ~ 0 -> vs ~ V
+        assert returns.vs[0] == pytest.approx(0.5, abs=1e-3)
+
+    def test_done_cuts_bootstrap(self):
+        returns = vtrace_from_logps(
+            behaviour_logp=np.zeros(1),
+            target_logp=np.zeros(1),
+            rewards=np.array([2.0]),
+            dones=np.array([1.0]),
+            values=np.array([0.0]),
+            bootstrap_value=100.0,
+            gamma=0.9,
+        )
+        assert returns.vs[0] == pytest.approx(2.0)
+
+    def test_pg_advantage_uses_vs_next(self):
+        gamma = 0.9
+        rewards = np.array([1.0, 1.0])
+        values = np.array([0.0, 0.0])
+        returns = vtrace_from_importance_weights(
+            log_rhos=np.zeros(2),
+            discounts=np.full(2, gamma),
+            rewards=rewards,
+            values=values,
+            bootstrap_value=0.0,
+        )
+        # pg_adv[0] = r0 + gamma * vs[1] - V(s0)
+        assert returns.pg_advantages[0] == pytest.approx(
+            rewards[0] + gamma * returns.vs[1]
+        )
+
+    def test_clip_c_controls_trace_length(self):
+        """With c = 0 the correction is one-step only."""
+        rewards = np.array([0.0, 10.0])
+        values = np.zeros(2)
+        one_step = vtrace_from_importance_weights(
+            np.zeros(2), np.full(2, 0.9), rewards, values, 0.0, clip_c=1e-9
+        )
+        full = vtrace_from_importance_weights(
+            np.zeros(2), np.full(2, 0.9), rewards, values, 0.0, clip_c=1.0
+        )
+        # With no trace, step 0 sees only its own delta (which is 0 + 0.9*0 - 0).
+        assert one_step.vs[0] == pytest.approx(0.0, abs=1e-6)
+        assert full.vs[0] > one_step.vs[0]
+
+    @given(
+        st.lists(st.floats(min_value=-2, max_value=2), min_size=1, max_size=10),
+        st.floats(min_value=0, max_value=0.99),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_finite_outputs(self, log_rhos, gamma):
+        steps = len(log_rhos)
+        rng = np.random.default_rng(0)
+        returns = vtrace_from_importance_weights(
+            np.asarray(log_rhos),
+            np.full(steps, gamma),
+            rng.normal(size=steps),
+            rng.normal(size=steps),
+            float(rng.normal()),
+        )
+        assert np.all(np.isfinite(returns.vs))
+        assert np.all(np.isfinite(returns.pg_advantages))
+        assert np.all(returns.rhos <= 1.0 + 1e-12)
+
+    @given(st.floats(min_value=-3, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_property_logps_wrapper_consistent(self, log_rho):
+        """The logp wrapper equals the raw interface with the same ratios."""
+        rewards = np.array([1.0, -1.0])
+        values = np.array([0.2, 0.4])
+        dones = np.array([0.0, 0.0])
+        gamma = 0.9
+        direct = vtrace_from_importance_weights(
+            np.full(2, log_rho), gamma * (1 - dones), rewards, values, 0.5
+        )
+        wrapped = vtrace_from_logps(
+            np.zeros(2), np.full(2, log_rho), rewards, dones, values, 0.5, gamma=gamma
+        )
+        assert np.allclose(direct.vs, wrapped.vs)

@@ -1,0 +1,158 @@
+"""Tests for the Launchpad/Reverb-like central-buffer framework."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms.impala import ImpalaAgent, ImpalaAlgorithm
+from repro.algorithms.ppo.model import ActorCriticModel
+from repro.baselines.bufferframework import (
+    BufferFrameworkTrainer,
+    BufferServer,
+    BufferWorker,
+)
+from repro.envs.cartpole import CartPoleEnv
+
+AC_CONFIG = {"obs_dim": 4, "num_actions": 2, "hidden_sizes": [16], "seed": 0}
+
+
+def _agent_factory(seed=0):
+    def factory():
+        algorithm = ImpalaAlgorithm(ActorCriticModel(dict(AC_CONFIG)), {"seed": seed})
+        return ImpalaAgent(algorithm, CartPoleEnv({"seed": seed}), {"seed": seed})
+
+    return factory
+
+
+def _fast_server(**overrides):
+    kwargs = dict(processing_bandwidth=1e9, item_overhead=0.0)
+    kwargs.update(overrides)
+    return BufferServer(**kwargs)
+
+
+class TestBufferServer:
+    def test_insert_then_sample_fifo(self):
+        server = _fast_server()
+        try:
+            server.insert("first", timeout=2)
+            server.insert("second", timeout=2)
+            assert server.sample(timeout=2) == "first"
+            assert server.sample(timeout=2) == "second"
+        finally:
+            server.stop()
+
+    def test_sample_blocks_until_insert(self):
+        server = _fast_server()
+        result = {}
+
+        def sampler():
+            result["item"] = server.sample(timeout=5)
+
+        thread = threading.Thread(target=sampler)
+        thread.start()
+        time.sleep(0.05)
+        server.insert("late", timeout=2)
+        thread.join(timeout=5)
+        server.stop()
+        assert result["item"] == "late"
+
+    def test_capacity_evicts_oldest(self):
+        server = _fast_server(capacity=2)
+        try:
+            for item in ("a", "b", "c"):
+                server.insert(item, timeout=2)
+            assert server.sample(timeout=2) == "b"
+        finally:
+            server.stop()
+
+    def test_processing_bandwidth_throttles(self):
+        server = BufferServer(processing_bandwidth=1e6, item_overhead=0.0)
+        try:
+            payload = np.zeros(50_000, dtype=np.uint8)  # 50ms per op
+            started = time.monotonic()
+            server.insert(payload, timeout=5)
+            server.sample(timeout=5)
+            assert time.monotonic() - started >= 0.08
+        finally:
+            server.stop()
+
+    def test_item_overhead_charged(self):
+        server = BufferServer(processing_bandwidth=1e9, item_overhead=0.05)
+        try:
+            started = time.monotonic()
+            server.insert("x", timeout=5)
+            assert time.monotonic() - started >= 0.04
+        finally:
+            server.stop()
+
+    def test_server_is_serial_bottleneck(self):
+        """Parallel inserters do not speed the server up (the Fig. 4
+        plateau): total time is the sum of per-item processing."""
+        server = BufferServer(processing_bandwidth=1e9, item_overhead=0.02)
+        try:
+            started = time.monotonic()
+            threads = [
+                threading.Thread(target=server.insert, args=("x", 5.0))
+                for _ in range(5)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert time.monotonic() - started >= 5 * 0.02 * 0.9
+        finally:
+            server.stop()
+
+    def test_counters(self):
+        server = _fast_server()
+        try:
+            server.insert("a", timeout=2)
+            server.sample(timeout=2)
+            assert server.total_inserted == 1
+            assert server.total_sampled == 1
+        finally:
+            server.stop()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BufferServer(processing_bandwidth=0)
+
+
+class TestBufferWorkerAndTrainer:
+    def test_end_to_end_training_through_buffer(self):
+        server = _fast_server()
+        worker = BufferWorker("w0", _agent_factory(), server, fragment_steps=16)
+        algorithm = ImpalaAlgorithm(ActorCriticModel(dict(AC_CONFIG)), {"seed": 0})
+        trainer = BufferFrameworkTrainer(algorithm, server)
+        worker.start()
+        try:
+            trainer.run(max_trained_steps=64, max_seconds=10)
+            assert trainer.train_sessions >= 4
+            assert trainer.consumed_meter.total >= 64
+            assert trainer.sample_recorder.count > 0
+        finally:
+            worker.stop()
+            server.stop()
+
+    def test_trainer_needs_stop_criterion(self):
+        server = _fast_server()
+        algorithm = ImpalaAlgorithm(ActorCriticModel(dict(AC_CONFIG)), {})
+        trainer = BufferFrameworkTrainer(algorithm, server)
+        with pytest.raises(ValueError):
+            trainer.run()
+        server.stop()
+
+    def test_worker_collects_episode_returns(self):
+        server = _fast_server()
+        worker = BufferWorker("w0", _agent_factory(), server, fragment_steps=64)
+        worker.start()
+        try:
+            deadline = time.monotonic() + 5
+            while not worker.episode_returns and time.monotonic() < deadline:
+                server.sample(timeout=2)
+            assert worker.episode_returns
+        finally:
+            worker.stop()
+            server.stop()

@@ -1,0 +1,181 @@
+"""Tests for the RLLib-like pull framework."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dqn import DQNAgent, DQNAlgorithm, QNetworkModel
+from repro.algorithms.impala import ImpalaAgent, ImpalaAlgorithm
+from repro.algorithms.ppo import PPOAgent, PPOAlgorithm
+from repro.algorithms.ppo.model import ActorCriticModel
+from repro.baselines.raylike import RaylikeTrainer, RaylikeWorker, ReplayActor
+from repro.baselines.rpc import RpcChannel
+from repro.envs.cartpole import CartPoleEnv
+
+AC_CONFIG = {"obs_dim": 4, "num_actions": 2, "hidden_sizes": [16], "seed": 0}
+
+
+def _impala_agent_factory(seed=0):
+    def factory():
+        algorithm = ImpalaAlgorithm(ActorCriticModel(dict(AC_CONFIG)), {"seed": seed})
+        return ImpalaAgent(algorithm, CartPoleEnv({"seed": seed}), {"seed": seed})
+
+    return factory
+
+
+def _ppo_agent_factory(seed=0):
+    def factory():
+        algorithm = PPOAlgorithm(
+            ActorCriticModel(dict(AC_CONFIG)), {"num_explorers": 2, "epochs": 1}
+        )
+        return PPOAgent(algorithm, CartPoleEnv({"seed": seed}), {"seed": seed})
+
+    return factory
+
+
+class TestRaylikeWorker:
+    def test_sample_async_returns_rollout(self):
+        worker = RaylikeWorker("w0", _impala_agent_factory())
+        try:
+            future = worker.sample_async(10)
+            rollout = future.result(timeout=5)
+            assert rollout["obs"].shape == (10, 4)
+        finally:
+            worker.stop()
+
+    def test_set_weights_applies(self):
+        worker = RaylikeWorker("w0", _impala_agent_factory())
+        try:
+            new_model = ActorCriticModel(dict(AC_CONFIG, seed=9))
+            worker.set_weights(new_model.get_weights())
+            current = worker.agent.algorithm.get_weights()
+            for a, b in zip(current, new_model.get_weights()):
+                assert np.allclose(a, b)
+        finally:
+            worker.stop()
+
+    def test_worker_error_surfaces_in_future(self):
+        def bad_factory():
+            algorithm = ImpalaAlgorithm(ActorCriticModel(dict(AC_CONFIG)), {})
+
+            class BrokenAgent:
+                algorithm_ = algorithm
+
+                def run_fragment(self, n):
+                    raise RuntimeError("env exploded")
+
+            return BrokenAgent()
+
+        worker = RaylikeWorker("w0", bad_factory)
+        try:
+            with pytest.raises(RuntimeError, match="env exploded"):
+                worker.sample_async(4).result(timeout=5)
+        finally:
+            worker.stop()
+
+
+class TestReplayActor:
+    def test_insert_and_sample(self):
+        actor = ReplayActor(100, seed=0)
+        rollout = {
+            "obs": np.zeros((10, 4)),
+            "action": np.zeros(10, dtype=np.int64),
+            "reward": np.ones(10),
+            "next_obs": np.zeros((10, 4)),
+            "done": np.zeros(10, dtype=bool),
+        }
+        assert actor.insert(rollout) == 10
+        assert len(actor) == 10
+        batch = actor.sample(4)
+        assert batch["reward"].shape == (4,)
+
+
+class TestRaylikeTrainerModes:
+    def test_mode_validation(self):
+        algorithm = ImpalaAlgorithm(ActorCriticModel(dict(AC_CONFIG)), {})
+        with pytest.raises(ValueError):
+            RaylikeTrainer(algorithm, [], mode="turbo")
+        with pytest.raises(ValueError, match="replay_actor"):
+            RaylikeTrainer(algorithm, [], mode="replay")
+
+    def test_async_mode_trains_impala(self):
+        workers = [
+            RaylikeWorker(f"w{i}", _impala_agent_factory(i)) for i in range(2)
+        ]
+        algorithm = ImpalaAlgorithm(ActorCriticModel(dict(AC_CONFIG)), {"seed": 0})
+        trainer = RaylikeTrainer(
+            algorithm, workers, mode="async", fragment_steps=16,
+            channel=RpcChannel(call_latency=0.0),
+        )
+        try:
+            trainer.run(max_trained_steps=64)
+            assert trainer.train_sessions >= 4
+            assert trainer.consumed_meter.total >= 64
+            assert trainer.transfer_recorder.count > 0
+        finally:
+            trainer.stop()
+
+    def test_sync_mode_trains_ppo(self):
+        workers = [RaylikeWorker(f"w{i}", _ppo_agent_factory(i)) for i in range(2)]
+        algorithm = PPOAlgorithm(
+            ActorCriticModel(dict(AC_CONFIG)),
+            {"num_explorers": 2, "epochs": 1, "minibatch_size": 16},
+        )
+        trainer = RaylikeTrainer(
+            algorithm, workers, mode="sync", fragment_steps=16,
+            channel=RpcChannel(call_latency=0.0),
+        )
+        try:
+            metrics = trainer.run_iteration()
+            assert trainer.train_sessions == 1
+            assert trainer.consumed_meter.total == 32
+        finally:
+            trainer.stop()
+
+    def test_replay_mode_trains_dqn(self):
+        def dqn_factory():
+            model = QNetworkModel(dict(AC_CONFIG))
+            algorithm = DQNAlgorithm(model, {"buffer_size": 1, "learn_start": 1})
+            return DQNAgent(algorithm, CartPoleEnv({"seed": 0}), {"seed": 0})
+
+        worker = RaylikeWorker("w0", dqn_factory)
+        trainer_algorithm = DQNAlgorithm(
+            QNetworkModel(dict(AC_CONFIG)),
+            {"buffer_size": 64, "learn_start": 1, "train_every": 4, "batch_size": 8},
+        )
+        trainer = RaylikeTrainer(
+            trainer_algorithm,
+            [worker],
+            mode="replay",
+            fragment_steps=16,
+            channel=RpcChannel(call_latency=0.0),
+            replay_actor=ReplayActor(500, seed=0),
+            batch_size=8,
+            train_every=4,
+            learn_start=16,
+        )
+        try:
+            for _ in range(3):
+                trainer.run_iteration()
+            assert trainer.train_sessions >= 4
+        finally:
+            trainer.stop()
+
+    def test_average_return_harvested(self):
+        workers = [RaylikeWorker("w0", _impala_agent_factory())]
+        algorithm = ImpalaAlgorithm(ActorCriticModel(dict(AC_CONFIG)), {"seed": 0})
+        trainer = RaylikeTrainer(
+            algorithm, workers, mode="async", fragment_steps=64,
+            channel=RpcChannel(call_latency=0.0),
+        )
+        try:
+            for _ in range(5):
+                trainer.run_iteration()
+            assert trainer.average_return() is not None
+        finally:
+            trainer.stop()
+
+    def test_run_needs_stop_criterion(self):
+        algorithm = ImpalaAlgorithm(ActorCriticModel(dict(AC_CONFIG)), {})
+        trainer = RaylikeTrainer(algorithm, [], mode="async")
+        with pytest.raises(ValueError):
+            trainer.run()

@@ -1,0 +1,129 @@
+"""Tests for the simulated RPC channel."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.rpc import RpcChannel, RpcFuture, wait_any
+
+
+class TestRpcChannel:
+    def test_call_invokes_function(self):
+        channel = RpcChannel(call_latency=0.0)
+        assert channel.call(lambda a, b: a + b, 2, 3) == 5
+        assert channel.calls == 1
+
+    def test_call_latency_charged(self):
+        channel = RpcChannel(call_latency=0.05)
+        started = time.monotonic()
+        channel.call(lambda: None)
+        assert time.monotonic() - started >= 0.04
+
+    def test_copy_bandwidth_charged_per_direction(self):
+        channel = RpcChannel(call_latency=0.0, copy_bandwidth=1e6)
+        payload = np.zeros(50_000, dtype=np.uint8)
+        started = time.monotonic()
+        channel.transfer(payload)  # two copies of 50KB at 1MB/s = 0.1s
+        assert time.monotonic() - started >= 0.08
+
+    def test_wire_bandwidth_charged(self):
+        channel = RpcChannel(call_latency=0.0, wire_bandwidth=1e6)
+        payload = np.zeros(100_000, dtype=np.uint8)
+        started = time.monotonic()
+        channel.transfer(payload)
+        assert time.monotonic() - started >= 0.09
+
+    def test_wire_lock_shared_across_channels(self):
+        """Two channels over one NIC serialize their wire time."""
+        lock = threading.Lock()
+        channels = [
+            RpcChannel(call_latency=0.0, wire_bandwidth=1e6, wire_lock=lock)
+            for _ in range(2)
+        ]
+        payload = np.zeros(50_000, dtype=np.uint8)  # 50ms each
+
+        started = time.monotonic()
+        threads = [
+            threading.Thread(target=channel.transfer, args=(payload,))
+            for channel in channels
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert time.monotonic() - started >= 0.09  # serialized, not parallel
+
+    def test_bytes_accounted(self):
+        channel = RpcChannel(call_latency=0.0)
+        channel.transfer(np.zeros(100, dtype=np.uint8))
+        assert channel.bytes_transferred == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RpcChannel(copy_bandwidth=0)
+        with pytest.raises(ValueError):
+            RpcChannel(wire_bandwidth=-5)
+
+    def test_call_transfers_args_and_result(self):
+        channel = RpcChannel(call_latency=0.0)
+        arg = np.zeros(64, dtype=np.uint8)
+        result = channel.call(lambda a: a, arg)
+        assert np.array_equal(result, arg)
+        assert channel.bytes_transferred == 128  # arg + result
+
+
+class TestRpcFuture:
+    def test_result_after_set(self):
+        future = RpcFuture()
+        future.set_result(42)
+        assert future.done
+        assert future.result() == 42
+
+    def test_result_blocks_until_ready(self):
+        future = RpcFuture()
+
+        def resolver():
+            time.sleep(0.05)
+            future.set_result("late")
+
+        threading.Thread(target=resolver).start()
+        assert future.result(timeout=2) == "late"
+
+    def test_timeout_raises(self):
+        with pytest.raises(TimeoutError):
+            RpcFuture().result(timeout=0.01)
+
+    def test_error_propagates(self):
+        future = RpcFuture()
+        future.set_error(ValueError("worker died"))
+        with pytest.raises(ValueError, match="worker died"):
+            future.result()
+
+    def test_wait(self):
+        future = RpcFuture()
+        assert not future.wait(timeout=0.01)
+        future.set_result(None)
+        assert future.wait(timeout=0.01)
+
+
+class TestWaitAny:
+    def test_returns_first_done(self):
+        futures = [RpcFuture(), RpcFuture(), RpcFuture()]
+        futures[1].set_result("x")
+        assert wait_any(futures) == 1
+
+    def test_waits_for_slow_future(self):
+        futures = [RpcFuture(), RpcFuture()]
+
+        def resolver():
+            time.sleep(0.05)
+            futures[0].set_result("slow")
+
+        threading.Thread(target=resolver).start()
+        assert wait_any(futures) == 0
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            wait_any([])

@@ -1,0 +1,114 @@
+"""Tests for the task graph and centralized driver."""
+
+import time
+
+import pytest
+
+from repro.baselines.taskgraph import CentralDriver, Task, TaskGraph
+
+
+class TestTaskGraph:
+    def test_topological_order_respects_deps(self):
+        graph = TaskGraph()
+        graph.add(Task("sample", lambda ctx: 1))
+        graph.add(Task("train", lambda ctx: 2, deps=["sample"]))
+        graph.add(Task("broadcast", lambda ctx: 3, deps=["train"]))
+        names = [task.name for task in graph.order()]
+        assert names.index("sample") < names.index("train") < names.index("broadcast")
+
+    def test_duplicate_name_rejected(self):
+        graph = TaskGraph()
+        graph.add(Task("a", lambda ctx: None))
+        with pytest.raises(ValueError, match="duplicate"):
+            graph.add(Task("a", lambda ctx: None))
+
+    def test_unknown_dependency_rejected(self):
+        graph = TaskGraph()
+        with pytest.raises(ValueError, match="unknown"):
+            graph.add(Task("b", lambda ctx: None, deps=["ghost"]))
+
+    def test_diamond_dependencies(self):
+        graph = TaskGraph()
+        graph.add(Task("root", lambda ctx: None))
+        graph.add(Task("left", lambda ctx: None, deps=["root"]))
+        graph.add(Task("right", lambda ctx: None, deps=["root"]))
+        graph.add(Task("join", lambda ctx: None, deps=["left", "right"]))
+        names = [task.name for task in graph.order()]
+        assert names[0] == "root"
+        assert names[-1] == "join"
+
+    def test_len(self):
+        graph = TaskGraph()
+        graph.add(Task("a", lambda ctx: None))
+        assert len(graph) == 1
+
+
+class TestCentralDriver:
+    def _graph(self, trace):
+        graph = TaskGraph()
+        graph.add(Task("sample", lambda ctx: trace.append("sample") or 10))
+        graph.add(
+            Task("train", lambda ctx: trace.append("train") or ctx["sample"] * 2,
+                 deps=["sample"])
+        )
+        return graph
+
+    def test_tasks_run_in_order_every_iteration(self):
+        trace = []
+        driver = CentralDriver(self._graph(trace))
+        driver.run(max_iterations=3)
+        assert trace == ["sample", "train"] * 3
+        assert driver.iterations == 3
+
+    def test_context_passes_results_downstream(self):
+        graph = TaskGraph()
+        graph.add(Task("a", lambda ctx: 7))
+        graph.add(Task("b", lambda ctx: ctx["a"] + 1, deps=["a"]))
+        driver = CentralDriver(graph)
+        context = driver.run(max_iterations=1)
+        assert context["b"] == 8
+
+    def test_stop_when_predicate(self):
+        graph = TaskGraph()
+        counter = {"n": 0}
+
+        def count(ctx):
+            counter["n"] += 1
+            return counter["n"]
+
+        graph.add(Task("count", count))
+        driver = CentralDriver(graph)
+        driver.run(max_iterations=100, stop_when=lambda ctx: ctx["count"] >= 5)
+        assert counter["n"] == 5
+
+    def test_max_seconds(self):
+        graph = TaskGraph()
+        graph.add(Task("slow", lambda ctx: time.sleep(0.02)))
+        driver = CentralDriver(graph)
+        started = time.monotonic()
+        driver.run(max_seconds=0.1)
+        assert time.monotonic() - started < 1.0
+
+    def test_needs_stop_criterion(self):
+        graph = TaskGraph()
+        graph.add(Task("a", lambda ctx: None))
+        with pytest.raises(ValueError):
+            CentralDriver(graph).run()
+
+    def test_latency_recorded_per_task(self):
+        graph = TaskGraph()
+        graph.add(Task("slow", lambda ctx: time.sleep(0.01)))
+        driver = CentralDriver(graph)
+        driver.run(max_iterations=2)
+        assert driver.task_time["slow"].count == 2
+        assert driver.task_time["slow"].mean() >= 0.005
+
+    def test_communication_blocks_pipeline(self):
+        """The critique in one test: a slow 'transfer' task inflates the
+        whole iteration, because everything runs on the driver thread."""
+        graph = TaskGraph()
+        graph.add(Task("transfer", lambda ctx: time.sleep(0.05)))
+        graph.add(Task("train", lambda ctx: None, deps=["transfer"]))
+        driver = CentralDriver(graph)
+        driver.run(max_iterations=2)
+        assert driver.iteration_time.mean() >= 0.05

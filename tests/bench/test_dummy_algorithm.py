@@ -1,0 +1,135 @@
+"""Tests for the dummy DRL algorithm harness (all three frameworks)."""
+
+import pytest
+
+from repro.bench.dummy_algorithm import (
+    TransmissionResult,
+    run_dummy_buffer,
+    run_dummy_raylike,
+    run_dummy_xingtian,
+    run_transmission,
+)
+
+FAST = dict(messages_per_explorer=3)
+
+
+class TestTransmissionResult:
+    def test_derived_metrics(self):
+        result = TransmissionResult(
+            framework="x",
+            num_explorers=2,
+            message_bytes=1_000_000,
+            messages_total=10,
+            elapsed_s=2.0,
+            rounds=5,
+        )
+        assert result.total_bytes == 10_000_000
+        assert result.throughput_mb_s == pytest.approx(5.0)
+        assert result.end_to_end_latency_s == 2.0
+
+
+class TestXingTianDummy:
+    def test_counts_and_rounds(self):
+        result = run_dummy_xingtian(2, 16 * 1024, copy_bandwidth=None, **FAST)
+        assert result.messages_total == 6
+        assert result.rounds == 3
+        assert len(result.round_latencies) == 3
+        assert result.elapsed_s > 0
+
+    def test_multi_machine_placement(self):
+        result = run_dummy_xingtian(
+            4, 8 * 1024, machines=[2, 2], copy_bandwidth=None,
+            nic_bandwidth=1e9, **FAST,
+        )
+        assert result.messages_total == 12
+
+    def test_remote_only_explorers(self):
+        result = run_dummy_xingtian(
+            2, 8 * 1024, machines=[0, 2], copy_bandwidth=None,
+            nic_bandwidth=1e9, **FAST,
+        )
+        assert result.messages_total == 6
+
+    def test_machine_sum_validated(self):
+        with pytest.raises(ValueError):
+            run_dummy_xingtian(4, 1024, machines=[1, 1], **FAST)
+
+
+class TestRaylikeDummy:
+    def test_counts(self):
+        result = run_dummy_raylike(2, 16 * 1024, copy_bandwidth=None, **FAST)
+        assert result.messages_total == 6
+        assert result.framework == "raylike"
+
+    def test_machine_split(self):
+        result = run_dummy_raylike(
+            2, 8 * 1024, machines=[1, 1], copy_bandwidth=None,
+            nic_bandwidth=1e9, rpc_latency=0.0, **FAST,
+        )
+        assert result.messages_total == 6
+
+
+class TestBufferDummy:
+    def test_counts(self):
+        result = run_dummy_buffer(
+            2, 8 * 1024, processing_bandwidth=1e9, item_overhead=0.0, **FAST
+        )
+        assert result.messages_total == 6
+        assert result.framework == "launchpad_reverb"
+
+
+class TestDispatcher:
+    def test_known_frameworks(self):
+        result = run_transmission(
+            "xingtian", 1, 1024, copy_bandwidth=None, **FAST
+        )
+        assert result.framework == "xingtian"
+
+    def test_unknown_framework(self):
+        with pytest.raises(KeyError):
+            run_transmission("tensorflow", 1, 1024)
+
+
+class TestComparativeShape:
+    """The paper's headline shapes, at tiny scale (fast constants)."""
+
+    def test_xingtian_beats_pull_at_large_messages(self):
+        kwargs = dict(messages_per_explorer=4, copy_bandwidth=200e6)
+        xt = run_dummy_xingtian(4, 2 << 20, **kwargs)
+        rl = run_dummy_raylike(4, 2 << 20, rpc_latency=0.0005, **kwargs)
+        assert xt.throughput_mb_s > rl.throughput_mb_s
+
+    def test_buffer_framework_is_order_of_magnitude_slower(self):
+        xt = run_dummy_xingtian(
+            2, 256 * 1024, messages_per_explorer=4, copy_bandwidth=1e9
+        )
+        buffered = run_dummy_buffer(
+            2, 256 * 1024, messages_per_explorer=4,
+            processing_bandwidth=8e6, item_overhead=0.001,
+        )
+        assert xt.throughput_mb_s > 10 * buffered.throughput_mb_s
+
+    def test_buffer_plateau_with_more_explorers(self):
+        few = run_dummy_buffer(
+            1, 64 * 1024, messages_per_explorer=4,
+            processing_bandwidth=8e6, item_overhead=0.001,
+        )
+        many = run_dummy_buffer(
+            4, 64 * 1024, messages_per_explorer=4,
+            processing_bandwidth=8e6, item_overhead=0.001,
+        )
+        # Adding explorers does not scale the buffer's throughput.
+        assert many.throughput_mb_s < few.throughput_mb_s * 2.5
+
+
+class TestCompressionOnChannel:
+    def test_xingtian_with_compression_policy(self):
+        """Compression composes with the dummy channel (copy-on-fetch path)."""
+        from repro.core.compression import CompressionPolicy
+
+        result = run_dummy_xingtian(
+            1, 32 * 1024, messages_per_explorer=3,
+            copy_bandwidth=None,
+            compression=CompressionPolicy(threshold=1024),
+        )
+        assert result.messages_total == 3

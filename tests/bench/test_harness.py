@@ -1,0 +1,86 @@
+"""Tests for the training-experiment harness."""
+
+import pytest
+
+from repro.bench.harness import (
+    TrainingResult,
+    run_training_raylike,
+    run_training_xingtian,
+)
+
+FAST = dict(
+    explorers=2,
+    fragment_steps=32,
+    max_seconds=2.0,
+    copy_bandwidth=None,
+    seed=0,
+)
+
+
+class TestXingTianHarness:
+    def test_impala_run(self):
+        result = run_training_xingtian("impala", "CartPole", **FAST)
+        assert result.framework == "xingtian"
+        assert result.trained_steps > 0
+        assert result.throughput_steps_per_s > 0
+        assert result.train_sessions > 0
+
+    def test_step_budget_stop(self):
+        result = run_training_xingtian(
+            "impala", "CartPole", max_trained_steps=128, **FAST
+        )
+        assert result.trained_steps >= 128
+
+    def test_wait_cdf_populated(self):
+        result = run_training_xingtian("impala", "CartPole", **FAST)
+        assert result.wait_cdf
+        assert result.wait_cdf[-1][1] == pytest.approx(1.0)
+
+    def test_multi_machine_split(self):
+        result = run_training_xingtian(
+            "impala", "CartPole", machines=[1, 1],
+            **{**FAST, "max_seconds": 2.5},
+        )
+        assert result.trained_steps > 0
+
+    def test_machines_must_sum(self):
+        with pytest.raises(ValueError):
+            run_training_xingtian("impala", "CartPole", machines=[1, 2], **FAST)
+
+
+class TestRaylikeHarness:
+    def test_impala_run(self):
+        result = run_training_raylike("impala", "CartPole", **FAST)
+        assert result.framework == "raylike"
+        assert result.trained_steps > 0
+        assert result.mean_transfer_s >= 0
+
+    def test_ppo_run(self):
+        result = run_training_raylike(
+            "ppo", "CartPole",
+            algorithm_config={"epochs": 1, "minibatch_size": 32},
+            **FAST,
+        )
+        assert result.train_sessions > 0
+
+    def test_dqn_run(self):
+        result = run_training_raylike(
+            "dqn", "CartPole",
+            algorithm_config={
+                "buffer_size": 5000, "learn_start": 64,
+                "train_every": 4, "batch_size": 16,
+            },
+            **{**FAST, "explorers": 1},
+        )
+        assert result.trained_steps > 0
+
+
+class TestBothSidesComparable:
+    def test_same_metrics_reported(self):
+        xt = run_training_xingtian("impala", "CartPole", **FAST)
+        rl = run_training_raylike("impala", "CartPole", **FAST)
+        for result in (xt, rl):
+            assert isinstance(result, TrainingResult)
+            assert result.algorithm == "impala"
+            assert result.elapsed_s > 0
+            assert result.num_explorers == 2

@@ -1,0 +1,102 @@
+"""Tests for bench reporting helpers and workload definitions."""
+
+import pytest
+
+from repro.bench.reporting import (
+    cdf_fraction_below,
+    format_series,
+    format_table,
+    improvement_pct,
+    ratio,
+    summarize_comparison,
+)
+from repro.bench.workloads import (
+    ATARI_GAMES,
+    atari_workload,
+    cartpole_workload,
+    message_size_sweep,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        table = format_table(
+            ["name", "value"], [["a", 1.0], ["bb", 123456.0]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "a" in lines[3]
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[0.001234], [1234.5], [0.0]])
+        assert "0.00123" in table
+        assert "0" in table
+
+    def test_column_alignment(self):
+        table = format_table(["long-header", "x"], [["a", "b"]])
+        header, divider, row = table.splitlines()
+        assert len(divider.split("  ")[0]) == len("long-header")
+
+
+class TestFormatSeries:
+    def test_empty(self):
+        assert "empty" in format_series([], name="s")
+
+    def test_sampling_caps_points(self):
+        series = [(float(i), float(i)) for i in range(100)]
+        out = format_series(series, name="s", max_points=10)
+        assert len(out.splitlines()) <= 12
+
+
+class TestMathHelpers:
+    def test_ratio(self):
+        assert ratio(10, 4) == 2.5
+        assert ratio(1, 0) == float("inf")
+
+    def test_improvement_pct(self):
+        assert improvement_pct(170.71, 100.0) == pytest.approx(70.71)
+        assert improvement_pct(50.0, 100.0) == pytest.approx(-50.0)
+        assert improvement_pct(1.0, 0.0) == float("inf")
+
+    def test_summarize_comparison(self):
+        line = summarize_comparison("Throughput", 200.0, 100.0, unit=" MB/s")
+        assert "XingTian 200" in line
+        assert "+100.0%" in line
+
+    def test_cdf_fraction_below(self):
+        cdf = [(0.001, 0.2), (0.005, 0.6), (0.02, 1.0)]
+        assert cdf_fraction_below(cdf, 0.005) == 0.6
+        assert cdf_fraction_below(cdf, 0.5) == 1.0
+        assert cdf_fraction_below(cdf, 0.0001) is None
+
+
+class TestWorkloads:
+    def test_message_size_sweep_scaled(self):
+        sizes = message_size_sweep(scaled=True)
+        assert sizes[0] == 1024
+        assert all(b == a * 1024 or True for a, b in zip([], []))
+        assert sorted(sizes) == sizes
+
+    def test_message_size_sweep_full_matches_paper(self):
+        sizes = message_size_sweep(scaled=False)
+        assert sizes[0] == 1 * 1024
+        assert sizes[-1] == 65536 * 1024  # 64 MB
+
+    def test_cartpole_workload(self):
+        workload = cartpole_workload()
+        assert workload["environment"] == "CartPole"
+        assert workload["fragment_steps"] == 200  # paper's CartPole setting
+
+    def test_atari_workload(self):
+        workload = atari_workload("Qbert")
+        assert workload["environment"] == "Qbert"
+        assert workload["fragment_steps"] == 500  # paper's Atari setting
+        assert workload["env_config"]["obs_shape"] == (84, 84)
+
+    def test_atari_overrides(self):
+        workload = atari_workload("Breakout", fragment_steps=100)
+        assert workload["fragment_steps"] == 100
+
+    def test_game_list(self):
+        assert ATARI_GAMES == ["BeamRider", "Breakout", "Qbert", "SpaceInvaders"]

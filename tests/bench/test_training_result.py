@@ -1,0 +1,48 @@
+"""Tests for TrainingResult helpers (best-window return)."""
+
+import pytest
+
+from repro.bench.harness import TrainingResult
+
+
+def _result(returns):
+    return TrainingResult(
+        framework="xingtian",
+        algorithm="impala",
+        environment="CartPole",
+        num_explorers=1,
+        elapsed_s=1.0,
+        trained_steps=100,
+        train_sessions=10,
+        average_return=None,
+        throughput_steps_per_s=100.0,
+        returns=returns,
+    )
+
+
+class TestBestWindowReturn:
+    def test_empty_returns_none(self):
+        assert _result([]).best_window_return() is None
+
+    def test_short_series_uses_plain_mean(self):
+        assert _result([10.0, 20.0]).best_window_return(window=100) == 15.0
+
+    def test_finds_peak_window(self):
+        # Rise to a plateau of 100s, then collapse to 5s.
+        returns = [10.0] * 50 + [100.0] * 100 + [5.0] * 200
+        assert _result(returns).best_window_return(window=100) == pytest.approx(100.0)
+
+    def test_window_boundary_exact(self):
+        returns = [1.0] * 100
+        assert _result(returns).best_window_return(window=100) == 1.0
+
+    def test_peak_straddles_segments(self):
+        returns = [0.0] * 10 + [50.0] * 5 + [0.0] * 10
+        best = _result(returns).best_window_return(window=5)
+        assert best == pytest.approx(50.0)
+
+    def test_monotone_series_peaks_at_end(self):
+        returns = [float(i) for i in range(200)]
+        best = _result(returns).best_window_return(window=100)
+        expected = sum(range(100, 200)) / 100
+        assert best == pytest.approx(expected)

@@ -1,0 +1,136 @@
+"""Tests for cluster building and deployment."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.core.config import MachineSpec, StopCondition, XingTianConfig
+from repro.core.controller import CenterController
+from repro.core.errors import ConfigError
+
+import repro.runtime  # noqa: F401 - populate registries
+
+
+def _config(machines=None, **overrides):
+    base = dict(
+        algorithm="impala",
+        environment="CartPole",
+        model="actor_critic",
+        machines=machines
+        or [MachineSpec("m0", explorers=2, has_learner=True)],
+        fragment_steps=32,
+        stop=StopCondition(max_seconds=30),
+        seed=0,
+    )
+    base.update(overrides)
+    return XingTianConfig(**base)
+
+
+class TestBuildCluster:
+    def test_single_machine_layout(self):
+        cluster = build_cluster(_config())
+        try:
+            assert len(cluster.machines) == 1
+            assert cluster.learner.name == "learner"
+            assert len(cluster.explorers) == 2
+            assert isinstance(cluster.center, CenterController)
+        finally:
+            cluster.stop()
+
+    def test_multi_machine_layout(self):
+        cluster = build_cluster(
+            _config(
+                machines=[
+                    MachineSpec("m0", explorers=1, has_learner=True),
+                    MachineSpec("m1", explorers=2),
+                ]
+            )
+        )
+        try:
+            assert len(cluster.machines) == 2
+            names = [explorer.name for explorer in cluster.explorers]
+            assert names == ["m0.explorer-0", "m1.explorer-0", "m1.explorer-1"]
+            # The remote broker routes learner traffic to the center broker.
+            remote_broker = cluster.machines[1].broker
+            assert remote_broker.router.remote_table["learner"] == "m0.broker"
+        finally:
+            cluster.stop()
+
+    def test_learner_machine_is_data_center(self):
+        cluster = build_cluster(
+            _config(
+                machines=[
+                    MachineSpec("edge", explorers=1),
+                    MachineSpec("center", explorers=1, has_learner=True),
+                ]
+            )
+        )
+        try:
+            edge_broker = cluster.machines[0].broker
+            # Everything remote routes through the learner machine's broker.
+            assert set(edge_broker.router.remote_table.values()) == {"center.broker"}
+        finally:
+            cluster.stop()
+
+    def test_model_config_derived_from_env(self):
+        cluster = build_cluster(_config())
+        try:
+            model = cluster.learner.algorithm.model
+            assert model.config["obs_dim"] == 4
+            assert model.config["num_actions"] == 2
+        finally:
+            cluster.stop()
+
+    def test_continuous_env_model_config(self):
+        config = _config(
+            algorithm="ddpg",
+            environment="Pendulum",
+            model="ddpg",
+            machines=[MachineSpec("m0", explorers=1, has_learner=True)],
+        )
+        cluster = build_cluster(config)
+        try:
+            model = cluster.learner.algorithm.model
+            assert model.config["obs_dim"] == 3
+            assert model.config["action_dim"] == 1
+            assert model.config["action_bound"] == 2.0
+        finally:
+            cluster.stop()
+
+    def test_ppo_num_explorers_injected(self):
+        config = _config(
+            algorithm="ppo",
+            machines=[MachineSpec("m0", explorers=3, has_learner=True)],
+        )
+        cluster = build_cluster(config)
+        try:
+            assert cluster.learner.algorithm.num_explorers == 3
+        finally:
+            cluster.stop()
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            build_cluster(_config(machines=[MachineSpec("m0", explorers=1)]))
+
+    def test_explorer_agents_have_distinct_seeds(self):
+        cluster = build_cluster(_config())
+        try:
+            seeds = [
+                explorer.agent.config.get("seed") for explorer in cluster.explorers
+            ]
+            assert len(set(seeds)) == len(seeds)
+        finally:
+            cluster.stop()
+
+    def test_stop_idempotent(self):
+        cluster = build_cluster(_config())
+        cluster.stop()
+        cluster.stop()
+
+    def test_learner_lookup_fails_without_learner(self):
+        cluster = build_cluster(_config())
+        try:
+            cluster.machines[0].processes.clear()
+            with pytest.raises(LookupError):
+                _ = cluster.learner
+        finally:
+            cluster.stop()

@@ -1,0 +1,35 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.broker import Broker
+from repro.core.endpoint import ProcessEndpoint
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def broker():
+    """A started broker, stopped at teardown."""
+    instance = Broker("test-broker")
+    instance.start()
+    yield instance
+    instance.stop()
+
+
+@pytest.fixture
+def endpoint_pair(broker):
+    """Two started endpoints ('alice', 'bob') on the same broker."""
+    alice = ProcessEndpoint("alice", broker)
+    bob = ProcessEndpoint("bob", broker)
+    alice.start()
+    bob.start()
+    yield alice, bob
+    alice.stop()
+    bob.stop()

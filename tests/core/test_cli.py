@@ -1,0 +1,89 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, config_from_args, main
+
+
+class TestArgumentParsing:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        config = config_from_args(args)
+        assert config.algorithm == "impala"
+        assert config.environment == "CartPole"
+        assert config.num_explorers == 2
+        assert config.stop.max_seconds == 20.0
+
+    def test_flags_override(self):
+        args = build_parser().parse_args(
+            ["--algorithm", "ppo", "--explorers", "5", "--trained-steps", "1000",
+             "--fragment-steps", "64", "--seed", "7"]
+        )
+        config = config_from_args(args)
+        assert config.algorithm == "ppo"
+        assert config.num_explorers == 5
+        assert config.stop.total_trained_steps == 1000
+        assert config.fragment_steps == 64
+        assert config.seed == 7
+
+    def test_target_return_flag(self):
+        args = build_parser().parse_args(["--target-return", "150"])
+        config = config_from_args(args)
+        assert config.stop.target_return == 150.0
+
+
+class TestConfigFile:
+    def test_json_config_loaded(self, tmp_path):
+        path = tmp_path / "run.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "algorithm": "impala",
+                    "environment": "CartPole",
+                    "model": "actor_critic",
+                    "fragment_steps": 48,
+                    "machines": [
+                        {"name": "m0", "explorers": 3, "has_learner": True}
+                    ],
+                    "stop": {"max_seconds": 5.0},
+                }
+            )
+        )
+        args = build_parser().parse_args(["--config", str(path)])
+        config = config_from_args(args)
+        assert config.fragment_steps == 48
+        assert config.num_explorers == 3
+
+    def test_invalid_json_config_rejected(self, tmp_path):
+        from repro.core.errors import ConfigError
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"algorithm": "impala", "environment": "",
+                                    "model": "actor_critic"}))
+        args = build_parser().parse_args(["--config", str(path)])
+        with pytest.raises(ConfigError):
+            config_from_args(args)
+
+
+class TestMain:
+    def test_quiet_run(self, capsys):
+        exit_code = main(
+            ["--algorithm", "impala", "--explorers", "1",
+             "--fragment-steps", "32", "--trained-steps", "200",
+             "--max-seconds", "20", "--quiet"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "steps=" in out
+
+    def test_full_summary_run(self, capsys):
+        exit_code = main(
+            ["--algorithm", "impala", "--explorers", "1",
+             "--fragment-steps", "32", "--max-seconds", "1"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "run finished" in out
+        assert "learner mean wait" in out

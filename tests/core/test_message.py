@@ -1,0 +1,80 @@
+"""Tests for message headers and bodies."""
+
+import time
+
+import pytest
+
+from repro.core import message as msg
+from repro.core.message import Command, Message, MsgType, make_header, make_message
+
+
+class TestMakeHeader:
+    def test_carries_src_and_dst(self):
+        header = make_header("explorer-0", ["learner"], MsgType.ROLLOUT)
+        assert header[msg.SRC] == "explorer-0"
+        assert header[msg.DST] == ["learner"]
+
+    def test_dst_is_copied_to_list(self):
+        destinations = ("a", "b")
+        header = make_header("s", destinations, MsgType.WEIGHTS)
+        assert header[msg.DST] == ["a", "b"]
+        assert isinstance(header[msg.DST], list)
+
+    def test_sequence_numbers_are_monotonic(self):
+        first = make_header("s", ["d"], MsgType.DATA)
+        second = make_header("s", ["d"], MsgType.DATA)
+        assert second[msg.SEQ] > first[msg.SEQ]
+
+    def test_object_id_starts_empty(self):
+        header = make_header("s", ["d"], MsgType.DATA)
+        assert header[msg.OBJECT_ID] is None
+
+    def test_extra_fields_merge(self):
+        header = make_header("s", ["d"], MsgType.DATA, extra={"round": 3})
+        assert header["round"] == 3
+
+    def test_type_is_normalized_from_string(self):
+        header = make_header("s", ["d"], "rollout")
+        assert header[msg.TYPE] == MsgType.ROLLOUT
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(ValueError):
+            make_header("s", ["d"], "not-a-type")
+
+
+class TestMessage:
+    def test_properties_mirror_header(self):
+        message = make_message("a", ["b", "c"], MsgType.WEIGHTS, [1, 2], body_size=16)
+        assert message.src == "a"
+        assert message.dst == ["b", "c"]
+        assert message.msg_type == MsgType.WEIGHTS
+        assert message.body == [1, 2]
+        assert message.body_size == 16
+
+    def test_age_increases(self):
+        message = make_message("a", ["b"], MsgType.DATA, None)
+        first = message.age()
+        time.sleep(0.01)
+        assert message.age() > first
+
+    def test_with_header_does_not_mutate_original(self):
+        message = make_message("a", ["b"], MsgType.DATA, "body")
+        updated = message.with_header(dst=["c"])
+        assert message.dst == ["b"]
+        assert updated.dst == ["c"]
+        assert updated.body == "body"
+
+    def test_msgtype_is_string_enum(self):
+        assert MsgType.ROLLOUT.value == "rollout"
+        assert MsgType("weights") is MsgType.WEIGHTS
+
+
+class TestCommand:
+    def test_defaults(self):
+        command = Command("shutdown")
+        assert command.name == "shutdown"
+        assert command.payload == {}
+
+    def test_payload(self):
+        command = Command("start_population", {"rank": 2})
+        assert command.payload["rank"] == 2

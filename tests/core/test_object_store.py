@@ -1,0 +1,187 @@
+"""Tests for the object stores (in-memory and shared-memory)."""
+
+import sys
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compression import CompressionPolicy
+from repro.core.errors import ObjectStoreError, UnknownObjectError
+from repro.core.object_store import InMemoryObjectStore, SharedMemoryObjectStore
+
+
+class TestInMemoryReferenceMode:
+    def test_put_get_returns_same_object(self):
+        store = InMemoryObjectStore()
+        body = {"a": np.ones(3)}
+        object_id = store.put(body)
+        assert store.get(object_id) is body
+
+    def test_release_frees_at_zero_refcount(self):
+        store = InMemoryObjectStore()
+        object_id = store.put("body", refcount=2)
+        store.release(object_id)
+        assert store.get(object_id) == "body"  # still one ref left
+        store.release(object_id)
+        with pytest.raises(UnknownObjectError):
+            store.get(object_id)
+
+    def test_refcount_must_be_positive(self):
+        store = InMemoryObjectStore()
+        with pytest.raises(ObjectStoreError):
+            store.put("x", refcount=0)
+
+    def test_unknown_id_raises(self):
+        store = InMemoryObjectStore()
+        with pytest.raises(UnknownObjectError):
+            store.get("nope")
+        with pytest.raises(UnknownObjectError):
+            store.release("nope")
+
+    def test_len_counts_live_entries(self):
+        store = InMemoryObjectStore()
+        ids = [store.put(i) for i in range(3)]
+        assert len(store) == 3
+        store.release(ids[0])
+        assert len(store) == 2
+
+    def test_counters(self):
+        store = InMemoryObjectStore()
+        object_id = store.put("x")
+        store.get(object_id)
+        store.get(object_id)
+        assert store.total_put == 1
+        assert store.total_get == 2
+
+    def test_distinct_ids(self):
+        store = InMemoryObjectStore()
+        assert store.put("a") != store.put("a")
+
+
+class TestInMemoryCopyMode:
+    def test_get_returns_copy(self):
+        store = InMemoryObjectStore(copy_on_fetch=True)
+        body = np.zeros(4)
+        object_id = store.put(body, refcount=2)
+        fetched = store.get(object_id)
+        fetched[0] = 7.0
+        assert body[0] == 0.0
+        assert store.get(object_id)[0] == 0.0
+
+    def test_used_bytes_tracked_and_released(self):
+        store = InMemoryObjectStore(copy_on_fetch=True)
+        object_id = store.put(np.zeros(1000))
+        assert store.used_bytes > 8000
+        store.release(object_id)
+        assert store.used_bytes == 0
+
+    def test_capacity_enforced(self):
+        store = InMemoryObjectStore(copy_on_fetch=True, capacity_bytes=100)
+        with pytest.raises(ObjectStoreError, match="capacity"):
+            store.put(np.zeros(1000))
+
+    def test_compression_applied_over_threshold(self):
+        policy = CompressionPolicy(threshold=64)
+        store = InMemoryObjectStore(copy_on_fetch=True, compression=policy)
+        compressible = np.zeros(100_000, dtype=np.uint8)
+        object_id = store.put(compressible)
+        assert store.used_bytes < compressible.nbytes / 10
+        assert np.array_equal(store.get(object_id), compressible)
+
+    def test_copy_bandwidth_charges_time(self):
+        store = InMemoryObjectStore(copy_on_fetch=True, copy_bandwidth=1e6)
+        started = time.monotonic()
+        object_id = store.put(np.zeros(100_000, dtype=np.uint8))  # ~0.1s
+        store.get(object_id)
+        assert time.monotonic() - started >= 0.15
+
+    def test_copy_bandwidth_validation(self):
+        with pytest.raises(ObjectStoreError):
+            InMemoryObjectStore(copy_bandwidth=-1)
+
+
+class TestReferenceModeCharging:
+    def test_nbytes_hint_charges_without_serialization(self):
+        store = InMemoryObjectStore(copy_bandwidth=1e6)
+        started = time.monotonic()
+        object_id = store.put("tiny", nbytes=50_000)
+        store.get(object_id)
+        elapsed = time.monotonic() - started
+        assert elapsed >= 0.08  # 2 x 50ms charges
+
+    def test_no_hint_no_charge(self):
+        store = InMemoryObjectStore(copy_bandwidth=1e3)
+        started = time.monotonic()
+        store.get(store.put("tiny"))
+        assert time.monotonic() - started < 0.05
+
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=0, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_property_refcount_semantics(self, refcount, releases):
+        releases = min(releases, refcount)
+        store = InMemoryObjectStore()
+        object_id = store.put("body", refcount=refcount)
+        for _ in range(releases):
+            store.release(object_id)
+        if releases < refcount:
+            assert store.get(object_id) == "body"
+        else:
+            with pytest.raises(UnknownObjectError):
+                store.get(object_id)
+
+
+@pytest.mark.skipif(
+    sys.platform == "win32", reason="POSIX shared memory semantics assumed"
+)
+class TestSharedMemoryStore:
+    def test_roundtrip(self):
+        store = SharedMemoryObjectStore()
+        try:
+            body = {"weights": np.arange(64, dtype=np.float64)}
+            object_id = store.put(body)
+            fetched = store.get(object_id)
+            assert np.array_equal(fetched["weights"], body["weights"])
+        finally:
+            store.close()
+
+    def test_release_unlinks(self):
+        store = SharedMemoryObjectStore()
+        try:
+            object_id = store.put(b"payload")
+            store.release(object_id)
+            with pytest.raises(UnknownObjectError):
+                store.get(object_id)
+            assert len(store) == 0
+        finally:
+            store.close()
+
+    def test_refcounted_broadcast(self):
+        store = SharedMemoryObjectStore()
+        try:
+            object_id = store.put([1, 2, 3], refcount=3)
+            for _ in range(3):
+                assert store.get(object_id) == [1, 2, 3]
+                store.release(object_id)
+            with pytest.raises(UnknownObjectError):
+                store.get(object_id)
+        finally:
+            store.close()
+
+    def test_compression_in_shared_segments(self):
+        store = SharedMemoryObjectStore(
+            compression=CompressionPolicy(threshold=128)
+        )
+        try:
+            data = np.zeros(1 << 16, dtype=np.uint8)
+            assert np.array_equal(store.get(store.put(data)), data)
+        finally:
+            store.close()
+
+    def test_close_is_idempotent(self):
+        store = SharedMemoryObjectStore()
+        store.put("x")
+        store.close()
+        store.close()

@@ -1,0 +1,105 @@
+"""Tests for the registry and the Agent/Model base classes."""
+
+import numpy as np
+import pytest
+
+from repro.api import Agent, Model
+from repro.api.registry import Registry, registry
+from repro.core.errors import RegistryError
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        table = Registry()
+        table.register("model", "m", Model)
+        assert table.get("model", "m") is Model
+
+    def test_duplicate_rejected(self):
+        table = Registry()
+        table.register("agent", "a", Agent)
+        with pytest.raises(RegistryError, match="already registered"):
+            table.register("agent", "a", Agent)
+
+    def test_overwrite_allowed_when_asked(self):
+        table = Registry()
+        table.register("agent", "a", Agent)
+        table.register("agent", "a", Model, overwrite=True)
+        assert table.get("agent", "a") is Model
+
+    def test_unknown_name(self):
+        table = Registry()
+        with pytest.raises(RegistryError, match="unknown model"):
+            table.get("model", "ghost")
+
+    def test_unknown_kind(self):
+        table = Registry()
+        with pytest.raises(RegistryError, match="kind"):
+            table.get("plugin", "x")
+
+    def test_names_sorted(self):
+        table = Registry()
+        table.register("environment", "b", object)
+        table.register("environment", "a", object)
+        assert table.names("environment") == ["a", "b"]
+
+    def test_global_registry_has_zoo(self):
+        import repro.algorithms  # noqa: F401
+        import repro.envs  # noqa: F401
+
+        algorithms = registry.names("algorithm")
+        for name in ("dqn", "ppo", "impala", "ddpg", "a2c", "muzero"):
+            assert name in algorithms
+        assert "CartPole" in registry.names("environment")
+        assert "actor_critic" in registry.names("model")
+
+
+class TestAgentBase:
+    def _agent(self):
+        from repro.algorithms.impala import ImpalaAgent, ImpalaAlgorithm
+        from repro.algorithms.ppo.model import ActorCriticModel
+        from repro.envs.cartpole import CartPoleEnv
+
+        algorithm = ImpalaAlgorithm(
+            ActorCriticModel(
+                {"obs_dim": 4, "num_actions": 2, "hidden_sizes": [8], "seed": 0}
+            ),
+            {},
+        )
+        return ImpalaAgent(algorithm, CartPoleEnv({"seed": 0}), {"seed": 0})
+
+    def test_fragment_spans_episode_boundaries(self):
+        agent = self._agent()
+        agent.environment.max_episode_steps = 5
+        rollout, returns = agent.run_fragment(17)
+        assert len(rollout["reward"]) == 17
+        assert len(returns) == 3  # 3 episodes completed inside the fragment
+
+    def test_state_carries_across_fragments(self):
+        agent = self._agent()
+        agent.run_fragment(3)
+        steps_before = agent.total_steps
+        agent.run_fragment(3)
+        assert agent.total_steps == steps_before + 3
+
+    def test_empty_fragment(self):
+        agent = self._agent()
+        rollout, returns = agent.run_fragment(0)
+        assert rollout == {}
+        assert returns == []
+
+    def test_stack_aligns_fields(self):
+        agent = self._agent()
+        rollout, _ = agent.run_fragment(4)
+        lengths = {len(np.asarray(v)) for v in rollout.values()}
+        assert lengths == {4}
+
+
+class TestModelBase:
+    def test_parameter_accounting(self):
+        from repro.algorithms.dqn import QNetworkModel
+
+        model = QNetworkModel(
+            {"obs_dim": 3, "num_actions": 2, "hidden_sizes": [4], "seed": 0}
+        )
+        assert model.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2
+        assert model.weights_nbytes() == model.num_parameters() * 8

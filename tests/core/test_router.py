@@ -1,0 +1,211 @@
+"""Tests for the algorithm-agnostic router."""
+
+import time
+from typing import Any, Dict, List, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.communicator import ShareMemCommunicator
+from repro.core.errors import UnknownDestinationError
+from repro.core.message import DST, OBJECT_ID, MsgType, make_header
+from repro.core.router import AlgorithmAgnosticRouter
+
+
+def _header(dst, body_size=0):
+    return make_header("src", dst, MsgType.DATA, body_size=body_size)
+
+
+class TestLocalRouting:
+    def test_single_destination(self):
+        comm = ShareMemCommunicator()
+        queue = comm.register("learner")
+        router = AlgorithmAgnosticRouter(comm)
+        object_id = comm.object_store.put("body")
+        header = _header(["learner"])
+        header[OBJECT_ID] = object_id
+        router.route(header)
+        delivered = queue.get(timeout=1)
+        assert delivered[OBJECT_ID] == object_id
+        assert router.routed_local == 1
+
+    def test_broadcast_fanout_to_all_destinations(self):
+        comm = ShareMemCommunicator()
+        queues = {name: comm.register(name) for name in ("e0", "e1", "e2")}
+        router = AlgorithmAgnosticRouter(comm)
+        object_id = comm.object_store.put("weights", refcount=3)
+        header = _header(["e0", "e1", "e2"])
+        header[OBJECT_ID] = object_id
+        router.route(header)
+        for queue in queues.values():
+            assert queue.get(timeout=1)[OBJECT_ID] == object_id
+
+    def test_headers_are_copied_per_destination(self):
+        comm = ShareMemCommunicator()
+        queue_a = comm.register("a")
+        queue_b = comm.register("b")
+        router = AlgorithmAgnosticRouter(comm)
+        router.route(_header(["a", "b"]))
+        header_a = queue_a.get(timeout=1)
+        header_b = queue_b.get(timeout=1)
+        assert header_a is not header_b
+
+    def test_unknown_destination_raises(self):
+        comm = ShareMemCommunicator()
+        router = AlgorithmAgnosticRouter(comm)
+        with pytest.raises(UnknownDestinationError):
+            router.route(_header(["ghost"]))
+
+    def test_drop_mode_counts_dropped(self):
+        comm = ShareMemCommunicator()
+        router = AlgorithmAgnosticRouter(comm, on_unroutable="drop")
+        router.start()
+        comm.header_queue.put(_header(["ghost"]))
+        time.sleep(0.1)
+        router.stop()
+        assert router.dropped == 1
+
+    def test_invalid_on_unroutable(self):
+        with pytest.raises(ValueError):
+            AlgorithmAgnosticRouter(ShareMemCommunicator(), on_unroutable="ignore")
+
+    def test_monitor_thread_routes_from_header_queue(self):
+        comm = ShareMemCommunicator()
+        queue = comm.register("learner")
+        router = AlgorithmAgnosticRouter(comm)
+        router.start()
+        comm.header_queue.put(_header(["learner"]))
+        delivered = queue.get(timeout=2)
+        router.stop()
+        assert delivered is not None
+        assert delivered[DST] == ["learner"]
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_fanout_complete(self, n_destinations):
+        comm = ShareMemCommunicator()
+        names = [f"d{i}" for i in range(n_destinations)]
+        queues = [comm.register(name) for name in names]
+        router = AlgorithmAgnosticRouter(comm)
+        object_id = comm.object_store.put("b", refcount=n_destinations)
+        header = _header(names)
+        header[OBJECT_ID] = object_id
+        router.route(header)
+        for queue in queues:
+            assert queue.get(timeout=1) is not None
+
+
+class TestRemoteRouting:
+    def _setup(self) -> Tuple[ShareMemCommunicator, AlgorithmAgnosticRouter, List]:
+        comm = ShareMemCommunicator()
+        shipped: List[Tuple[str, Dict[str, Any], Any, int]] = []
+
+        def remote_send(broker, header, body, nbytes):
+            shipped.append((broker, header, body, nbytes))
+
+        router = AlgorithmAgnosticRouter(
+            comm,
+            remote_table={"remote-learner": "broker-B", "remote-e1": "broker-B",
+                          "far-e": "broker-C"},
+            remote_send=remote_send,
+        )
+        return comm, router, shipped
+
+    def test_remote_destination_ships_body_once_per_machine(self):
+        comm, router, shipped = self._setup()
+        object_id = comm.object_store.put("body", refcount=2)
+        header = _header(["remote-learner", "remote-e1"], body_size=77)
+        header[OBJECT_ID] = object_id
+        router.route(header)
+        assert len(shipped) == 1  # grouped by machine
+        broker, remote_header, body, nbytes = shipped[0]
+        assert broker == "broker-B"
+        assert sorted(remote_header[DST]) == ["remote-e1", "remote-learner"]
+        assert body == "body"
+        assert nbytes == 77
+        # Both refs released after shipping.
+        assert len(comm.object_store) == 0
+
+    def test_mixed_local_and_remote(self):
+        comm, router, shipped = self._setup()
+        local_queue = comm.register("local-e")
+        object_id = comm.object_store.put("w", refcount=2)
+        header = _header(["local-e", "remote-learner"])
+        header[OBJECT_ID] = object_id
+        router.route(header)
+        assert local_queue.get(timeout=1) is not None
+        assert len(shipped) == 1
+
+    def test_multiple_remote_machines(self):
+        comm, router, shipped = self._setup()
+        object_id = comm.object_store.put("w", refcount=2)
+        header = _header(["remote-learner", "far-e"])
+        header[OBJECT_ID] = object_id
+        router.route(header)
+        assert sorted(s[0] for s in shipped) == ["broker-B", "broker-C"]
+
+    def test_remote_without_fabric_raises(self):
+        comm = ShareMemCommunicator()
+        router = AlgorithmAgnosticRouter(comm, remote_table={"x": "b"})
+        with pytest.raises(UnknownDestinationError, match="no fabric"):
+            router.route(_header(["x"]))
+
+    def test_on_remote_receive_reinserts_body(self):
+        comm = ShareMemCommunicator()
+        queue = comm.register("learner")
+        router = AlgorithmAgnosticRouter(comm)
+        header = _header(["learner"], body_size=5)
+        router.on_remote_receive(header, "arrived")
+        delivered = queue.get(timeout=1)
+        body = comm.object_store.get(delivered[OBJECT_ID])
+        assert body == "arrived"
+
+    def test_on_remote_receive_no_local_dest_raises(self):
+        comm = ShareMemCommunicator()
+        router = AlgorithmAgnosticRouter(comm)
+        with pytest.raises(UnknownDestinationError):
+            router.on_remote_receive(_header(["ghost"]), "body")
+
+
+class TestTransitForwarding:
+    def test_remote_receive_forwards_to_onward_route(self):
+        """Edge-to-edge messages transit through the center broker."""
+        comm = ShareMemCommunicator()
+        shipped = []
+        router = AlgorithmAgnosticRouter(
+            comm,
+            remote_table={"edge-e": "broker-C"},
+            remote_send=lambda broker, header, body, nbytes: shipped.append(
+                (broker, header, body, nbytes)
+            ),
+        )
+        header = _header(["edge-e"], body_size=9)
+        router.on_remote_receive(header, "transit-body")
+        assert len(shipped) == 1
+        broker, fwd_header, body, nbytes = shipped[0]
+        assert broker == "broker-C"
+        assert fwd_header[DST] == ["edge-e"]
+        assert body == "transit-body"
+        assert nbytes == 9
+
+    def test_remote_receive_mixed_local_and_transit(self):
+        comm = ShareMemCommunicator()
+        local_queue = comm.register("local-e")
+        shipped = []
+        router = AlgorithmAgnosticRouter(
+            comm,
+            remote_table={"edge-e": "broker-C"},
+            remote_send=lambda *args: shipped.append(args),
+        )
+        router.on_remote_receive(_header(["local-e", "edge-e"]), "body")
+        assert local_queue.get(timeout=1) is not None
+        assert len(shipped) == 1
+
+    def test_remote_receive_unroutable_still_raises(self):
+        comm = ShareMemCommunicator()
+        router = AlgorithmAgnosticRouter(
+            comm, remote_table={}, remote_send=lambda *args: None
+        )
+        with pytest.raises(UnknownDestinationError):
+            router.on_remote_receive(_header(["nowhere"]), "body")

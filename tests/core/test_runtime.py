@@ -1,0 +1,57 @@
+"""Tests for the runtime session API."""
+
+import pytest
+
+from repro import StopCondition, XingTianSession, single_machine_config
+from repro.core.errors import ConfigError
+
+
+def _config(**overrides):
+    base = dict(
+        explorers=1,
+        fragment_steps=32,
+        stop=StopCondition(total_trained_steps=300, max_seconds=30),
+        seed=0,
+    )
+    base.update(overrides)
+    return single_machine_config("impala", "CartPole", "actor_critic", **base)
+
+
+class TestXingTianSession:
+    def test_invalid_config_rejected_at_construction(self):
+        config = _config()
+        config.fragment_steps = -1
+        with pytest.raises(ConfigError):
+            XingTianSession(config)
+
+    def test_run_returns_populated_result(self):
+        result = XingTianSession(_config()).run()
+        assert result.total_trained_steps >= 300
+        assert result.elapsed_s > 0
+        assert result.shutdown_reason
+        assert result.throughput_steps_per_s > 0
+        assert result.mean_train_s >= 0
+
+    def test_cluster_torn_down_after_run(self):
+        session = XingTianSession(_config())
+        result = session.run()
+        assert result is not None
+        cluster = session.cluster
+        assert cluster is not None
+        # All workhorses stopped.
+        for machine in cluster.machines:
+            for process in machine.processes:
+                assert not process.workhorse.running
+
+    def test_throughput_series_covers_run(self):
+        result = XingTianSession(
+            _config(stop=StopCondition(max_seconds=1.5))
+        ).run()
+        assert result.throughput_series
+        assert result.throughput_series[0][0] == pytest.approx(0.0)
+
+    def test_two_sequential_sessions_are_independent(self):
+        first = XingTianSession(_config(seed=1)).run()
+        second = XingTianSession(_config(seed=2)).run()
+        assert first.total_trained_steps >= 300
+        assert second.total_trained_steps >= 300

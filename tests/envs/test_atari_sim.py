@@ -1,0 +1,133 @@
+"""Tests for the synthetic Atari environments."""
+
+import numpy as np
+import pytest
+
+from repro.envs.atari_sim import (
+    AtariSimEnv,
+    BeamRiderSimEnv,
+    BreakoutSimEnv,
+    QbertSimEnv,
+    SpaceInvadersSimEnv,
+    make_atari_sim,
+)
+
+
+class TestAtariSim:
+    def test_observation_shape_and_dtype(self):
+        env = AtariSimEnv({"seed": 0})
+        frame = env.reset()
+        assert frame.shape == (84, 84)
+        assert frame.dtype == np.uint8
+
+    def test_custom_obs_shape(self):
+        env = AtariSimEnv({"obs_shape": (8, 8), "seed": 0})
+        assert env.reset().shape == (8, 8)
+
+    def test_step_before_reset_raises(self):
+        with pytest.raises(RuntimeError):
+            AtariSimEnv({"seed": 0}).step(0)
+
+    def test_invalid_action_rejected(self):
+        env = AtariSimEnv({"seed": 0})
+        env.reset()
+        with pytest.raises(ValueError):
+            env.step(99)
+
+    def test_correct_action_scores(self):
+        env = AtariSimEnv({"seed": 0, "reward_scale": 7.0})
+        env.reset()
+        correct = int(env._correct_action[env._state])
+        _, reward, _, _ = env.step(correct)
+        assert reward == 7.0
+
+    def test_wrong_action_costs_a_life(self):
+        env = AtariSimEnv({"seed": 0, "lives": 2, "num_actions": 4})
+        env.reset()
+        wrong = (int(env._correct_action[env._state]) + 1) % 4
+        _, reward, done, info = env.step(wrong)
+        assert reward == 0.0
+        assert info["lives"] == 1
+        assert not done
+
+    def test_episode_ends_when_lives_exhausted(self):
+        env = AtariSimEnv({"seed": 0, "lives": 1, "num_actions": 4})
+        env.reset()
+        wrong = (int(env._correct_action[env._state]) + 1) % 4
+        _, _, done, _ = env.step(wrong)
+        assert done
+
+    def test_episode_capped_at_max_steps(self):
+        env = AtariSimEnv({"seed": 0, "max_episode_steps": 3, "lives": 100})
+        env.reset()
+        done = False
+        steps = 0
+        while not done:
+            correct = int(env._correct_action[env._state])
+            _, _, done, _ = env.step(correct)
+            steps += 1
+        assert steps == 3
+
+    def test_latent_state_stamped_into_frame(self):
+        env = AtariSimEnv({"seed": 0, "obs_shape": (16, 16), "num_states": 8})
+        frame = env.reset()
+        row = frame.reshape(16, -1)[0]
+        assert (row == 255).sum() == 1  # exactly one bright marker pixel
+        assert row[env._state % 16] == 255
+
+    def test_frames_differ_across_states(self):
+        env = AtariSimEnv({"seed": 0, "num_states": 4})
+        env.reset()
+        env._state = 0
+        frame_a = env._render()
+        env._state = 1
+        frame_b = env._render()
+        assert not np.array_equal(frame_a, frame_b)
+
+    def test_deterministic_dynamics_with_seed(self):
+        def trace(seed):
+            env = AtariSimEnv({"seed": seed})
+            env.reset()
+            rewards = []
+            for action in [0, 1, 2, 3, 0]:
+                _, reward, done, _ = env.step(action)
+                rewards.append(reward)
+                if done:
+                    break
+            return rewards
+
+        assert trace(5) == trace(5)
+
+
+class TestGameVariants:
+    @pytest.mark.parametrize(
+        "cls,name",
+        [
+            (BeamRiderSimEnv, "BeamRider"),
+            (BreakoutSimEnv, "Breakout"),
+            (QbertSimEnv, "Qbert"),
+            (SpaceInvadersSimEnv, "SpaceInvaders"),
+        ],
+    )
+    def test_factory_and_names(self, cls, name):
+        env = make_atari_sim(name)
+        assert isinstance(env, cls)
+        assert env.game_name == name
+        assert env.reset().shape == (84, 84)
+
+    def test_unknown_game_rejected(self):
+        with pytest.raises(KeyError):
+            make_atari_sim("Pong")
+
+    def test_reward_scales_differ_by_game(self):
+        scales = {
+            name: make_atari_sim(name).reward_scale
+            for name in ("BeamRider", "Breakout", "Qbert", "SpaceInvaders")
+        }
+        assert len(set(scales.values())) == 4
+        assert scales["Breakout"] < scales["Qbert"]
+
+    def test_config_overrides_merge(self):
+        env = make_atari_sim("Breakout", {"obs_shape": (10, 10)})
+        assert env.obs_shape == (10, 10)
+        assert env.reward_scale == 1.0  # game default preserved

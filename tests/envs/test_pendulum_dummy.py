@@ -1,0 +1,98 @@
+"""Tests for Pendulum and the dummy payload environment."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.envs.dummy import DummyPayloadEnv
+from repro.envs.pendulum import MAX_TORQUE, PendulumEnv
+
+
+class TestPendulum:
+    def test_observation_is_cos_sin_thetadot(self):
+        env = PendulumEnv({"seed": 0})
+        obs = env.reset()
+        assert obs.shape == (3,)
+        assert obs[0] == pytest.approx(math.cos(env._theta), abs=1e-6)
+        assert obs[1] == pytest.approx(math.sin(env._theta), abs=1e-6)
+
+    def test_step_before_reset_raises(self):
+        with pytest.raises(RuntimeError):
+            PendulumEnv().step([0.0])
+
+    def test_reward_is_nonpositive(self):
+        env = PendulumEnv({"seed": 0})
+        env.reset()
+        for _ in range(10):
+            _, reward, _, _ = env.step([0.0])
+            assert reward <= 0.0
+
+    def test_reward_best_at_upright(self):
+        env = PendulumEnv({"seed": 0})
+        env.reset()
+        env._theta, env._theta_dot = 0.0, 0.0  # upright, still
+        _, upright_reward, _, _ = env.step([0.0])
+        env._theta, env._theta_dot = math.pi, 0.0  # hanging down
+        _, hanging_reward, _, _ = env.step([0.0])
+        assert upright_reward > hanging_reward
+
+    def test_torque_clipped(self):
+        env = PendulumEnv({"seed": 0})
+        env.reset()
+        env._theta, env._theta_dot = 0.0, 0.0
+        obs_big, _, _, _ = env.step([100.0])
+        env._theta, env._theta_dot = 0.0, 0.0
+        obs_max, _, _, _ = env.step([MAX_TORQUE])
+        assert np.allclose(obs_big, obs_max)
+
+    def test_episode_length(self):
+        env = PendulumEnv({"seed": 0, "max_episode_steps": 7})
+        env.reset()
+        done = False
+        steps = 0
+        while not done:
+            _, _, done, _ = env.step([0.0])
+            steps += 1
+        assert steps == 7
+
+    def test_gravity_pulls_from_horizontal(self):
+        env = PendulumEnv({"seed": 0})
+        env.reset()
+        env._theta, env._theta_dot = math.pi / 2, 0.0
+        env.step([0.0])
+        assert env._theta_dot > 0  # sin(pi/2) > 0 accelerates theta
+
+    def test_action_space_bounds(self):
+        space = PendulumEnv().action_space
+        assert np.all(space.low == -MAX_TORQUE)
+        assert np.all(space.high == MAX_TORQUE)
+
+
+class TestDummyPayloadEnv:
+    def test_payload_size_exact(self):
+        env = DummyPayloadEnv({"payload_bytes": 2048, "seed": 0})
+        obs = env.reset()
+        assert obs.nbytes == 2048
+
+    def test_episode_length(self):
+        env = DummyPayloadEnv({"payload_bytes": 16, "episode_length": 3})
+        env.reset()
+        assert env.step(0)[2] is False
+        assert env.step(0)[2] is False
+        assert env.step(0)[2] is True
+
+    def test_zero_reward(self):
+        env = DummyPayloadEnv({"payload_bytes": 16})
+        env.reset()
+        assert env.step(1)[1] == 0.0
+
+    def test_invalid_payload_bytes(self):
+        with pytest.raises(ValueError):
+            DummyPayloadEnv({"payload_bytes": 0})
+
+    def test_payload_constant_across_steps(self):
+        env = DummyPayloadEnv({"payload_bytes": 64, "seed": 1})
+        first = env.reset()
+        second, _, _, _ = env.step(0)
+        assert np.array_equal(first, second)

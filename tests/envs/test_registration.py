@@ -1,0 +1,40 @@
+"""Tests for environment registration."""
+
+import pytest
+
+from repro.api.registry import registry
+from repro.envs import registration
+
+
+class TestRegistration:
+    def test_all_bundled_environments_registered(self):
+        names = registry.names("environment")
+        for expected in (
+            "CartPole", "Pendulum", "BeamRider", "Breakout", "Qbert",
+            "SpaceInvaders", "DummyPayload",
+        ):
+            assert expected in names
+
+    def test_register_all_idempotent(self):
+        registration.register_all()
+        registration.register_all()
+        assert "CartPole" in registry.names("environment")
+
+    def test_registered_classes_are_constructible(self):
+        for name in registration._ENVIRONMENTS:
+            env_cls = registry.get("environment", name)
+            env = env_cls({"seed": 0})
+            obs = env.reset()
+            assert obs is not None
+            env.close()
+
+    def test_registered_classes_step(self):
+        for name in ("CartPole", "Breakout", "DummyPayload"):
+            env = registry.get("environment", name)({"seed": 0})
+            env.reset()
+            import numpy as np
+
+            action = env.action_space.sample(np.random.default_rng(0))
+            obs, reward, done, info = env.step(action)
+            assert isinstance(done, bool)
+            assert isinstance(info, dict)

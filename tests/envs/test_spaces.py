@@ -1,0 +1,73 @@
+"""Tests for observation/action spaces."""
+
+import numpy as np
+import pytest
+
+from repro.envs.spaces import Box, Discrete
+
+
+class TestDiscrete:
+    def test_contains(self):
+        space = Discrete(3)
+        assert space.contains(0)
+        assert space.contains(2)
+        assert not space.contains(3)
+        assert not space.contains(-1)
+        assert not space.contains(1.5)
+        assert not space.contains("a")
+
+    def test_sample_in_range(self, rng):
+        space = Discrete(5)
+        for _ in range(50):
+            assert space.contains(space.sample(rng))
+
+    def test_needs_positive_n(self):
+        with pytest.raises(ValueError):
+            Discrete(0)
+
+    def test_equality(self):
+        assert Discrete(3) == Discrete(3)
+        assert Discrete(3) != Discrete(4)
+
+    def test_repr(self):
+        assert "3" in repr(Discrete(3))
+
+
+class TestBox:
+    def test_shape_inferred_from_bounds(self):
+        space = Box(np.zeros(4), np.ones(4))
+        assert space.shape == (4,)
+
+    def test_scalar_bounds_with_shape(self):
+        space = Box(-1.0, 1.0, shape=(2, 3))
+        assert space.low.shape == (2, 3)
+        assert np.all(space.high == 1.0)
+
+    def test_contains(self):
+        space = Box(-1.0, 1.0, shape=(2,))
+        assert space.contains(np.zeros(2))
+        assert not space.contains(np.full(2, 2.0))
+        assert not space.contains(np.zeros(3))
+
+    def test_sample_within_bounds(self, rng):
+        space = Box(-2.0, 3.0, shape=(5,))
+        for _ in range(20):
+            assert space.contains(space.sample(rng))
+
+    def test_sample_with_infinite_bounds(self, rng):
+        space = Box(-np.inf, np.inf, shape=(3,))
+        sample = space.sample(rng)
+        assert sample.shape == (3,)
+        assert np.all(np.isfinite(sample))
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Box(np.ones(2), np.zeros(2))
+
+    def test_equality(self):
+        assert Box(0, 1, shape=(2,)) == Box(0, 1, shape=(2,))
+        assert Box(0, 1, shape=(2,)) != Box(0, 2, shape=(2,))
+
+    def test_dtype_applied(self):
+        space = Box(0, 255, shape=(4,), dtype=np.uint8)
+        assert space.low.dtype == np.uint8

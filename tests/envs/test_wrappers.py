@@ -1,0 +1,160 @@
+"""Tests for environment wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.envs.cartpole import CartPoleEnv
+from repro.envs.dummy import DummyPayloadEnv
+from repro.envs.wrappers import (
+    ActionRepeat,
+    ClipReward,
+    FrameStack,
+    NormalizeObservation,
+    ScaleReward,
+    TimeLimit,
+    Wrapper,
+)
+
+
+class TestWrapperBase:
+    def test_delegation(self):
+        env = Wrapper(CartPoleEnv({"seed": 0}))
+        obs = env.reset()
+        assert obs.shape == (4,)
+        assert env.action_space.n == 2
+
+    def test_unwrapped_reaches_innermost(self):
+        inner = CartPoleEnv({"seed": 0})
+        stacked = FrameStack(ClipReward(inner), k=2)
+        assert stacked.unwrapped() is inner
+
+
+class TestFrameStack:
+    def test_shape(self):
+        env = FrameStack(CartPoleEnv({"seed": 0}), k=4)
+        obs = env.reset()
+        assert obs.shape == (4, 4)
+        assert env.observation_space.shape == (4, 4)
+
+    def test_reset_fills_with_first_frame(self):
+        env = FrameStack(CartPoleEnv({"seed": 0}), k=3)
+        obs = env.reset()
+        assert np.array_equal(obs[0], obs[1])
+        assert np.array_equal(obs[1], obs[2])
+
+    def test_step_shifts_window(self):
+        env = FrameStack(CartPoleEnv({"seed": 0}), k=2)
+        first = env.reset()
+        second, _, _, _ = env.step(1)
+        assert np.array_equal(second[0], first[1])
+        assert not np.array_equal(second[1], second[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrameStack(CartPoleEnv(), k=0)
+
+
+class TestNormalizeObservation:
+    def test_running_statistics_converge(self):
+        env = NormalizeObservation(DummyPayloadEnv({"payload_bytes": 8, "seed": 0}))
+        env.reset()
+        for _ in range(50):
+            obs, _, done, _ = env.step(0)
+            if done:
+                env.reset()
+        # A constant observation normalizes to ~0.
+        assert np.all(np.abs(obs) < 1.0)
+
+    def test_clipping(self):
+        env = NormalizeObservation(CartPoleEnv({"seed": 0}), clip=0.5)
+        obs = env.reset()
+        assert np.all(np.abs(obs) <= 0.5)
+
+
+class TestRewardWrappers:
+    def test_clip_reward(self):
+        env = ClipReward(ScaleReward(CartPoleEnv({"seed": 0}), 100.0))
+        env.reset()
+        _, reward, _, info = env.step(0)
+        assert reward == 1.0  # 100 clipped to 1
+        assert info["raw_reward"] == 100.0
+
+    def test_clip_validation(self):
+        with pytest.raises(ValueError):
+            ClipReward(CartPoleEnv(), low=1.0, high=-1.0)
+
+    def test_scale_reward(self):
+        env = ScaleReward(CartPoleEnv({"seed": 0}), 0.1)
+        env.reset()
+        _, reward, _, _ = env.step(0)
+        assert reward == pytest.approx(0.1)
+
+
+class TestActionRepeat:
+    def test_rewards_summed(self):
+        env = ActionRepeat(CartPoleEnv({"seed": 0}), k=3)
+        env.reset()
+        _, reward, _, _ = env.step(1)
+        assert reward == 3.0
+
+    def test_stops_at_done(self):
+        env = ActionRepeat(CartPoleEnv({"seed": 0, "max_episode_steps": 2}), k=5)
+        env.reset()
+        _, reward, done, _ = env.step(1)
+        assert done
+        assert reward == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActionRepeat(CartPoleEnv(), k=0)
+
+
+class TestTimeLimit:
+    def test_truncates(self):
+        env = TimeLimit(CartPoleEnv({"seed": 0, "max_episode_steps": 500}), 3)
+        env.reset()
+        env.step(1)
+        env.step(0)
+        _, _, done, info = env.step(1)
+        assert done
+        assert info["truncated"]
+
+    def test_reset_restarts_clock(self):
+        env = TimeLimit(CartPoleEnv({"seed": 0, "max_episode_steps": 500}), 2)
+        env.reset()
+        env.step(1)
+        env.reset()
+        _, _, done, _ = env.step(1)
+        assert not done
+
+    def test_natural_done_not_marked_truncated(self):
+        env = TimeLimit(CartPoleEnv({"seed": 0, "max_episode_steps": 1}), 50)
+        env.reset()
+        _, _, done, info = env.step(1)
+        assert done
+        assert "truncated" in info  # inner env's own truncation flag
+
+
+class TestWrappedTraining:
+    def test_wrapped_env_trains_under_xingtian(self):
+        """Wrappers compose with the full framework via a registered env."""
+        from repro import StopCondition, run_config, single_machine_config
+        from repro.api.registry import registry
+
+        class WrappedCartPole(Wrapper):
+            def __init__(self, config=None):
+                super().__init__(
+                    ScaleReward(CartPoleEnv(config or {}), 1.0)
+                )
+
+        registry.register("environment", "WrappedCartPole", WrappedCartPole,
+                          overwrite=True)
+        result = run_config(
+            single_machine_config(
+                "impala", "WrappedCartPole", "actor_critic",
+                explorers=1, fragment_steps=32,
+                stop=StopCondition(total_trained_steps=200, max_seconds=30),
+                seed=0,
+            )
+        )
+        assert result.total_trained_steps >= 200

@@ -1,0 +1,162 @@
+"""Integration tests: checkpointing, failure injection, shutdown robustness."""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import StopCondition, run_config, single_machine_config
+from repro.algorithms.impala import ImpalaAlgorithm
+from repro.algorithms.ppo.model import ActorCriticModel
+from repro.cluster import build_cluster
+from repro.core.broker import Broker
+from repro.core.endpoint import ProcessEndpoint
+from repro.core.message import MsgType, make_message
+
+AC_CONFIG = {"obs_dim": 4, "num_actions": 2, "hidden_sizes": [16], "seed": 0}
+
+
+class TestCheckpointRecovery:
+    def test_restore_resumes_training_state(self, tmp_path):
+        """The paper's fault-tolerance path: periodic checkpoints restore
+        DNN parameters after failure."""
+        algorithm = ImpalaAlgorithm(ActorCriticModel(dict(AC_CONFIG)), {"seed": 0})
+        rng = np.random.default_rng(0)
+        rollout = {
+            "obs": rng.normal(size=(16, 4)),
+            "action": rng.integers(2, size=16),
+            "reward": rng.normal(size=16),
+            "next_obs": rng.normal(size=(16, 4)),
+            "done": np.zeros(16, dtype=bool),
+            "logp": np.full(16, -0.7),
+        }
+        algorithm.prepare_data(rollout, source="e0")
+        algorithm.train()
+        path = os.path.join(tmp_path, "learner.ckpt")
+        algorithm.save_checkpoint(path)
+
+        # "Crash" and restore into a freshly-initialized algorithm.
+        recovered = ImpalaAlgorithm(ActorCriticModel(dict(AC_CONFIG, seed=99)), {})
+        recovered.restore_checkpoint(path)
+        assert recovered.train_count == algorithm.train_count
+        for a, b in zip(recovered.get_weights(), algorithm.get_weights()):
+            assert np.allclose(a, b)
+
+    def test_checkpoint_atomic_overwrite(self, tmp_path):
+        algorithm = ImpalaAlgorithm(ActorCriticModel(dict(AC_CONFIG)), {})
+        path = os.path.join(tmp_path, "ckpt")
+        algorithm.save_checkpoint(path)
+        algorithm.save_checkpoint(path)  # overwrite must not corrupt
+        recovered = ImpalaAlgorithm(ActorCriticModel(dict(AC_CONFIG, seed=5)), {})
+        recovered.restore_checkpoint(path)
+        assert len(os.listdir(tmp_path)) == 1  # no stray temp files
+
+
+class TestFailureInjection:
+    def test_unknown_message_types_ignored_by_learner(self):
+        """Garbage on the channel must not kill the trainer."""
+        config = single_machine_config(
+            "impala", "CartPole", "actor_critic",
+            explorers=1, fragment_steps=32,
+            stop=StopCondition(max_seconds=30),
+            seed=0,
+        )
+        cluster = build_cluster(config)
+        cluster.start()
+        try:
+            rogue = ProcessEndpoint("rogue", cluster.machines[0].broker)
+            rogue.start()
+            rogue.send(make_message("rogue", ["learner"], MsgType.STATS, {"junk": 1}))
+            deadline = time.monotonic() + 5
+            while cluster.learner.train_sessions < 2 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert cluster.learner.train_sessions >= 2
+            assert cluster.learner.workhorse.error is None
+            rogue.stop()
+        finally:
+            cluster.stop()
+
+    def test_crashing_workhorse_surfaces_error(self):
+        config = single_machine_config(
+            "impala", "CartPole", "actor_critic",
+            explorers=1, fragment_steps=16,
+            stop=StopCondition(max_seconds=30),
+            seed=0,
+        )
+        cluster = build_cluster(config)
+        # Sabotage the learner's algorithm before start.
+        def bomb(*args, **kwargs):
+            raise RuntimeError("injected trainer failure")
+
+        cluster.learner.algorithm.prepare_data = bomb
+        cluster.start()
+        try:
+            deadline = time.monotonic() + 5
+            while (
+                cluster.learner.workhorse.error is None
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            with pytest.raises(RuntimeError, match="injected"):
+                cluster.raise_worker_errors()
+        finally:
+            cluster.stop()
+
+    def test_explorer_death_does_not_block_impala_learner(self):
+        """Off-policy learner keeps training on surviving explorers."""
+        config = single_machine_config(
+            "impala", "CartPole", "actor_critic",
+            explorers=2, fragment_steps=32,
+            stop=StopCondition(max_seconds=30),
+            seed=0,
+        )
+        cluster = build_cluster(config)
+        cluster.start()
+        try:
+            time.sleep(0.3)
+            cluster.explorers[0].stop()  # kill one explorer mid-run
+            sessions_before = cluster.learner.train_sessions
+            time.sleep(0.5)
+            assert cluster.learner.train_sessions > sessions_before
+        finally:
+            cluster.stop()
+
+    def test_clean_shutdown_mid_traffic(self):
+        """Stopping while messages are in flight must not raise or hang."""
+        for _ in range(3):
+            result = run_config(
+                single_machine_config(
+                    "impala", "CartPole", "actor_critic",
+                    explorers=3, fragment_steps=16,
+                    stop=StopCondition(max_seconds=0.4),
+                    seed=0,
+                )
+            )
+            assert result.elapsed_s < 10
+
+
+class TestBackPressure:
+    def test_impala_queue_bounded_under_slow_learner(self):
+        """A slow learner must not accumulate unbounded fragments."""
+        config = single_machine_config(
+            "impala", "CartPole", "actor_critic",
+            explorers=2, fragment_steps=16,
+            algorithm_config={"max_queued_fragments": 4},
+            stop=StopCondition(max_seconds=30),
+            seed=0,
+        )
+        cluster = build_cluster(config)
+        original_train = cluster.learner.algorithm._train
+
+        def slow_train():
+            time.sleep(0.05)
+            return original_train()
+
+        cluster.learner.algorithm._train = slow_train
+        cluster.start()
+        try:
+            time.sleep(1.0)
+            assert cluster.learner.algorithm.staged_steps() <= 4 * 16
+        finally:
+            cluster.stop()

@@ -1,0 +1,151 @@
+"""Property tests over random deployment topologies.
+
+The channel's core invariant: every message staged at any endpoint is
+delivered to every named destination exactly once, regardless of how
+endpoints are spread over machines and how the brokers are wired.
+"""
+
+import threading
+import time
+from typing import Dict, List
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.broker import Broker
+from repro.core.endpoint import ProcessEndpoint
+from repro.core.message import MsgType, make_message
+from repro.transport.fabric import Fabric
+
+
+def _build(machine_sizes: List[int]):
+    """Brokers (one per machine) + endpoints, star-wired through machine 0."""
+    fabric = Fabric("prop-data")
+    brokers = [Broker(f"m{i}.broker", fabric=fabric) for i in range(len(machine_sizes))]
+    for index in range(1, len(brokers)):
+        fabric.connect_bidirectional(brokers[index].name, brokers[0].name)
+    endpoints: Dict[str, ProcessEndpoint] = {}
+    home: Dict[str, int] = {}
+    for machine_index, count in enumerate(machine_sizes):
+        for local_index in range(count):
+            name = f"m{machine_index}.e{local_index}"
+            endpoints[name] = ProcessEndpoint(name, brokers[machine_index])
+            home[name] = machine_index
+    # Routing: non-center brokers route all remote names via the center;
+    # the center routes per home machine.
+    for name, machine_index in home.items():
+        for broker_index, broker in enumerate(brokers):
+            if broker_index == machine_index:
+                continue
+            if broker_index == 0:
+                broker.add_remote_route(name, brokers[machine_index].name)
+            else:
+                broker.add_remote_route(name, brokers[0].name)
+    for broker in brokers:
+        broker.start()
+    for endpoint in endpoints.values():
+        endpoint.start()
+    return fabric, brokers, endpoints
+
+
+def _teardown(fabric, brokers, endpoints):
+    for endpoint in endpoints.values():
+        endpoint.stop()
+    for broker in brokers:
+        broker.stop()
+    fabric.close()
+
+
+class TestRandomTopologies:
+    @given(
+        machine_sizes=st.lists(st.integers(min_value=1, max_value=3),
+                               min_size=1, max_size=3),
+        message_plan=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=8),
+                      st.integers(min_value=0, max_value=8)),
+            min_size=1, max_size=12,
+        ),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_every_message_delivered_exactly_once(
+        self, machine_sizes, message_plan
+    ):
+        fabric, brokers, endpoints = _build(machine_sizes)
+        try:
+            names = sorted(endpoints)
+            sent: Dict[str, int] = {name: 0 for name in names}
+            for src_index, dst_index in message_plan:
+                src = names[src_index % len(names)]
+                dst = names[dst_index % len(names)]
+                body = {"payload": np.arange(4), "token": (src, sent[dst])}
+                endpoints[src].send(
+                    make_message(src, [dst], MsgType.DATA, body)
+                )
+                sent[dst] += 1
+            deadline = time.monotonic() + 5
+            received: Dict[str, int] = {name: 0 for name in names}
+            while time.monotonic() < deadline:
+                pending = {n for n in names if received[n] < sent[n]}
+                if not pending:
+                    break
+                for name in pending:
+                    message = endpoints[name].receive(timeout=0.05)
+                    if message is not None:
+                        received[name] += 1
+            assert received == sent
+            # Nothing extra arrives afterwards.
+            for name in names:
+                assert endpoints[name].receive(timeout=0.02) is None
+        finally:
+            _teardown(fabric, brokers, endpoints)
+
+    @given(n_destinations=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_property_broadcast_reaches_every_destination_once(
+        self, n_destinations
+    ):
+        fabric, brokers, endpoints = _build([1, max(1, n_destinations // 2),
+                                             n_destinations - n_destinations // 2]
+                                            if n_destinations > 1 else [2])
+        try:
+            names = sorted(endpoints)
+            source = names[0]
+            destinations = names[: n_destinations] if len(names) >= n_destinations else names
+            endpoints[source].send(
+                make_message(source, destinations, MsgType.WEIGHTS, [np.ones(4)])
+            )
+            for name in destinations:
+                message = endpoints[name].receive(timeout=5)
+                assert message is not None, name
+                assert np.array_equal(message.body[0], np.ones(4))
+                assert endpoints[name].receive(timeout=0.02) is None
+        finally:
+            _teardown(fabric, brokers, endpoints)
+
+    def test_store_drains_after_heavy_crossfire(self):
+        """After all traffic settles, no bodies are stranded in any store."""
+        fabric, brokers, endpoints = _build([2, 2])
+        try:
+            names = sorted(endpoints)
+            for round_index in range(10):
+                for src in names:
+                    for dst in names:
+                        if src != dst:
+                            endpoints[src].send(
+                                make_message(src, [dst], MsgType.DATA, round_index)
+                            )
+            expected_per_endpoint = 10 * (len(names) - 1)
+            for name in names:
+                for _ in range(expected_per_endpoint):
+                    assert endpoints[name].receive(timeout=5) is not None
+            deadline = time.monotonic() + 3
+            while time.monotonic() < deadline:
+                if all(len(b.communicator.object_store) == 0 for b in brokers):
+                    break
+                time.sleep(0.02)
+            for broker in brokers:
+                assert len(broker.communicator.object_store) == 0
+        finally:
+            _teardown(fabric, brokers, endpoints)

@@ -1,0 +1,99 @@
+"""Tests for convolution and pooling layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.conv import Conv2D, MaxPool2D
+
+from .test_layers import numeric_gradient
+
+
+class TestConv2D:
+    def test_output_shape(self, rng):
+        layer = Conv2D(3, 8, kernel=3, stride=1, pad=1, rng=rng)
+        out = layer.forward(rng.normal(size=(2, 3, 8, 8)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_output_shape_with_stride(self, rng):
+        layer = Conv2D(1, 4, kernel=3, stride=2, pad=0, rng=rng)
+        out = layer.forward(rng.normal(size=(1, 1, 9, 9)))
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_matches_manual_convolution(self, rng):
+        layer = Conv2D(1, 1, kernel=2, stride=1, pad=0, rng=rng)
+        x = rng.normal(size=(1, 1, 3, 3))
+        out = layer.forward(x)
+        kernel = layer.weight[0, 0]
+        expected = np.zeros((2, 2))
+        for i in range(2):
+            for j in range(2):
+                expected[i, j] = (x[0, 0, i : i + 2, j : j + 2] * kernel).sum()
+        expected += layer.bias[0]
+        assert np.allclose(out[0, 0], expected)
+
+    def test_input_gradient_numerically(self, rng):
+        layer = Conv2D(2, 3, kernel=3, stride=1, pad=1, rng=rng)
+        x = rng.normal(size=(1, 2, 4, 4))
+
+        def loss():
+            return layer.forward(x).sum()
+
+        layer.forward(x)
+        analytic = layer.backward(np.ones((1, 3, 4, 4)))
+        numeric = numeric_gradient(loss, x)
+        assert np.allclose(analytic, numeric, atol=1e-4)
+
+    def test_weight_gradient_numerically(self, rng):
+        layer = Conv2D(1, 2, kernel=2, stride=1, pad=0, rng=rng)
+        x = rng.normal(size=(2, 1, 3, 3))
+
+        def loss():
+            return layer.forward(x).sum()
+
+        layer.zero_grads()
+        layer.forward(x)
+        layer.backward(np.ones((2, 2, 2, 2)))
+        numeric = numeric_gradient(loss, layer.weight)
+        assert np.allclose(layer.grad_weight, numeric, atol=1e-4)
+
+    def test_bias_gradient(self, rng):
+        layer = Conv2D(1, 2, kernel=2, rng=rng)
+        x = rng.normal(size=(1, 1, 3, 3))
+        layer.zero_grads()
+        layer.forward(x)
+        layer.backward(np.ones((1, 2, 2, 2)))
+        # d(sum)/d(bias_c) = number of output positions = 4
+        assert np.allclose(layer.grad_bias, [4.0, 4.0])
+
+
+class TestMaxPool2D:
+    def test_forward_takes_window_max(self):
+        layer = MaxPool2D(window=2)
+        x = np.array(
+            [[[[1.0, 2.0, 5.0, 6.0], [3.0, 4.0, 7.0, 8.0],
+               [0.0, 0.0, 1.0, 1.0], [0.0, 9.0, 1.0, 1.0]]]]
+        )
+        out = layer.forward(x)
+        assert out.shape == (1, 1, 2, 2)
+        assert np.array_equal(out[0, 0], [[4.0, 8.0], [9.0, 1.0]])
+
+    def test_backward_routes_to_argmax(self):
+        layer = MaxPool2D(window=2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        layer.forward(x)
+        grad = layer.backward(np.array([[[[10.0]]]]))
+        expected = np.zeros((1, 1, 2, 2))
+        expected[0, 0, 1, 1] = 10.0
+        assert np.array_equal(grad, expected)
+
+    def test_input_gradient_numerically(self, rng):
+        layer = MaxPool2D(window=2)
+        x = rng.normal(size=(1, 2, 4, 4))
+
+        def loss():
+            return layer.forward(x).sum()
+
+        layer.forward(x)
+        analytic = layer.backward(np.ones((1, 2, 2, 2)))
+        numeric = numeric_gradient(loss, x)
+        assert np.allclose(analytic, numeric, atol=1e-5)

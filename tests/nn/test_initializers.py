@@ -1,0 +1,49 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import initializers
+
+
+class TestInitializers:
+    def test_zeros(self, rng):
+        assert np.all(initializers.zeros((3, 4), rng) == 0)
+
+    def test_xavier_bounds(self, rng):
+        weights = initializers.xavier_uniform((100, 100), rng)
+        bound = np.sqrt(6.0 / 200)
+        assert weights.min() >= -bound
+        assert weights.max() <= bound
+
+    def test_he_normal_scale(self):
+        rng = np.random.default_rng(0)
+        weights = initializers.he_normal((1000, 50), rng)
+        assert np.std(weights) == pytest.approx(np.sqrt(2.0 / 1000), rel=0.1)
+
+    def test_orthogonal_columns(self, rng):
+        weights = initializers.orthogonal((8, 8), rng)
+        assert np.allclose(weights @ weights.T, np.eye(8), atol=1e-8)
+
+    def test_orthogonal_rectangular(self, rng):
+        weights = initializers.orthogonal((4, 8), rng)
+        assert weights.shape == (4, 8)
+        assert np.allclose(weights @ weights.T, np.eye(4), atol=1e-8)
+
+    def test_orthogonal_gain(self, rng):
+        weights = initializers.orthogonal((6, 6), rng, gain=2.0)
+        assert np.allclose(weights @ weights.T, 4 * np.eye(6), atol=1e-8)
+
+    def test_conv_fan_computation(self, rng):
+        weights = initializers.he_normal((16, 3, 5, 5), rng)
+        assert weights.shape == (16, 3, 5, 5)
+
+    def test_get_known(self):
+        assert initializers.get("he_normal") is initializers.he_normal
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError):
+            initializers.get("lecun")
+
+    def test_vector_shape(self, rng):
+        assert initializers.xavier_uniform((10,), rng).shape == (10,)

@@ -1,0 +1,124 @@
+"""Tests for layers, including numeric gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Flatten, ReLU, Tanh
+
+
+def numeric_gradient(fn, x, eps=1e-6):
+    """Central-difference gradient of scalar fn w.r.t. array x."""
+    grad = np.zeros_like(x)
+    flat_x = x.ravel()
+    flat_g = grad.ravel()
+    for index in range(flat_x.size):
+        original = flat_x[index]
+        flat_x[index] = original + eps
+        plus = fn()
+        flat_x[index] = original - eps
+        minus = fn()
+        flat_x[index] = original
+        flat_g[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(3, 5, rng=rng)
+        out = layer.forward(rng.normal(size=(7, 3)))
+        assert out.shape == (7, 5)
+
+    def test_forward_matches_manual(self, rng):
+        layer = Dense(2, 2, rng=rng)
+        x = np.array([[1.0, 2.0]])
+        expected = x @ layer.weight + layer.bias
+        assert np.allclose(layer.forward(x), expected)
+
+    def test_input_gradient_numerically(self, rng):
+        layer = Dense(3, 4, rng=rng)
+        x = rng.normal(size=(2, 3))
+
+        def loss():
+            return layer.forward(x).sum()
+
+        layer.forward(x)
+        analytic = layer.backward(np.ones((2, 4)))
+        numeric = numeric_gradient(loss, x)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_weight_gradient_numerically(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+
+        def loss():
+            return layer.forward(x).sum()
+
+        layer.zero_grads()
+        layer.forward(x)
+        layer.backward(np.ones((4, 2)))
+        numeric = numeric_gradient(loss, layer.weight)
+        assert np.allclose(layer.grad_weight, numeric, atol=1e-5)
+
+    def test_bias_gradient_numerically(self, rng):
+        layer = Dense(2, 3, rng=rng)
+        x = rng.normal(size=(5, 2))
+
+        def loss():
+            return layer.forward(x).sum()
+
+        layer.zero_grads()
+        layer.forward(x)
+        layer.backward(np.ones((5, 3)))
+        numeric = numeric_gradient(loss, layer.bias)
+        assert np.allclose(layer.grad_bias, numeric, atol=1e-5)
+
+    def test_gradients_accumulate_until_zeroed(self, rng):
+        layer = Dense(2, 2, rng=rng)
+        x = rng.normal(size=(1, 2))
+        layer.forward(x)
+        layer.backward(np.ones((1, 2)))
+        first = layer.grad_weight.copy()
+        layer.forward(x)
+        layer.backward(np.ones((1, 2)))
+        assert np.allclose(layer.grad_weight, 2 * first)
+        layer.zero_grads()
+        assert np.all(layer.grad_weight == 0)
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        layer = ReLU()
+        out = layer.forward(np.array([[-1.0, 0.0, 2.0]]))
+        assert np.array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_relu_backward_masks(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 3.0]]))
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        assert np.array_equal(grad, [[0.0, 5.0]])
+
+    def test_tanh_gradient_numerically(self, rng):
+        layer = Tanh()
+        x = rng.normal(size=(3, 4))
+
+        def loss():
+            return layer.forward(x).sum()
+
+        layer.forward(x)
+        analytic = layer.backward(np.ones((3, 4)))
+        numeric = numeric_gradient(loss, x)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_activations_have_no_params(self):
+        assert ReLU().params == []
+        assert Tanh().params == []
+
+
+class TestFlatten:
+    def test_forward_backward_shapes(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 3, 4))
+        out = layer.forward(x)
+        assert out.shape == (2, 12)
+        grad = layer.backward(np.ones((2, 12)))
+        assert grad.shape == (2, 3, 4)

@@ -1,0 +1,151 @@
+"""Tests for losses and probability utilities (gradients checked numerically)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import losses
+
+
+def _numeric_grad(fn, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    flat_x, flat_g = x.ravel(), grad.ravel()
+    for index in range(flat_x.size):
+        original = flat_x[index]
+        flat_x[index] = original + eps
+        plus = fn()
+        flat_x[index] = original - eps
+        minus = fn()
+        flat_x[index] = original
+        flat_g[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestMSE:
+    def test_value(self):
+        value, _ = losses.mse(np.array([1.0, 2.0]), np.array([1.0, 4.0]))
+        assert value == pytest.approx(2.0)
+
+    def test_gradient_numerically(self, rng):
+        pred = rng.normal(size=(3, 2))
+        target = rng.normal(size=(3, 2))
+        _, grad = losses.mse(pred, target)
+        numeric = _numeric_grad(lambda: losses.mse(pred, target)[0], pred)
+        assert np.allclose(grad, numeric, atol=1e-5)
+
+    def test_zero_at_optimum(self):
+        value, grad = losses.mse(np.ones(4), np.ones(4))
+        assert value == 0.0
+        assert np.all(grad == 0)
+
+
+class TestHuber:
+    def test_quadratic_region(self):
+        value, _ = losses.huber(np.array([0.5]), np.array([0.0]), delta=1.0)
+        assert value == pytest.approx(0.125)
+
+    def test_linear_region(self):
+        value, _ = losses.huber(np.array([3.0]), np.array([0.0]), delta=1.0)
+        assert value == pytest.approx(0.5 + 1.0 * (3.0 - 1.0))
+
+    def test_gradient_clipped(self):
+        _, grad = losses.huber(np.array([100.0, -100.0]), np.zeros(2), delta=1.0)
+        assert np.allclose(grad, [0.5, -0.5])  # +-delta / n
+
+    def test_gradient_numerically(self, rng):
+        pred = rng.normal(size=6) * 3
+        target = rng.normal(size=6)
+        _, grad = losses.huber(pred, target)
+        numeric = _numeric_grad(lambda: losses.huber(pred, target)[0], pred)
+        assert np.allclose(grad, numeric, atol=1e-4)
+
+
+class TestSoftmaxFamily:
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = losses.softmax(rng.normal(size=(5, 7)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_softmax_shift_invariant(self, rng):
+        logits = rng.normal(size=(3, 4))
+        assert np.allclose(losses.softmax(logits), losses.softmax(logits + 100))
+
+    def test_log_softmax_consistent(self, rng):
+        logits = rng.normal(size=(3, 4))
+        assert np.allclose(
+            np.exp(losses.log_softmax(logits)), losses.softmax(logits)
+        )
+
+    def test_softmax_numerically_stable(self):
+        logits = np.array([[1000.0, 1000.0]])
+        probs = losses.softmax(logits)
+        assert np.allclose(probs, [[0.5, 0.5]])
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0]])
+        value, _ = losses.softmax_cross_entropy(logits, np.array([0]))
+        assert value == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_gradient_numerically(self, rng):
+        logits = rng.normal(size=(4, 3))
+        labels = np.array([0, 2, 1, 1])
+        _, grad = losses.softmax_cross_entropy(logits, labels)
+        numeric = _numeric_grad(
+            lambda: losses.softmax_cross_entropy(logits, labels)[0], logits
+        )
+        assert np.allclose(grad, numeric, atol=1e-5)
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=2, max_side=6),
+            elements=st.floats(min_value=-10, max_value=10),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_softmax_simplex(self, logits):
+        probs = losses.softmax(logits)
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+        assert np.all(probs >= 0)
+
+
+class TestEntropy:
+    def test_uniform_is_max_entropy(self):
+        uniform = losses.entropy(np.zeros((1, 4)))[0]
+        skewed = losses.entropy(np.array([[10.0, 0.0, 0.0, 0.0]]))[0]
+        assert uniform == pytest.approx(np.log(4))
+        assert skewed < uniform
+
+    def test_entropy_grad_numerically(self, rng):
+        logits = rng.normal(size=(3, 4))
+        grad = losses.entropy_grad(logits)
+        numeric = _numeric_grad(
+            lambda: float(losses.entropy(logits).mean()), logits
+        )
+        assert np.allclose(grad, numeric, atol=1e-5)
+
+    def test_entropy_grad_zero_at_uniform(self):
+        grad = losses.entropy_grad(np.zeros((2, 5)))
+        assert np.allclose(grad, 0.0, atol=1e-12)
+
+
+class TestCategoricalSample:
+    def test_samples_within_range(self, rng):
+        actions = losses.categorical_sample(rng.normal(size=(100, 4)), rng)
+        assert actions.shape == (100,)
+        assert actions.min() >= 0 and actions.max() < 4
+
+    def test_deterministic_for_peaked_logits(self, rng):
+        logits = np.zeros((50, 3))
+        logits[:, 1] = 100.0
+        actions = losses.categorical_sample(logits, rng)
+        assert np.all(actions == 1)
+
+    def test_distribution_roughly_matches(self):
+        rng = np.random.default_rng(0)
+        logits = np.tile(np.log(np.array([[0.7, 0.2, 0.1]])), (20_000, 1))
+        actions = losses.categorical_sample(logits, rng)
+        freqs = np.bincount(actions, minlength=3) / len(actions)
+        assert np.allclose(freqs, [0.7, 0.2, 0.1], atol=0.02)

@@ -1,0 +1,91 @@
+"""Tests for Sequential networks and the mlp builder."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, ReLU
+from repro.nn.network import Sequential, mlp
+
+
+class TestSequential:
+    def test_forward_composes_layers(self, rng):
+        net = Sequential([Dense(2, 3, rng=rng), ReLU(), Dense(3, 1, rng=rng)])
+        out = net.forward(rng.normal(size=(4, 2)))
+        assert out.shape == (4, 1)
+
+    def test_callable(self, rng):
+        net = mlp([2, 4, 1], rng=rng)
+        x = rng.normal(size=(3, 2))
+        assert np.array_equal(net(x), net.forward(x))
+
+    def test_params_and_grads_align(self, rng):
+        net = mlp([2, 4, 1], rng=rng)
+        assert len(net.params) == len(net.grads) == 4  # 2 weights + 2 biases
+        for param, grad in zip(net.params, net.grads):
+            assert param.shape == grad.shape
+
+    def test_get_weights_returns_copies(self, rng):
+        net = mlp([2, 3, 1], rng=rng)
+        weights = net.get_weights()
+        weights[0][0, 0] = 1e9
+        assert net.params[0][0, 0] != 1e9
+
+    def test_set_weights_roundtrip(self, rng):
+        net_a = mlp([2, 3, 1], rng=np.random.default_rng(1))
+        net_b = mlp([2, 3, 1], rng=np.random.default_rng(2))
+        net_b.set_weights(net_a.get_weights())
+        x = rng.normal(size=(5, 2))
+        assert np.allclose(net_a.forward(x), net_b.forward(x))
+
+    def test_set_weights_count_mismatch(self, rng):
+        net = mlp([2, 3, 1], rng=rng)
+        with pytest.raises(ValueError, match="count"):
+            net.set_weights(net.get_weights()[:-1])
+
+    def test_set_weights_shape_mismatch(self, rng):
+        net = mlp([2, 3, 1], rng=rng)
+        weights = net.get_weights()
+        weights[0] = np.zeros((5, 5))
+        with pytest.raises(ValueError, match="shape"):
+            net.set_weights(weights)
+
+    def test_whole_network_gradient(self, rng):
+        from .test_layers import numeric_gradient
+
+        net = mlp([3, 5, 2], activation="tanh", rng=rng)
+        x = rng.normal(size=(2, 3))
+
+        def loss():
+            return net.forward(x).sum()
+
+        net.zero_grads()
+        net.forward(x)
+        net.backward(np.ones((2, 2)))
+        for param, grad in zip(net.params, net.grads):
+            numeric = numeric_gradient(loss, param)
+            assert np.allclose(grad, numeric, atol=1e-5)
+
+
+class TestMlpBuilder:
+    def test_needs_two_sizes(self):
+        with pytest.raises(ValueError):
+            mlp([4])
+
+    def test_unknown_activation(self):
+        with pytest.raises(KeyError):
+            mlp([2, 2], activation="swish")
+
+    def test_relu_vs_tanh_topology(self, rng):
+        relu_net = mlp([2, 4, 4, 1], activation="relu", rng=rng)
+        tanh_net = mlp([2, 4, 4, 1], activation="tanh", rng=rng)
+        assert len(relu_net.layers) == len(tanh_net.layers) == 5
+
+    def test_no_activation_after_output(self, rng):
+        net = mlp([2, 4, 1], rng=rng)
+        assert isinstance(net.layers[-1], Dense)
+
+    def test_deterministic_with_seed(self):
+        net_a = mlp([3, 4, 2], rng=np.random.default_rng(7))
+        net_b = mlp([3, 4, 2], rng=np.random.default_rng(7))
+        for weight_a, weight_b in zip(net_a.get_weights(), net_b.get_weights()):
+            assert np.array_equal(weight_a, weight_b)

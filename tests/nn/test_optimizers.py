@@ -1,0 +1,125 @@
+"""Tests for optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.network import mlp
+from repro.nn.optimizers import SGD, Adam, Optimizer
+
+
+def _quadratic_problem(seed=0):
+    """Minimize ||x - target||^2 over a single parameter vector."""
+    rng = np.random.default_rng(seed)
+    param = rng.normal(size=4)
+    grad = np.zeros_like(param)
+    target = np.array([1.0, -2.0, 3.0, 0.5])
+    return param, grad, target
+
+
+class TestSGD:
+    def test_plain_step(self):
+        param = np.array([1.0])
+        grad = np.array([0.5])
+        SGD([param], [grad], lr=0.1).step()
+        assert param[0] == pytest.approx(0.95)
+
+    def test_momentum_accumulates(self):
+        param = np.array([0.0])
+        grad = np.array([1.0])
+        optimizer = SGD([param], [grad], lr=1.0, momentum=0.9)
+        optimizer.step()  # velocity = 1 -> param -1
+        optimizer.step()  # velocity = 1.9 -> param -2.9
+        assert param[0] == pytest.approx(-2.9)
+
+    def test_converges_on_quadratic(self):
+        param, grad, target = _quadratic_problem()
+        optimizer = SGD([param], [grad], lr=0.1)
+        for _ in range(200):
+            grad[:] = 2 * (param - target)
+            optimizer.step()
+        assert np.allclose(param, target, atol=1e-3)
+
+    def test_lr_validation(self):
+        with pytest.raises(ValueError):
+            SGD([np.zeros(1)], [np.zeros(1)], lr=0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param, grad, target = _quadratic_problem()
+        optimizer = Adam([param], [grad], lr=0.1)
+        for _ in range(500):
+            grad[:] = 2 * (param - target)
+            optimizer.step()
+        assert np.allclose(param, target, atol=1e-2)
+
+    def test_first_step_magnitude_is_lr(self):
+        """With bias correction, the first Adam step is ~lr in magnitude."""
+        param = np.array([0.0])
+        grad = np.array([123.0])
+        Adam([param], [grad], lr=0.01).step()
+        assert abs(param[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_lr_validation(self):
+        with pytest.raises(ValueError):
+            Adam([np.zeros(1)], [np.zeros(1)], lr=-1)
+
+    def test_faster_than_sgd_on_illconditioned(self):
+        """Adam normalizes per-coordinate scale; SGD at the same lr crawls."""
+        target = np.array([1.0, 1.0])
+        scales = np.array([1.0, 100.0])
+
+        def run(optimizer_cls):
+            param = np.zeros(2)
+            grad = np.zeros(2)
+            optimizer = optimizer_cls([param], [grad], lr=0.01)
+            for _ in range(200):
+                grad[:] = 2 * scales * (param - target)
+                optimizer.step()
+            return np.abs(param - target).sum()
+
+        assert run(Adam) < run(SGD)
+
+
+class TestOptimizerBase:
+    def test_alignment_validated(self):
+        with pytest.raises(ValueError):
+            Optimizer([np.zeros(1)], [])
+
+    def test_zero_grads(self):
+        grad = np.ones(3)
+        optimizer = SGD([np.zeros(3)], [grad], lr=0.1)
+        optimizer.zero_grads()
+        assert np.all(grad == 0)
+
+    def test_clip_grads_scales_down(self):
+        grad = np.array([3.0, 4.0])  # norm 5
+        optimizer = SGD([np.zeros(2)], [grad], lr=0.1)
+        norm = optimizer.clip_grads(1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(grad) == pytest.approx(1.0)
+
+    def test_clip_grads_leaves_small_gradients(self):
+        grad = np.array([0.3, 0.4])
+        optimizer = SGD([np.zeros(2)], [grad], lr=0.1)
+        optimizer.clip_grads(1.0)
+        assert np.allclose(grad, [0.3, 0.4])
+
+    def test_training_reduces_loss_on_network(self, rng):
+        """End to end: fit y = sum(x) with an MLP."""
+        net = mlp([3, 16, 1], activation="tanh", rng=rng)
+        optimizer = Adam(net.params, net.grads, lr=1e-2)
+        x = rng.normal(size=(64, 3))
+        y = x.sum(axis=1, keepdims=True)
+
+        def loss_value():
+            return float(np.mean((net.forward(x) - y) ** 2))
+
+        initial = loss_value()
+        for _ in range(300):
+            pred = net.forward(x)
+            grad = 2 * (pred - y) / len(x)
+            net.zero_grads()
+            net.backward(grad)
+            optimizer.step()
+        assert loss_value() < initial * 0.1

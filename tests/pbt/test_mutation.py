@@ -1,0 +1,99 @@
+"""Tests for PBT hyperparameter mutation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pbt.mutation import HyperparameterSpace, crossover, mutate
+
+
+def _space():
+    return HyperparameterSpace(
+        continuous={"lr": (1e-5, 1e-1), "gamma": (0.9, 0.999)},
+        categorical={"batch": [32, 64, 128]},
+    )
+
+
+class TestHyperparameterSpace:
+    def test_sample_within_bounds(self, rng):
+        space = _space()
+        for _ in range(20):
+            values = space.sample(rng)
+            assert 1e-5 <= values["lr"] <= 1e-1
+            assert 0.9 <= values["gamma"] <= 0.999
+            assert values["batch"] in (32, 64, 128)
+
+    def test_log_uniform_for_wide_ranges(self):
+        rng = np.random.default_rng(0)
+        space = HyperparameterSpace(continuous={"lr": (1e-6, 1e-1)})
+        samples = [space.sample(rng)["lr"] for _ in range(500)]
+        # Log-uniform: roughly half the samples below the geometric mean.
+        geometric_mean = np.sqrt(1e-6 * 1e-1)
+        fraction_below = np.mean([s < geometric_mean for s in samples])
+        assert 0.35 < fraction_below < 0.65
+
+    def test_clip(self):
+        space = _space()
+        clipped = space.clip({"lr": 5.0, "gamma": 0.95})
+        assert clipped["lr"] == 1e-1
+        assert clipped["gamma"] == 0.95
+
+
+class TestMutate:
+    def test_perturbation_factors(self, rng):
+        space = HyperparameterSpace(continuous={"lr": (1e-6, 1.0)})
+        mutated = mutate({"lr": 0.01}, space, rng, resample_prob=0.0)
+        assert mutated["lr"] in (pytest.approx(0.008), pytest.approx(0.0125))
+
+    def test_mutation_respects_bounds(self, rng):
+        space = HyperparameterSpace(continuous={"lr": (1e-5, 0.01)})
+        values = {"lr": 0.01}
+        for _ in range(20):
+            values = mutate(values, space, rng)
+            assert 1e-5 <= values["lr"] <= 0.01
+
+    def test_unknown_keys_preserved(self, rng):
+        space = HyperparameterSpace(continuous={"lr": (0.001, 0.1)})
+        mutated = mutate({"lr": 0.01, "note": "keep-me"}, space, rng)
+        assert mutated["note"] == "keep-me"
+
+    def test_categorical_resample_stays_in_options(self):
+        rng = np.random.default_rng(0)
+        space = HyperparameterSpace(categorical={"batch": [32, 64]})
+        for _ in range(30):
+            mutated = mutate({"batch": 32}, space, rng, resample_prob=1.0)
+            assert mutated["batch"] in (32, 64)
+
+    def test_original_not_mutated_in_place(self, rng):
+        space = HyperparameterSpace(continuous={"lr": (0.001, 0.1)})
+        original = {"lr": 0.01}
+        mutate(original, space, rng)
+        assert original["lr"] == 0.01
+
+    @given(st.floats(min_value=1e-4, max_value=1e-1))
+    @settings(max_examples=30, deadline=None)
+    def test_property_mutation_bounded(self, lr):
+        rng = np.random.default_rng(0)
+        space = HyperparameterSpace(continuous={"lr": (1e-4, 1e-1)})
+        mutated = mutate({"lr": lr}, space, rng)
+        assert 1e-4 <= mutated["lr"] <= 1e-1
+
+
+class TestCrossover:
+    def test_child_takes_from_parents(self, rng):
+        child = crossover({"a": 1, "b": 2}, {"a": 10, "b": 20}, rng)
+        assert child["a"] in (1, 10)
+        assert child["b"] in (2, 20)
+
+    def test_disjoint_keys_merged(self, rng):
+        child = crossover({"a": 1}, {"b": 2}, rng)
+        assert child == {"a": 1, "b": 2}
+
+    def test_mixing_actually_happens(self):
+        rng = np.random.default_rng(0)
+        children = [
+            tuple(sorted(crossover({"a": 1, "b": 2}, {"a": 10, "b": 20}, rng).items()))
+            for _ in range(50)
+        ]
+        assert len(set(children)) > 1

@@ -1,0 +1,172 @@
+"""Tests for uniform and prioritized replay buffers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replay import PrioritizedReplayBuffer, ReplayBuffer
+
+
+def _step(index):
+    return {"obs": np.full(2, float(index)), "reward": float(index), "done": False}
+
+
+class TestReplayBuffer:
+    def test_add_and_len(self):
+        buffer = ReplayBuffer(10)
+        for index in range(5):
+            buffer.add(_step(index))
+        assert len(buffer) == 5
+        assert buffer.total_added == 5
+
+    def test_capacity_evicts_oldest(self):
+        buffer = ReplayBuffer(3)
+        for index in range(5):
+            buffer.add(_step(index))
+        assert len(buffer) == 3
+        rewards = {step["reward"] for step in buffer._storage}
+        assert rewards == {2.0, 3.0, 4.0}
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(0)
+
+    def test_sample_shape(self):
+        buffer = ReplayBuffer(10, seed=0)
+        for index in range(10):
+            buffer.add(_step(index))
+        batch = buffer.sample(4)
+        assert batch["obs"].shape == (4, 2)
+        assert batch["reward"].shape == (4,)
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(4).sample(1)
+
+    def test_sample_values_come_from_storage(self):
+        buffer = ReplayBuffer(10, seed=0)
+        for index in range(10):
+            buffer.add(_step(index))
+        batch = buffer.sample(32)
+        assert set(batch["reward"]).issubset(set(float(i) for i in range(10)))
+
+    def test_add_rollout_unpacks_steps(self):
+        buffer = ReplayBuffer(100)
+        rollout = {
+            "obs": np.zeros((5, 3)),
+            "reward": np.arange(5, dtype=np.float64),
+            "done": np.zeros(5, dtype=bool),
+        }
+        added = buffer.add_rollout(rollout)
+        assert added == 5
+        assert len(buffer) == 5
+        assert buffer._storage[3]["reward"] == 3.0
+
+    def test_add_empty_rollout(self):
+        assert ReplayBuffer(4).add_rollout({}) == 0
+
+    def test_sampling_is_roughly_uniform(self):
+        buffer = ReplayBuffer(4, seed=0)
+        for index in range(4):
+            buffer.add(_step(index))
+        counts = np.zeros(4)
+        for _ in range(200):
+            batch = buffer.sample(10)
+            for reward in batch["reward"]:
+                counts[int(reward)] += 1
+        freqs = counts / counts.sum()
+        assert np.allclose(freqs, 0.25, atol=0.05)
+
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=60))
+    @settings(max_examples=30, deadline=None)
+    def test_property_len_never_exceeds_capacity(self, capacity, adds):
+        buffer = ReplayBuffer(capacity)
+        for index in range(adds):
+            buffer.add(_step(index))
+        assert len(buffer) == min(capacity, adds)
+        assert buffer.total_added == adds
+
+
+class TestPrioritizedReplayBuffer:
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            PrioritizedReplayBuffer(8, alpha=-0.1)
+
+    def test_sample_returns_weights_and_indices(self):
+        buffer = PrioritizedReplayBuffer(8, seed=0)
+        for index in range(8):
+            buffer.add(_step(index))
+        batch, weights, indices = buffer.sample(4)
+        assert batch["reward"].shape == (4,)
+        assert weights.shape == (4,)
+        assert indices.shape == (4,)
+        assert np.all(weights > 0) and np.all(weights <= 1.0 + 1e-9)
+
+    def test_high_priority_sampled_more(self):
+        buffer = PrioritizedReplayBuffer(8, alpha=1.0, seed=0)
+        for index in range(8):
+            buffer.add(_step(index))
+        buffer.update_priorities([3], [100.0])
+        counts = np.zeros(8)
+        for _ in range(300):
+            _, _, indices = buffer.sample(4)
+            for index in indices:
+                counts[index] += 1
+        assert counts[3] == counts.max()
+        assert counts[3] > counts.sum() * 0.5
+
+    def test_update_priorities_validation(self):
+        buffer = PrioritizedReplayBuffer(8, seed=0)
+        buffer.add(_step(0))
+        with pytest.raises(ValueError):
+            buffer.update_priorities([0], [0.0])
+        with pytest.raises(IndexError):
+            buffer.update_priorities([5], [1.0])
+
+    def test_beta_validation(self):
+        buffer = PrioritizedReplayBuffer(8, seed=0)
+        buffer.add(_step(0))
+        with pytest.raises(ValueError):
+            buffer.sample(1, beta=-1)
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError):
+            PrioritizedReplayBuffer(8).sample(1)
+
+    def test_uniform_when_alpha_zero(self):
+        buffer = PrioritizedReplayBuffer(4, alpha=0.0, seed=0)
+        for index in range(4):
+            buffer.add(_step(index))
+        buffer.update_priorities([0], [1000.0])
+        counts = np.zeros(4)
+        for _ in range(300):
+            _, _, indices = buffer.sample(4)
+            for index in indices:
+                counts[index] += 1
+        freqs = counts / counts.sum()
+        assert np.allclose(freqs, 0.25, atol=0.07)
+
+    def test_is_weights_uniform_when_priorities_equal(self):
+        buffer = PrioritizedReplayBuffer(8, seed=0)
+        for index in range(8):
+            buffer.add(_step(index))
+        _, weights, _ = buffer.sample(8, beta=1.0)
+        assert np.allclose(weights, 1.0)
+
+    def test_eviction_keeps_tree_consistent(self):
+        buffer = PrioritizedReplayBuffer(4, seed=0)
+        for index in range(10):
+            buffer.add(_step(index))
+        batch, weights, indices = buffer.sample(4)
+        assert np.all(indices < 4)
+
+    @given(st.integers(min_value=1, max_value=16))
+    @settings(max_examples=20, deadline=None)
+    def test_property_sampled_indices_valid(self, adds):
+        buffer = PrioritizedReplayBuffer(16, seed=0)
+        for index in range(adds):
+            buffer.add(_step(index))
+        _, _, indices = buffer.sample(8)
+        assert np.all(indices >= 0)
+        assert np.all(indices < adds)

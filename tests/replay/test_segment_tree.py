@@ -1,0 +1,118 @@
+"""Tests for segment trees, including hypothesis invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replay.segment_tree import MinSegmentTree, SumSegmentTree
+
+
+class TestSumSegmentTree:
+    def test_capacity_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            SumSegmentTree(12)
+        with pytest.raises(ValueError):
+            SumSegmentTree(0)
+
+    def test_set_get(self):
+        tree = SumSegmentTree(8)
+        tree[3] = 5.0
+        assert tree[3] == 5.0
+        assert tree[0] == 0.0
+
+    def test_out_of_range(self):
+        tree = SumSegmentTree(4)
+        with pytest.raises(IndexError):
+            tree[4] = 1.0
+        with pytest.raises(IndexError):
+            _ = tree[-1]
+
+    def test_full_sum(self):
+        tree = SumSegmentTree(8)
+        for index in range(8):
+            tree[index] = float(index)
+        assert tree.sum() == sum(range(8))
+
+    def test_range_sum(self):
+        tree = SumSegmentTree(8)
+        for index in range(8):
+            tree[index] = 1.0
+        assert tree.sum(2, 5) == 3.0
+        assert tree.sum(0, 0) == 0.0
+
+    def test_overwrite_updates_aggregate(self):
+        tree = SumSegmentTree(4)
+        tree[1] = 10.0
+        tree[1] = 2.0
+        assert tree.sum() == 2.0
+
+    def test_find_prefixsum_index(self):
+        tree = SumSegmentTree(4)
+        weights = [1.0, 2.0, 3.0, 4.0]
+        for index, weight in enumerate(weights):
+            tree[index] = weight
+        assert tree.find_prefixsum_index(0.5) == 0
+        assert tree.find_prefixsum_index(1.5) == 1
+        assert tree.find_prefixsum_index(5.5) == 2
+        assert tree.find_prefixsum_index(9.9) == 3
+
+    def test_find_prefixsum_out_of_range(self):
+        tree = SumSegmentTree(4)
+        tree[0] = 1.0
+        with pytest.raises(ValueError):
+            tree.find_prefixsum_index(100.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=100), min_size=1, max_size=16
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_sum_matches_naive(self, values):
+        tree = SumSegmentTree(16)
+        for index, value in enumerate(values):
+            tree[index] = value
+        assert tree.sum() == pytest.approx(sum(values))
+        assert tree.sum(0, len(values)) == pytest.approx(sum(values))
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=10), min_size=2, max_size=16),
+        st.floats(min_value=0, max_value=0.999),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_prefixsum_inverse_cdf(self, weights, fraction):
+        tree = SumSegmentTree(16)
+        for index, weight in enumerate(weights):
+            tree[index] = weight
+        mass = fraction * sum(weights)
+        index = tree.find_prefixsum_index(mass)
+        prefix = sum(weights[:index])
+        assert prefix <= mass + 1e-9
+        assert mass < prefix + weights[index] + 1e-9
+
+
+class TestMinSegmentTree:
+    def test_min_of_all(self):
+        tree = MinSegmentTree(8)
+        for index, value in enumerate([5.0, 3.0, 7.0, 1.0]):
+            tree[index] = value
+        assert tree.min(0, 4) == 1.0
+
+    def test_min_of_range(self):
+        tree = MinSegmentTree(8)
+        for index, value in enumerate([5.0, 3.0, 7.0, 1.0]):
+            tree[index] = value
+        assert tree.min(0, 3) == 3.0
+
+    def test_empty_range_is_neutral(self):
+        tree = MinSegmentTree(4)
+        assert tree.min(1, 1) == float("inf")
+
+    @given(st.lists(st.floats(min_value=-50, max_value=50), min_size=1, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_property_min_matches_naive(self, values):
+        tree = MinSegmentTree(16)
+        for index, value in enumerate(values):
+            tree[index] = value
+        assert tree.min(0, len(values)) == min(values)
