@@ -21,17 +21,26 @@ __version__ = "1.0.0"
 from .core.config import (
     MachineSpec,
     StopCondition,
+    SupervisionSpec,
     XingTianConfig,
     single_machine_config,
 )
+from .core.errors import TrainingFailedError, WorkerCrashedError
+from .core.supervision import ProcessState, RestartPolicy, Supervisor
 from .runtime import RunResult, XingTianSession, run_config
 
 __all__ = [
     "__version__",
     "MachineSpec",
     "StopCondition",
+    "SupervisionSpec",
     "XingTianConfig",
     "single_machine_config",
+    "TrainingFailedError",
+    "WorkerCrashedError",
+    "ProcessState",
+    "RestartPolicy",
+    "Supervisor",
     "RunResult",
     "XingTianSession",
     "run_config",

@@ -31,6 +31,7 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from ..core.errors import CheckpointError
+from ..nn.optimizers import Optimizer
 from .model import Model
 
 
@@ -98,13 +99,42 @@ class Algorithm:
         self._last_consumed_sources = list(sources)
 
     # -- checkpointing -----------------------------------------------------------
-    def save_checkpoint(self, path: str) -> None:
-        """Atomically write model weights + train counter to ``path``."""
-        state = {
+    def _optimizers(self) -> Dict[str, Optimizer]:
+        """Optimizer instances held in instance attributes, keyed by name.
+
+        Concrete algorithms store their optimizers under varying attribute
+        names (``_optimizer``, ``_policy_opt``, ...); discovering them here
+        lets the base class checkpoint optimizer state generically.
+        """
+        return {
+            name: value
+            for name, value in vars(self).items()
+            if isinstance(value, Optimizer)
+        }
+
+    def get_state(self) -> Dict[str, Any]:
+        """Full training state: weights, counters, and optimizer state."""
+        return {
             "train_count": self.train_count,
             "weights": self.get_weights(),
             "config": self.config,
+            "optimizers": {
+                name: opt.state_dict() for name, opt in self._optimizers().items()
+            },
         }
+
+    def set_state(self, state: Dict[str, Any]) -> None:
+        """Restore state produced by :meth:`get_state`."""
+        self.set_weights(state["weights"])
+        self.train_count = int(state.get("train_count", 0))
+        saved_optimizers = state.get("optimizers", {})
+        for name, opt in self._optimizers().items():
+            if name in saved_optimizers:
+                opt.load_state_dict(saved_optimizers[name])
+
+    def save_checkpoint(self, path: str) -> None:
+        """Atomically write model weights + optimizer state to ``path``."""
+        state = self.get_state()
         directory = os.path.dirname(os.path.abspath(path)) or "."
         os.makedirs(directory, exist_ok=True)
         fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
@@ -124,8 +154,7 @@ class Algorithm:
                 state = pickle.load(handle)
         except (OSError, pickle.UnpicklingError) as exc:
             raise CheckpointError(f"failed to restore checkpoint {path}: {exc}") from exc
-        self.set_weights(state["weights"])
-        self.train_count = state["train_count"]
+        self.set_state(state)
 
     # -- introspection ------------------------------------------------------------
     def staged_steps(self) -> int:

@@ -9,7 +9,7 @@ are attached to their local brokers.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -17,12 +17,14 @@ from ..api.agent import Agent
 from ..api.algorithm import Algorithm
 from ..api.registry import registry
 from ..core.broker import Broker
+from ..core.checkpoint import Checkpointer
 from ..core.compression import CompressionPolicy
-from ..core.config import XingTianConfig
+from ..core.config import SupervisionSpec, XingTianConfig
 from ..core.controller import CenterController, Controller
 from ..core.explorer import ExplorerProcess
 from ..core.learner import LearnerProcess
 from ..core.object_store import InMemoryObjectStore
+from ..core.supervision import RestartPolicy, Supervisor
 from ..transport.fabric import Fabric
 from .machine import SimulatedMachine
 
@@ -90,15 +92,25 @@ class Cluster:
                     raise error
 
 
-def build_cluster(config: XingTianConfig) -> Cluster:
-    """Construct the full deployment described by ``config``."""
+def build_cluster(
+    config: XingTianConfig,
+    *,
+    data_fabric: Optional[Fabric] = None,
+    control_fabric: Optional[Fabric] = None,
+) -> Cluster:
+    """Construct the full deployment described by ``config``.
+
+    ``data_fabric``/``control_fabric`` may be supplied to substitute an
+    instrumented fabric — e.g. a :class:`repro.testing.faults.FaultyFabric`
+    that drops or delays inter-machine traffic.
+    """
     config.validate()
     probe_env = registry.get("environment", config.environment)(dict(config.env_config))
     model_config = _fill_model_config(config, probe_env)
     probe_env.close()
 
-    data_fabric = Fabric("data")
-    control_fabric = Fabric("control")
+    data_fabric = data_fabric if data_fabric is not None else Fabric("data")
+    control_fabric = control_fabric if control_fabric is not None else Fabric("control")
     compression = CompressionPolicy(
         enabled=config.compression_enabled, threshold=config.compression_threshold
     )
@@ -107,6 +119,7 @@ def build_cluster(config: XingTianConfig) -> Cluster:
     machines: List[SimulatedMachine] = []
     brokers: Dict[str, Broker] = {}
     center: Optional[CenterController] = None
+    supervision = config.supervision
 
     for spec in config.machines:
         store = InMemoryObjectStore(
@@ -114,7 +127,15 @@ def build_cluster(config: XingTianConfig) -> Cluster:
             compression=compression,
             copy_bandwidth=config.copy_bandwidth,
         )
-        broker = Broker(f"{spec.name}.broker", store=store, fabric=data_fabric)
+        broker = Broker(
+            f"{spec.name}.broker",
+            store=store,
+            fabric=data_fabric,
+            # Under supervision a worker may legitimately be gone for the
+            # length of a restart backoff; in-flight messages to it are
+            # dropped (and counted) rather than poisoning the router.
+            on_unroutable="drop" if supervision is not None else "raise",
+        )
         brokers[spec.name] = broker
         if spec.name == learner_machine_name:
             controller: Controller = CenterController(
@@ -132,39 +153,127 @@ def build_cluster(config: XingTianConfig) -> Cluster:
     _wire_fabrics(config, brokers, data_fabric, control_fabric, learner_machine_name)
     _register_routes(config, brokers, learner_machine_name)
 
-    # Deploy processes.
+    # Deploy processes.  Each process gets a zero-argument build closure so
+    # the supervisor can rebuild a dead one from scratch (fresh endpoint,
+    # fresh agent/algorithm) and re-register it with the local broker.
     explorer_names = config.explorer_names()
     controller_endpoint = CenterController.ENDPOINT_NAME
+    heartbeat = supervision.heartbeat_interval if supervision is not None else None
+    checkpointer: Optional[Checkpointer] = None
+    if supervision is not None and supervision.checkpoint_dir is not None:
+        checkpointer = Checkpointer(
+            supervision.checkpoint_dir,
+            every_train_steps=supervision.checkpoint_every,
+            keep=supervision.checkpoint_keep,
+        )
+    supervisor: Optional[Supervisor] = None
+    if supervision is not None:
+        supervisor = Supervisor(
+            suspect_after=supervision.suspect_after,
+            dead_after=supervision.dead_after,
+            policy=RestartPolicy(
+                max_restarts=supervision.max_restarts,
+                backoff_base=supervision.backoff_base,
+                backoff_max=supervision.backoff_max,
+                jitter=supervision.jitter,
+            ),
+            collector=center.collector,
+            allow_degraded=supervision.allow_degraded,
+            seed=supervision.seed,
+        )
+        center.attach_supervisor(supervisor)
+
     seed_base = config.seed if config.seed is not None else 0
     explorer_index = 0
     for spec, machine in zip(config.machines, machines):
         broker = brokers[spec.name]
         if spec.has_learner:
-            machine.deploy(
-                LearnerProcess(
+
+            def build_learner(broker=broker):
+                return LearnerProcess(
                     LEARNER_NAME,
                     broker,
                     _algorithm_factory(config, model_config),
                     explorer_names,
                     controller_name=controller_endpoint,
                     stats_interval=config.stats_interval,
+                    heartbeat_interval=heartbeat,
+                    checkpointer=checkpointer,
                 )
-            )
+
+            learner = build_learner()
+            machine.deploy(learner)
+            if supervisor is not None:
+                supervisor.watch(
+                    LEARNER_NAME,
+                    learner,
+                    kind="learner",
+                    restart=_make_restart(
+                        machine, broker, LEARNER_NAME, build_learner,
+                        checkpointer=checkpointer,
+                    ),
+                )
         for local_index in range(spec.explorers):
             name = f"{spec.name}.explorer-{local_index}"
-            machine.deploy(
-                ExplorerProcess(
+
+            def build_explorer(
+                broker=broker, name=name, seed=seed_base + explorer_index
+            ):
+                return ExplorerProcess(
                     name,
                     broker,
-                    _agent_factory(config, model_config, seed_base + explorer_index),
+                    _agent_factory(config, model_config, seed),
                     learner_name=LEARNER_NAME,
                     controller_name=controller_endpoint,
                     fragment_steps=config.fragment_steps,
                     stats_interval=config.stats_interval,
+                    heartbeat_interval=heartbeat,
                 )
-            )
+
+            explorer = build_explorer()
+            machine.deploy(explorer)
+            if supervisor is not None:
+                supervisor.watch(
+                    name,
+                    explorer,
+                    kind="explorer",
+                    restart=_make_restart(machine, broker, name, build_explorer),
+                )
             explorer_index += 1
     return Cluster(config, machines, center, data_fabric, control_fabric)
+
+
+def _make_restart(
+    machine: SimulatedMachine,
+    broker: Broker,
+    name: str,
+    build: Callable[[], Any],
+    *,
+    checkpointer: Optional[Checkpointer] = None,
+):
+    """Restart recipe for one process: tear down, rebuild, re-register.
+
+    The dead process's ID queue is unregistered from the broker so the
+    replacement's :class:`~repro.core.endpoint.ProcessEndpoint` gets a fresh
+    one via ``Broker.register_process`` (a closed queue is unusable).  A
+    restarted learner restores the latest checkpoint before starting, so it
+    resumes from the last snapshot rather than from scratch.
+    """
+
+    def restart(old: Any) -> Any:
+        try:
+            old.stop(timeout=1.0)
+        except Exception:  # noqa: BLE001 - a half-dead process must not block restart
+            pass
+        broker.communicator.unregister(name)
+        replacement = build()
+        if checkpointer is not None:
+            checkpointer.restore_latest(replacement.algorithm)
+        machine.replace(old, replacement)
+        replacement.start()
+        return replacement
+
+    return restart
 
 
 def _fill_model_config(config: XingTianConfig, probe_env) -> Dict:

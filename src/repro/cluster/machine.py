@@ -27,5 +27,15 @@ class SimulatedMachine:
         self.processes.append(process)
         self.controller.manage(process)
 
+    def replace(self, old: Any, new: Any) -> None:
+        """Swap a restarted process in (machine list + controller set)."""
+        for index, process in enumerate(self.processes):
+            if process is old:
+                self.processes[index] = new
+                break
+        else:
+            self.processes.append(new)
+        self.controller.replace(old, new)
+
     def local_process_names(self) -> List[str]:
         return [process.name for process in self.processes]

@@ -1,0 +1,118 @@
+"""Periodic learner checkpointing for fault tolerance.
+
+The API docs promise "periodic checkpointing for fault tolerance"
+(:mod:`repro.api.algorithm`); the :class:`Checkpointer` makes it real.  The
+learner calls :meth:`maybe_save` after every training session; every
+``every_train_steps`` sessions the full algorithm state — DNN weights,
+optimizer moment buffers, and the train counter — is written atomically to a
+numbered file.  After a learner death the supervisor rebuilds the learner
+from its factory and calls :meth:`restore_latest` so training resumes from
+the last snapshot instead of from scratch.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from typing import List, Optional
+
+from ..api.algorithm import Algorithm
+from .errors import CheckpointError
+
+_CKPT_PATTERN = re.compile(r"^(?P<name>.+)-(?P<step>\d+)\.ckpt$")
+
+
+class Checkpointer:
+    """Rotating, atomic snapshots of an algorithm's training state.
+
+    Files are named ``<name>-<train_count>.ckpt`` inside ``directory``; only
+    the newest ``keep`` snapshots are retained.  All methods are thread-safe:
+    the learner workhorse saves while the supervisor may concurrently look
+    for the latest snapshot to restore.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        every_train_steps: int = 25,
+        keep: int = 2,
+        name: str = "learner",
+    ):
+        if every_train_steps < 1:
+            raise CheckpointError("every_train_steps must be >= 1")
+        if keep < 1:
+            raise CheckpointError("keep must be >= 1")
+        self.directory = os.path.abspath(directory)
+        self.every_train_steps = every_train_steps
+        self.keep = keep
+        self.name = name
+        self._lock = threading.Lock()
+        self._last_saved_count: Optional[int] = None
+        self.saves = 0
+        self.restores = 0
+        os.makedirs(self.directory, exist_ok=True)
+
+    # -- saving -------------------------------------------------------------
+    def maybe_save(self, algorithm: Algorithm) -> Optional[str]:
+        """Save when ``every_train_steps`` sessions passed since the last save.
+
+        Returns the checkpoint path when one was written, else ``None``.
+        """
+        count = algorithm.train_count
+        with self._lock:
+            last = self._last_saved_count
+        if last is not None and count - last < self.every_train_steps:
+            return None
+        return self.save(algorithm)
+
+    def save(self, algorithm: Algorithm) -> str:
+        """Unconditionally snapshot ``algorithm``; prunes old snapshots."""
+        count = algorithm.train_count
+        path = os.path.join(self.directory, f"{self.name}-{count}.ckpt")
+        algorithm.save_checkpoint(path)
+        with self._lock:
+            self._last_saved_count = count
+            self.saves += 1
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        for stale in self.checkpoint_paths()[: -self.keep]:
+            try:
+                os.unlink(stale)
+            except OSError:
+                pass  # already gone, or being read — never fail a save on it
+
+    # -- restoring ----------------------------------------------------------
+    def checkpoint_paths(self) -> List[str]:
+        """Existing snapshot paths, oldest first."""
+        found = []
+        try:
+            entries = os.listdir(self.directory)
+        except OSError:
+            return []
+        for entry in entries:
+            match = _CKPT_PATTERN.match(entry)
+            if match is not None and match.group("name") == self.name:
+                found.append((int(match.group("step")), entry))
+        return [os.path.join(self.directory, entry) for _, entry in sorted(found)]
+
+    def latest_path(self) -> Optional[str]:
+        paths = self.checkpoint_paths()
+        return paths[-1] if paths else None
+
+    def restore_latest(self, algorithm: Algorithm) -> bool:
+        """Restore the newest snapshot into ``algorithm``.
+
+        Returns ``False`` when no snapshot exists yet (a learner that died
+        before the first save restarts from scratch — still a valid restart).
+        """
+        path = self.latest_path()
+        if path is None:
+            return False
+        algorithm.restore_checkpoint(path)
+        with self._lock:
+            self.restores += 1
+        return True

@@ -33,10 +33,17 @@ class HeaderQueue:
         self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=maxsize)
         self._closed = threading.Event()
 
-    def put(self, header: Dict[str, Any]) -> None:
+    def put(self, header: Dict[str, Any]) -> bool:
+        """Enqueue ``header``; returns ``False`` when dropped (queue closed).
+
+        Callers that inserted a body into the object store on behalf of this
+        header must release its refcount when the put is dropped, or the
+        body leaks (the destination will never fetch-and-release it).
+        """
         if self._closed.is_set():
-            return  # drop late headers during shutdown
+            return False  # drop late headers during shutdown
         self._queue.put(header)
+        return True
 
     def get(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
         """Blocking get; returns ``None`` on timeout or once closed."""
@@ -53,6 +60,27 @@ class HeaderQueue:
         if not self._closed.is_set():
             self._closed.set()
             self._queue.put(self._CLOSED)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Pop and return every queued header without blocking.
+
+        Used at endpoint shutdown to recover headers nobody will consume so
+        their object-store refcounts can be released.  Sentinel markers are
+        discarded; one is re-inserted afterwards when the queue is closed so
+        late waiters still wake up.
+        """
+        items: List[Dict[str, Any]] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is self._CLOSED:
+                continue
+            items.append(item)
+        if self._closed.is_set():
+            self._queue.put(self._CLOSED)
+        return items
 
     @property
     def closed(self) -> bool:

@@ -57,6 +57,50 @@ class StopCondition:
 
 
 @dataclass
+class SupervisionSpec:
+    """Fault-tolerance knobs (see docs/FAULT_TOLERANCE.md).
+
+    When attached to a config, every explorer/learner sends heartbeats to
+    the center controller, whose :class:`~repro.core.supervision.Supervisor`
+    marks a process SUSPECT after ``suspect_after`` seconds of silence and
+    DEAD after ``dead_after``, then restarts it under an exponential-backoff
+    budget.  ``checkpoint_dir`` enables learner snapshots every
+    ``checkpoint_every`` training sessions so a restarted learner resumes
+    instead of starting over.
+    """
+
+    heartbeat_interval: float = 0.1
+    suspect_after: float = 1.0
+    dead_after: float = 2.5
+    max_restarts: int = 3
+    backoff_base: float = 0.25
+    backoff_max: float = 5.0
+    jitter: float = 0.0
+    #: keep training on surviving explorers instead of failing the run
+    allow_degraded: bool = False
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 25
+    checkpoint_keep: int = 2
+    seed: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ConfigError("heartbeat_interval must be positive")
+        if self.suspect_after <= self.heartbeat_interval:
+            raise ConfigError("suspect_after must exceed heartbeat_interval")
+        if self.dead_after <= self.suspect_after:
+            raise ConfigError("dead_after must exceed suspect_after")
+        if self.max_restarts < 0:
+            raise ConfigError("max_restarts must be >= 0")
+        if self.backoff_base < 0 or self.backoff_max < self.backoff_base:
+            raise ConfigError("backoff_max must be >= backoff_base >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError("jitter must be in [0, 1]")
+        if self.checkpoint_every < 1 or self.checkpoint_keep < 1:
+            raise ConfigError("checkpoint_every and checkpoint_keep must be >= 1")
+
+
+@dataclass
 class XingTianConfig:
     """Full run configuration."""
 
@@ -85,6 +129,8 @@ class XingTianConfig:
     nic_latency: float = 0.0002
     stop: StopCondition = field(default_factory=lambda: StopCondition(max_seconds=10.0))
     seed: Optional[int] = None
+    #: fault-tolerance layer; None keeps the seed behaviour (no supervision)
+    supervision: Optional[SupervisionSpec] = None
 
     # -- derived -------------------------------------------------------------
     @property
@@ -134,6 +180,8 @@ class XingTianConfig:
         if self.nic_bandwidth <= 0:
             raise ConfigError("nic_bandwidth must be positive")
         self.stop.validate()
+        if self.supervision is not None:
+            self.supervision.validate()
 
     # -- (de)serialization ------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -153,7 +201,14 @@ class XingTianConfig:
             stop = StopCondition(**stop_data)
         else:
             stop = StopCondition(max_seconds=10.0)
-        config = cls(machines=machines, stop=stop, **data)
+        supervision_data = data.pop("supervision", None)
+        if isinstance(supervision_data, SupervisionSpec):
+            supervision: Optional[SupervisionSpec] = supervision_data
+        elif supervision_data:
+            supervision = SupervisionSpec(**supervision_data)
+        else:
+            supervision = None
+        config = cls(machines=machines, stop=stop, supervision=supervision, **data)
         config.validate()
         return config
 

@@ -20,6 +20,7 @@ from .config import StopCondition
 from .endpoint import ProcessEndpoint
 from .message import CMD_SHUTDOWN, Command, MsgType
 from .stats import StatsCollector
+from .supervision import Supervisor
 
 
 class Controller:
@@ -37,6 +38,14 @@ class Controller:
     def manage(self, process: Any) -> None:
         """Track a process (Explorer/Learner/...) for lifecycle handling."""
         self._processes.append(process)
+
+    def replace(self, old: Any, new: Any) -> None:
+        """Swap a restarted process into the managed set (supervision)."""
+        for index, process in enumerate(self._processes):
+            if process is old:
+                self._processes[index] = new
+                return
+        self._processes.append(new)
 
     def start_all(self) -> None:
         self.broker.start()
@@ -88,6 +97,13 @@ class CenterController(Controller):
         self._monitor_stop = threading.Event()
         self._started_at: Optional[float] = None
         self.shutdown_reason: Optional[str] = None
+        #: optional fault-tolerance layer (attached by the cluster builder)
+        self.supervisor: Optional[Supervisor] = None
+
+    def attach_supervisor(self, supervisor: Supervisor) -> None:
+        """Install the supervision layer; heartbeats arriving at this
+        controller's endpoint will feed its failure detector."""
+        self.supervisor = supervisor
 
     def start_all(self) -> None:
         super().start_all()
@@ -97,10 +113,16 @@ class CenterController(Controller):
             target=self._monitor_loop, name=f"{self.name}.monitor", daemon=True
         )
         self._monitor.start()
+        if self.supervisor is not None:
+            self.supervisor.start()
 
     def stop_all(self) -> None:
         if self.stopped:
             return
+        # Stop supervising first so shutting processes down is not mistaken
+        # for worker death (and nothing gets restarted mid-teardown).
+        if self.supervisor is not None:
+            self.supervisor.stop()
         self._monitor_stop.set()
         self.endpoint.stop()
         # Broadcast shutdown to the other controllers first (§3.2.2).
@@ -119,8 +141,16 @@ class CenterController(Controller):
     def _monitor_loop(self) -> None:
         while not self._monitor_stop.is_set():
             message = self.endpoint.receive(timeout=0.1)
-            if message is not None and message.msg_type == MsgType.STATS:
+            if message is None:
+                continue
+            if message.msg_type == MsgType.STATS:
                 self.collector.add(message.body)
+                # A stats report proves the sender is alive too.
+                if self.supervisor is not None:
+                    self.supervisor.observe_heartbeat(message.src)
+            elif message.msg_type == MsgType.HEARTBEAT:
+                if self.supervisor is not None:
+                    self.supervisor.observe_heartbeat(message.src)
 
     def elapsed(self) -> float:
         if self._started_at is None:
@@ -145,10 +175,19 @@ class CenterController(Controller):
         return None
 
     def wait(self, poll_interval: float = 0.05) -> str:
-        """Block until the stop condition fires; returns the reason."""
+        """Block until the stop condition fires; returns the reason.
+
+        With a supervisor attached this raises
+        :class:`~repro.core.errors.TrainingFailedError` the moment the run
+        becomes unrecoverable (all restart budget spent on dead workers)
+        instead of spinning forever on a deployment that can never reach
+        its goal.
+        """
         while True:
             reason = self.should_stop()
             if reason is not None:
                 self.shutdown_reason = reason
                 return reason
+            if self.supervisor is not None:
+                self.supervisor.check()
             time.sleep(poll_interval)

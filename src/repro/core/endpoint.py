@@ -69,6 +69,23 @@ class ProcessEndpoint:
                 thread.join(timeout=timeout)
         self._sender = None
         self._receiver = None
+        self._release_unconsumed()
+
+    def _release_unconsumed(self) -> None:
+        """Release refcounts of bodies still parked in the ID queue.
+
+        A process that stops (or dies) before draining its ID queue would
+        otherwise strand each undelivered body in the object store with a
+        positive refcount — a leak per missed message.
+        """
+        store = self.broker.communicator.object_store
+        for header in self._id_queue.drain():
+            object_id = header.get(OBJECT_ID)
+            if object_id is not None:
+                try:
+                    store.release(object_id)
+                except Exception:  # noqa: BLE001 - already released elsewhere
+                    pass
 
     # -- workhorse-facing API ------------------------------------------------
     def send(self, message: Message) -> None:
@@ -121,7 +138,13 @@ class ProcessEndpoint:
                 object_id = None
             header = dict(message.header)
             header[OBJECT_ID] = object_id
-            communicator.header_queue.put(header)
+            if not communicator.header_queue.put(header):
+                # Header dropped (communicator closing): undo the store
+                # insert or the body leaks with its full fan-out refcount.
+                if object_id is not None:
+                    for _ in range(refcount):
+                        communicator.object_store.release(object_id)
+                continue
             self.sent_meter.record(max(message.body_size, 1))
 
     def _receiver_loop(self) -> None:

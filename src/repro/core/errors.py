@@ -46,3 +46,20 @@ class RegistryError(XingTianError):
 
 class CheckpointError(XingTianError):
     """Raised when saving or restoring a checkpoint fails."""
+
+
+class WorkerCrashedError(XingTianError):
+    """Raised when a workhorse thread died from an exception.
+
+    Wraps the original exception (available as ``__cause__``) so a crash
+    captured inside a worker thread cannot be silently lost at ``join``.
+    """
+
+
+class TrainingFailedError(XingTianError):
+    """Raised when a run can no longer make progress.
+
+    The supervisor raises this instead of letting ``wait()`` spin forever:
+    workers are dead and the restart budget is exhausted (§3.2.2 promises a
+    stop decision; a dead deployment must produce one too).
+    """

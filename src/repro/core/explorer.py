@@ -16,6 +16,7 @@ from typing import Callable, Optional
 from ..api.agent import Agent
 from .broker import Broker
 from .endpoint import ProcessEndpoint, WorkhorseThread
+from .errors import WorkerCrashedError
 from .message import CMD_SHUTDOWN, MsgType, make_message
 from .serialization import payload_nbytes
 from .stats import ProcessStats, ThroughputMeter
@@ -34,6 +35,7 @@ class ExplorerProcess:
         controller_name: Optional[str] = None,
         fragment_steps: int = 200,
         stats_interval: float = 0.5,
+        heartbeat_interval: Optional[float] = None,
     ):
         self.name = name
         self.endpoint = ProcessEndpoint(name, broker)
@@ -42,6 +44,10 @@ class ExplorerProcess:
         self.controller_name = controller_name
         self.fragment_steps = fragment_steps
         self.stats_interval = stats_interval
+        #: seconds between HEARTBEAT messages to the controller (None = off)
+        self.heartbeat_interval = heartbeat_interval
+        self._last_heartbeat = time.monotonic()
+        self.heartbeats_sent = 0
         self.workhorse = WorkhorseThread(f"{name}.rollout-worker", self._step)
         self.steps_meter = ThroughputMeter()
         self.fragments_sent = 0
@@ -67,11 +73,23 @@ class ExplorerProcess:
         self.endpoint.stop(timeout=timeout)
         self.workhorse.join(timeout=timeout)
 
-    def join(self, timeout: Optional[float] = None) -> None:
+    def join(self, timeout: Optional[float] = None, *, raise_on_error: bool = True) -> None:
+        """Wait for the workhorse; re-raise a captured crash by default.
+
+        A workhorse exception is captured in ``workhorse.error`` — without
+        this re-raise a crashed explorer would be silently lost by any
+        caller that only ever joins.
+        """
         self.workhorse.join(timeout=timeout)
+        error = self.workhorse.error
+        if raise_on_error and error is not None:
+            raise WorkerCrashedError(
+                f"explorer {self.name!r} workhorse crashed: {error!r}"
+            ) from error
 
     # -- workhorse loop -------------------------------------------------------
     def _step(self) -> bool:
+        self._maybe_send_heartbeat()
         if not self._drain_inbox(
             block=self._awaiting_weights or not self._have_initial_weights
         ):
@@ -121,6 +139,18 @@ class ExplorerProcess:
             self._awaiting_weights = False
             self._have_initial_weights = True
         return True
+
+    def _maybe_send_heartbeat(self) -> None:
+        if self.heartbeat_interval is None or self.controller_name is None:
+            return
+        now = time.monotonic()
+        if now - self._last_heartbeat < self.heartbeat_interval:
+            return
+        self._last_heartbeat = now
+        self.endpoint.send(
+            make_message(self.name, [self.controller_name], MsgType.HEARTBEAT, None)
+        )
+        self.heartbeats_sent += 1
 
     def _maybe_send_stats(self, steps: int) -> None:
         self._steps_since_stats += steps

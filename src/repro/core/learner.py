@@ -22,7 +22,9 @@ from typing import Callable, List, Optional
 
 from ..api.algorithm import Algorithm
 from .broker import Broker
+from .checkpoint import Checkpointer
 from .endpoint import ProcessEndpoint, WorkhorseThread
+from .errors import WorkerCrashedError
 from .message import CMD_SHUTDOWN, MsgType, make_message
 from .serialization import payload_nbytes
 from .stats import LatencyRecorder, ProcessStats, ThroughputMeter
@@ -41,6 +43,8 @@ class LearnerProcess:
         controller_name: Optional[str] = None,
         stats_interval: float = 0.5,
         broadcast_initial_weights: bool = True,
+        heartbeat_interval: Optional[float] = None,
+        checkpointer: Optional[Checkpointer] = None,
     ):
         self.name = name
         self.endpoint = ProcessEndpoint(name, broker)
@@ -49,6 +53,12 @@ class LearnerProcess:
         self.controller_name = controller_name
         self.stats_interval = stats_interval
         self._broadcast_initial = broadcast_initial_weights
+        #: seconds between HEARTBEAT messages to the controller (None = off)
+        self.heartbeat_interval = heartbeat_interval
+        self._last_heartbeat = time.monotonic()
+        self.heartbeats_sent = 0
+        #: periodic weight + optimizer-state snapshots for crash recovery
+        self.checkpointer = checkpointer
         self.workhorse = WorkhorseThread(f"{name}.trainer", self._step)
         # Instrumentation (the paper's Figs. 8-10 quantities).
         self.consumed_meter = ThroughputMeter()
@@ -73,11 +83,18 @@ class LearnerProcess:
         self.endpoint.stop(timeout=timeout)
         self.workhorse.join(timeout=timeout)
 
-    def join(self, timeout: Optional[float] = None) -> None:
+    def join(self, timeout: Optional[float] = None, *, raise_on_error: bool = True) -> None:
+        """Wait for the trainer; re-raise a captured crash by default."""
         self.workhorse.join(timeout=timeout)
+        error = self.workhorse.error
+        if raise_on_error and error is not None:
+            raise WorkerCrashedError(
+                f"learner {self.name!r} workhorse crashed: {error!r}"
+            ) from error
 
     # -- trainer loop -----------------------------------------------------------
     def _step(self) -> bool:
+        self._maybe_send_heartbeat()
         if self._wait_started is None:
             self._wait_started = time.monotonic()
         message = self.endpoint.receive(timeout=0.05)
@@ -95,6 +112,9 @@ class LearnerProcess:
 
         trained = False
         while self.algorithm.ready_to_train():
+            # A burst of back-to-back training sessions can outlast the
+            # failure detector's dead_after; keep beating inside the loop.
+            self._maybe_send_heartbeat()
             # "Actual wait": from going idle to having enough data to train.
             if self._wait_started is not None:
                 self.wait_recorder.record(time.monotonic() - self._wait_started)
@@ -111,6 +131,8 @@ class LearnerProcess:
                 self._broadcast(self.algorithm.broadcast_targets(self.explorer_names))
         if trained:
             self._wait_started = time.monotonic()
+            if self.checkpointer is not None:
+                self.checkpointer.maybe_save(self.algorithm)
         self._maybe_send_stats()
         return True
 
@@ -127,6 +149,18 @@ class LearnerProcess:
         )
         self.endpoint.send(message)
         self.broadcasts += 1
+
+    def _maybe_send_heartbeat(self) -> None:
+        if self.heartbeat_interval is None or self.controller_name is None:
+            return
+        now = time.monotonic()
+        if now - self._last_heartbeat < self.heartbeat_interval:
+            return
+        self._last_heartbeat = now
+        self.endpoint.send(
+            make_message(self.name, [self.controller_name], MsgType.HEARTBEAT, None)
+        )
+        self.heartbeats_sent += 1
 
     def _maybe_send_stats(self) -> None:
         if self.controller_name is None:

@@ -24,6 +24,7 @@ class MsgType(str, Enum):
     WEIGHTS = "weights"
     STATS = "stats"
     COMMAND = "command"
+    HEARTBEAT = "heartbeat"  # liveness beacon from workhorses to their controller
     DATA = "data"  # generic payloads (dummy DRL algorithm, tests)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

@@ -21,7 +21,7 @@ from collections import defaultdict
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .communicator import ShareMemCommunicator
-from .errors import UnknownDestinationError
+from .errors import RoutingError, UnknownDestinationError, UnknownObjectError
 from .message import COMPRESSED, DST, OBJECT_ID
 
 RemoteSend = Callable[[str, Dict[str, Any], Any, int], None]
@@ -94,8 +94,27 @@ class AlgorithmAgnosticRouter:
         if remote_groups:
             self._route_remote(header, remote_groups)
         for destination in local:
-            self.communicator.id_queue(destination).put(dict(header))
+            self._deliver_local(destination, dict(header))
+
+    def _deliver_local(self, destination: str, header: Dict[str, Any]) -> None:
+        """Put ``header`` on one local ID queue, releasing its refcount share
+        when the destination is gone (queue closed or unregistered mid-route
+        — routine when the supervisor is tearing a dead process down)."""
+        delivered = False
+        try:
+            delivered = self.communicator.id_queue(destination).put(header)
+        except RoutingError:
+            delivered = False
+        if delivered:
             self.routed_local += 1
+            return
+        self.dropped += 1
+        object_id = header.get(OBJECT_ID)
+        if object_id is not None:
+            try:
+                self.communicator.object_store.release(object_id)
+            except UnknownObjectError:
+                pass
 
     def _partition(
         self, destinations: List[str]
@@ -186,5 +205,4 @@ class AlgorithmAgnosticRouter:
             local_header[DST] = [destination]
             local_header[OBJECT_ID] = object_id
             local_header[COMPRESSED] = False
-            self.communicator.id_queue(destination).put(local_header)
-            self.routed_local += 1
+            self._deliver_local(destination, local_header)

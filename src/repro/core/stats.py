@@ -169,6 +169,11 @@ class StatsCollector:
         self.total_env_steps = 0
         self.total_trained_steps = 0
         self.total_train_iterations = 0
+        # Fault-tolerance counters (filled by the supervisor).
+        self.failures = 0
+        self.restarts = 0
+        self._failures_by: Dict[str, int] = {}
+        self._restarts_by: Dict[str, int] = {}
 
     def add(self, report: ProcessStats) -> None:
         with self._lock:
@@ -196,3 +201,24 @@ class StatsCollector:
     def report_count(self) -> int:
         with self._lock:
             return len(self._reports)
+
+    # -- fault-tolerance accounting ----------------------------------------
+    def record_failure(self, source: str) -> None:
+        """Count one detected worker death (crash or missed heartbeats)."""
+        with self._lock:
+            self.failures += 1
+            self._failures_by[source] = self._failures_by.get(source, 0) + 1
+
+    def record_restart(self, source: str) -> None:
+        """Count one successful worker restart."""
+        with self._lock:
+            self.restarts += 1
+            self._restarts_by[source] = self._restarts_by.get(source, 0) + 1
+
+    def failure_counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._failures_by)
+
+    def restart_counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._restarts_by)

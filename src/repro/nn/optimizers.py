@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -18,6 +18,13 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot internal state (momentum/moment buffers) for checkpoints."""
+        return {}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
 
     def zero_grads(self) -> None:
         for grad in self.grads:
@@ -62,6 +69,17 @@ class SGD(Optimizer):
                 vel += grad
                 param -= self.lr * vel
 
+    def state_dict(self) -> Dict[str, Any]:
+        if self._velocity is None:
+            return {}
+        return {"velocity": [vel.copy() for vel in self._velocity]}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        velocity = state.get("velocity")
+        if velocity is not None and self._velocity is not None:
+            for current, saved in zip(self._velocity, velocity):
+                current[...] = saved
+
 
 class Adam(Optimizer):
     """Adam (Kingma & Ba, 2015)."""
@@ -96,3 +114,17 @@ class Adam(Optimizer):
             v *= self.beta2
             v += (1.0 - self.beta2) * grad**2
             param -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+            "t": self._t,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        for current, saved in zip(self._m, state.get("m", ())):
+            current[...] = saved
+        for current, saved in zip(self._v, state.get("v", ())):
+            current[...] = saved
+        self._t = int(state.get("t", self._t))

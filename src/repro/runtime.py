@@ -56,6 +56,7 @@ class XingTianSession:
         """Start the deployment, wait for the stop condition, tear down."""
         cluster = build_cluster(self.config)
         self.cluster = cluster
+        supervisor = cluster.center.supervisor
         started = time.monotonic()
         cluster.start()
         try:
@@ -64,19 +65,30 @@ class XingTianSession:
                 if reason is not None:
                     cluster.center.shutdown_reason = reason
                     break
-                cluster.raise_worker_errors()
+                if supervisor is not None:
+                    # A workhorse crash may be restartable; let the
+                    # supervisor decide.  It raises TrainingFailedError
+                    # only once the run is unrecoverable.
+                    supervisor.check()
+                else:
+                    cluster.raise_worker_errors()
                 time.sleep(poll_interval)
         finally:
             elapsed = time.monotonic() - started
             result = self._collect(cluster, elapsed)
             cluster.stop()
-            cluster.raise_worker_errors()
+            if supervisor is None:
+                cluster.raise_worker_errors()
         return result
 
     def _collect(self, cluster: Cluster, elapsed: float) -> RunResult:
         learner = cluster.learner
         collector = cluster.center.collector
         meter = learner.consumed_meter
+        extra: Dict[str, float] = {}
+        if cluster.center.supervisor is not None:
+            extra["failures"] = float(collector.failures)
+            extra["restarts"] = float(collector.restarts)
         return RunResult(
             elapsed_s=elapsed,
             shutdown_reason=cluster.center.shutdown_reason or "",
@@ -91,6 +103,7 @@ class XingTianSession:
             mean_wait_s=learner.wait_recorder.mean(),
             wait_cdf=learner.wait_recorder.cdf(),
             mean_train_s=learner.train_recorder.mean(),
+            extra=extra,
         )
 
 

@@ -1,0 +1,19 @@
+"""Test-support utilities: fault injection for the supervision layer."""
+
+from .faults import (
+    CrashingAgent,
+    FaultSpec,
+    FaultyFabric,
+    FaultyLink,
+    Fuse,
+    HangingAgent,
+)
+
+__all__ = [
+    "CrashingAgent",
+    "FaultSpec",
+    "FaultyFabric",
+    "FaultyLink",
+    "Fuse",
+    "HangingAgent",
+]

@@ -1,0 +1,252 @@
+"""Fault-injection harness for exercising the supervision layer.
+
+Everything here is deterministic under a seed so fault-tolerance tests can
+be replayed exactly:
+
+* :class:`FaultyFabric` / :class:`FaultyLink` — wrap every link a fabric
+  creates and drop / delay / duplicate / reorder items according to a
+  :class:`FaultSpec` driven by a seeded ``random.Random``.
+* :class:`CrashingAgent` / :class:`HangingAgent` — agent wrappers that blow
+  up (or stall) inside ``run_fragment`` after a configured number of calls,
+  simulating an explorer workhorse dying mid-run.
+* :class:`Fuse` — a shared one-shot trigger, so a restarted worker built
+  from the same factory does not crash again.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..transport.fabric import Fabric
+from ..transport.link import Link
+
+
+class Fuse:
+    """A thread-safe one-shot trigger.
+
+    ``pop()`` returns True exactly once across all sharers.  Inject one into
+    a :class:`CrashingAgent` so the *first* worker to reach the trigger
+    crashes and every later (restarted) worker runs clean.
+    """
+
+    def __init__(self, armed: bool = True):
+        self._armed = armed
+        self._lock = threading.Lock()
+        self.blown = False
+
+    def pop(self) -> bool:
+        with self._lock:
+            if not self._armed:
+                return False
+            self._armed = False
+            self.blown = True
+            return True
+
+
+@dataclass
+class FaultSpec:
+    """Per-link fault probabilities and magnitudes.
+
+    Probabilities are evaluated per item, in order drop → duplicate →
+    reorder → delay; an item can be both duplicated and delayed.  ``reorder``
+    holds an item back until the next send, emitting the pair swapped.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    delay: float = 0.0  #: probability of delaying an item
+    delay_s: float = 0.01  #: sleep applied when a delay fires
+
+    def validate(self) -> None:
+        for name in ("drop", "duplicate", "reorder", "delay"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+
+
+class FaultyLink(Link):
+    """Wraps a real link, injecting faults on the send path.
+
+    The wrapped link still does the actual delivery (including any NIC
+    throttling), so faults compose with bandwidth modelling.  Counters
+    record every injected fault for assertions.
+    """
+
+    def __init__(self, inner: Link, spec: FaultSpec, rng: random.Random):
+        spec.validate()
+        self.inner = inner
+        self.spec = spec
+        self._rng = rng
+        self._lock = threading.Lock()
+        self._held: Optional[Tuple[Any, int]] = None
+        self.sent = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.reordered = 0
+        self.delayed = 0
+
+    def send(self, item: Any, nbytes: int = 0) -> None:
+        with self._lock:
+            self.sent += 1
+            if self._rng.random() < self.spec.drop:
+                self.dropped += 1
+                return
+            emit: List[Tuple[Any, int]] = [(item, nbytes)]
+            if self._rng.random() < self.spec.duplicate:
+                self.duplicated += 1
+                emit.append((item, nbytes))
+            if self._rng.random() < self.spec.reorder:
+                if self._held is None:
+                    # Hold this item back; it leaves before the next one.
+                    self._held = emit.pop(0)
+                    self.reordered += 1
+                else:
+                    held, self._held = self._held, None
+                    emit.append(held)
+            delay = self._rng.random() < self.spec.delay
+            if delay:
+                self.delayed += 1
+        if delay and self.spec.delay_s > 0:
+            time.sleep(self.spec.delay_s)
+        for entry in emit:
+            self.inner.send(*entry)
+
+    def flush(self) -> None:
+        """Release an item held back by reordering (call before close)."""
+        with self._lock:
+            held, self._held = self._held, None
+        if held is not None:
+            self.inner.send(*held)
+
+    def close(self) -> None:
+        self.flush()
+        self.inner.close()
+
+
+class FaultyFabric(Fabric):
+    """A :class:`Fabric` whose every link misbehaves per a :class:`FaultSpec`.
+
+    Pass as ``data_fabric=``/``control_fabric=`` to
+    :func:`repro.cluster.build_cluster` to subject all inter-broker (or
+    inter-controller) traffic to the faults.  Deterministic under ``seed``.
+    """
+
+    def __init__(
+        self,
+        name: str = "faulty-fabric",
+        *,
+        spec: Optional[FaultSpec] = None,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(name)
+        self.spec = spec if spec is not None else FaultSpec()
+        self.spec.validate()
+        self._rng = random.Random(seed)
+        self.faulty_links: List[FaultyLink] = []
+
+    def _decorate_link(self, link: Link, src: str, dst: str) -> Link:
+        # Per-link RNG split from the fabric seed keeps each link's fault
+        # sequence independent of link-creation order racing across threads.
+        wrapped = FaultyLink(
+            link, self.spec, random.Random(self._rng.getrandbits(64))
+        )
+        self.faulty_links.append(wrapped)
+        return wrapped
+
+    def fault_counts(self) -> dict:
+        totals = {"sent": 0, "dropped": 0, "duplicated": 0, "reordered": 0, "delayed": 0}
+        for link in self.faulty_links:
+            totals["sent"] += link.sent
+            totals["dropped"] += link.dropped
+            totals["duplicated"] += link.duplicated
+            totals["reordered"] += link.reordered
+            totals["delayed"] += link.delayed
+        return totals
+
+
+class _AgentWrapper:
+    """Delegates everything to the wrapped agent except injected behaviour."""
+
+    def __init__(self, inner: Any):
+        self.inner = inner
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.inner, name)
+
+    def set_weights(self, weights: Any) -> None:
+        self.inner.set_weights(weights)
+
+
+class CrashingAgent(_AgentWrapper):
+    """Raises from ``run_fragment`` on the Nth call (or when a fuse pops).
+
+    With ``fuse`` shared between the harness and the agent factory, only the
+    first worker to reach the trigger crashes — a restarted worker (rebuilt
+    from the same factory) runs clean, which is what the recovery tests
+    need to observe exactly one restart.
+    """
+
+    def __init__(
+        self,
+        inner: Any,
+        *,
+        crash_after: int = 1,
+        fuse: Optional[Fuse] = None,
+        exc_factory: Any = None,
+    ):
+        super().__init__(inner)
+        self.crash_after = crash_after
+        self.fuse = fuse
+        self.calls = 0
+        self._exc_factory = exc_factory or (
+            lambda: RuntimeError("injected crash (CrashingAgent)")
+        )
+
+    def run_fragment(self, fragment_steps: int) -> Any:
+        self.calls += 1
+        if self.calls >= self.crash_after:
+            if self.fuse is None or self.fuse.pop():
+                raise self._exc_factory()
+        return self.inner.run_fragment(fragment_steps)
+
+
+class HangingAgent(_AgentWrapper):
+    """Stalls inside ``run_fragment`` on the Nth call — a silent hang.
+
+    Unlike a crash there is no exception to detect; only missed heartbeats
+    reveal the failure, which is exactly the code path the heartbeat
+    machinery exists for.  ``hang_s`` bounds the stall so tests terminate;
+    ``release`` (an Event) ends it early.
+    """
+
+    def __init__(
+        self,
+        inner: Any,
+        *,
+        hang_after: int = 1,
+        hang_s: float = 30.0,
+        fuse: Optional[Fuse] = None,
+        release: Optional[threading.Event] = None,
+    ):
+        super().__init__(inner)
+        self.hang_after = hang_after
+        self.hang_s = hang_s
+        self.fuse = fuse
+        self.release = release if release is not None else threading.Event()
+        self.calls = 0
+        self.hung = False
+
+    def run_fragment(self, fragment_steps: int) -> Any:
+        self.calls += 1
+        if self.calls >= self.hang_after:
+            if self.fuse is None or self.fuse.pop():
+                self.hung = True
+                self.release.wait(self.hang_s)
+        return self.inner.run_fragment(fragment_steps)

@@ -63,6 +63,7 @@ class Fabric:
                     latency=latency,
                     name=f"{self.name}:{src}->{dst}",
                 )
+            link = self._decorate_link(link, src, dst)
             self._links[(src, dst)] = link
             return link
 
@@ -84,9 +85,14 @@ class Fabric:
                 handler = self._handlers.get(dst)
                 if handler is None:
                     raise KeyError(f"fabric {self.name!r}: unknown node {dst!r}")
-                link = DirectLink(handler)
+                link = self._decorate_link(DirectLink(handler), src, dst)
                 self._links[(src, dst)] = link
         link.send(item, nbytes)
+
+    def _decorate_link(self, link: Link, src: str, dst: str) -> Link:
+        """Hook for subclasses to wrap every link as it is created (used by
+        :class:`repro.testing.faults.FaultyFabric` to inject drop/delay)."""
+        return link
 
     def nodes(self) -> Dict[str, Callable[[Any], None]]:
         with self._lock:

@@ -173,6 +173,49 @@ class TestCrossBrokerTransfer:
             fabric.close()
 
 
+class TestRefcountLeaks:
+    """Regression tests: bodies must never be stranded in the object store."""
+
+    def test_stop_releases_undrained_id_queue(self, broker):
+        """A destination that stops before draining its ID queue must release
+        the refcounts of every header still parked there."""
+        alice = ProcessEndpoint("alice", broker)
+        bob = ProcessEndpoint("bob", broker)  # registered, but never started
+        alice.start()
+        try:
+            store = broker.communicator.object_store
+            for index in range(5):
+                alice.send(make_message("alice", ["bob"], MsgType.DATA, index))
+            # Wait until the router has parked all five in bob's ID queue.
+            deadline = time.monotonic() + 2
+            while len(store) < 5 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert len(store) == 5
+            bob.stop()  # drains the ID queue, releasing each body
+            assert len(store) == 0
+        finally:
+            alice.stop()
+
+    def test_sender_releases_refcounts_when_header_queue_closed(self, broker):
+        """If the communicator closes between the store insert and the header
+        put, the sender must roll the insert back (full fan-out refcount)."""
+        alice = ProcessEndpoint("alice", broker)
+        broker.register_process("b0")
+        broker.register_process("b1")
+        alice.start()
+        try:
+            store = broker.communicator.object_store
+            broker.communicator.header_queue.close()
+            alice.send(make_message("alice", ["b0", "b1"], MsgType.DATA, "x"))
+            deadline = time.monotonic() + 2
+            while alice.send_buffer.empty() is False and time.monotonic() < deadline:
+                time.sleep(0.005)
+            time.sleep(0.05)  # let the sender thread finish the rollback
+            assert len(store) == 0
+        finally:
+            alice.stop()
+
+
 class TestWorkhorseThread:
     def test_runs_until_step_returns_false(self):
         counter = {"n": 0}

@@ -1,0 +1,115 @@
+"""Tests for the rotating Checkpointer and algorithm state round-trips."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dqn import DQNAlgorithm
+from repro.algorithms.dqn.model import QNetworkModel
+from repro.core.checkpoint import Checkpointer
+from repro.core.errors import CheckpointError
+
+QNET_CONFIG = {"obs_dim": 4, "num_actions": 2, "hidden_sizes": [8], "seed": 3}
+
+
+def make_algorithm(seed=3):
+    return DQNAlgorithm(
+        QNetworkModel(dict(QNET_CONFIG, seed=seed)),
+        {"buffer_size": 64, "learn_start": 8, "batch_size": 8, "seed": seed},
+    )
+
+
+def feed_and_train(algorithm, sessions=1, seed=0):
+    rng = np.random.default_rng(seed)
+    for _ in range(sessions):
+        rollout = {
+            "obs": rng.normal(size=(16, 4)),
+            "action": rng.integers(2, size=16),
+            "reward": rng.normal(size=16),
+            "next_obs": rng.normal(size=(16, 4)),
+            "done": np.zeros(16, dtype=bool),
+        }
+        algorithm.prepare_data(rollout, source="e0")
+        assert algorithm.ready_to_train()
+        algorithm.train()
+
+
+class TestCheckpointer:
+    def test_rejects_bad_parameters(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            Checkpointer(str(tmp_path), every_train_steps=0)
+        with pytest.raises(CheckpointError):
+            Checkpointer(str(tmp_path), keep=0)
+
+    def test_maybe_save_honours_interval(self, tmp_path):
+        checkpointer = Checkpointer(str(tmp_path), every_train_steps=2, keep=10)
+        algorithm = make_algorithm()
+        feed_and_train(algorithm)  # train_count == 1
+        assert checkpointer.maybe_save(algorithm) is not None  # first save always
+        assert checkpointer.maybe_save(algorithm) is None  # same count again
+        feed_and_train(algorithm)  # train_count == 2: only 1 past last save
+        assert checkpointer.maybe_save(algorithm) is None
+        feed_and_train(algorithm)  # train_count == 3: interval reached
+        assert checkpointer.maybe_save(algorithm) is not None
+        assert checkpointer.saves == 2
+
+    def test_prune_keeps_newest(self, tmp_path):
+        checkpointer = Checkpointer(str(tmp_path), every_train_steps=1, keep=2)
+        algorithm = make_algorithm()
+        for _ in range(4):
+            feed_and_train(algorithm)
+            checkpointer.save(algorithm)
+        paths = checkpointer.checkpoint_paths()
+        assert len(paths) == 2
+        assert paths[-1] == checkpointer.latest_path()
+        assert os.path.basename(paths[-1]) == f"learner-{algorithm.train_count}.ckpt"
+
+    def test_restore_latest_round_trip(self, tmp_path):
+        checkpointer = Checkpointer(str(tmp_path), every_train_steps=1)
+        algorithm = make_algorithm()
+        feed_and_train(algorithm, sessions=3)
+        checkpointer.save(algorithm)
+
+        fresh = make_algorithm(seed=99)
+        assert checkpointer.restore_latest(fresh)
+        assert fresh.train_count == algorithm.train_count
+        for a, b in zip(fresh.get_weights(), algorithm.get_weights()):
+            assert np.allclose(a, b)
+        assert checkpointer.restores == 1
+
+    def test_restore_with_no_snapshot_returns_false(self, tmp_path):
+        checkpointer = Checkpointer(str(tmp_path))
+        assert not checkpointer.restore_latest(make_algorithm())
+        assert checkpointer.restores == 0
+
+    def test_foreign_files_ignored(self, tmp_path):
+        checkpointer = Checkpointer(str(tmp_path), name="learner")
+        (tmp_path / "other-3.ckpt").write_bytes(b"not ours")
+        (tmp_path / "junk.txt").write_bytes(b"junk")
+        assert checkpointer.checkpoint_paths() == []
+
+
+class TestOptimizerStateRoundTrip:
+    def test_checkpoint_carries_optimizer_state(self, tmp_path):
+        """A restored learner must resume with Adam's moment buffers, not
+        freshly-zeroed ones (otherwise the first post-restart updates jump)."""
+        algorithm = make_algorithm()
+        feed_and_train(algorithm, sessions=3)
+        path = os.path.join(tmp_path, "state.ckpt")
+        algorithm.save_checkpoint(path)
+
+        fresh = make_algorithm(seed=99)
+        fresh.restore_checkpoint(path)
+        saved = algorithm.get_state()["optimizers"]
+        restored = fresh.get_state()["optimizers"]
+        assert saved.keys() == restored.keys()
+        assert len(saved) >= 1
+        for name in saved:
+            for key, value in saved[name].items():
+                other = restored[name][key]
+                if isinstance(value, list):
+                    for a, b in zip(value, other):
+                        assert np.allclose(a, b)
+                else:
+                    assert value == other

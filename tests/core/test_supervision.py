@@ -1,0 +1,302 @@
+"""Unit tests for the supervision layer: failure detection + restarts.
+
+The Supervisor takes an injectable clock and is driven by ``poll_once``, so
+these tests single-step the state machine deterministically — no sleeping,
+no background thread.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.core.errors import ConfigError, TrainingFailedError
+from repro.core.stats import StatsCollector
+from repro.core.supervision import ProcessState, RestartPolicy, Supervisor
+
+
+class FakeWorkhorse:
+    def __init__(self):
+        self.error = None
+
+
+class FakeProcess:
+    """Just enough surface for the supervisor: a workhorse with .error."""
+
+    def __init__(self, name="p"):
+        self.name = name
+        self.workhorse = FakeWorkhorse()
+        self.started = False
+
+    def start(self):
+        self.started = True
+
+    def stop(self, timeout=None):
+        pass
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make_supervisor(**overrides):
+    clock = overrides.pop("clock", FakeClock())
+    kwargs = dict(
+        suspect_after=1.0,
+        dead_after=2.5,
+        policy=RestartPolicy(max_restarts=2, backoff_base=0.5, backoff_max=4.0),
+        clock=clock,
+        seed=0,
+    )
+    kwargs.update(overrides)
+    return Supervisor(**kwargs), clock
+
+
+class TestRestartPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = RestartPolicy(max_restarts=5, backoff_base=0.5, backoff_max=3.0)
+        assert policy.schedule() == [0.5, 1.0, 2.0, 3.0, 3.0]
+
+    def test_jitter_is_deterministic_under_seed(self):
+        policy = RestartPolicy(max_restarts=4, backoff_base=1.0, backoff_max=8.0, jitter=0.5)
+        first = policy.schedule(random.Random(42))
+        second = policy.schedule(random.Random(42))
+        assert first == second
+        # Jitter only ever adds, bounded by jitter * base.
+        bases = RestartPolicy(max_restarts=4, backoff_base=1.0, backoff_max=8.0).schedule()
+        for value, base in zip(first, bases):
+            assert base <= value <= base * 1.5
+
+    def test_validate_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            RestartPolicy(max_restarts=-1).validate()
+        with pytest.raises(ConfigError):
+            RestartPolicy(backoff_base=2.0, backoff_max=1.0).validate()
+        with pytest.raises(ConfigError):
+            RestartPolicy(jitter=1.5).validate()
+
+
+class TestFailureDetector:
+    def test_alive_suspect_dead_progression(self):
+        supervisor, clock = make_supervisor()
+        supervisor.watch("w", FakeProcess(), restart=None)
+        assert supervisor.state("w") == ProcessState.ALIVE
+
+        clock.advance(1.5)  # past suspect_after, short of dead_after
+        supervisor.poll_once()
+        assert supervisor.state("w") == ProcessState.SUSPECT
+
+        clock.advance(1.5)  # past dead_after
+        supervisor.poll_once()
+        assert supervisor.state("w") == ProcessState.DEAD
+
+    def test_heartbeat_recovers_suspect_to_alive(self):
+        supervisor, clock = make_supervisor()
+        supervisor.watch("w", FakeProcess(), restart=None)
+        clock.advance(1.5)
+        supervisor.poll_once()
+        assert supervisor.state("w") == ProcessState.SUSPECT
+
+        supervisor.observe_heartbeat("w")
+        supervisor.poll_once()
+        assert supervisor.state("w") == ProcessState.ALIVE
+
+    def test_workhorse_error_short_circuits_to_dead(self):
+        supervisor, clock = make_supervisor()
+        process = FakeProcess()
+        supervisor.watch("w", process, restart=None)
+        process.workhorse.error = RuntimeError("boom")
+        supervisor.poll_once()  # no time has passed at all
+        assert supervisor.state("w") == ProcessState.DEAD
+
+    def test_heartbeat_from_unknown_process_ignored(self):
+        supervisor, _ = make_supervisor()
+        supervisor.observe_heartbeat("nobody")  # must not raise
+
+
+class TestRestarts:
+    def test_restart_after_backoff(self):
+        collector = StatsCollector()
+        supervisor, clock = make_supervisor(collector=collector)
+        original = FakeProcess("w")
+        replacement = FakeProcess("w2")
+        restarted_with = []
+
+        def restart(old):
+            restarted_with.append(old)
+            return replacement
+
+        supervisor.watch("w", original, restart=restart)
+        original.workhorse.error = RuntimeError("boom")
+        supervisor.poll_once()
+        assert supervisor.state("w") == ProcessState.DEAD
+        assert collector.failures == 1
+        assert restarted_with == []  # backoff (0.5s) not yet elapsed
+
+        clock.advance(0.25)
+        supervisor.poll_once()
+        assert restarted_with == []  # still inside the backoff window
+
+        clock.advance(0.3)
+        supervisor.poll_once()
+        assert restarted_with == [original]
+        assert supervisor.state("w") == ProcessState.ALIVE
+        assert supervisor.process("w") is replacement
+        assert supervisor.restarts("w") == 1
+        assert collector.restarts == 1
+        assert collector.restart_counts() == {"w": 1}
+
+    def test_budget_exhaustion_raises_training_failed(self):
+        supervisor, clock = make_supervisor(
+            policy=RestartPolicy(max_restarts=1, backoff_base=0.1, backoff_max=0.1)
+        )
+
+        def restart(old):
+            fresh = FakeProcess()
+            fresh.workhorse.error = RuntimeError("still broken")
+            return fresh
+
+        supervisor.watch("w", FakeProcess(), restart=restart)
+        clock.advance(3.0)  # dead: no heartbeat
+        supervisor.poll_once()
+        clock.advance(0.2)
+        supervisor.poll_once()  # restart 1/1 runs, replacement is also broken
+        assert supervisor.restarts("w") == 1
+        supervisor.poll_once()  # detects the replacement's error: budget gone
+        assert supervisor.state("w") == ProcessState.DEAD
+        with pytest.raises(TrainingFailedError, match="budget exhausted"):
+            supervisor.check()
+
+    def test_no_restart_fn_means_terminal(self):
+        supervisor, clock = make_supervisor()
+        supervisor.watch("w", FakeProcess(), restart=None)
+        clock.advance(3.0)
+        supervisor.poll_once()
+        with pytest.raises(TrainingFailedError):
+            supervisor.check()
+
+    def test_failed_restart_consumes_budget_and_retries(self):
+        supervisor, clock = make_supervisor(
+            policy=RestartPolicy(max_restarts=2, backoff_base=0.1, backoff_max=0.1)
+        )
+        attempts = []
+
+        def restart(old):
+            attempts.append(old)
+            if len(attempts) == 1:
+                raise RuntimeError("restart blew up")
+            return FakeProcess("ok")
+
+        supervisor.watch("w", FakeProcess(), restart=restart)
+        clock.advance(3.0)
+        supervisor.poll_once()  # dead, restart scheduled
+        clock.advance(0.2)
+        supervisor.poll_once()  # attempt 1 fails, re-enters DEAD
+        assert supervisor.state("w") == ProcessState.DEAD
+        clock.advance(0.3)
+        supervisor.poll_once()  # attempt 2 succeeds
+        assert supervisor.state("w") == ProcessState.ALIVE
+        assert supervisor.restarts("w") == 2
+
+    def test_max_restarts_zero_is_immediately_terminal(self):
+        supervisor, clock = make_supervisor(
+            policy=RestartPolicy(max_restarts=0)
+        )
+        supervisor.watch("w", FakeProcess(), restart=lambda old: FakeProcess())
+        clock.advance(3.0)
+        supervisor.poll_once()
+        with pytest.raises(TrainingFailedError):
+            supervisor.check()
+
+
+class TestDegradedMode:
+    def _dead(self, supervisor, clock, *names):
+        clock.advance(3.0)
+        supervisor.poll_once()
+        for name in names:
+            assert supervisor.state(name) == ProcessState.DEAD
+
+    def test_default_any_exhausted_worker_fails_run(self):
+        supervisor, clock = make_supervisor(policy=RestartPolicy(max_restarts=0))
+        supervisor.watch("e0", FakeProcess(), kind="explorer")
+        supervisor.observe_heartbeat("e0")
+        supervisor.watch("e1", FakeProcess(), kind="explorer")
+        clock.advance(3.0)
+        supervisor.observe_heartbeat("e1")  # e1 stays fresh; e0 dies
+        supervisor.poll_once()
+        assert supervisor.failure() is not None
+
+    def test_degraded_tolerates_dead_explorer(self):
+        supervisor, clock = make_supervisor(
+            policy=RestartPolicy(max_restarts=0), allow_degraded=True
+        )
+        supervisor.watch("learner", FakeProcess(), kind="learner")
+        supervisor.watch("e0", FakeProcess(), kind="explorer")
+        supervisor.watch("e1", FakeProcess(), kind="explorer")
+        clock.advance(3.0)
+        supervisor.observe_heartbeat("learner")
+        supervisor.observe_heartbeat("e1")
+        supervisor.poll_once()  # only e0 dies
+        assert supervisor.failure() is None
+        supervisor.check()  # must not raise
+
+    def test_degraded_fails_when_learner_dies(self):
+        supervisor, clock = make_supervisor(
+            policy=RestartPolicy(max_restarts=0), allow_degraded=True
+        )
+        supervisor.watch("learner", FakeProcess(), kind="learner")
+        supervisor.watch("e0", FakeProcess(), kind="explorer")
+        clock.advance(3.0)
+        supervisor.observe_heartbeat("e0")
+        supervisor.poll_once()
+        with pytest.raises(TrainingFailedError, match="learner"):
+            supervisor.check()
+
+    def test_degraded_fails_when_all_explorers_die(self):
+        supervisor, clock = make_supervisor(
+            policy=RestartPolicy(max_restarts=0), allow_degraded=True
+        )
+        supervisor.watch("learner", FakeProcess(), kind="learner")
+        supervisor.watch("e0", FakeProcess(), kind="explorer")
+        supervisor.watch("e1", FakeProcess(), kind="explorer")
+        clock.advance(3.0)
+        supervisor.observe_heartbeat("learner")
+        supervisor.poll_once()
+        with pytest.raises(TrainingFailedError, match="all 2 explorers"):
+            supervisor.check()
+
+
+class TestBackgroundThread:
+    def test_start_stop_idempotent(self):
+        supervisor, _ = make_supervisor()
+        supervisor.watch("w", FakeProcess())
+        supervisor.start()
+        supervisor.start()  # second start is a no-op
+        supervisor.stop()
+        supervisor.stop()
+
+    def test_observe_heartbeat_is_thread_safe_during_polling(self):
+        supervisor, clock = make_supervisor()
+        supervisor.watch("w", FakeProcess())
+        stop = threading.Event()
+
+        def beat():
+            while not stop.is_set():
+                supervisor.observe_heartbeat("w")
+
+        thread = threading.Thread(target=beat, daemon=True)
+        thread.start()
+        try:
+            for _ in range(200):
+                supervisor.poll_once()
+        finally:
+            stop.set()
+            thread.join(timeout=2)
+        assert supervisor.state("w") == ProcessState.ALIVE
