@@ -1,0 +1,43 @@
+"""Framework-aware static & runtime analysis for the comms stack.
+
+XingTian's core claim rests on a hand-rolled threaded communication stack —
+broker, router, header/ID queues, and a refcounted object store — exactly
+the kind of code where races, lock-order inversions, and silently-unrouted
+messages hide.  This package turns that debugging into tooling:
+
+* :mod:`repro.analysis.rules` — an AST-based lint engine with
+  framework-specific rules (blocking calls under a lock, unguarded shared
+  mutation in threaded classes, raw ``threading.Thread`` creation bypassing
+  :func:`repro.core.concurrency.spawn_thread`, and ``MsgType`` send sites
+  with no registered handler);
+* :mod:`repro.analysis.protocol` — extraction of the message protocol
+  (who sends / who handles each :class:`~repro.core.message.MsgType`) from
+  the source tree, cross-checked by the ``unrouted-msgtype`` rule and the
+  routing-table exhaustiveness test;
+* :mod:`repro.analysis.runtime` — opt-in runtime checkers: an instrumented
+  lock that records the per-thread lock-acquisition graph and reports
+  cycles (potential deadlocks), and an object-store refcount auditor that
+  asserts all refs are balanced at broker shutdown;
+* :mod:`repro.analysis.cli` — ``python -m repro.analysis <path>`` emitting
+  ``file:line severity rule message`` findings, compared against a
+  committed baseline so CI fails only on *new* findings.
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalog and workflows.
+"""
+
+from __future__ import annotations
+
+from .engine import analyze_path, analyze_source
+from .findings import Baseline, Finding, Severity
+from .protocol import EXPLICITLY_UNROUTED, Protocol, extract_protocol
+
+__all__ = [
+    "analyze_path",
+    "analyze_source",
+    "Baseline",
+    "Finding",
+    "Severity",
+    "Protocol",
+    "extract_protocol",
+    "EXPLICITLY_UNROUTED",
+]

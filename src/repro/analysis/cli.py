@@ -1,0 +1,109 @@
+"""``python -m repro.analysis`` — the analyzer's command-line front end.
+
+Emits one ``file:line severity rule message`` line per finding.  With a
+baseline file, findings already recorded there are suppressed and the exit
+code reflects only *new* findings — that is what the CI ``analysis`` job
+runs.  ``--write-baseline`` regenerates the baseline after intentional
+changes; stale entries (baselined findings that no longer occur) are
+reported so the baseline can be shrunk over time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .engine import analyze_path
+from .findings import Baseline, sort_findings
+from .rules import RULES
+
+DEFAULT_BASELINE = "analysis-baseline.txt"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Concurrency & message-protocol analyzer for the comms stack.",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to analyze")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE} when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline; report and gate on every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    return parser
+
+
+def _resolve_baseline_path(args: argparse.Namespace) -> Optional[Path]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return Path(args.baseline)
+    default = Path(DEFAULT_BASELINE)
+    if default.exists() or args.write_baseline:
+        return default
+    return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for info in RULES.values():
+            print(f"{info.name:<28} {info.severity:<8} {info.summary}")
+        return 0
+
+    findings = []
+    for path in args.paths:
+        if not Path(path).exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+        findings.extend(analyze_path(path))
+    findings = sort_findings(findings)
+
+    baseline_path = _resolve_baseline_path(args)
+
+    if args.write_baseline:
+        if baseline_path is None:
+            print("error: --write-baseline conflicts with --no-baseline", file=sys.stderr)
+            return 2
+        Baseline.from_findings(findings).save(baseline_path)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    if baseline_path is not None and baseline_path.exists():
+        baseline = Baseline.load(baseline_path)
+    else:
+        baseline = Baseline()
+
+    diff = baseline.diff(findings)
+    for finding in diff.new:
+        print(finding.format())
+    for fingerprint in diff.stale:
+        print(f"stale-baseline-entry: {fingerprint}", file=sys.stderr)
+
+    print(
+        f"{len(findings)} finding(s): {len(diff.new)} new, "
+        f"{len(diff.baselined)} baselined, {len(diff.stale)} stale baseline entr(ies)",
+        file=sys.stderr,
+    )
+    return 1 if diff.new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""The analysis engine: parse a tree of Python files and run every rule."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import List, Optional, Set, Tuple
+
+from .findings import Finding, Severity, sort_findings
+from .protocol import extract_from_sources
+from .rules import SYNTAX_ERROR, run_file_rules, run_protocol_rule
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".mypy_cache", ".ruff_cache"}
+
+
+def _display_path(path: Path, root: Path) -> str:
+    """Stable, forward-slash path for findings and baseline fingerprints.
+
+    Paths under the current working directory are shown relative to it (so
+    ``python -m repro.analysis src`` from the repo root yields ``src/...``
+    fingerprints everywhere); anything else is shown relative to the
+    analyzed root (temp dirs in tests).
+    """
+    resolved = path.resolve()
+    for base in (Path.cwd(), root.resolve() if root.is_dir() else root.resolve().parent):
+        try:
+            return resolved.relative_to(base).as_posix()
+        except ValueError:
+            continue
+    return resolved.as_posix()
+
+
+def iter_python_files(root: Path) -> List[Path]:
+    if root.is_file():
+        return [root]
+    files = []
+    for path in sorted(root.rglob("*.py")):
+        if any(part in _SKIP_DIR_NAMES or part.startswith(".") for part in path.parts):
+            continue
+        files.append(path)
+    return files
+
+
+def parse_tree(root: str) -> List[Tuple[str, ast.AST]]:
+    """Parse every ``.py`` under ``root`` into ``(display_path, ast)`` pairs.
+
+    Files with syntax errors are skipped here (callers that need a finding
+    for them use :func:`parse_tree_reporting_errors`).
+    """
+    sources, _ = parse_tree_reporting_errors(root)
+    return sources
+
+
+def parse_tree_reporting_errors(
+    root: str,
+) -> Tuple[List[Tuple[str, ast.AST]], List[Finding]]:
+    """Like :func:`parse_tree`, plus a ``syntax-error`` finding per unparsable
+    file — a file no rule can inspect must fail the gate, not silently pass."""
+    root_path = Path(root)
+    sources: List[Tuple[str, ast.AST]] = []
+    errors: List[Finding] = []
+    for path in iter_python_files(root_path):
+        display = _display_path(path, root_path)
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except SyntaxError as exc:
+            errors.append(
+                Finding(
+                    path=display,
+                    line=exc.lineno or 1,
+                    severity=Severity.ERROR,
+                    rule=SYNTAX_ERROR,
+                    message=exc.msg or "invalid syntax",
+                    scope="<module>",
+                )
+            )
+            continue
+        sources.append((display, tree))
+    return sources, errors
+
+
+def analyze_sources(
+    sources: List[Tuple[str, ast.AST]],
+    *,
+    ignored_msgtypes: Optional[Set[str]] = None,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for path, tree in sources:
+        findings.extend(run_file_rules(path, tree))
+    protocol = extract_from_sources(sources)
+    findings.extend(run_protocol_rule(protocol, ignored_msgtypes))
+    return sort_findings(findings)
+
+
+def analyze_path(
+    root: str, *, ignored_msgtypes: Optional[Set[str]] = None
+) -> List[Finding]:
+    """Analyze one file or directory tree; returns sorted findings."""
+    sources, errors = parse_tree_reporting_errors(root)
+    return sort_findings(
+        analyze_sources(sources, ignored_msgtypes=ignored_msgtypes) + errors
+    )
+
+
+def analyze_source(source: str, path: str = "<memory>.py") -> List[Finding]:
+    """Analyze an in-memory module (used by the rule unit tests)."""
+    return analyze_sources([(path, ast.parse(source))])

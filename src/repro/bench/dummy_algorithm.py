@@ -30,6 +30,7 @@ import numpy as np
 from ..baselines.bufferframework import BufferServer
 from ..baselines.rpc import RpcChannel
 from ..core.broker import Broker
+from ..core.concurrency import spawn_thread
 from ..core.compression import CompressionPolicy, disabled_policy
 from ..core.endpoint import ProcessEndpoint
 from ..core.message import MsgType, make_message
@@ -168,14 +169,11 @@ def run_dummy_xingtian(
         endpoint.start()
 
     started = time.monotonic()
-    learner_thread = threading.Thread(target=learner_loop, daemon=True)
-    learner_thread.start()
+    learner_thread = spawn_thread("bench-learner", learner_loop)
     explorer_threads = [
-        threading.Thread(target=explorer_loop, args=(endpoint, seed), daemon=True)
+        spawn_thread(f"bench-explorer-{seed}", explorer_loop, args=(endpoint, seed))
         for seed, endpoint in enumerate(explorer_endpoints)
     ]
-    for thread in explorer_threads:
-        thread.start()
 
     finished = done.wait(timeout=timeout_s)
     elapsed = time.monotonic() - started
@@ -297,13 +295,11 @@ def run_dummy_buffer(
         for _ in range(messages_per_explorer):
             server.insert(body, timeout=timeout_s)
 
+    started = time.monotonic()
     threads = [
-        threading.Thread(target=explorer_loop, args=(seed,), daemon=True)
+        spawn_thread(f"bench-buffer-explorer-{seed}", explorer_loop, args=(seed,))
         for seed in range(num_explorers)
     ]
-    started = time.monotonic()
-    for thread in threads:
-        thread.start()
     round_start = started
     received = 0
     try:

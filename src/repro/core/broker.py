@@ -11,12 +11,13 @@ for PBT, brokers carry a ``rank`` and only same-rank brokers are connected
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Dict, Optional
 
 from ..transport.fabric import Fabric
-from .communicator import ShareMemCommunicator
-from .errors import LifecycleError
+from .communicator import HeaderQueue, ShareMemCommunicator
+from .concurrency import make_lock, runtime_checks_enabled
+from .errors import LifecycleError, UnknownObjectError
+from .message import DST, OBJECT_ID
 from .object_store import ObjectStore
 from .router import AlgorithmAgnosticRouter
 
@@ -47,7 +48,7 @@ class Broker:
             fabric.register(self.name, self._on_fabric_receive)
         self._started = False
         self._stopped = False
-        self._lock = threading.Lock()
+        self._lock = make_lock(f"{name}.lifecycle")
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
@@ -63,12 +64,48 @@ class Broker:
                 return
             self._stopped = True
         self.router.stop()
+        self._release_undispatched()
         self.communicator.close()
         if self._fabric is not None:
             self._fabric.unregister(self.name)
+        if runtime_checks_enabled():
+            # Refcount audit (see repro.analysis.runtime): endpoints released
+            # their undrained ID queues at their own stop(); whatever is left
+            # in the store now is a leak.
+            self.communicator.object_store.assert_balanced(
+                context=f"broker {self.name!r} shutdown"
+            )
+
+    def _release_undispatched(self) -> None:
+        """Release refcounts of headers the router never got to dispatch.
+
+        The sender inserts each body with ``refcount == fan-out`` before the
+        header crosses the header queue; a header still parked there at
+        shutdown strands that full fan-out in the object store.
+        """
+        store = self.communicator.object_store
+        for header in self.communicator.header_queue.drain():
+            object_id = header.get(OBJECT_ID)
+            if object_id is None:
+                continue
+            for _ in range(max(1, len(header.get(DST) or []))):
+                try:
+                    store.release(object_id)
+                except UnknownObjectError:
+                    break
+        # Headers already routed into an ID queue nobody drained (e.g. a
+        # registered sink with no endpoint) hold one share each.
+        for header in self.communicator.drain_parked():
+            object_id = header.get(OBJECT_ID)
+            if object_id is None:
+                continue
+            try:
+                store.release(object_id)
+            except UnknownObjectError:
+                pass
 
     # -- registration -------------------------------------------------------
-    def register_process(self, process_name: str):
+    def register_process(self, process_name: str) -> "HeaderQueue":
         """Register a local explorer/learner; returns its ID queue."""
         return self.communicator.register(process_name)
 

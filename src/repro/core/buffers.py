@@ -16,6 +16,7 @@ import queue
 import threading
 from typing import Dict, Iterator, Optional
 
+from .concurrency import make_lock
 from .message import Message
 
 
@@ -38,7 +39,7 @@ class MessageBuffer:
         self.name = name
         self._headers: "queue.Queue[object]" = queue.Queue(maxsize=maxsize)
         self._bodies: Dict[int, object] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock(f"buffer.{name}" if name else "buffer")
         self._closed = threading.Event()
         self.total_put = 0
         self.total_got = 0

@@ -14,10 +14,10 @@ from __future__ import annotations
 
 import os
 import re
-import threading
 from typing import List, Optional
 
 from ..api.algorithm import Algorithm
+from .concurrency import make_lock
 from .errors import CheckpointError
 
 _CKPT_PATTERN = re.compile(r"^(?P<name>.+)-(?P<step>\d+)\.ckpt$")
@@ -48,7 +48,7 @@ class Checkpointer:
         self.every_train_steps = every_train_steps
         self.keep = keep
         self.name = name
-        self._lock = threading.Lock()
+        self._lock = make_lock("checkpointer")
         self._last_saved_count: Optional[int] = None
         self.saves = 0
         self.restores = 0

@@ -19,6 +19,7 @@ import queue
 import threading
 from typing import Any, Dict, List, Optional
 
+from .concurrency import make_lock
 from .errors import RoutingError
 from .object_store import InMemoryObjectStore, ObjectStore
 
@@ -103,7 +104,7 @@ class ShareMemCommunicator:
         self.header_queue = HeaderQueue(f"{name}.headers")
         self.object_store: ObjectStore = store if store is not None else InMemoryObjectStore()
         self._id_queues: Dict[str, HeaderQueue] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock(f"{name}.registry")
 
     # -- registration -----------------------------------------------------
     def register(self, process_name: str) -> HeaderQueue:
@@ -137,6 +138,21 @@ class ShareMemCommunicator:
     def is_local(self, process_name: str) -> bool:
         with self._lock:
             return process_name in self._id_queues
+
+    def drain_parked(self) -> List[Dict[str, Any]]:
+        """Pop every header still parked in any ID queue (shutdown path).
+
+        Each returned header holds one object-store refcount share that its
+        destination will never fetch-and-release; the broker releases them
+        so the shutdown refcount audit measures real accounting bugs, not
+        teardown order.
+        """
+        with self._lock:
+            queues = list(self._id_queues.values())
+        headers: List[Dict[str, Any]] = []
+        for id_queue in queues:
+            headers.extend(id_queue.drain())
+        return headers
 
     # -- shutdown ----------------------------------------------------------
     def close(self) -> None:

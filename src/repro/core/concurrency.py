@@ -1,0 +1,83 @@
+"""Concurrency factories: supervised thread spawning and checkable locks.
+
+Framework code never constructs ``threading.Thread`` or ``threading.Lock``
+directly (the ``raw-thread-creation`` lint rule enforces the former).
+Instead it calls the factories here, which buys two things:
+
+* :func:`spawn_thread` registers every framework thread in a process-wide
+  registry so diagnostics and the supervision layer can enumerate what is
+  actually running;
+* :func:`make_lock` / :func:`make_rlock` hand out instrumented
+  :class:`~repro.analysis.runtime.CheckedLock` wrappers when runtime
+  concurrency checks are enabled (``REPRO_RUNTIME_CHECKS=1``, as the test
+  suite does), recording the lock-acquisition graph for deadlock detection
+  at zero cost to production deployments (plain stdlib locks otherwise).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Environment variable gating the runtime checkers (lock-order monitor and
+#: the broker-shutdown refcount audit).
+RUNTIME_CHECKS_ENV = "REPRO_RUNTIME_CHECKS"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+_SPAWNED: "weakref.WeakSet[threading.Thread]" = weakref.WeakSet()
+_SPAWNED_LOCK = threading.Lock()
+
+
+def runtime_checks_enabled() -> bool:
+    """True when opt-in runtime concurrency checks are active."""
+    return os.environ.get(RUNTIME_CHECKS_ENV, "").strip().lower() in _TRUTHY
+
+
+def spawn_thread(
+    name: str,
+    target: Callable[..., Any],
+    *,
+    args: Tuple[Any, ...] = (),
+    kwargs: Optional[Dict[str, Any]] = None,
+    daemon: bool = True,
+    start: bool = True,
+) -> threading.Thread:
+    """Create (and by default start) a registered framework thread."""
+    thread = threading.Thread(
+        target=target, name=name, args=args, kwargs=kwargs or {}, daemon=daemon
+    )
+    with _SPAWNED_LOCK:
+        _SPAWNED.add(thread)
+    if start:
+        thread.start()
+    return thread
+
+
+def spawned_threads(alive_only: bool = True) -> List[threading.Thread]:
+    """Every thread created through :func:`spawn_thread` (still referenced)."""
+    with _SPAWNED_LOCK:
+        threads = list(_SPAWNED)
+    if alive_only:
+        threads = [thread for thread in threads if thread.is_alive()]
+    return sorted(threads, key=lambda thread: thread.name)
+
+
+def make_lock(name: str) -> Any:
+    """A mutex — instrumented for lock-order checking when checks are on."""
+    if runtime_checks_enabled():
+        from ..analysis.runtime import CheckedLock  # lazy: avoids import cycle
+
+        return CheckedLock(name)
+    return threading.Lock()
+
+
+def make_rlock(name: str) -> Any:
+    """A re-entrant mutex — instrumented when checks are on."""
+    if runtime_checks_enabled():
+        from ..analysis.runtime import CheckedRLock  # lazy: avoids import cycle
+
+        return CheckedRLock(name)
+    return threading.RLock()

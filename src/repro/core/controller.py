@@ -16,6 +16,7 @@ from typing import Any, Callable, List, Optional
 
 from ..transport.fabric import Fabric
 from .broker import Broker
+from .concurrency import spawn_thread
 from .config import StopCondition
 from .endpoint import ProcessEndpoint
 from .message import CMD_SHUTDOWN, Command, MsgType
@@ -109,10 +110,7 @@ class CenterController(Controller):
         super().start_all()
         self.endpoint.start()
         self._started_at = time.monotonic()
-        self._monitor = threading.Thread(
-            target=self._monitor_loop, name=f"{self.name}.monitor", daemon=True
-        )
-        self._monitor.start()
+        self._monitor = spawn_thread(f"{self.name}.monitor", self._monitor_loop)
         if self.supervisor is not None:
             self.supervisor.start()
 

@@ -18,6 +18,7 @@ from typing import Callable, Optional
 
 from .broker import Broker
 from .buffers import ReceiveBuffer, SendBuffer
+from .concurrency import spawn_thread
 from .errors import LifecycleError
 from .message import COMPRESSED, OBJECT_ID, Message
 from .serialization import payload_nbytes
@@ -50,14 +51,8 @@ class ProcessEndpoint:
         if self._started:
             raise LifecycleError(f"endpoint {self.name!r} already started")
         self._started = True
-        self._sender = threading.Thread(
-            target=self._sender_loop, name=f"{self.name}-sender", daemon=True
-        )
-        self._receiver = threading.Thread(
-            target=self._receiver_loop, name=f"{self.name}-receiver", daemon=True
-        )
-        self._sender.start()
-        self._receiver.start()
+        self._sender = spawn_thread(f"{self.name}-sender", self._sender_loop)
+        self._receiver = spawn_thread(f"{self.name}-receiver", self._receiver_loop)
 
     def stop(self, timeout: float = 5.0) -> None:
         self._stop.set()
@@ -196,8 +191,7 @@ class WorkhorseThread:
     def start(self) -> None:
         if self._thread is not None:
             raise LifecycleError(f"workhorse {self.name!r} already started")
-        self._thread = threading.Thread(target=self._run, name=self.name, daemon=True)
-        self._thread.start()
+        self._thread = spawn_thread(self.name, self._run)
 
     def _run(self) -> None:
         try:

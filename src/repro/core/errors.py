@@ -56,6 +56,22 @@ class WorkerCrashedError(XingTianError):
     """
 
 
+class RefcountLeakError(ObjectStoreError):
+    """Raised by the shutdown refcount audit when object-store refs are
+    unbalanced: a body was inserted for N consumers but fewer than N
+    fetch-and-release cycles happened, stranding it in the store."""
+
+
+class LockOrderError(XingTianError):
+    """Raised (in strict mode) by the runtime lock-order monitor when the
+    lock-acquisition graph contains a cycle — two threads can take the same
+    locks in opposite orders, a potential deadlock."""
+
+
+class AnalysisError(XingTianError):
+    """Raised on static-analysis engine failures (bad baseline file, ...)."""
+
+
 class TrainingFailedError(XingTianError):
     """Raised when a run can no longer make progress.
 

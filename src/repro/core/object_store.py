@@ -18,13 +18,13 @@ IDs travel through queues (§3.2.1).  Two implementations are provided:
 from __future__ import annotations
 
 import itertools
-import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from .compression import CompressionPolicy, disabled_policy
-from .errors import ObjectStoreError, UnknownObjectError
+from .concurrency import make_lock
+from .errors import ObjectStoreError, RefcountLeakError, UnknownObjectError
 from .serialization import deserialize, serialize
 
 _OBJECT_COUNTER = itertools.count()
@@ -61,6 +61,36 @@ class ObjectStore:
     def __len__(self) -> int:
         raise NotImplementedError
 
+    def leak_report(self) -> List[Tuple[str, int, int]]:
+        """``(object_id, refcount, nbytes)`` for every unreleased entry.
+
+        At a clean shutdown — every consumer drained its queues and released
+        what it fetched — this is empty.  Anything left is a refcount leak.
+        """
+        raise NotImplementedError
+
+    def assert_balanced(self, context: str = "") -> None:
+        """Raise :class:`RefcountLeakError` unless all refcounts balanced.
+
+        This is the shutdown hook the runtime refcount auditor drives (see
+        :func:`repro.analysis.runtime.audit_object_store`); the broker calls
+        it at :meth:`~repro.core.broker.Broker.stop` when runtime checks are
+        enabled.
+        """
+        leaks = self.leak_report()
+        if not leaks:
+            return
+        where = f" at {context}" if context else ""
+        detail = ", ".join(
+            f"{object_id} (refcount={refcount}, {nbytes}B)"
+            for object_id, refcount, nbytes in leaks[:10]
+        )
+        more = "" if len(leaks) <= 10 else f" … and {len(leaks) - 10} more"
+        raise RefcountLeakError(
+            f"object store refcount imbalance{where}: {len(leaks)} "
+            f"unreleased object(s): {detail}{more}"
+        )
+
 
 class InMemoryObjectStore(ObjectStore):
     """Reference-passing store for thread-backed deployments.
@@ -80,7 +110,7 @@ class InMemoryObjectStore(ObjectStore):
         copy_bandwidth: Optional[float] = None,
     ):
         self._entries: Dict[str, _Entry] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("object_store.in_memory")
         self._copy_on_fetch = copy_on_fetch
         self._compression = compression or disabled_policy()
         self._capacity_bytes = capacity_bytes
@@ -165,6 +195,13 @@ class InMemoryObjectStore(ObjectStore):
         with self._lock:
             return len(self._entries)
 
+    def leak_report(self) -> List[Tuple[str, int, int]]:
+        with self._lock:
+            return [
+                (object_id, entry.refcount, entry.nbytes)
+                for object_id, entry in sorted(self._entries.items())
+            ]
+
     @property
     def used_bytes(self) -> int:
         with self._lock:
@@ -187,7 +224,7 @@ class SharedMemoryObjectStore(ObjectStore):
         self._compression = compression or disabled_policy()
         self._refcounts: Dict[str, int] = {}
         self._sizes: Dict[str, int] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("object_store.shm")
 
     def put(self, body: Any, refcount: int = 1, nbytes: Optional[int] = None) -> str:
         del nbytes  # the real serialization below defines the size
@@ -242,6 +279,13 @@ class SharedMemoryObjectStore(ObjectStore):
     def __len__(self) -> int:
         with self._lock:
             return len(self._refcounts)
+
+    def leak_report(self) -> List[Tuple[str, int, int]]:
+        with self._lock:
+            return [
+                (object_id, refcount, self._sizes.get(object_id, 0))
+                for object_id, refcount in sorted(self._refcounts.items())
+            ]
 
     def close(self) -> None:
         """Unlink every remaining segment (cleanup for tests/shutdown)."""

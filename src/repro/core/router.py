@@ -21,6 +21,7 @@ from collections import defaultdict
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .communicator import ShareMemCommunicator
+from .concurrency import make_lock, spawn_thread
 from .errors import RoutingError, UnknownDestinationError, UnknownObjectError
 from .message import COMPRESSED, DST, OBJECT_ID
 
@@ -54,16 +55,34 @@ class AlgorithmAgnosticRouter:
         self._on_unroutable = on_unroutable
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
-        self.routed_local = 0
-        self.routed_remote = 0
-        self.dropped = 0
+        # Counters are mutated from the router thread *and* from fabric
+        # delivery threads (``on_remote_receive``), so they take a lock.
+        self._counters_lock = make_lock(f"{name}.counters")
+        self._routed_local = 0
+        self._routed_remote = 0
+        self._dropped = 0
+
+    # -- counters ------------------------------------------------------------
+    @property
+    def routed_local(self) -> int:
+        with self._counters_lock:
+            return self._routed_local
+
+    @property
+    def routed_remote(self) -> int:
+        with self._counters_lock:
+            return self._routed_remote
+
+    @property
+    def dropped(self) -> int:
+        with self._counters_lock:
+            return self._dropped
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
         if self._thread is not None:
             return
-        self._thread = threading.Thread(target=self._run, name=self.name, daemon=True)
-        self._thread.start()
+        self._thread = spawn_thread(self.name, self._run)
 
     def stop(self, timeout: float = 5.0) -> None:
         self._stop.set()
@@ -86,7 +105,8 @@ class AlgorithmAgnosticRouter:
             except UnknownDestinationError:
                 if self._on_unroutable == "raise":
                     raise
-                self.dropped += 1
+                with self._counters_lock:
+                    self._dropped += 1
 
     def route(self, header: Dict[str, Any]) -> None:
         """Dispatch one header to all destinations (public for tests)."""
@@ -106,9 +126,11 @@ class AlgorithmAgnosticRouter:
         except RoutingError:
             delivered = False
         if delivered:
-            self.routed_local += 1
+            with self._counters_lock:
+                self._routed_local += 1
             return
-        self.dropped += 1
+        with self._counters_lock:
+            self._dropped += 1
         object_id = header.get(OBJECT_ID)
         if object_id is not None:
             try:
@@ -149,7 +171,8 @@ class AlgorithmAgnosticRouter:
             remote_header[DST] = list(group)
             remote_header[OBJECT_ID] = None
             self._remote_send(remote_broker, remote_header, body, nbytes)
-            self.routed_remote += len(group)
+            with self._counters_lock:
+                self._routed_remote += len(group)
         if object_id is not None:
             for group in remote_groups.values():
                 for _ in group:
@@ -181,14 +204,16 @@ class AlgorithmAgnosticRouter:
             self._remote_send(
                 remote_broker, transit_header, body, header.get("body_size", 0)
             )
-            self.routed_remote += len(group)
+            with self._counters_lock:
+                self._routed_remote += len(group)
         if unroutable:
             if self._on_unroutable == "raise":
                 raise UnknownDestinationError(
                     f"router {self.name!r}: remote message for {unroutable} "
                     "has no local destination or onward route"
                 )
-            self.dropped += len(unroutable)
+            with self._counters_lock:
+                self._dropped += len(unroutable)
         if not destinations:
             return
         object_id = (

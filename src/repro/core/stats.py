@@ -8,11 +8,12 @@ breakdowns (Figs. 8–10b), and wait-time CDFs (Fig. 8c).
 
 from __future__ import annotations
 
-import threading
 import time
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .concurrency import make_lock
 
 
 class ThroughputMeter:
@@ -23,9 +24,9 @@ class ThroughputMeter:
     seconds, which is what the throughput-over-time figures plot.
     """
 
-    def __init__(self, clock=time.monotonic):
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = make_lock("stats.throughput_meter")
         self._events: List[Tuple[float, float]] = []
         self._total = 0.0
         self._start = clock()
@@ -68,7 +69,7 @@ class LatencyRecorder:
 
     def __init__(self, name: str = ""):
         self.name = name
-        self._lock = threading.Lock()
+        self._lock = make_lock("stats.latency_recorder")
         self._samples: List[float] = []
 
     def record(self, seconds: float) -> None:
@@ -162,7 +163,7 @@ class StatsCollector:
     """
 
     def __init__(self, return_window: int = 100):
-        self._lock = threading.Lock()
+        self._lock = make_lock("stats.collector")
         self._reports: List[ProcessStats] = []
         self._returns: List[float] = []
         self._return_window = return_window

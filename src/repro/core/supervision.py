@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Callable, Dict, List, Optional
 
+from .concurrency import make_rlock, spawn_thread
 from .errors import ConfigError, TrainingFailedError
 from .stats import StatsCollector
 
@@ -153,7 +154,7 @@ class Supervisor:
         self.poll_interval = poll_interval
         self._clock = clock
         self._rng = random.Random(seed)
-        self._lock = threading.RLock()
+        self._lock = make_rlock("supervisor")
         self._watched: Dict[str, _Watched] = {}
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
@@ -189,10 +190,7 @@ class Supervisor:
         if self._thread is not None:
             return
         self._stop.clear()
-        self._thread = threading.Thread(
-            target=self._run, name="supervisor", daemon=True
-        )
-        self._thread.start()
+        self._thread = spawn_thread("supervisor", self._run)
 
     def stop(self, timeout: float = 5.0) -> None:
         self._stop.set()

@@ -9,11 +9,12 @@ on in tests.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from .concurrency import make_lock
 
 
 @dataclass
@@ -27,11 +28,11 @@ class TraceEvent:
 class Tracer:
     """Bounded in-memory event log."""
 
-    def __init__(self, capacity: int = 10_000, clock=time.monotonic):
+    def __init__(self, capacity: int = 10_000, clock: Callable[[], float] = time.monotonic):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
-        self._lock = threading.Lock()
+        self._lock = make_lock("tracer")
         self._clock = clock
         self.enabled = True
 

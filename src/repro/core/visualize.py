@@ -8,7 +8,7 @@ run summaries — no plotting dependency required.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
 
@@ -83,7 +83,7 @@ def ascii_plot(
     return "\n".join(lines)
 
 
-def render_run_summary(result) -> str:
+def render_run_summary(result: Any) -> str:
     """Visualize a :class:`repro.runtime.RunResult` for the terminal."""
     lines = [
         f"run finished: {result.shutdown_reason}",

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
 from ..transport.fabric import Fabric
+from ..core.concurrency import make_lock
 from ..transport.link import Link
 
 
@@ -35,7 +36,7 @@ class Fuse:
 
     def __init__(self, armed: bool = True):
         self._armed = armed
-        self._lock = threading.Lock()
+        self._lock = make_lock("testing.fuse")
         self.blown = False
 
     def pop(self) -> bool:
@@ -84,7 +85,7 @@ class FaultyLink(Link):
         self.inner = inner
         self.spec = spec
         self._rng = rng
-        self._lock = threading.Lock()
+        self._lock = make_lock("testing.faulty_link")
         self._held: Optional[Tuple[Any, int]] = None
         self.sent = 0
         self.dropped = 0

@@ -8,9 +8,9 @@ the center for data transmission.  Links may be throttled to model NICs.
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from ..core.concurrency import make_lock
 from .link import DirectLink, Link, ThrottledLink
 
 
@@ -27,7 +27,7 @@ class Fabric:
         self.name = name
         self._handlers: Dict[str, Callable[[Any], None]] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock(f"fabric.{name}")
 
     def register(self, node: str, handler: Callable[[Any], None]) -> None:
         with self._lock:

@@ -13,7 +13,9 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
+
+from ..core.concurrency import make_lock, spawn_thread
 
 
 class Link:
@@ -32,14 +34,20 @@ class DirectLink(Link):
     def __init__(self, deliver: Callable[[Any], None]):
         self._deliver = deliver
         self._closed = False
+        # send() may be entered concurrently (router thread + transit
+        # deliveries), so the counters take a lock; delivery happens outside
+        # it — holding a lock across the synchronous callback would stall
+        # every concurrent sender behind one slow consumer.
+        self._counters_lock = make_lock("link.direct.counters")
         self.bytes_sent = 0
         self.items_sent = 0
 
     def send(self, item: Any, nbytes: int = 0) -> None:
         if self._closed:
             return
-        self.bytes_sent += nbytes
-        self.items_sent += 1
+        with self._counters_lock:
+            self.bytes_sent += nbytes
+            self.items_sent += 1
         self._deliver(item)
 
     def close(self) -> None:
@@ -74,10 +82,10 @@ class ThrottledLink(Link):
         self._deliver = deliver
         self._inbox: "queue.Queue[Optional[Tuple[Any, int]]]" = queue.Queue()
         self._closed = threading.Event()
+        self._counters_lock = make_lock(f"link.{name}.counters")
         self.bytes_sent = 0
         self.items_sent = 0
-        self._worker = threading.Thread(target=self._run, name=f"{name}-nic", daemon=True)
-        self._worker.start()
+        self._worker = spawn_thread(f"{name}-nic", self._run)
 
     def send(self, item: Any, nbytes: int = 0) -> None:
         if self._closed.is_set():
@@ -96,8 +104,9 @@ class ThrottledLink(Link):
                 time.sleep(busy)
             if self.latency > 0:
                 time.sleep(self.latency)
-            self.bytes_sent += nbytes
-            self.items_sent += 1
+            with self._counters_lock:
+                self.bytes_sent += nbytes
+                self.items_sent += 1
             if not self._closed.is_set():
                 try:
                     self._deliver(item)

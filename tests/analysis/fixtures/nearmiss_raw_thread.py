@@ -1,0 +1,14 @@
+"""Fixture: near-miss of ``raw-thread-creation`` — the factory is clean."""
+
+from repro.core.concurrency import spawn_thread
+
+
+def run_worker(fn):
+    return spawn_thread("worker", fn)
+
+
+def thread_local_state():
+    # threading attributes other than Thread() are fine.
+    import threading
+
+    return threading.local()

@@ -1,0 +1,35 @@
+"""Fixture: near-misses of ``unguarded-shared-mutation`` — none may trigger."""
+
+import threading
+
+from repro.core.concurrency import spawn_thread
+
+
+class PumpSafe:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = 0
+        self.label = ""
+
+    def run(self):
+        spawn_thread("pump-safe", self._loop)
+
+    def _loop(self):
+        # Guarded read-modify-write: clean.
+        with self._lock:
+            self.items += 1
+
+    def rename(self, label):
+        # Plain assignment to an attribute never lock-guarded anywhere in
+        # the class: not reported (single-writer lifecycle fields).
+        self.label = label
+
+
+class NotThreaded:
+    """No threads spawned and not a known framework class: exempt."""
+
+    def __init__(self):
+        self.count = 0
+
+    def bump(self):
+        self.count += 1

@@ -1,0 +1,13 @@
+"""Fixture: near-miss of ``unrouted-msgtype`` — the sent type has a handler."""
+
+from repro.core.message import MsgType, make_message
+
+
+def send_probe(endpoint):
+    endpoint.send(make_message("me", ["sink"], MsgType.PROBE, None))
+
+
+def handle(message):
+    if message.msg_type == MsgType.PROBE:
+        return True
+    return False

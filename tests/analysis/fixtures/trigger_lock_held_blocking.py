@@ -1,0 +1,31 @@
+"""Fixture: blocking calls while holding a lock — every method must trigger
+``lock-held-blocking-call``.  Parsed by the analyzer, never imported."""
+
+import threading
+import time
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition()
+
+    def bad_sleep(self):
+        with self._lock:
+            time.sleep(0.1)
+
+    def bad_join(self, thread):
+        with self._lock:
+            thread.join(timeout=1.0)
+
+    def bad_condition_wait(self):
+        with self._lock:
+            self._cond.wait()
+
+    def bad_untimed_get(self, work_queue):
+        with self._lock:
+            return work_queue.get()
+
+    def bad_recv(self, connection):
+        with self._lock:
+            return connection.recv()

@@ -1,0 +1,9 @@
+"""Fixture: raw thread construction — must trigger ``raw-thread-creation``."""
+
+import threading
+
+
+def run_worker(fn):
+    worker = threading.Thread(target=fn, daemon=True)
+    worker.start()
+    return worker

@@ -1,0 +1,26 @@
+"""Fixture: unguarded shared-state mutation in a threaded class — both
+mutating methods must trigger ``unguarded-shared-mutation``."""
+
+import threading
+
+from repro.core.concurrency import spawn_thread
+
+
+class Pump:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = 0
+        self.state = "idle"
+
+    def run(self):
+        spawn_thread("pump", self._loop)
+
+    def _loop(self):
+        self.items += 1  # read-modify-write outside the lock
+
+    def set_state(self, value):
+        self.state = value  # guarded elsewhere (below), unguarded here
+
+    def set_state_locked(self, value):
+        with self._lock:
+            self.state = value

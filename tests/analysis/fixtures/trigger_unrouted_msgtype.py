@@ -1,0 +1,8 @@
+"""Fixture: a MsgType sent with no handler anywhere in the analyzed tree —
+must trigger ``unrouted-msgtype``."""
+
+from repro.core.message import MsgType, make_message
+
+
+def send_telemetry(endpoint):
+    endpoint.send(make_message("me", ["sink"], MsgType.TELEMETRY, {"cpu": 1.0}))

@@ -1,0 +1,131 @@
+"""CLI + baseline workflow: write, gate, and stale-entry reporting."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.findings import Baseline, Finding, Severity
+
+DIRTY = (
+    "import time\n"
+    "class C:\n"
+    "    def run(self):\n"
+    "        with self._lock:\n"
+    "            time.sleep(1)\n"
+)
+
+CLEAN = "def run():\n    return 1\n"
+
+
+@pytest.fixture
+def project(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "dirty.py").write_text(DIRTY)
+    return tmp_path
+
+
+class TestGate:
+    def test_new_finding_exits_nonzero(self, project, capsys):
+        assert main(["dirty.py", "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "dirty.py:5 error lock-held-blocking-call" in out
+
+    def test_clean_tree_exits_zero(self, project, capsys):
+        (project / "dirty.py").write_text(CLEAN)
+        assert main(["dirty.py", "--no-baseline"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_missing_path_is_an_error(self, project, capsys):
+        assert main(["nope.py"]) == 2
+
+    def test_syntax_error_reported_as_finding(self, project):
+        (project / "dirty.py").write_text("def broken(:\n")
+        assert main(["dirty.py", "--no-baseline"]) == 1
+
+
+class TestBaselineWorkflow:
+    def test_write_then_gate_passes(self, project, capsys):
+        assert main(["dirty.py", "--write-baseline"]) == 0
+        assert Path("analysis-baseline.txt").exists()
+        capsys.readouterr()
+        # Same findings, now baselined: the gate passes and prints nothing new.
+        assert main(["dirty.py"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "1 baselined" in captured.err
+
+    def test_new_finding_on_top_of_baseline_fails(self, project, capsys):
+        assert main(["dirty.py", "--write-baseline"]) == 0
+        extra = (
+            "import time\n"
+            "with lock:\n"
+            "    time.sleep(2)\n"
+        )
+        (project / "extra.py").write_text(extra)
+        capsys.readouterr()
+        assert main(["dirty.py", "extra.py"]) == 1
+        captured = capsys.readouterr()
+        assert "extra.py:3" in captured.out
+        assert "dirty.py" not in captured.out
+
+    def test_fixed_finding_reports_stale_entry(self, project, capsys):
+        assert main(["dirty.py", "--write-baseline"]) == 0
+        (project / "dirty.py").write_text(CLEAN)
+        capsys.readouterr()
+        assert main(["dirty.py"]) == 0
+        captured = capsys.readouterr()
+        assert "stale-baseline-entry" in captured.err
+
+    def test_explicit_baseline_path(self, project, capsys):
+        assert main(["dirty.py", "--baseline", "custom.txt", "--write-baseline"]) == 0
+        assert Path("custom.txt").exists()
+        assert main(["dirty.py", "--baseline", "custom.txt"]) == 0
+
+    def test_fingerprints_survive_line_moves(self, project):
+        assert main(["dirty.py", "--write-baseline"]) == 0
+        # Push the finding to a different line: same fingerprint, still clean.
+        (project / "dirty.py").write_text("# a comment\n# another\n" + DIRTY)
+        assert main(["dirty.py"]) == 0
+
+    def test_list_rules(self, project, capsys):
+        assert main(["--list-rules", "."]) == 0
+        out = capsys.readouterr().out
+        for rule in (
+            "lock-held-blocking-call",
+            "unguarded-shared-mutation",
+            "raw-thread-creation",
+            "unrouted-msgtype",
+        ):
+            assert rule in out
+
+
+class TestBaselineRoundTrip:
+    def test_counter_semantics(self, tmp_path):
+        finding = Finding(
+            path="a.py",
+            line=3,
+            severity=Severity.ERROR,
+            rule="lock-held-blocking-call",
+            message="m",
+            scope="f",
+        )
+        twin = Finding(
+            path="a.py",
+            line=9,
+            severity=Severity.ERROR,
+            rule="lock-held-blocking-call",
+            message="m",
+            scope="f",
+        )
+        baseline = Baseline.from_findings([finding])
+        path = tmp_path / "b.txt"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        # One occurrence baselined, the second instance of the identical
+        # fingerprint is NEW — multiset, not set, semantics.
+        diff = loaded.diff([finding, twin])
+        assert len(diff.new) == 1
+        assert len(diff.baselined) == 1

@@ -1,0 +1,84 @@
+"""Message-protocol extraction tests plus the routing-table exhaustiveness
+gate over the real source tree."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.protocol import (
+    EXPLICITLY_UNROUTED,
+    extract_from_sources,
+    extract_protocol,
+)
+from repro.core.message import MsgType
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _extract(*sources):
+    return extract_from_sources([(path, ast.parse(code)) for path, code in sources])
+
+
+class TestExtraction:
+    def test_send_sites_are_recorded(self):
+        protocol = _extract(
+            (
+                "a.py",
+                "make_message('x', ['y'], MsgType.WEIGHTS, blob)\n"
+                "make_header('x', ['y'], MsgType.STATS, 'oid', 1)\n",
+            )
+        )
+        assert set(protocol.sends) == {"WEIGHTS", "STATS"}
+
+    def test_handler_forms(self):
+        protocol = _extract(
+            (
+                "h.py",
+                "if m.msg_type == MsgType.WEIGHTS: pass\n"
+                "table = {MsgType.STATS: on_stats}\n"
+                "ok = m.msg_type in (MsgType.COMMAND,)\n",
+            )
+        )
+        assert set(protocol.handlers) == {"WEIGHTS", "STATS", "COMMAND"}
+
+    def test_unrouted_send_is_reported(self):
+        protocol = _extract(
+            ("a.py", "make_message('x', ['y'], MsgType.TELEMETRY, None)\n")
+        )
+        unrouted = protocol.unrouted_sends()
+        assert [site.member for site in unrouted] == ["TELEMETRY"]
+
+    def test_explicitly_unrouted_is_exempt(self):
+        member = next(iter(EXPLICITLY_UNROUTED))
+        protocol = _extract(
+            ("a.py", f"make_message('x', ['y'], MsgType.{member}, None)\n")
+        )
+        assert protocol.unrouted_sends() == []
+
+
+class TestRoutingTableExhaustiveness:
+    """Satellite: every MsgType member either has a handler somewhere in the
+    real source tree or is explicitly listed as unrouted."""
+
+    def test_every_member_handled_or_explicitly_ignored(self):
+        protocol = extract_protocol(str(SRC))
+        members = {member.name for member in MsgType}
+        handled = set(protocol.handlers)
+        unaccounted = members - handled - EXPLICITLY_UNROUTED
+        assert not unaccounted, (
+            f"MsgType members with no handler and no EXPLICITLY_UNROUTED "
+            f"entry: {sorted(unaccounted)}"
+        )
+
+    def test_explicit_ignores_are_real_members(self):
+        members = {member.name for member in MsgType}
+        assert EXPLICITLY_UNROUTED <= members
+
+    def test_no_unrouted_sends_in_source_tree(self):
+        protocol = extract_protocol(str(SRC))
+        assert protocol.unrouted_sends() == []
+
+    def test_extracted_members_match_runtime_enum(self):
+        protocol = extract_protocol(str(SRC))
+        assert set(protocol.members) == {member.name for member in MsgType}

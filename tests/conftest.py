@@ -1,12 +1,35 @@
-"""Shared fixtures."""
+"""Shared fixtures.
+
+The whole suite runs with the opt-in runtime concurrency checkers enabled
+(``REPRO_RUNTIME_CHECKS=1``): framework locks are instrumented for
+lock-order (deadlock) detection and every broker audits its object store
+for refcount leaks at shutdown.  The env var must be set before any
+``repro`` import so module-level locks are created instrumented too.
+"""
 
 from __future__ import annotations
+
+import os
+
+os.environ.setdefault("REPRO_RUNTIME_CHECKS", "1")
 
 import numpy as np
 import pytest
 
+from repro.analysis.runtime import lock_monitor
 from repro.core.broker import Broker
 from repro.core.endpoint import ProcessEndpoint
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _no_lock_order_violations():
+    """Fail the session if any framework lock pair was ever acquired in
+    inconsistent order anywhere in the suite."""
+    yield
+    violations = lock_monitor().violations()
+    assert not violations, "lock-order violations detected:\n" + "\n".join(
+        violation.describe() for violation in violations
+    )
 
 
 @pytest.fixture

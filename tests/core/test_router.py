@@ -209,3 +209,39 @@ class TestTransitForwarding:
         )
         with pytest.raises(UnknownDestinationError):
             router.on_remote_receive(_header(["nowhere"]), "body")
+
+
+class TestCounterConcurrency:
+    """Regression: routing counters are mutated from the router thread AND
+    from fabric delivery threads (on_remote_receive); they must be guarded."""
+
+    def test_counts_exact_under_concurrent_routing(self):
+        import threading
+
+        comm = ShareMemCommunicator()
+        for name in ("a", "b", "dead"):
+            comm.register(name)
+        comm.id_queue("dead").close()  # deliveries to it count as drops
+        router = AlgorithmAgnosticRouter(comm)
+        per_thread, threads = 200, 8
+
+        def hammer():
+            for index in range(per_thread):
+                router.route(_header(["a", "b"]))
+                router.route(_header(["dead"]))
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert router.routed_local == threads * per_thread * 2
+        assert router.dropped == threads * per_thread
+
+    def test_counters_are_read_only_properties(self):
+        comm = ShareMemCommunicator()
+        router = AlgorithmAgnosticRouter(comm)
+        with pytest.raises(AttributeError):
+            router.routed_local = 5
+        with pytest.raises(AttributeError):
+            router.dropped = 5
