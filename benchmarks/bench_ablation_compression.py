@@ -40,11 +40,13 @@ def _measure(threshold):
         payload = _payload(nbytes)
         started = time.monotonic()
         object_id = store.put(payload)
-        fetched = store.get(object_id)
-        elapsed += time.monotonic() - started
-        assert np.array_equal(fetched, payload)
-        stored_bytes += store.used_bytes
-        store.release(object_id)
+        try:
+            fetched = store.get(object_id)
+            elapsed += time.monotonic() - started
+            assert np.array_equal(fetched, payload)
+            stored_bytes += store.used_bytes
+        finally:
+            store.release(object_id)
     return elapsed * 1e3, stored_bytes
 
 

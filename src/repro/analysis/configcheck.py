@@ -1,0 +1,242 @@
+"""Static validation of example configuration files.
+
+Checks every ``examples/*.py`` (or any tree) against the configuration
+schema without executing the examples:
+
+* keyword arguments to ``single_machine_config`` / ``XingTianConfig`` (and
+  nested ``StopCondition`` / ``SupervisionSpec`` / ``MachineSpec``
+  constructors, and dict literals passed to ``XingTianConfig.from_dict``)
+  must be known dataclass fields — a typo like ``fragement_steps=...``
+  fails instead of being swallowed by ``**overrides``;
+* literal ``algorithm=`` / ``environment=`` / ``model=`` / ``agent=``
+  names (keyword or the leading positional arguments) must be registered
+  in :data:`repro.api.registry.registry` *or* registered locally by the
+  example itself (``@register_algorithm("reinforce")``).
+
+Emits ``unknown-config-key`` / ``unregistered-name`` findings; both are
+errors — an example that cannot run should fail CI, not readers.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from .findings import Finding, Severity, sort_findings
+
+UNKNOWN_CONFIG_KEY = "unknown-config-key"
+UNREGISTERED_NAME = "unregistered-name"
+
+#: registry kind -> the keyword names that carry such a registered name
+_KIND_KEYWORDS = {
+    "algorithm": "algorithm",
+    "environment": "environment",
+    "model": "model",
+    "agent": "agent",
+}
+
+#: constructor name -> (positional registry kinds, extra accepted keywords)
+_CONFIG_CALLS: Dict[str, Tuple[Tuple[str, ...], Set[str]]] = {
+    "single_machine_config": (("algorithm", "environment", "model"), {"explorers"}),
+    "XingTianConfig": ((), set()),
+}
+
+#: harness entry points whose first positional argument is an algorithm name
+_ALGORITHM_FIRST_CALLS = {
+    "run_training_xingtian",
+    "run_training_raylike",
+    "single_machine_config",
+}
+
+_REGISTER_DECORATORS = {
+    "register_environment": "environment",
+    "register_model": "model",
+    "register_algorithm": "algorithm",
+    "register_agent": "agent",
+}
+
+
+def _config_field_names() -> Dict[str, Set[str]]:
+    from repro.core.config import (
+        MachineSpec,
+        StopCondition,
+        SupervisionSpec,
+        XingTianConfig,
+    )
+
+    return {
+        "XingTianConfig": {f.name for f in dataclasses.fields(XingTianConfig)},
+        "StopCondition": {f.name for f in dataclasses.fields(StopCondition)},
+        "SupervisionSpec": {f.name for f in dataclasses.fields(SupervisionSpec)},
+        "MachineSpec": {f.name for f in dataclasses.fields(MachineSpec)},
+    }
+
+
+def _registered_names() -> Dict[str, Set[str]]:
+    """The populated registry tables (importing the implementation zoos)."""
+    import repro.algorithms  # noqa: F401 - populates the registry
+    import repro.envs  # noqa: F401 - populates the registry
+    from repro.api.registry import registry
+
+    return {kind: set(registry.names(kind)) for kind in _KIND_KEYWORDS}
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        # ``XingTianConfig.from_dict`` keeps the class name interesting.
+        if func.attr == "from_dict":
+            return "from_dict"
+        return func.attr
+    return getattr(func, "id", "")
+
+
+class _ExampleVisitor(ast.NodeVisitor):
+    def __init__(
+        self,
+        path: str,
+        fields: Dict[str, Set[str]],
+        registered: Dict[str, Set[str]],
+        local: Dict[str, Set[str]],
+    ):
+        self.path = path
+        self.fields = fields
+        self.registered = registered
+        self.local = local
+        self.findings: List[Finding] = []
+        self.scope_stack: List[str] = []
+
+    def _scope(self) -> str:
+        return ".".join(self.scope_stack)
+
+    def _scoped(self, node: ast.AST) -> None:
+        self.scope_stack.append(getattr(node, "name", "<scope>"))
+        self.generic_visit(node)
+        self.scope_stack.pop()
+
+    visit_FunctionDef = _scoped
+    visit_AsyncFunctionDef = _scoped
+    visit_ClassDef = _scoped
+
+    def _report(self, line: int, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(self.path, line, Severity.ERROR, rule, message, self._scope())
+        )
+
+    # -- checks -------------------------------------------------------------
+    def _check_keys(self, schema: str, keys: List[Tuple[str, int]]) -> None:
+        allowed = self.fields[schema]
+        if schema == "XingTianConfig":
+            allowed = allowed | _CONFIG_CALLS["single_machine_config"][1]
+        for key, line in keys:
+            if key not in allowed:
+                self._report(
+                    line,
+                    UNKNOWN_CONFIG_KEY,
+                    f"unknown {schema} key '{key}' (known: "
+                    f"{', '.join(sorted(self.fields[schema]))})",
+                )
+
+    def _check_name(self, kind: str, value: ast.AST) -> None:
+        if not (isinstance(value, ast.Constant) and isinstance(value.value, str)):
+            return
+        name = value.value
+        if name in self.registered.get(kind, ()) or name in self.local.get(kind, ()):
+            return
+        self._report(
+            value.lineno,
+            UNREGISTERED_NAME,
+            f"{kind} '{name}' is not registered "
+            f"(registered: {', '.join(sorted(self.registered.get(kind, ())))})",
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        keyword_sites = [
+            (kw.arg, kw.value.lineno if hasattr(kw.value, "lineno") else node.lineno)
+            for kw in node.keywords
+            if kw.arg is not None
+        ]
+        if name in _CONFIG_CALLS:
+            positional_kinds, _ = _CONFIG_CALLS[name]
+            self._check_keys("XingTianConfig", keyword_sites)
+            for kind, arg in zip(positional_kinds, node.args):
+                self._check_name(kind, arg)
+            for kw in node.keywords:
+                if kw.arg in _KIND_KEYWORDS:
+                    self._check_name(_KIND_KEYWORDS[kw.arg], kw.value)
+        elif name in ("StopCondition", "SupervisionSpec", "MachineSpec"):
+            self._check_keys(name, keyword_sites)
+        elif name == "from_dict" and node.args:
+            literal = node.args[0]
+            if isinstance(literal, ast.Dict):
+                keys = [
+                    (key.value, key.lineno)
+                    for key in literal.keys
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str)
+                ]
+                self._check_keys("XingTianConfig", keys)
+                for key, value in zip(literal.keys, literal.values):
+                    if (
+                        isinstance(key, ast.Constant)
+                        and key.value in _KIND_KEYWORDS
+                    ):
+                        self._check_name(_KIND_KEYWORDS[key.value], value)
+        elif name in _ALGORITHM_FIRST_CALLS and node.args:
+            self._check_name("algorithm", node.args[0])
+        self.generic_visit(node)
+
+
+def _local_registrations(tree: ast.AST) -> Dict[str, Set[str]]:
+    """Names an example registers itself via ``@register_*("name")``."""
+    local: Dict[str, Set[str]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+        kind = _REGISTER_DECORATORS.get(name)
+        if kind and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                local.setdefault(kind, set()).add(first.value)
+    return local
+
+
+def validate_configs(
+    root: str,
+    *,
+    registered: Optional[Dict[str, Set[str]]] = None,
+) -> List[Finding]:
+    """Validate every config-constructing file under ``root``."""
+    from .engine import iter_python_files, _display_path
+
+    fields = _config_field_names()
+    if registered is None:
+        registered = _registered_names()
+    findings: List[Finding] = []
+    root_path = Path(root)
+    for path in iter_python_files(root_path):
+        display = _display_path(path, root_path)
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    display,
+                    exc.lineno or 1,
+                    Severity.ERROR,
+                    "syntax-error",
+                    exc.msg or "invalid syntax",
+                    "<module>",
+                )
+            )
+            continue
+        visitor = _ExampleVisitor(
+            display, fields, registered, _local_registrations(tree)
+        )
+        visitor.visit(tree)
+        findings.extend(visitor.findings)
+    return sort_findings(findings)

@@ -1,0 +1,391 @@
+"""Per-function control-flow graphs and a call graph for dataflow passes.
+
+The ownership pass (:mod:`repro.analysis.ownership`) needs to reason about
+*paths*: a store handle acquired on one branch must be released on every way
+out of the function, including early returns and exception edges.  This
+module builds a statement-level CFG per function:
+
+* every statement is a node; ``EXIT`` is a synthetic sink;
+* edges carry a kind — ``"next"`` for normal flow, ``"return"`` for explicit
+  returns and falling off the end, ``"exc"`` for potential exception flow
+  (any statement containing a call may raise) and ``"raise"`` for explicit
+  raises;
+* ``try``/``except``/``finally``, loops with ``break``/``continue``, and
+  ``with`` are supported; unhandled may-raise statements get an ``"exc"``
+  edge straight to ``EXIT``, which is what makes exception-path leaks
+  visible.
+
+The module also extracts a whole-program call graph (caller qualname →
+called leaf names), which the ownership pass uses to propagate
+interprocedural summaries (helper functions that return fresh handles or
+release a parameter) and the topology pass shares for send-site
+attribution.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+#: Synthetic node id for the single function exit.
+EXIT = -1
+
+#: ``try`` statement types (``TryStar`` exists from Python 3.11 on).
+_TRY_TYPES = tuple(
+    t for t in (getattr(ast, "Try", None), getattr(ast, "TryStar", None)) if t
+)
+
+
+@dataclass
+class CFG:
+    """A statement-level control-flow graph for one function body."""
+
+    entry: Optional[int] = None
+    #: node id -> the AST statement it represents
+    nodes: Dict[int, ast.stmt] = field(default_factory=dict)
+    #: (src, dst, kind) with kind in {"next", "return", "exc", "raise"}
+    edges: List[Tuple[int, int, str]] = field(default_factory=list)
+
+    def successors(self, node_id: int) -> List[Tuple[int, str]]:
+        return [(dst, kind) for src, dst, kind in self.edges if src == node_id]
+
+    def predecessors(self, node_id: int) -> List[Tuple[int, str]]:
+        return [(src, kind) for src, dst, kind in self.edges if dst == node_id]
+
+    def exit_edges(self) -> List[Tuple[int, str]]:
+        """``(node, kind)`` pairs for every edge into ``EXIT``."""
+        return self.predecessors(EXIT)
+
+
+def _contains_call(node: ast.AST) -> bool:
+    """True when ``node`` contains a call outside nested function bodies."""
+    if isinstance(node, ast.Call):
+        return True
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        return False  # nested bodies execute later, not on this edge
+    return any(_contains_call(child) for child in ast.iter_child_nodes(node))
+
+
+def _may_raise(statement: ast.stmt) -> bool:
+    """A statement containing any call may raise.
+
+    Coarse on purpose: calls are where exceptions actually originate in this
+    codebase (queue puts, serialization, store operations), while flagging
+    every attribute access would drown the ownership pass in phantom edges.
+    For compound statements only the *header* expression is consulted — the
+    body gets its own nodes and edges.
+    """
+    if isinstance(statement, ast.If):
+        return _contains_call(statement.test)
+    if isinstance(statement, ast.While):
+        return _contains_call(statement.test)
+    if isinstance(statement, (ast.For, ast.AsyncFor)):
+        return _contains_call(statement.iter)
+    if isinstance(statement, (ast.With, ast.AsyncWith)):
+        return any(_contains_call(item.context_expr) for item in statement.items)
+    return _contains_call(statement)
+
+
+class _Builder:
+    """Builds the CFG for one function body via recursive descent.
+
+    Each ``_stmts``/``_stmt`` call returns the set of *dangling* node ids —
+    nodes whose normal-flow successor is whatever comes next.  ``break``,
+    ``continue``, ``return`` and ``raise`` produce no dangling exits; their
+    edges go to the loop exit, loop head, or ``EXIT`` directly.
+    """
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self._next_id = 0
+        #: stack of (loop_head_id, break_collector) for continue/break
+        self._loops: List[Tuple[int, List[int]]] = []
+        #: stack of handler-entry id lists for statements inside try bodies
+        self._handlers: List[List[int]] = []
+
+    def _new_node(self, statement: ast.stmt) -> int:
+        node_id = self._next_id
+        self._next_id += 1
+        self.cfg.nodes[node_id] = statement
+        return node_id
+
+    def _edge(self, src: int, dst: int, kind: str = "next") -> None:
+        self.cfg.edges.append((src, dst, kind))
+
+    def _exc_targets(self) -> List[int]:
+        """Where control may land when the current statement raises."""
+        if self._handlers:
+            return list(self._handlers[-1])
+        return [EXIT]
+
+    def _wire_exceptions(self, node_id: int, statement: ast.stmt) -> None:
+        if isinstance(statement, ast.Raise):
+            for target in self._exc_targets():
+                self._edge(node_id, target, "raise" if target == EXIT else "exc")
+        elif _may_raise(statement):
+            for target in self._exc_targets():
+                self._edge(node_id, target, "exc")
+
+    # -- statement dispatch -------------------------------------------------
+    def build(self, body: List[ast.stmt]) -> CFG:
+        entry_holder: List[int] = []
+        dangling = self._stmts(body, entry_holder)
+        self.cfg.entry = entry_holder[0] if entry_holder else None
+        for node_id in dangling:
+            self._edge(node_id, EXIT, "return")  # falling off the end
+        return self.cfg
+
+    def _stmts(self, body: List[ast.stmt], entry_out: List[int]) -> Set[int]:
+        dangling: Set[int] = set()
+        first = True
+        for statement in body:
+            stmt_entry: List[int] = []
+            new_dangling = self._stmt(statement, stmt_entry)
+            if stmt_entry:
+                if first:
+                    entry_out.extend(stmt_entry[:1])
+                    first = False
+                for node_id in dangling:
+                    self._edge(node_id, stmt_entry[0])
+                dangling = new_dangling
+            # A statement producing no node (nested def) keeps prior exits.
+        return dangling
+
+    def _stmt(self, statement: ast.stmt, entry_out: List[int]) -> Set[int]:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # Nested definitions do not execute here; skip (no node).
+            return set()
+        if isinstance(statement, ast.If):
+            return self._if(statement, entry_out)
+        if isinstance(statement, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(statement, entry_out)
+        if isinstance(statement, _TRY_TYPES):
+            return self._try(statement, entry_out)
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            return self._with(statement, entry_out)
+
+        node_id = self._new_node(statement)
+        entry_out.append(node_id)
+        self._wire_exceptions(node_id, statement)
+        if isinstance(statement, ast.Return):
+            self._edge(node_id, EXIT, "return")
+            return set()
+        if isinstance(statement, ast.Raise):
+            return set()
+        if isinstance(statement, ast.Break):
+            if self._loops:
+                self._loops[-1][1].append(node_id)
+            return set()
+        if isinstance(statement, ast.Continue):
+            if self._loops:
+                self._edge(node_id, self._loops[-1][0])
+            return set()
+        return {node_id}
+
+    def _if(self, statement: ast.If, entry_out: List[int]) -> Set[int]:
+        node_id = self._new_node(statement)
+        entry_out.append(node_id)
+        self._wire_exceptions(node_id, statement)
+        dangling: Set[int] = set()
+        body_entry: List[int] = []
+        body_dangling = self._stmts(statement.body, body_entry)
+        if body_entry:
+            self._edge(node_id, body_entry[0])
+            dangling |= body_dangling
+        else:
+            dangling.add(node_id)
+        if statement.orelse:
+            else_entry: List[int] = []
+            else_dangling = self._stmts(statement.orelse, else_entry)
+            if else_entry:
+                self._edge(node_id, else_entry[0])
+                dangling |= else_dangling
+            else:
+                dangling.add(node_id)
+        else:
+            dangling.add(node_id)  # condition false: fall through
+        return dangling
+
+    def _loop(self, statement: ast.stmt, entry_out: List[int]) -> Set[int]:
+        node_id = self._new_node(statement)
+        entry_out.append(node_id)
+        self._wire_exceptions(node_id, statement)
+        breaks: List[int] = []
+        self._loops.append((node_id, breaks))
+        body_entry: List[int] = []
+        body = statement.body  # type: ignore[attr-defined]
+        body_dangling = self._stmts(body, body_entry)
+        if body_entry:
+            self._edge(node_id, body_entry[0])
+        for back in body_dangling:
+            self._edge(back, node_id)
+        self._loops.pop()
+        orelse = getattr(statement, "orelse", [])
+        dangling: Set[int] = set(breaks)
+        if orelse:
+            else_entry: List[int] = []
+            else_dangling = self._stmts(orelse, else_entry)
+            if else_entry:
+                self._edge(node_id, else_entry[0])
+                dangling |= else_dangling
+            else:
+                dangling.add(node_id)
+        else:
+            dangling.add(node_id)  # loop condition false / iterator exhausted
+        return dangling
+
+    def _try(self, statement: ast.Try, entry_out: List[int]) -> Set[int]:
+        # The finally body is built first so exception edges raised anywhere
+        # in the try region can target it: an uncaught exception runs the
+        # finally before propagating, and that is exactly the path on which
+        # a ``finally: store.release(h)`` balances the refcount.  (After the
+        # finally, the exceptional and normal continuations are conflated —
+        # the abstract state is identical on both.)
+        final_entry: List[int] = []
+        final_dangling: Set[int] = set()
+        if statement.finalbody:
+            final_dangling = self._stmts(statement.finalbody, final_entry)
+        exc_via_finally = final_entry[:1]
+
+        # Handler bodies: an exception inside a handler runs the finally (if
+        # any) before propagating; otherwise it uses the enclosing targets.
+        handler_entries: List[int] = []
+        handler_dangling: Set[int] = set()
+        if exc_via_finally:
+            self._handlers.append(exc_via_finally)
+        for handler in statement.handlers:
+            entry: List[int] = []
+            dangling = self._stmts(handler.body, entry)
+            if entry:
+                handler_entries.append(entry[0])
+            handler_dangling |= dangling
+        if exc_via_finally:
+            self._handlers.pop()
+
+        # Try-body exceptions may land in any handler, or (uncaught type /
+        # no handlers) in the finally.
+        body_targets = handler_entries + exc_via_finally
+        self._handlers.append(body_targets or self._exc_targets())
+        body_entry: List[int] = []
+        body_dangling = self._stmts(statement.body, body_entry)
+        self._handlers.pop()
+        if body_entry:
+            entry_out.extend(body_entry[:1])
+        elif final_entry:
+            entry_out.extend(final_entry[:1])
+
+        dangling = set(body_dangling) | handler_dangling
+        if statement.orelse:
+            else_entry: List[int] = []
+            else_dangling = self._stmts(statement.orelse, else_entry)
+            if else_entry:
+                for node_id in body_dangling:
+                    self._edge(node_id, else_entry[0])
+                dangling -= body_dangling
+                dangling |= else_dangling
+
+        if final_entry:
+            for node_id in dangling:
+                self._edge(node_id, final_entry[0])
+            dangling = final_dangling
+        return dangling
+
+    def _with(self, statement: ast.stmt, entry_out: List[int]) -> Set[int]:
+        node_id = self._new_node(statement)
+        entry_out.append(node_id)
+        self._wire_exceptions(node_id, statement)
+        body_entry: List[int] = []
+        body = statement.body  # type: ignore[attr-defined]
+        body_dangling = self._stmts(body, body_entry)
+        if body_entry:
+            self._edge(node_id, body_entry[0])
+            return body_dangling
+        return {node_id}
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG for a function definition's body."""
+    body = getattr(func, "body", [])
+    return _Builder().build(list(body))
+
+
+# -- function discovery & call graph ---------------------------------------
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function definition found in the analyzed tree."""
+
+    path: str
+    qualname: str  #: dotted, e.g. ``ProcessEndpoint._sender_loop``
+    name: str  #: leaf name
+    node: ast.AST
+    class_name: str = ""  #: enclosing class, "" at module level
+    decorators: Tuple[str, ...] = ()
+
+
+def _decorator_leaf(node: ast.AST) -> str:
+    """Leaf name of a decorator expression (``a.b`` → ``b``; calls unwrapped)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    while isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def iter_functions(
+    sources: List[Tuple[str, ast.AST]]
+) -> Iterator[FunctionInfo]:
+    """Yield every function/method definition across the parsed sources."""
+    for path, tree in sources:
+        stack: List[Tuple[ast.AST, List[str], str]] = [(tree, [], "")]
+        while stack:
+            node, scope, class_name = stack.pop()
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = ".".join(scope + [child.name])
+                    yield FunctionInfo(
+                        path=path,
+                        qualname=qual,
+                        name=child.name,
+                        node=child,
+                        class_name=class_name,
+                        decorators=tuple(
+                            _decorator_leaf(dec) for dec in child.decorator_list
+                        ),
+                    )
+                    stack.append((child, scope + [child.name], class_name))
+                elif isinstance(child, ast.ClassDef):
+                    stack.append((child, scope + [child.name], child.name))
+                else:
+                    stack.append((child, scope, class_name))
+
+
+def called_names(func: ast.AST) -> Set[str]:
+    """Leaf names of every call inside ``func`` (excluding nested defs)."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            if isinstance(callee, ast.Attribute):
+                names.add(callee.attr)
+            elif isinstance(callee, ast.Name):
+                names.add(callee.id)
+    return names
+
+
+def build_call_graph(
+    sources: List[Tuple[str, ast.AST]]
+) -> Dict[str, Set[str]]:
+    """``caller qualname -> called leaf names`` for the whole tree.
+
+    Leaf-name resolution is deliberately coarse (no type inference); the
+    ownership pass merges summaries for same-named functions conservatively.
+    """
+    graph: Dict[str, Set[str]] = {}
+    for info in iter_functions(sources):
+        graph[f"{info.path}::{info.qualname}"] = called_names(info.node)
+    return graph

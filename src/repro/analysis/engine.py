@@ -3,12 +3,15 @@
 from __future__ import annotations
 
 import ast
+import fnmatch
 from pathlib import Path
-from typing import List, Optional, Set, Tuple
+from typing import Iterable, List, Optional, Set, Tuple
 
 from .findings import Finding, Severity, sort_findings
+from .ownership import run_ownership_rules
 from .protocol import extract_from_sources
 from .rules import SYNTAX_ERROR, run_file_rules, run_protocol_rule
+from .topology import run_topology_rules
 
 _SKIP_DIR_NAMES = {"__pycache__", ".git", ".mypy_cache", ".ruff_cache"}
 
@@ -79,6 +82,53 @@ def parse_tree_reporting_errors(
     return sources, errors
 
 
+def filter_sources(
+    sources: List[Tuple[str, ast.AST]], excludes: Iterable[str]
+) -> List[Tuple[str, ast.AST]]:
+    """Drop sources whose display path matches any exclude pattern.
+
+    A pattern matches when it is a substring of the path or an ``fnmatch``
+    glob for it — ``tests/analysis/fixtures`` excludes the seeded-violation
+    fixture files when the analyzer is pointed at ``tests/``.
+    """
+    patterns = list(excludes)
+    if not patterns:
+        return sources
+    return [
+        (path, tree)
+        for path, tree in sources
+        if not any(
+            pattern in path or fnmatch.fnmatch(path, pattern)
+            for pattern in patterns
+        )
+    ]
+
+
+def _run_protocol_rules(
+    sources: List[Tuple[str, ast.AST]],
+    ignored_msgtypes: Optional[Set[str]],
+) -> List[Finding]:
+    """The whole-program ``unrouted-msgtype`` rule, scoped per tree.
+
+    Sends in framework code (paths under ``src/``) must find their handler
+    in framework code: a handler that only exists in a test must not mask an
+    unrouted production type.  Sends elsewhere (tests, benchmarks) may be
+    handled anywhere in the analyzed set.
+    """
+    src_sources = [(p, t) for p, t in sources if p.startswith("src/")]
+    if not src_sources or len(src_sources) == len(sources):
+        return run_protocol_rule(extract_from_sources(sources), ignored_msgtypes)
+    findings = list(
+        run_protocol_rule(extract_from_sources(src_sources), ignored_msgtypes)
+    )
+    for finding in run_protocol_rule(
+        extract_from_sources(sources), ignored_msgtypes
+    ):
+        if not finding.path.startswith("src/"):
+            findings.append(finding)
+    return findings
+
+
 def analyze_sources(
     sources: List[Tuple[str, ast.AST]],
     *,
@@ -87,19 +137,46 @@ def analyze_sources(
     findings: List[Finding] = []
     for path, tree in sources:
         findings.extend(run_file_rules(path, tree))
-    protocol = extract_from_sources(sources)
-    findings.extend(run_protocol_rule(protocol, ignored_msgtypes))
+    findings.extend(_run_protocol_rules(sources, ignored_msgtypes))
+    findings.extend(run_ownership_rules(sources))
+    findings.extend(run_topology_rules(sources))
     return sort_findings(findings)
+
+
+def analyze_paths(
+    roots: Iterable[str],
+    *,
+    ignored_msgtypes: Optional[Set[str]] = None,
+    excludes: Iterable[str] = (),
+) -> List[Finding]:
+    """Analyze several trees as one program; returns sorted findings."""
+    sources: List[Tuple[str, ast.AST]] = []
+    errors: List[Finding] = []
+    for root in roots:
+        root_sources, root_errors = parse_tree_reporting_errors(root)
+        sources.extend(root_sources)
+        errors.extend(root_errors)
+    sources = filter_sources(sources, excludes)
+    excluded = {pattern for pattern in excludes}
+    if excluded:
+        errors = [
+            finding
+            for finding in errors
+            if not any(
+                pattern in finding.path or fnmatch.fnmatch(finding.path, pattern)
+                for pattern in excluded
+            )
+        ]
+    return sort_findings(
+        analyze_sources(sources, ignored_msgtypes=ignored_msgtypes) + errors
+    )
 
 
 def analyze_path(
     root: str, *, ignored_msgtypes: Optional[Set[str]] = None
 ) -> List[Finding]:
     """Analyze one file or directory tree; returns sorted findings."""
-    sources, errors = parse_tree_reporting_errors(root)
-    return sort_findings(
-        analyze_sources(sources, ignored_msgtypes=ignored_msgtypes) + errors
-    )
+    return analyze_paths([root], ignored_msgtypes=ignored_msgtypes)
 
 
 def analyze_source(source: str, path: str = "<memory>.py") -> List[Finding]:

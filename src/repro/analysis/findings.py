@@ -68,7 +68,8 @@ class Baseline:
 
     HEADER = (
         "# repro.analysis baseline — accepted findings, one fingerprint per line.\n"
-        "# Regenerate with: python -m repro.analysis src --write-baseline\n"
+        "# Regenerate with: python -m repro.analysis src tests benchmarks"
+        " --exclude tests/analysis/fixtures --write-baseline\n"
     )
 
     def __init__(self, fingerprints: Iterable[str] = ()):
@@ -88,9 +89,20 @@ class Baseline:
         return cls(finding.fingerprint() for finding in findings)
 
     def save(self, path: Path) -> None:
-        lines = [self.HEADER]
+        """Write the baseline: sorted fingerprints, grouped by source tree.
+
+        Output is fully deterministic (sorted within sections, sections in
+        sorted order) so regenerating the baseline yields a reviewable diff.
+        """
+        sections: Dict[str, List[str]] = {}
         for fingerprint in sorted(self._counts.elements()):
-            lines.append(fingerprint + "\n")
+            tree = fingerprint.split("/", 1)[0] if "/" in fingerprint else fingerprint
+            sections.setdefault(tree, []).append(fingerprint)
+        lines = [self.HEADER]
+        for tree in sorted(sections):
+            lines.append(f"\n# -- {tree}/ --\n")
+            for fingerprint in sections[tree]:
+                lines.append(fingerprint + "\n")
         path.write_text("".join(lines), encoding="utf-8")
 
     def __len__(self) -> int:

@@ -1,0 +1,629 @@
+"""Interprocedural ownership dataflow for object-store handles.
+
+The protocol under analysis (§3.2): ``ObjectStore.put`` acquires ``refcount``
+shares of a body and returns a handle (the object ID); every share must
+eventually be balanced by exactly one ``release``; handles legitimately
+*escape* their acquiring function only through an explicit ownership
+transfer (attached to a header that crosses a queue, returned to a caller)
+— marked with :func:`repro.core.ownership.transfers_ownership`.
+
+Three rules, all path-sensitive over the per-function CFGs from
+:mod:`repro.analysis.dataflow`:
+
+``refcount-leak`` (error)
+    A handle acquired on some path is still owned when the function exits —
+    an early return, a fall-through, or an exception edge skipping the
+    release.  Also fired when a ``put`` result is discarded outright
+    (including ``store.get(store.put(x))`` — ``get`` does not consume a
+    share) or overwritten before release.
+
+``double-release`` (error)
+    A path on which the same single-share handle reaches ``release`` twice.
+    Handles inserted with a fan-out refcount (``refcount=`` anything other
+    than a literal ``1``) are multi-share: repeated releases are the
+    protocol working as designed and are not flagged.
+
+``unannotated-handle-escape`` (warning)
+    A handle escapes the acquiring function — returned, stored into a
+    container/attribute, or passed to a call — without a
+    ``@transfers_ownership`` annotation.  Either the transfer is
+    intentional (annotate it) or the release is missing (fix it).
+
+Interprocedural: the pass first computes summaries — helpers that *return*
+a fresh handle act as acquisition sites in their callers; helpers that
+*release a parameter* act as release sites — then propagates them over the
+call graph to a fixed point before the reporting pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .dataflow import EXIT, CFG, FunctionInfo, build_cfg, iter_functions
+from .findings import Finding, Severity
+
+REFCOUNT_LEAK = "refcount-leak"
+DOUBLE_RELEASE = "double-release"
+UNANNOTATED_HANDLE_ESCAPE = "unannotated-handle-escape"
+
+#: Decorator leaf name that authorizes escapes.
+TRANSFER_DECORATOR = "transfers_ownership"
+
+#: Handle lifecycle statuses (tracked as a may-set per variable).
+OWNED = "owned"
+RELEASED = "released"
+ESCAPED = "escaped"
+
+_FIXPOINT_LIMIT = 200  # per-function worklist iterations (safety bound)
+_SUMMARY_ROUNDS = 3  # call-graph summary propagation rounds
+
+
+@dataclass(frozen=True)
+class Handle:
+    """Abstract state of one handle-holding variable."""
+
+    statuses: frozenset
+    acq_line: int
+    multi: bool  #: inserted with a non-1 refcount (fan-out shares)
+
+    def merge(self, other: "Handle") -> "Handle":
+        return Handle(
+            self.statuses | other.statuses,
+            min(self.acq_line, other.acq_line),
+            self.multi or other.multi,
+        )
+
+
+State = Dict[str, Handle]
+
+
+def _merge_states(a: State, b: State) -> State:
+    merged = dict(a)
+    for var, handle in b.items():
+        merged[var] = handle.merge(merged[var]) if var in merged else handle
+    return merged
+
+
+@dataclass
+class Summaries:
+    """Interprocedural function summaries, keyed by leaf function name."""
+
+    returns_handle: Set[str] = field(default_factory=set)
+    #: leaf name -> positional indices of parameters it releases
+    releases_params: Dict[str, Set[int]] = field(default_factory=dict)
+
+    def snapshot(self) -> Tuple:
+        return (
+            frozenset(self.returns_handle),
+            frozenset((k, frozenset(v)) for k, v in self.releases_params.items()),
+        )
+
+
+def _dotted(node: ast.AST) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts)).lower()
+
+
+def _is_store_receiver(node: ast.AST) -> bool:
+    """True when the call receiver looks like an object store."""
+    return "store" in _dotted(node)
+
+
+def _store_call(node: ast.AST, method: str) -> Optional[ast.Call]:
+    """``node`` as a ``<store>.<method>(...)`` call, else ``None``."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == method
+        and _is_store_receiver(node.func.value)
+    ):
+        return node
+    return None
+
+
+def _put_multi(call: ast.Call) -> bool:
+    """True unless the put's refcount is omitted or a literal ``1``."""
+    for keyword in call.keywords:
+        if keyword.arg == "refcount":
+            value = keyword.value
+            return not (isinstance(value, ast.Constant) and value.value == 1)
+    if len(call.args) >= 2:
+        value = call.args[1]
+        return not (isinstance(value, ast.Constant) and value.value == 1)
+    return False
+
+
+def _acquisition(node: ast.AST, summaries: Summaries) -> Optional[Tuple[int, bool]]:
+    """``(line, multi)`` when evaluating ``node`` yields a fresh handle."""
+    put = _store_call(node, "put")
+    if put is not None:
+        return put.lineno, _put_multi(put)
+    if isinstance(node, ast.IfExp):
+        for branch in (node.body, node.orelse):
+            acquired = _acquisition(branch, summaries)
+            if acquired is not None:
+                return acquired
+        return None
+    if isinstance(node, ast.Call):
+        name = (
+            node.func.attr
+            if isinstance(node.func, ast.Attribute)
+            else getattr(node.func, "id", "")
+        )
+        if name in summaries.returns_handle and _store_call(node, "put") is None:
+            return node.lineno, False
+    return None
+
+
+@dataclass
+class _Report:
+    line: int
+    rule: str
+    message: str
+
+
+class _FunctionAnalysis:
+    """Ownership dataflow over one function's CFG."""
+
+    def __init__(self, info: FunctionInfo, cfg: CFG, summaries: Summaries):
+        self.info = info
+        self.cfg = cfg
+        self.summaries = summaries
+        self.annotated = TRANSFER_DECORATOR in info.decorators
+        self.param_names = self._param_names(info.node)
+        self.reports: List[_Report] = []
+        self.returns_handle = False
+        self.released_params: Set[int] = set()
+        self._collecting = False
+
+    @staticmethod
+    def _param_names(node: ast.AST) -> List[str]:
+        args = getattr(node, "args", None)
+        if args is None:
+            return []
+        names = [arg.arg for arg in args.posonlyargs + args.args]
+        return names
+
+    # -- driver -------------------------------------------------------------
+    def run(self) -> None:
+        in_states: Dict[int, State] = {}
+        out_states: Dict[int, State] = {}
+        if self.cfg.entry is None:
+            return
+        worklist = [self.cfg.entry]
+        in_states[self.cfg.entry] = {}
+        iterations = 0
+        while worklist and iterations < _FIXPOINT_LIMIT * max(1, len(self.cfg.nodes)):
+            iterations += 1
+            node_id = worklist.pop(0)
+            in_state = in_states.get(node_id, {})
+            out_state = self._transfer(node_id, in_state, collect=False)
+            if out_states.get(node_id) == out_state and node_id in out_states:
+                continue
+            out_states[node_id] = out_state
+            for successor, kind in self.cfg.successors(node_id):
+                if successor == EXIT:
+                    continue
+                contribution = self._edge_state(node_id, kind, in_state, out_state)
+                merged = _merge_states(in_states.get(successor, {}), contribution)
+                if merged != in_states.get(successor):
+                    in_states[successor] = merged
+                    if successor not in worklist:
+                        worklist.append(successor)
+
+        # Reporting pass on the stabilized states.
+        self._collecting = True
+        for node_id in self.cfg.nodes:
+            self._transfer(node_id, in_states.get(node_id, {}), collect=True)
+        self._report_exit_leaks(in_states, out_states)
+
+    def _report_exit_leaks(
+        self, in_states: Dict[int, State], out_states: Dict[int, State]
+    ) -> None:
+        leaks: Dict[Tuple[str, int], Set[str]] = {}
+        for node_id, kind in self.cfg.exit_edges():
+            state = self._edge_state(
+                node_id, kind, in_states.get(node_id, {}), out_states.get(node_id, {})
+            )
+            for var, handle in state.items():
+                # A handle that escaped on *some* path has transferred its
+                # ownership; the residual OWNED status on merged paths is the
+                # analysis being path-insensitive about loop trip counts, not
+                # a leak (the escape itself is reported separately).
+                if OWNED in handle.statuses and ESCAPED not in handle.statuses:
+                    leaks.setdefault((var, handle.acq_line), set()).add(kind)
+        for (var, acq_line), kinds in sorted(leaks.items(), key=lambda kv: kv[0][1]):
+            if self.annotated and not (kinds - {"exc", "raise"}):
+                # Inside @transfers_ownership the OWNED window between put()
+                # and the hand-off crosses may-raise statements by design.
+                continue
+            if kinds - {"exc", "raise"}:
+                path = "not released on every path to function exit"
+            else:
+                path = "leaks when an exception skips the release"
+            self._report(
+                acq_line,
+                REFCOUNT_LEAK,
+                f"object-store handle '{var}' acquired here {path}",
+            )
+
+    def _edge_state(
+        self, node_id: int, kind: str, in_state: State, out_state: State
+    ) -> State:
+        """The state carried along one outgoing edge of ``node_id``.
+
+        Exception edges carry the *post*-statement state: an exception
+        raised by ``store.release(h)`` itself does not resurrect the handle,
+        so charging the pre-release OWNED state would flag every
+        acquire/release pair as an exception-path leak.  The one exception
+        is an acquisition statement — if the ``put`` raises, the handle was
+        never created, so its exception edge carries the pre-statement
+        state.
+        """
+        if kind not in ("exc", "raise"):
+            return out_state
+        statement = self.cfg.nodes.get(node_id)
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+            target, value = statement.targets[0], statement.value
+        elif isinstance(statement, ast.AnnAssign):
+            target, value = statement.target, statement.value
+        if (
+            isinstance(target, ast.Name)
+            and value is not None
+            and _acquisition(value, self.summaries) is not None
+        ):
+            return in_state
+        return out_state
+
+    def _report(self, line: int, rule: str, message: str) -> None:
+        if not self._collecting:
+            return
+        report = _Report(line, rule, message)
+        if report not in self.reports:
+            self.reports.append(report)
+
+    # -- transfer function --------------------------------------------------
+    def _transfer(self, node_id: int, in_state: State, collect: bool) -> State:
+        previous = self._collecting
+        self._collecting = collect
+        try:
+            statement = self.cfg.nodes[node_id]
+            state = dict(in_state)
+            self._apply(statement, state)
+            return state
+        finally:
+            self._collecting = previous
+
+    def _apply(self, statement: ast.stmt, state: State) -> None:
+        if isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+            self._apply_assign(statement.targets[0], statement.value, state)
+            return
+        if isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            self._apply_assign(statement.target, statement.value, state)
+            return
+        if isinstance(statement, ast.Expr):
+            self._apply_expr_stmt(statement.value, state)
+            return
+        if isinstance(statement, ast.Return):
+            if statement.value is not None:
+                self._apply_return(statement.value, state)
+            return
+        if isinstance(statement, ast.If):
+            self._scan(statement.test, state)
+            return
+        if isinstance(statement, ast.While):
+            self._scan(statement.test, state)
+            return
+        if isinstance(statement, (ast.For, ast.AsyncFor)):
+            self._scan(statement.iter, state)
+            return
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                self._scan(item.context_expr, state)
+            return
+        # Everything else: conservatively scan contained expressions.
+        for child in ast.iter_child_nodes(statement):
+            if isinstance(child, ast.expr):
+                self._scan(child, state)
+
+    # -- statement forms ----------------------------------------------------
+    def _apply_assign(self, target: ast.expr, value: ast.expr, state: State) -> None:
+        acquired = _acquisition(value, self.summaries)
+        if isinstance(target, ast.Name):
+            if acquired is not None:
+                line, multi = acquired
+                self._check_overwrite(target.id, state, line)
+                state[target.id] = Handle(frozenset({OWNED}), line, multi)
+                return
+            if isinstance(value, ast.Name) and value.id in state:
+                # Alias move: the handle travels with the new name.
+                self._check_overwrite(target.id, state, value.lineno)
+                state[target.id] = state.pop(value.id)
+                return
+            self._scan(value, state)
+            self._check_overwrite(target.id, state, getattr(value, "lineno", 0))
+            state.pop(target.id, None)
+            return
+        # Attribute / subscript / tuple target: the value escapes the frame.
+        if acquired is not None:
+            line, _ = acquired
+            self._escape(None, line, "stored outside the function", state)
+        elif isinstance(value, ast.Name) and value.id in state:
+            self._escape(value.id, value.lineno, "stored outside the function", state)
+        else:
+            self._scan(value, state)
+        self._scan(target, state, skip_store_ops=True)
+
+    def _check_overwrite(self, var: str, state: State, line: int) -> None:
+        handle = state.get(var)
+        if handle is not None and handle.statuses == frozenset({OWNED}):
+            self._report(
+                handle.acq_line,
+                REFCOUNT_LEAK,
+                f"object-store handle '{var}' acquired here is overwritten "
+                "before release",
+            )
+
+    def _apply_expr_stmt(self, value: ast.expr, state: State) -> None:
+        release = _store_call(value, "release")
+        if release is not None and release.args:
+            arg = release.args[0]
+            if isinstance(arg, ast.Name):
+                if arg.id in state:
+                    self._release(arg.id, release.lineno, state)
+                else:
+                    self._note_param_release(arg.id)
+                return
+            self._scan(arg, state)
+            return
+        summary_release = self._summary_release(value, state)
+        if summary_release:
+            return
+        acquired = _acquisition(value, self.summaries)
+        if acquired is not None:
+            line, _ = acquired
+            self._report(
+                line,
+                REFCOUNT_LEAK,
+                "object-store handle from put() is discarded without release",
+            )
+            return
+        self._scan(value, state)
+
+    def _apply_return(self, value: ast.expr, state: State) -> None:
+        acquired = _acquisition(value, self.summaries)
+        if acquired is not None:
+            line, _ = acquired
+            self.returns_handle = True
+            self._escape(None, line, "returned to the caller", state)
+            return
+        if isinstance(value, ast.Name) and value.id in state:
+            self.returns_handle = True
+            self._escape(value.id, value.lineno, "returned to the caller", state)
+            return
+        self._scan(value, state)
+
+    # -- handle events ------------------------------------------------------
+    def _release(self, var: str, line: int, state: State) -> None:
+        handle = state[var]
+        if ESCAPED in handle.statuses and handle.statuses == frozenset({ESCAPED}):
+            return  # ownership already transferred; foreign release semantics
+        if RELEASED in handle.statuses and not handle.multi:
+            self._report(
+                line,
+                DOUBLE_RELEASE,
+                f"object-store handle '{var}' may already be released on "
+                "this path (single-share handle)",
+            )
+        state[var] = Handle(frozenset({RELEASED}), handle.acq_line, handle.multi)
+
+    def _escape(
+        self, var: Optional[str], line: int, how: str, state: State
+    ) -> None:
+        if not self.annotated:
+            name = f"'{var}' " if var else ""
+            self._report(
+                line,
+                UNANNOTATED_HANDLE_ESCAPE,
+                f"object-store handle {name}escapes ({how}) without a "
+                "@transfers_ownership annotation — annotate the transfer or "
+                "release locally",
+            )
+        if var is not None and var in state:
+            handle = state[var]
+            state[var] = Handle(frozenset({ESCAPED}), handle.acq_line, handle.multi)
+
+    def _note_param_release(self, name: str) -> None:
+        if name in self.param_names:
+            index = self.param_names.index(name)
+            if self.param_names and self.param_names[0] in ("self", "cls"):
+                index -= 1
+            if index >= 0:
+                self.released_params.add(index)
+
+    def _summary_release(self, value: ast.expr, state: State) -> bool:
+        """Apply a releasing-helper call (``self._free(h)``); True if applied."""
+        if not isinstance(value, ast.Call):
+            return False
+        name = (
+            value.func.attr
+            if isinstance(value.func, ast.Attribute)
+            else getattr(value.func, "id", "")
+        )
+        indices = self.summaries.releases_params.get(name)
+        if not indices:
+            return False
+        applied = False
+        for position, arg in enumerate(value.args):
+            if position in indices and isinstance(arg, ast.Name) and arg.id in state:
+                self._release(arg.id, value.lineno, state)
+                applied = True
+        if applied:
+            for position, arg in enumerate(value.args):
+                if position not in indices:
+                    self._scan(arg, state)
+        return applied
+
+    # -- generic expression scan --------------------------------------------
+    def _scan(
+        self, expr: ast.expr, state: State, *, skip_store_ops: bool = False
+    ) -> None:
+        """Find escapes/leaks in an arbitrary expression context."""
+        if expr is None:  # defensive: optional sub-expressions
+            return
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            get = _store_call(node, "get")
+            release = _store_call(node, "release") if not skip_store_ops else None
+            put_args: List[ast.expr] = list(node.args) + [
+                kw.value for kw in node.keywords
+            ]
+            for arg in put_args:
+                nested_put = _store_call(arg, "put")
+                if nested_put is not None:
+                    if get is not None:
+                        # store.get(store.put(x)): get() consumes no share.
+                        self._report(
+                            nested_put.lineno,
+                            REFCOUNT_LEAK,
+                            "object-store handle from put() is discarded "
+                            "without release (get() does not consume a share)",
+                        )
+                    else:
+                        self._escape(
+                            None, nested_put.lineno, "passed to a call", state
+                        )
+                elif isinstance(arg, ast.Name) and arg.id in state:
+                    if get is not None or release is not None:
+                        continue  # store read/release of the handle: not an escape
+                    name = (
+                        node.func.attr
+                        if isinstance(node.func, ast.Attribute)
+                        else getattr(node.func, "id", "")
+                    )
+                    indices = self.summaries.releases_params.get(name)
+                    if indices is not None and put_args.index(arg) in indices:
+                        self._release(arg.id, node.lineno, state)
+                    else:
+                        self._escape(arg.id, node.lineno, "passed to a call", state)
+        # put() in a non-call context (comprehension element, comparison,
+        # f-string...) — the fresh handle is unreachable afterwards.
+        for node in ast.walk(expr):
+            put = _store_call(node, "put")
+            if put is None:
+                continue
+            if self._is_inside_call_args(expr, put):
+                continue  # already classified above
+            if _acquisition(node, self.summaries) is not None and node is put:
+                context = self._put_context(expr, put)
+                if context == "container":
+                    self._escape(None, put.lineno, "stored into a container", state)
+                else:
+                    self._report(
+                        put.lineno,
+                        REFCOUNT_LEAK,
+                        "object-store handle from put() is discarded without "
+                        "release",
+                    )
+
+    @staticmethod
+    def _is_inside_call_args(root: ast.expr, target: ast.Call) -> bool:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Call) and node is not target:
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    if target is arg or any(n is target for n in ast.walk(arg)):
+                        return True
+        return False
+
+    @staticmethod
+    def _put_context(root: ast.expr, target: ast.Call) -> str:
+        for node in ast.walk(root):
+            if isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp,
+                       ast.List, ast.Set, ast.Dict, ast.Tuple)
+            ):
+                if any(n is target for n in ast.walk(node)):
+                    return "container"
+        return "discard"
+
+
+def _has_store_ops(info: FunctionInfo, summaries: Summaries) -> bool:
+    relevant = {"put", "release"} | summaries.returns_handle | set(
+        summaries.releases_params
+    )
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Call):
+            name = (
+                node.func.attr
+                if isinstance(node.func, ast.Attribute)
+                else getattr(node.func, "id", "")
+            )
+            if name in relevant:
+                return True
+    return False
+
+
+def run_ownership_rules(
+    sources: List[Tuple[str, ast.AST]]
+) -> List[Finding]:
+    """Run the interprocedural ownership pass over parsed sources."""
+    functions = list(iter_functions(sources))
+    cfgs: Dict[int, CFG] = {}
+
+    def analysis_for(index: int, info: FunctionInfo, summaries: Summaries):
+        if index not in cfgs:
+            cfgs[index] = build_cfg(info.node)
+        return _FunctionAnalysis(info, cfgs[index], summaries)
+
+    # Phase 1: summary propagation to a fixed point (bounded rounds).
+    summaries = Summaries()
+    for _ in range(_SUMMARY_ROUNDS):
+        before = summaries.snapshot()
+        for index, info in enumerate(functions):
+            if not _has_store_ops(info, summaries):
+                continue
+            analysis = analysis_for(index, info, summaries)
+            analysis.run()
+            if analysis.returns_handle:
+                summaries.returns_handle.add(info.name)
+            if analysis.released_params:
+                summaries.releases_params.setdefault(info.name, set()).update(
+                    analysis.released_params
+                )
+        if summaries.snapshot() == before:
+            break
+
+    # Phase 2: reporting with stable summaries.
+    findings: List[Finding] = []
+    severities = {
+        REFCOUNT_LEAK: Severity.ERROR,
+        DOUBLE_RELEASE: Severity.ERROR,
+        UNANNOTATED_HANDLE_ESCAPE: Severity.WARNING,
+    }
+    for index, info in enumerate(functions):
+        if not _has_store_ops(info, summaries):
+            continue
+        analysis = analysis_for(index, info, summaries)
+        analysis.run()
+        for report in analysis.reports:
+            findings.append(
+                Finding(
+                    info.path,
+                    report.line,
+                    severities[report.rule],
+                    report.rule,
+                    report.message,
+                    info.qualname,
+                )
+            )
+    return findings

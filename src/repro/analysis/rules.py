@@ -13,9 +13,11 @@ triggering fixture and a near-miss fixture under ``tests/analysis/fixtures``):
 ``unguarded-shared-mutation`` (warning)
     In a threaded class (one that spawns threads, or one of the known
     framework classes: broker, router, supervisor, fabric, endpoints), a
-    read-modify-write (``self.x += ...``) outside a lock, or a plain
-    ``self.x = ...`` to an attribute that *is* guarded by a lock elsewhere in
-    the class (inconsistent guarding).
+    read-modify-write (``self.x += ...``) outside a lock, a container
+    mutation (``self.d[k] = v``, ``self.items.append(...)``,
+    ``.update``/``.pop``/…) outside a lock, or a plain ``self.x = ...`` to
+    an attribute that *is* guarded by a lock elsewhere in the class
+    (inconsistent guarding).
 
 ``raw-thread-creation`` (warning)
     ``threading.Thread(...)`` constructed anywhere but the supervision-aware
@@ -37,8 +39,11 @@ import ast
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from .configcheck import UNKNOWN_CONFIG_KEY, UNREGISTERED_NAME
 from .findings import Finding, Severity
+from .ownership import DOUBLE_RELEASE, REFCOUNT_LEAK, UNANNOTATED_HANDLE_ESCAPE
 from .protocol import Protocol, Site
+from .topology import BOUNDED_QUEUE_CYCLE, ORPHAN_DESTINATION
 
 LOCK_HELD_BLOCKING_CALL = "lock-held-blocking-call"
 UNGUARDED_SHARED_MUTATION = "unguarded-shared-mutation"
@@ -75,6 +80,34 @@ RULES: Dict[str, RuleInfo] = {
         SYNTAX_ERROR, Severity.ERROR,
         "file cannot be parsed, so no rule can inspect it",
     ),
+    REFCOUNT_LEAK: RuleInfo(
+        REFCOUNT_LEAK, Severity.ERROR,
+        "object-store handle not released on every control-flow path",
+    ),
+    DOUBLE_RELEASE: RuleInfo(
+        DOUBLE_RELEASE, Severity.ERROR,
+        "single-share object-store handle released twice on one path",
+    ),
+    UNANNOTATED_HANDLE_ESCAPE: RuleInfo(
+        UNANNOTATED_HANDLE_ESCAPE, Severity.WARNING,
+        "handle escapes its function without @transfers_ownership",
+    ),
+    ORPHAN_DESTINATION: RuleInfo(
+        ORPHAN_DESTINATION, Severity.ERROR,
+        "MsgType sent to a role that never handles it",
+    ),
+    BOUNDED_QUEUE_CYCLE: RuleInfo(
+        BOUNDED_QUEUE_CYCLE, Severity.WARNING,
+        "send/recv cycle through a bounded queue (static deadlock risk)",
+    ),
+    UNKNOWN_CONFIG_KEY: RuleInfo(
+        UNKNOWN_CONFIG_KEY, Severity.ERROR,
+        "configuration key is not a known schema field",
+    ),
+    UNREGISTERED_NAME: RuleInfo(
+        UNREGISTERED_NAME, Severity.ERROR,
+        "environment/model/algorithm/agent name is not registered",
+    ),
 }
 
 #: Attribute calls that always block.
@@ -103,6 +136,12 @@ THREADED_CLASS_NAMES = {
 
 #: Files allowed to construct threading.Thread directly.
 _THREAD_FACTORY_PATH_SUFFIXES = ("core/concurrency.py",)
+
+#: Method names that mutate a container in place (``self.items.append(x)``).
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popleft", "appendleft", "remove", "discard",
+}
 
 
 def _dotted_name(node: ast.AST) -> str:
@@ -230,7 +269,31 @@ class _FileVisitor(ast.NodeVisitor):
                 )
         if self.class_stack:
             self.class_stack[-1].observe_call(node)
+            self._observe_container_call(node)
         self.generic_visit(node)
+
+    def _observe_container_call(self, node: ast.Call) -> None:
+        """``self.items.append(x)`` & co — container mutation on an attribute."""
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in _MUTATING_METHODS):
+            return
+        target = func.value
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            self.class_stack[-1].mutations.append(
+                _Mutation(
+                    attr=target.attr,
+                    line=node.lineno,
+                    under_lock=self.lock_depth > 0,
+                    augmented=False,
+                    method=self.class_stack[-1].method_name(),
+                    scope=self.scope(),
+                    container=f".{func.attr}()",
+                )
+            )
 
     @staticmethod
     def _blocking_reason(node: ast.Call) -> Optional[str]:
@@ -269,19 +332,33 @@ class _FileVisitor(ast.NodeVisitor):
             return
         record = self.class_stack[-1]
         for target in targets:
+            attr = ""
+            container = ""
             if (
                 isinstance(target, ast.Attribute)
                 and isinstance(target.value, ast.Name)
                 and target.value.id == "self"
             ):
+                attr = target.attr
+            elif (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Attribute)
+                and isinstance(target.value.value, ast.Name)
+                and target.value.value.id == "self"
+            ):
+                # ``self.d[k] = v`` / ``self.d[k] += v`` — container write.
+                attr = target.value.attr
+                container = "[...]"
+            if attr:
                 record.mutations.append(
                     _Mutation(
-                        attr=target.attr,
+                        attr=attr,
                         line=getattr(node, "lineno", 0),
                         under_lock=self.lock_depth > 0,
                         augmented=augmented,
                         method=record.method_name(),
                         scope=self.scope(),
+                        container=container,
                     )
                 )
 
@@ -295,7 +372,7 @@ class _FileVisitor(ast.NodeVisitor):
         for mutation in record.mutations:
             if mutation.under_lock or mutation.method in ("__init__", "__post_init__"):
                 continue
-            if mutation.augmented:
+            if mutation.augmented and not mutation.container:
                 self.findings.append(
                     Finding(
                         self.path,
@@ -304,6 +381,19 @@ class _FileVisitor(ast.NodeVisitor):
                         UNGUARDED_SHARED_MUTATION,
                         f"read-modify-write of self.{mutation.attr} outside a "
                         f"lock in threaded class {record.name}",
+                        mutation.scope,
+                    )
+                )
+            elif mutation.container:
+                self.findings.append(
+                    Finding(
+                        self.path,
+                        mutation.line,
+                        RULES[UNGUARDED_SHARED_MUTATION].severity,
+                        UNGUARDED_SHARED_MUTATION,
+                        f"container mutation of self.{mutation.attr}"
+                        f"{mutation.container} outside a lock in threaded "
+                        f"class {record.name}",
                         mutation.scope,
                     )
                 )
@@ -329,6 +419,7 @@ class _Mutation:
     augmented: bool
     method: str
     scope: str
+    container: str = ""  #: ``"[...]"`` / ``".append()"`` when a container write
 
 
 class _ClassRecord:

@@ -19,6 +19,7 @@ from .concurrency import make_lock, runtime_checks_enabled
 from .errors import LifecycleError, UnknownObjectError
 from .message import DST, OBJECT_ID
 from .object_store import ObjectStore
+from .ownership import receives_ownership
 from .router import AlgorithmAgnosticRouter
 
 
@@ -76,6 +77,7 @@ class Broker:
                 context=f"broker {self.name!r} shutdown"
             )
 
+    @receives_ownership("drains shares parked by stopped senders")
     def _release_undispatched(self) -> None:
         """Release refcounts of headers the router never got to dispatch.
 

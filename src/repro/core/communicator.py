@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional
 from .concurrency import make_lock
 from .errors import RoutingError
 from .object_store import InMemoryObjectStore, ObjectStore
+from .ownership import receives_ownership
 
 
 class HeaderQueue:
@@ -62,6 +63,7 @@ class HeaderQueue:
             self._closed.set()
             self._queue.put(self._CLOSED)
 
+    @receives_ownership("drained headers still carry their senders' shares")
     def drain(self) -> List[Dict[str, Any]]:
         """Pop and return every queued header without blocking.
 
@@ -139,6 +141,7 @@ class ShareMemCommunicator:
         with self._lock:
             return process_name in self._id_queues
 
+    @receives_ownership("parked headers still carry their senders' shares")
     def drain_parked(self) -> List[Dict[str, Any]]:
         """Pop every header still parked in any ID queue (shutdown path).
 

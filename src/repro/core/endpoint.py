@@ -21,6 +21,7 @@ from .buffers import ReceiveBuffer, SendBuffer
 from .concurrency import spawn_thread
 from .errors import LifecycleError
 from .message import COMPRESSED, OBJECT_ID, Message
+from .ownership import receives_ownership, transfers_ownership
 from .serialization import payload_nbytes
 from .stats import LatencyRecorder, ThroughputMeter
 from .tracing import Tracer
@@ -66,6 +67,7 @@ class ProcessEndpoint:
         self._receiver = None
         self._release_unconsumed()
 
+    @receives_ownership("drained headers carry shares acquired by senders")
     def _release_unconsumed(self) -> None:
         """Release refcounts of bodies still parked in the ID queue.
 
@@ -96,6 +98,7 @@ class ProcessEndpoint:
             self.tracer.record(
                 "sent", self.name, seq=message.seq,
                 dst=",".join(message.dst), nbytes=message.body_size,
+                type=str(message.msg_type),
             )
         try:
             self.send_buffer.put(message)
@@ -110,6 +113,7 @@ class ProcessEndpoint:
         return self.receive_buffer.get(timeout=timeout)
 
     # -- internal threads -----------------------------------------------------
+    @transfers_ownership("header carries the object ID across the queue")
     def _sender_loop(self) -> None:
         """Monitor the send buffer; push each message into the communicator.
 
@@ -142,6 +146,7 @@ class ProcessEndpoint:
                 continue
             self.sent_meter.record(max(message.body_size, 1))
 
+    @receives_ownership("releases the share the sender acquired for us")
     def _receiver_loop(self) -> None:
         """Monitor the ID queue; copy bodies into the local receive buffer."""
         communicator = self.broker.communicator
@@ -165,7 +170,8 @@ class ProcessEndpoint:
             self.received_meter.record(max(message.body_size, 1))
             if self.tracer is not None:
                 self.tracer.record(
-                    "delivered", self.name, seq=message.seq, src=message.src
+                    "delivered", self.name, seq=message.seq, src=message.src,
+                    type=str(message.msg_type),
                 )
             try:
                 self.receive_buffer.put(message)

@@ -1,0 +1,71 @@
+"""Ownership-transfer annotations for object-store handles.
+
+The sender-initiated push protocol (§3.2.1) moves *ownership* of object-store
+refcounts between components: the endpoint sender thread inserts a body with
+``refcount == fan-out`` and hands every share to downstream consumers by
+attaching the object ID to the header; the router and receiver threads
+release shares they never acquired.  That is correct — but it is exactly the
+shape the static ownership pass (:mod:`repro.analysis.ownership`) would
+otherwise flag as a handle escaping its acquiring function.
+
+These decorators make the transfer explicit and machine-checkable:
+
+* :func:`transfers_ownership` — a handle acquired in this function (via
+  ``ObjectStore.put``) legitimately escapes: it is attached to a header,
+  returned, or passed on, and the *receiver* becomes responsible for the
+  release.  The analyzer suppresses ``unannotated-handle-escape`` inside
+  annotated functions (leaks and double releases are still reported).
+* :func:`receives_ownership` — this function releases handle shares it did
+  not acquire (they arrive via drained headers or arguments).  Documentary
+  for readers and tooling; the analyzer never charges foreign releases.
+
+Both are runtime no-ops: they neither wrap nor inspect the function.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TypeVar, Union, overload
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+@overload
+def transfers_ownership(func: F) -> F: ...
+
+
+@overload
+def transfers_ownership(func: str) -> Callable[[F], F]: ...
+
+
+def transfers_ownership(func: Union[F, str]) -> Union[F, Callable[[F], F]]:
+    """Mark a function whose acquired store handles escape on purpose.
+
+    Usable bare (``@transfers_ownership``) or with a reason string
+    (``@transfers_ownership("header carries the ID across the queue")``).
+    """
+    if isinstance(func, str):
+
+        def decorator(inner: F) -> F:
+            return inner
+
+        return decorator
+    return func
+
+
+@overload
+def receives_ownership(func: F) -> F: ...
+
+
+@overload
+def receives_ownership(func: str) -> Callable[[F], F]: ...
+
+
+def receives_ownership(func: Union[F, str]) -> Union[F, Callable[[F], F]]:
+    """Mark a function that releases handle shares acquired elsewhere."""
+    if isinstance(func, str):
+
+        def decorator(inner: F) -> F:
+            return inner
+
+        return decorator
+    return func

@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .communicator import ShareMemCommunicator
 from .concurrency import make_lock, spawn_thread
+from .ownership import receives_ownership, transfers_ownership
 from .errors import RoutingError, UnknownDestinationError, UnknownObjectError
 from .message import COMPRESSED, DST, OBJECT_ID
 
@@ -116,6 +117,7 @@ class AlgorithmAgnosticRouter:
         for destination in local:
             self._deliver_local(destination, dict(header))
 
+    @receives_ownership("releases the share of an undeliverable destination")
     def _deliver_local(self, destination: str, header: Dict[str, Any]) -> None:
         """Put ``header`` on one local ID queue, releasing its refcount share
         when the destination is gone (queue closed or unregistered mid-route
@@ -154,6 +156,7 @@ class AlgorithmAgnosticRouter:
                 )
         return local, dict(remote_groups)
 
+    @receives_ownership("remote destinations never consume the local share")
     def _route_remote(
         self, header: Dict[str, Any], remote_groups: Dict[str, List[str]]
     ) -> None:
@@ -178,6 +181,7 @@ class AlgorithmAgnosticRouter:
                 for _ in group:
                     store.release(object_id)
 
+    @transfers_ownership("re-inserted body is handed to local ID queues")
     def on_remote_receive(self, header: Dict[str, Any], body: Any) -> None:
         """Handle a (header, body) pair arriving from another machine.
 

@@ -1,0 +1,31 @@
+"""Fixture: near-misses of container-mutation ``unguarded-shared-mutation``
+— none may trigger."""
+
+import threading
+
+from repro.core.concurrency import spawn_thread
+
+
+class CollectorSafe:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.pending = []
+        self.index = {}
+
+    def run(self):
+        spawn_thread("collector-safe", self._loop)
+
+    def _loop(self):
+        # Guarded container mutation: clean.
+        with self._lock:
+            self.pending.append(1)
+
+    def remember(self, key, value):
+        with self._lock:
+            self.index[key] = value
+
+    def summarize(self):
+        # Local container: not shared state.
+        batch = []
+        batch.append(len(self.pending))
+        return batch

@@ -1,0 +1,16 @@
+"""Fixture: near-misses of ``double-release`` — none may trigger."""
+
+
+def fanout_shares(store, payload):
+    # refcount=2 inserts two shares: two releases are the protocol working.
+    object_id = store.put(payload, refcount=2)
+    store.release(object_id)
+    store.release(object_id)
+
+
+def release_on_exclusive_branches(store, payload, flag):
+    object_id = store.put(payload)
+    if flag:
+        store.release(object_id)
+    else:
+        store.release(object_id)

@@ -1,0 +1,16 @@
+"""Fixture: near-misses of ``unannotated-handle-escape`` — the same escapes
+as the trigger twin, authorized by ``@transfers_ownership``; none may
+trigger."""
+
+from repro.core.ownership import transfers_ownership
+
+
+class AnnotatedStash:
+    @transfers_ownership("the ID-queue owner releases the share")
+    def park(self, store, payload):
+        self.parked = store.put(payload)
+
+
+@transfers_ownership
+def mint_annotated(store, payload):
+    return store.put(payload)

@@ -1,0 +1,25 @@
+"""Fixture: near-misses of ``refcount-leak`` — none may trigger."""
+
+
+def released_in_finally(store, payload):
+    object_id = store.put(payload)
+    try:
+        value = store.get(object_id)
+    finally:
+        store.release(object_id)  # balances every path, including raises
+    return value
+
+
+def released_on_both_branches(store, payload, flag):
+    object_id = store.put(payload)
+    if flag:
+        store.release(object_id)
+        return True
+    store.release(object_id)
+    return False
+
+
+def alias_move_then_release(store, payload):
+    first = store.put(payload)
+    handle = first  # the handle travels with the new name
+    store.release(handle)

@@ -1,0 +1,22 @@
+"""Fixture: unguarded container mutation in a threaded class — both
+mutating methods must trigger ``unguarded-shared-mutation``."""
+
+import threading
+
+from repro.core.concurrency import spawn_thread
+
+
+class Collector:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.pending = []
+        self.index = {}
+
+    def run(self):
+        spawn_thread("collector", self._loop)
+
+    def _loop(self):
+        self.pending.append(1)  # container mutation outside the lock
+
+    def remember(self, key, value):
+        self.index[key] = value  # keyed store outside the lock

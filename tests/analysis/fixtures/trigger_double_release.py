@@ -1,0 +1,15 @@
+"""Fixture: double releases of single-share handles — every function must
+trigger ``double-release`` (and nothing else)."""
+
+
+def release_twice(store, payload):
+    object_id = store.put(payload)
+    store.release(object_id)
+    store.release(object_id)  # second release of a single share
+
+
+def release_in_branch_then_again(store, payload, flag):
+    object_id = store.put(payload)
+    if flag:
+        store.release(object_id)
+    store.release(object_id)  # already released when flag was true

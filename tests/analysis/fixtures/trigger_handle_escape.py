@@ -1,0 +1,16 @@
+"""Fixture: unannotated handle escapes — every function must trigger
+``unannotated-handle-escape`` (and nothing else)."""
+
+
+class HeaderStash:
+    def park(self, store, payload):
+        self.parked = store.put(payload)  # stored outside the function
+
+
+def hand_off(store, queue, payload):
+    object_id = store.put(payload)
+    queue.put_nowait(object_id)  # passed to a call that may keep it
+
+
+def mint(store, payload):
+    return store.put(payload)  # returned to the caller

@@ -1,0 +1,25 @@
+"""Fixture: refcount imbalances — every function must trigger
+``refcount-leak`` (and nothing else)."""
+
+
+def leak_on_early_return(store, payload, flag):
+    object_id = store.put(payload)
+    if flag:
+        return None  # early return skips the release below
+    store.release(object_id)
+    return None
+
+
+def leak_when_get_raises(store, payload):
+    object_id = store.put(payload)
+    value = store.get(object_id)  # may raise: the release is skipped
+    store.release(object_id)
+    return value
+
+
+def leak_discarded_put(store, payload):
+    store.put(payload)  # handle dropped on the floor
+
+
+def leak_get_of_put(store, payload):
+    store.get(store.put(payload))  # get() does not consume the share

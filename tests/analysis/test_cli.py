@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
+
+# Populate the registry before any fixture chdirs away from the repo root —
+# --validate-configs imports these lazily and relies on the module cache.
+import repro.algorithms  # noqa: F401
+import repro.envs  # noqa: F401
 
 from repro.analysis.cli import main
 from repro.analysis.findings import Baseline, Finding, Severity
@@ -71,13 +77,36 @@ class TestBaselineWorkflow:
         assert "extra.py:3" in captured.out
         assert "dirty.py" not in captured.out
 
-    def test_fixed_finding_reports_stale_entry(self, project, capsys):
+    def test_fixed_finding_exits_with_stale_code(self, project, capsys):
         assert main(["dirty.py", "--write-baseline"]) == 0
         (project / "dirty.py").write_text(CLEAN)
         capsys.readouterr()
-        assert main(["dirty.py"]) == 0
+        # Stale-only is its own exit code (3): not a gate failure, but the
+        # baseline must be regenerated so reviewers see it shrink.
+        assert main(["dirty.py"]) == 3
         captured = capsys.readouterr()
         assert "stale-baseline-entry" in captured.err
+
+    def test_regenerating_clears_stale_exit(self, project, capsys):
+        assert main(["dirty.py", "--write-baseline"]) == 0
+        (project / "dirty.py").write_text(CLEAN)
+        assert main(["dirty.py", "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["dirty.py"]) == 0
+
+    def test_baseline_output_is_deterministic_and_sectioned(self, project):
+        (project / "src").mkdir()
+        (project / "tests").mkdir()
+        (project / "src" / "a.py").write_text(DIRTY)
+        (project / "tests" / "b.py").write_text(DIRTY)
+        assert main(["src", "tests", "--write-baseline"]) == 0
+        first = Path("analysis-baseline.txt").read_text()
+        assert main(["src", "tests", "--write-baseline"]) == 0
+        assert Path("analysis-baseline.txt").read_text() == first
+        assert "# -- src/ --" in first
+        assert "# -- tests/ --" in first
+        # Sections group fingerprints by tree: src entries before tests.
+        assert first.index("src/a.py::") < first.index("tests/b.py::")
 
     def test_explicit_baseline_path(self, project, capsys):
         assert main(["dirty.py", "--baseline", "custom.txt", "--write-baseline"]) == 0
@@ -98,8 +127,111 @@ class TestBaselineWorkflow:
             "unguarded-shared-mutation",
             "raw-thread-creation",
             "unrouted-msgtype",
+            "refcount-leak",
+            "double-release",
+            "unannotated-handle-escape",
+            "orphan-destination",
+            "bounded-queue-cycle",
+            "unknown-config-key",
+            "unregistered-name",
         ):
             assert rule in out
+
+
+class TestOutputFormats:
+    def test_json_format(self, project, capsys):
+        assert main(["dirty.py", "--no-baseline", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["new"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "lock-held-blocking-call"
+        assert finding["path"] == "dirty.py"
+        assert finding["line"] == 5
+        assert finding["fingerprint"].startswith("dirty.py::lock-held-blocking-call")
+
+    def test_gha_format(self, project, capsys):
+        assert main(["dirty.py", "--no-baseline", "--format", "gha"]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith(
+            "::error file=dirty.py,line=5,title=lock-held-blocking-call::"
+        )
+
+    def test_exclude_skips_matching_files(self, project, capsys):
+        (project / "dirty.py").write_text(CLEAN)
+        vendored = project / "vendored"
+        vendored.mkdir()
+        (vendored / "third_party.py").write_text(DIRTY)
+        assert main(["vendored", "--no-baseline"]) == 1
+        capsys.readouterr()
+        assert main(["vendored", "--no-baseline", "--exclude", "vendored"]) == 0
+
+
+TOPOLOGY_SRC = (
+    "from repro.core.message import MsgType, make_message\n"
+    "class ExplorerProcess:\n"
+    "    def push(self, body):\n"
+    "        return make_message(MsgType.ROLLOUT, [self.learner_name], body)\n"
+    "class LearnerProcess:\n"
+    "    def handle(self, message):\n"
+    "        if message.msg_type == MsgType.ROLLOUT:\n"
+    "            return message\n"
+)
+
+
+class TestTopologyCli:
+    def test_emit_writes_json_and_dot(self, project, capsys):
+        (project / "topo.py").write_text(TOPOLOGY_SRC)
+        assert main(["topo.py", "--emit-topology", "topology.json"]) == 0
+        payload = json.loads(Path("topology.json").read_text())
+        assert {"src": "explorer", "type": "ROLLOUT", "dst": "learner",
+                "sites": ["topo.py"]} in payload["edges"]
+        assert payload["handled"]["learner"] == ["ROLLOUT"]
+        dot = Path("topology.dot").read_text()
+        assert '"explorer" -> "learner" [label="ROLLOUT"];' in dot
+
+    def test_check_matches(self, project, capsys):
+        (project / "topo.py").write_text(TOPOLOGY_SRC)
+        assert main(["topo.py", "--emit-topology", "topology.json"]) == 0
+        assert main(["topo.py", "--check-topology", "topology.json"]) == 0
+
+    def test_check_drift_exits_distinctly(self, project, capsys):
+        (project / "topo.py").write_text(TOPOLOGY_SRC)
+        assert main(["topo.py", "--emit-topology", "topology.json"]) == 0
+        (project / "topo.py").write_text(
+            TOPOLOGY_SRC
+            + "def stats(dst):\n"
+            + "    return make_message(MsgType.STATS, dst, {})\n"
+        )
+        capsys.readouterr()
+        assert main(["topo.py", "--check-topology", "topology.json"]) == 4
+        assert "topology drift" in capsys.readouterr().err
+
+
+class TestValidateConfigs:
+    def test_unknown_key_fails(self, project, capsys):
+        (project / "example.py").write_text(
+            "from repro.api.config import single_machine_config\n"
+            "cfg = single_machine_config('ppo', 'CartPole', fragement_steps=3)\n"
+        )
+        assert main(["example.py", "--validate-configs"]) == 1
+        out = capsys.readouterr().out
+        assert "unknown-config-key" in out
+        assert "fragement_steps" in out
+
+    def test_unregistered_name_fails(self, project, capsys):
+        (project / "example.py").write_text(
+            "from repro.api.config import single_machine_config\n"
+            "cfg = single_machine_config('alphago', 'CartPole')\n"
+        )
+        assert main(["example.py", "--validate-configs"]) == 1
+        assert "unregistered-name" in capsys.readouterr().out
+
+    def test_valid_example_passes(self, project):
+        (project / "example.py").write_text(
+            "from repro.api.config import single_machine_config\n"
+            "cfg = single_machine_config('ppo', 'CartPole', explorers=2)\n"
+        )
+        assert main(["example.py", "--validate-configs"]) == 0
 
 
 class TestBaselineRoundTrip:

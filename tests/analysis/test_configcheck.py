@@ -1,0 +1,87 @@
+"""Static config validation: schema keys and registry names in example
+files, without executing them."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+# Populate the registry before fixtures chdir away from the repo root.
+import repro.algorithms  # noqa: F401
+import repro.envs  # noqa: F401
+
+from repro.analysis.configcheck import (
+    UNKNOWN_CONFIG_KEY,
+    UNREGISTERED_NAME,
+    validate_configs,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def check(tmp_path):
+    def run(source: str):
+        target = tmp_path / "example.py"
+        target.write_text(source)
+        return validate_configs(str(target))
+
+    return run
+
+
+class TestSchemaKeys:
+    def test_unknown_keyword_flagged(self, check):
+        findings = check(
+            "cfg = single_machine_config('ppo', 'CartPole', fragement_steps=3)\n"
+        )
+        assert [f.rule for f in findings] == [UNKNOWN_CONFIG_KEY]
+        assert "fragement_steps" in findings[0].message
+
+    def test_known_keywords_pass(self, check):
+        assert check(
+            "cfg = single_machine_config('ppo', 'CartPole', explorers=2,\n"
+            "                            fragment_steps=50)\n"
+        ) == []
+
+    def test_nested_stop_condition_checked(self, check):
+        findings = check("stop = StopCondition(total_trained_stepz=100)\n")
+        assert [f.rule for f in findings] == [UNKNOWN_CONFIG_KEY]
+
+    def test_from_dict_literal_keys_checked(self, check):
+        findings = check(
+            "cfg = XingTianConfig.from_dict({'algorithm': 'ppo', 'typo_key': 1})\n"
+        )
+        assert [f.rule for f in findings] == [UNKNOWN_CONFIG_KEY]
+
+
+class TestRegistryNames:
+    def test_unregistered_algorithm_flagged(self, check):
+        findings = check("cfg = single_machine_config('alphago', 'CartPole')\n")
+        assert [f.rule for f in findings] == [UNREGISTERED_NAME]
+        assert "alphago" in findings[0].message
+
+    def test_unregistered_environment_flagged(self, check):
+        findings = check("cfg = single_machine_config('ppo', 'HalfCheetah')\n")
+        assert [f.rule for f in findings] == [UNREGISTERED_NAME]
+
+    def test_registered_names_pass(self, check):
+        assert check("cfg = single_machine_config('impala', 'CartPole')\n") == []
+
+    def test_locally_registered_name_passes(self, check):
+        assert check(
+            "@register_environment('MyMaze')\n"
+            "class MyMaze:\n"
+            "    pass\n"
+            "cfg = single_machine_config('ppo', 'MyMaze')\n"
+        ) == []
+
+    def test_keyword_name_checked(self, check):
+        findings = check("cfg = XingTianConfig(algorithm='alphago')\n")
+        assert [f.rule for f in findings] == [UNREGISTERED_NAME]
+
+
+class TestRealExamples:
+    def test_shipped_examples_validate_cleanly(self):
+        findings = validate_configs(str(REPO_ROOT / "examples"))
+        assert findings == [], "\n".join(f.format() for f in findings)

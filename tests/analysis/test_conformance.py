@@ -1,0 +1,92 @@
+"""Unit tests for trace conformance: observed tracer edges vs the static
+topology (the integration half lives in
+``tests/integration/test_trace_conformance.py``)."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.topology import (
+    conformance_violations,
+    extract_topology,
+    observed_edges,
+)
+from repro.core.tracing import TraceEvent
+
+
+def sent(source: str, msg_type: str, dst: str) -> TraceEvent:
+    return TraceEvent(0.0, "sent", source, {"type": msg_type, "dst": dst})
+
+
+def topology_for(source: str):
+    return extract_topology([("mod.py", ast.parse(textwrap.dedent(source)))])
+
+
+STATIC = """
+class ExplorerProcess:
+    def push(self, body):
+        return make_message(MsgType.ROLLOUT, [self.learner_name], body)
+"""
+
+
+class TestObservedEdges:
+    def test_sent_events_become_role_triples(self):
+        events = [sent("machine-0.explorer-1", "MsgType.ROLLOUT", "learner")]
+        assert observed_edges(events) == {("explorer", "ROLLOUT", "learner")}
+
+    def test_value_style_msgtype_normalized(self):
+        # str(MsgType.ROLLOUT) is "MsgType.ROLLOUT" on 3.11 and "rollout"
+        # once str-enum __str__ changes — both normalize to the member name.
+        events = [sent("explorer-0", "rollout", "learner")]
+        assert observed_edges(events) == {("explorer", "ROLLOUT", "learner")}
+
+    def test_multi_destination_fan_out(self):
+        events = [sent("learner", "MsgType.WEIGHTS", "explorer-0,explorer-1")]
+        assert observed_edges(events) == {("learner", "WEIGHTS", "explorer")}
+
+    def test_non_sent_events_ignored(self):
+        events = [
+            TraceEvent(0.0, "delivered", "learner", {"type": "MsgType.ROLLOUT"}),
+            TraceEvent(0.0, "sent", "learner", {"dst": "explorer-0"}),  # no type
+        ]
+        assert observed_edges(events) == set()
+
+
+class TestConformance:
+    def test_matching_trace_is_clean(self):
+        topology = topology_for(STATIC)
+        events = [sent("explorer-0", "MsgType.ROLLOUT", "learner")]
+        assert conformance_violations(events, topology) == []
+
+    def test_unknown_edge_is_violation(self):
+        topology = topology_for(STATIC)
+        events = [sent("learner", "MsgType.WEIGHTS", "explorer-0")]
+        assert conformance_violations(events, topology) == [
+            ("learner", "WEIGHTS", "explorer")
+        ]
+
+    def test_dynamic_static_endpoint_is_wildcard(self):
+        topology = topology_for(
+            """
+            class LearnerProcess:
+                def broadcast(self, peers):
+                    return make_message(MsgType.WEIGHTS, peers, 0)
+            """
+        )
+        # Static dst is 'dynamic': any observed destination conforms.
+        events = [sent("learner", "MsgType.WEIGHTS", "explorer-0")]
+        assert conformance_violations(events, topology) == []
+
+    def test_wrong_type_still_violates_despite_wildcard(self):
+        topology = topology_for(
+            """
+            class LearnerProcess:
+                def broadcast(self, peers):
+                    return make_message(MsgType.WEIGHTS, peers, 0)
+            """
+        )
+        events = [sent("learner", "MsgType.STATS", "controller")]
+        assert conformance_violations(events, topology) == [
+            ("learner", "STATS", "controller")
+        ]

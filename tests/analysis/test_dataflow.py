@@ -1,0 +1,240 @@
+"""CFG construction: edge shapes for branches, loops, try/finally and
+exception flow — the substrate of the ownership pass."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.dataflow import (
+    EXIT,
+    build_cfg,
+    build_call_graph,
+    called_names,
+    iter_functions,
+)
+
+
+def cfg_for(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_cfg(tree.body[0])
+
+
+def node_by_line(cfg):
+    return {stmt.lineno: node_id for node_id, stmt in cfg.nodes.items()}
+
+
+def edge_kinds(cfg, src_line, dst):
+    lines = node_by_line(cfg)
+    src = lines[src_line]
+    target = dst if dst == EXIT else lines[dst]
+    return {kind for s, d, kind in cfg.edges if s == src and d == target}
+
+
+class TestStraightLine:
+    def test_sequence_and_fallthrough(self):
+        cfg = cfg_for(
+            """
+            def f():
+                a = 1
+                b = 2
+            """
+        )
+        assert len(cfg.nodes) == 2
+        assert edge_kinds(cfg, 3, 4) == {"next"}
+        assert edge_kinds(cfg, 4, EXIT) == {"return"}
+        assert cfg.nodes[cfg.entry].lineno == 3
+
+    def test_explicit_return(self):
+        cfg = cfg_for(
+            """
+            def f():
+                return 1
+            """
+        )
+        assert edge_kinds(cfg, 3, EXIT) == {"return"}
+
+
+class TestBranches:
+    def test_if_else_joins(self):
+        cfg = cfg_for(
+            """
+            def f(flag):
+                if flag:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """
+        )
+        assert edge_kinds(cfg, 3, 4) == {"next"}
+        assert edge_kinds(cfg, 3, 6) == {"next"}
+        assert edge_kinds(cfg, 4, 7) == {"next"}
+        assert edge_kinds(cfg, 6, 7) == {"next"}
+
+    def test_if_without_else_falls_through(self):
+        cfg = cfg_for(
+            """
+            def f(flag):
+                if flag:
+                    a = 1
+                return a
+            """
+        )
+        # False branch: the If header itself flows to the join.
+        assert edge_kinds(cfg, 3, 5) == {"next"}
+
+    def test_early_return_reaches_exit(self):
+        cfg = cfg_for(
+            """
+            def f(flag):
+                if flag:
+                    return 1
+                return 2
+            """
+        )
+        assert edge_kinds(cfg, 4, EXIT) == {"return"}
+        assert edge_kinds(cfg, 5, EXIT) == {"return"}
+
+
+class TestLoops:
+    def test_back_edge_and_loop_exit(self):
+        cfg = cfg_for(
+            """
+            def f(items):
+                for item in items:
+                    use(item)
+                return None
+            """
+        )
+        assert edge_kinds(cfg, 4, 3) == {"next"}  # back edge
+        assert edge_kinds(cfg, 3, 5) == {"next"}  # iterator exhausted
+
+    def test_break_exits_continue_loops(self):
+        cfg = cfg_for(
+            """
+            def f(items):
+                while True:
+                    if done:
+                        break
+                    continue
+            """
+        )
+        # break dangles to the statement after the loop — here, EXIT.
+        assert edge_kinds(cfg, 5, EXIT) == {"return"}
+        # continue jumps back to the loop header.
+        assert edge_kinds(cfg, 6, 3) == {"next"}
+
+
+class TestExceptions:
+    def test_call_statement_may_raise_to_exit(self):
+        cfg = cfg_for(
+            """
+            def f(store, h):
+                store.get(h)
+            """
+        )
+        assert edge_kinds(cfg, 3, EXIT) == {"exc", "return"}
+
+    def test_callless_statement_cannot_raise(self):
+        cfg = cfg_for(
+            """
+            def f():
+                a = 1
+            """
+        )
+        assert edge_kinds(cfg, 3, EXIT) == {"return"}
+
+    def test_raise_edge(self):
+        cfg = cfg_for(
+            """
+            def f():
+                raise ValueError("boom")
+            """
+        )
+        assert edge_kinds(cfg, 3, EXIT) == {"raise"}
+
+    def test_handler_catches_body_exception(self):
+        cfg = cfg_for(
+            """
+            def f(store, h):
+                try:
+                    store.get(h)
+                except KeyError:
+                    recover()
+            """
+        )
+        # The may-raise body statement lands in the handler, not EXIT.
+        assert edge_kinds(cfg, 4, 6) == {"exc"}
+        assert EXIT not in [
+            d for s, d, k in cfg.edges if s == node_by_line(cfg)[4] and k == "exc"
+        ]
+
+    def test_finally_intercepts_exception_path(self):
+        cfg = cfg_for(
+            """
+            def f(store, h):
+                try:
+                    store.get(h)
+                finally:
+                    store.release(h)
+            """
+        )
+        # Exception in the body runs the finally before leaving the frame —
+        # this is what lets `finally: release(h)` balance the refcount.
+        assert edge_kinds(cfg, 4, 6) == {"exc", "next"}
+        lines = node_by_line(cfg)
+        body_exits = [
+            (d, k) for s, d, k in cfg.edges if s == lines[4] and d == EXIT
+        ]
+        assert body_exits == []
+
+    def test_handler_exception_runs_finally(self):
+        cfg = cfg_for(
+            """
+            def f(store, h):
+                try:
+                    store.get(h)
+                except KeyError:
+                    recover()
+                finally:
+                    store.release(h)
+            """
+        )
+        assert edge_kinds(cfg, 6, 8) == {"exc", "next"}
+
+
+class TestDiscovery:
+    def test_iter_functions_qualnames_and_decorators(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                """
+                class Endpoint:
+                    @transfers_ownership("reason")
+                    def send(self):
+                        pass
+
+                def helper():
+                    pass
+                """
+            )
+        )
+        infos = {info.qualname: info for info in iter_functions([("m.py", tree)])}
+        assert set(infos) == {"Endpoint.send", "helper"}
+        assert infos["Endpoint.send"].class_name == "Endpoint"
+        assert infos["Endpoint.send"].decorators == ("transfers_ownership",)
+
+    def test_called_names_and_call_graph(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                """
+                def caller(store, x):
+                    store.put(x)
+                    helper(x)
+                """
+            )
+        )
+        func = tree.body[0]
+        assert called_names(func) == {"put", "helper"}
+        graph = build_call_graph([("m.py", tree)])
+        assert graph == {"m.py::caller": {"put", "helper"}}

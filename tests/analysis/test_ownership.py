@@ -1,0 +1,330 @@
+"""Ownership dataflow semantics, plus the gate that keeps ``src/`` free of
+refcount imbalances."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.analysis.engine import parse_tree_reporting_errors
+from repro.analysis.ownership import (
+    DOUBLE_RELEASE,
+    REFCOUNT_LEAK,
+    UNANNOTATED_HANDLE_ESCAPE,
+    run_ownership_rules,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def findings_for(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    return run_ownership_rules([("mod.py", tree)])
+
+
+def rules_for(source: str):
+    return [finding.rule for finding in findings_for(source)]
+
+
+class TestBalancedPaths:
+    def test_put_release_pair_is_clean(self):
+        assert (
+            rules_for(
+                """
+                def f(store, payload):
+                    h = store.put(payload)
+                    store.release(h)
+                """
+            )
+            == []
+        )
+
+    def test_finally_release_covers_exception_path(self):
+        assert (
+            rules_for(
+                """
+                def f(store, payload):
+                    h = store.put(payload)
+                    try:
+                        value = store.get(h)
+                    finally:
+                        store.release(h)
+                    return value
+                """
+            )
+            == []
+        )
+
+    def test_except_reraise_with_release_is_clean(self):
+        assert (
+            rules_for(
+                """
+                def f(store, payload):
+                    h = store.put(payload)
+                    try:
+                        value = store.get(h)
+                    except KeyError:
+                        store.release(h)
+                        raise
+                    store.release(h)
+                    return value
+                """
+            )
+            == []
+        )
+
+    def test_alias_move_then_release_is_clean(self):
+        assert (
+            rules_for(
+                """
+                def f(store, payload):
+                    first = store.put(payload)
+                    handle = first
+                    store.release(handle)
+                """
+            )
+            == []
+        )
+
+
+class TestLeaks:
+    def test_early_return_leak(self):
+        findings = findings_for(
+            """
+            def f(store, payload, flag):
+                h = store.put(payload)
+                if flag:
+                    return None
+                store.release(h)
+            """
+        )
+        assert [f.rule for f in findings] == [REFCOUNT_LEAK]
+        assert "not released on every path" in findings[0].message
+        assert findings[0].line == 3
+        assert findings[0].scope == "f"
+
+    def test_exception_edge_leak(self):
+        findings = findings_for(
+            """
+            def f(store, payload):
+                h = store.put(payload)
+                value = store.get(h)
+                store.release(h)
+                return value
+            """
+        )
+        assert [f.rule for f in findings] == [REFCOUNT_LEAK]
+        assert "exception skips the release" in findings[0].message
+
+    def test_discarded_put(self):
+        assert rules_for(
+            """
+            def f(store, payload):
+                store.put(payload)
+            """
+        ) == [REFCOUNT_LEAK]
+
+    def test_get_of_put_does_not_consume(self):
+        findings = findings_for(
+            """
+            def f(store, payload):
+                store.get(store.put(payload))
+            """
+        )
+        assert [f.rule for f in findings] == [REFCOUNT_LEAK]
+        assert "get() does not consume" in findings[0].message
+
+    def test_overwrite_before_release(self):
+        findings = findings_for(
+            """
+            def f(store, a, b):
+                h = store.put(a)
+                h = store.put(b)
+                store.release(h)
+            """
+        )
+        assert REFCOUNT_LEAK in {f.rule for f in findings}
+        assert any("overwritten" in f.message for f in findings)
+
+
+class TestDoubleRelease:
+    def test_straight_line_double_release(self):
+        assert rules_for(
+            """
+            def f(store, payload):
+                h = store.put(payload)
+                store.release(h)
+                store.release(h)
+            """
+        ) == [DOUBLE_RELEASE]
+
+    def test_branch_merge_double_release(self):
+        assert rules_for(
+            """
+            def f(store, payload, flag):
+                h = store.put(payload)
+                if flag:
+                    store.release(h)
+                store.release(h)
+            """
+        ) == [DOUBLE_RELEASE]
+
+    def test_fanout_refcount_is_multi_share(self):
+        assert (
+            rules_for(
+                """
+                def f(store, payload):
+                    h = store.put(payload, refcount=2)
+                    store.release(h)
+                    store.release(h)
+                """
+            )
+            == []
+        )
+
+    def test_exclusive_branch_releases_are_clean(self):
+        assert (
+            rules_for(
+                """
+                def f(store, payload, flag):
+                    h = store.put(payload)
+                    if flag:
+                        store.release(h)
+                    else:
+                        store.release(h)
+                """
+            )
+            == []
+        )
+
+
+class TestEscapes:
+    def test_returned_handle_warns(self):
+        findings = findings_for(
+            """
+            def f(store, payload):
+                return store.put(payload)
+            """
+        )
+        assert [f.rule for f in findings] == [UNANNOTATED_HANDLE_ESCAPE]
+        assert "returned to the caller" in findings[0].message
+
+    def test_attribute_store_warns(self):
+        findings = findings_for(
+            """
+            class C:
+                def f(self, store, payload):
+                    self.parked = store.put(payload)
+            """
+        )
+        assert [f.rule for f in findings] == [UNANNOTATED_HANDLE_ESCAPE]
+        assert "stored outside the function" in findings[0].message
+
+    def test_passed_to_call_warns_without_leak(self):
+        findings = findings_for(
+            """
+            def f(store, queue, payload):
+                h = store.put(payload)
+                queue.put_nowait(h)
+            """
+        )
+        # The escape transfers ownership: no additional leak is reported.
+        assert [f.rule for f in findings] == [UNANNOTATED_HANDLE_ESCAPE]
+
+    def test_transfers_ownership_decorator_authorizes(self):
+        assert (
+            rules_for(
+                """
+                from repro.core.ownership import transfers_ownership
+
+                class C:
+                    @transfers_ownership("the queue owner releases it")
+                    def f(self, store, payload):
+                        self.parked = store.put(payload)
+
+                @transfers_ownership
+                def mint(store, payload):
+                    return store.put(payload)
+                """
+            )
+            == []
+        )
+
+
+class TestInterprocedural:
+    def test_helper_release_balances_caller(self):
+        assert (
+            rules_for(
+                """
+                def free(store, handle):
+                    store.release(handle)
+
+                def caller(store, payload):
+                    h = store.put(payload)
+                    free(store, h)
+                """
+            )
+            == []
+        )
+
+    def test_method_helper_release_with_self(self):
+        assert (
+            rules_for(
+                """
+                class C:
+                    def _free(self, handle):
+                        self.store.release(handle)
+
+                    def caller(self, payload):
+                        h = self.store.put(payload)
+                        self._free(h)
+                """
+            )
+            == []
+        )
+
+    def test_helper_returning_handle_is_acquisition_in_caller(self):
+        findings = findings_for(
+            """
+            from repro.core.ownership import transfers_ownership
+
+            @transfers_ownership
+            def mint(store, payload):
+                return store.put(payload)
+
+            def caller(store, payload):
+                h = mint(store, payload)
+            """
+        )
+        # The caller never releases the minted handle: leak at the call.
+        assert [f.rule for f in findings] == [REFCOUNT_LEAK]
+        assert findings[0].scope == "caller"
+
+    def test_helper_returning_handle_released_in_caller_is_clean(self):
+        assert (
+            rules_for(
+                """
+                from repro.core.ownership import transfers_ownership
+
+                @transfers_ownership
+                def mint(store, payload):
+                    return store.put(payload)
+
+                def caller(store, payload):
+                    h = mint(store, payload)
+                    store.release(h)
+                """
+            )
+            == []
+        )
+
+
+class TestSourceTreeGate:
+    def test_src_has_no_ownership_findings(self):
+        """The acceptance bar: the shipped comms stack is refcount-balanced
+        (real imbalances fixed or annotated, not baselined)."""
+        sources, errors = parse_tree_reporting_errors(str(REPO_ROOT / "src"))
+        assert errors == []
+        findings = run_ownership_rules(sources)
+        assert findings == [], "\n".join(f.format() for f in findings)

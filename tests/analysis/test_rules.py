@@ -8,6 +8,11 @@ from pathlib import Path
 
 from repro.analysis import analyze_path, analyze_source
 from repro.analysis.findings import Severity
+from repro.analysis.ownership import (
+    DOUBLE_RELEASE,
+    REFCOUNT_LEAK,
+    UNANNOTATED_HANDLE_ESCAPE,
+)
 from repro.analysis.rules import (
     LOCK_HELD_BLOCKING_CALL,
     RAW_THREAD_CREATION,
@@ -40,8 +45,12 @@ class TestFixtures:
         expected_rules = {
             "trigger_lock_held_blocking.py": LOCK_HELD_BLOCKING_CALL,
             "trigger_unguarded_mutation.py": UNGUARDED_SHARED_MUTATION,
+            "trigger_container_mutation.py": UNGUARDED_SHARED_MUTATION,
             "trigger_raw_thread.py": RAW_THREAD_CREATION,
             "trigger_unrouted_msgtype.py": UNROUTED_MSGTYPE,
+            "trigger_refcount_leak.py": REFCOUNT_LEAK,
+            "trigger_double_release.py": DOUBLE_RELEASE,
+            "trigger_handle_escape.py": UNANNOTATED_HANDLE_ESCAPE,
         }
         for trigger_file, rule in expected_rules.items():
             findings = grouped.get(trigger_file, [])
@@ -53,9 +62,50 @@ class TestFixtures:
     def test_trigger_counts(self):
         counts = Counter(finding.rule for finding in fixture_findings())
         assert counts[LOCK_HELD_BLOCKING_CALL] == 5
-        assert counts[UNGUARDED_SHARED_MUTATION] == 2
+        assert counts[UNGUARDED_SHARED_MUTATION] == 4
         assert counts[RAW_THREAD_CREATION] == 1
         assert counts[UNROUTED_MSGTYPE] == 1
+        assert counts[REFCOUNT_LEAK] == 4
+        assert counts[DOUBLE_RELEASE] == 2
+        assert counts[UNANNOTATED_HANDLE_ESCAPE] == 3
+
+
+class TestContainerMutation:
+    def test_augmented_container_store_flagged(self):
+        findings = analyze_source(
+            "class Broker:\n"
+            "    def record(self, key, value):\n"
+            "        self.routes[key] = value\n"
+        )
+        assert [finding.rule for finding in findings] == [UNGUARDED_SHARED_MUTATION]
+        assert "container mutation" in findings[0].message
+
+    def test_append_flagged(self):
+        findings = analyze_source(
+            "class Broker:\n"
+            "    def record(self, item):\n"
+            "        self.pending.append(item)\n"
+        )
+        assert [finding.rule for finding in findings] == [UNGUARDED_SHARED_MUTATION]
+
+    def test_locked_container_mutation_clean(self):
+        findings = analyze_source(
+            "class Broker:\n"
+            "    def record(self, item):\n"
+            "        with self._lock:\n"
+            "            self.pending.append(item)\n"
+        )
+        assert findings == []
+
+    def test_local_container_clean(self):
+        findings = analyze_source(
+            "class Broker:\n"
+            "    def snapshot(self):\n"
+            "        rows = []\n"
+            "        rows.append(1)\n"
+            "        return rows\n"
+        )
+        assert findings == []
 
 
 class TestLockHeldBlockingCall:
