@@ -13,8 +13,9 @@ import pytest
 
 from repro.bench.harness import run_training_raylike, run_training_xingtian
 from repro.bench.reporting import format_table, improvement_pct
+from repro.core.config import TelemetrySpec
 
-from .conftest import emit
+from .conftest import emit, emit_metrics
 
 KWARGS = dict(
     environment="BeamRider",
@@ -30,8 +31,11 @@ KWARGS = dict(
 
 @pytest.fixture(scope="module")
 def fig10_runs():
-    xt = run_training_xingtian("ppo", **KWARGS)
+    # The XingTian side runs instrumented so the per-stage message-latency
+    # snapshot lands next to the throughput table (docs/OBSERVABILITY.md).
+    xt = run_training_xingtian("ppo", telemetry=TelemetrySpec(), **KWARGS)
     rl = run_training_raylike("ppo", **KWARGS)
+    emit_metrics("fig10_ppo_xingtian", xt.metrics)
     return xt, rl
 
 

@@ -8,6 +8,7 @@ survives pytest's capture.
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -22,6 +23,21 @@ def emit(experiment: str, text: str) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{experiment}.txt"), "w") as handle:
         handle.write(text + "\n")
+
+
+def emit_metrics(experiment: str, snapshot: dict) -> None:
+    """Persist a ``repro.obs`` JSON snapshot next to the text results.
+
+    Snapshots are deterministic (sorted metric order), so diffs across
+    commits show real behaviour changes rather than dict-ordering noise.
+    """
+    if not snapshot:
+        return
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment}.metrics.json")
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=2)
+        handle.write("\n")
 
 
 @pytest.fixture

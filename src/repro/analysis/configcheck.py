@@ -4,8 +4,9 @@ Checks every ``examples/*.py`` (or any tree) against the configuration
 schema without executing the examples:
 
 * keyword arguments to ``single_machine_config`` / ``XingTianConfig`` (and
-  nested ``StopCondition`` / ``SupervisionSpec`` / ``MachineSpec``
-  constructors, and dict literals passed to ``XingTianConfig.from_dict``)
+  nested ``StopCondition`` / ``SupervisionSpec`` / ``TelemetrySpec`` /
+  ``MachineSpec`` constructors, and dict literals passed to
+  ``XingTianConfig.from_dict``)
   must be known dataclass fields — a typo like ``fragement_steps=...``
   fails instead of being swallowed by ``**overrides``;
 * literal ``algorithm=`` / ``environment=`` / ``model=`` / ``agent=``
@@ -63,6 +64,7 @@ def _config_field_names() -> Dict[str, Set[str]]:
         MachineSpec,
         StopCondition,
         SupervisionSpec,
+        TelemetrySpec,
         XingTianConfig,
     )
 
@@ -70,6 +72,7 @@ def _config_field_names() -> Dict[str, Set[str]]:
         "XingTianConfig": {f.name for f in dataclasses.fields(XingTianConfig)},
         "StopCondition": {f.name for f in dataclasses.fields(StopCondition)},
         "SupervisionSpec": {f.name for f in dataclasses.fields(SupervisionSpec)},
+        "TelemetrySpec": {f.name for f in dataclasses.fields(TelemetrySpec)},
         "MachineSpec": {f.name for f in dataclasses.fields(MachineSpec)},
     }
 
@@ -167,7 +170,7 @@ class _ExampleVisitor(ast.NodeVisitor):
             for kw in node.keywords:
                 if kw.arg in _KIND_KEYWORDS:
                     self._check_name(_KIND_KEYWORDS[kw.arg], kw.value)
-        elif name in ("StopCondition", "SupervisionSpec", "MachineSpec"):
+        elif name in ("StopCondition", "SupervisionSpec", "TelemetrySpec", "MachineSpec"):
             self._check_keys(name, keyword_sites)
         elif name == "from_dict" and node.args:
             literal = node.args[0]

@@ -361,16 +361,35 @@ def topology_to_dot(topology: Topology) -> str:
 # -- trace conformance -------------------------------------------------------
 
 def observed_edges(events: Sequence) -> Set[Tuple[str, str, str]]:
-    """``(src_role, TYPE, dst_role)`` triples from tracer ``sent`` events.
+    """``(src_role, TYPE, dst_role)`` triples from observed communication.
 
-    Expects :class:`repro.core.tracing.TraceEvent` records whose ``detail``
-    includes ``dst`` (comma-joined destination names) and ``type`` (the
-    ``str(MsgType)`` value) — the fields :meth:`ProcessEndpoint.send`
-    records.
+    Accepts a mix of two record shapes through one code path:
+
+    * :class:`repro.core.tracing.TraceEvent` records — only ``kind ==
+      "sent"`` events contribute; ``detail`` must include ``dst``
+      (comma-joined destination names) and ``type`` (the ``str(MsgType)``
+      value), the fields :meth:`ProcessEndpoint.send` records;
+    * :class:`repro.obs.spans.SpanRecord` objects (anything with
+      ``msg_type``/``src``/``dst`` attributes and no ``kind``) — each is
+      one completed edge from the span aggregator.
     """
     edges: Set[Tuple[str, str, str]] = set()
     for event in events:
-        if getattr(event, "kind", None) != "sent":
+        kind = getattr(event, "kind", None)
+        if kind is None and hasattr(event, "msg_type"):
+            # SpanRecord shape: one (src, type, dst) edge per record.
+            member = str(event.msg_type).rsplit(".", 1)[-1].upper()
+            if not member:
+                continue
+            edges.add(
+                (
+                    role_for_name(str(getattr(event, "src", ""))),
+                    member,
+                    role_for_name(str(getattr(event, "dst", ""))),
+                )
+            )
+            continue
+        if kind != "sent":
             continue
         detail = getattr(event, "detail", {}) or {}
         type_value = detail.get("type")

@@ -19,7 +19,7 @@ from .. import envs as _envs  # noqa: F401 - populate registry
 from ..api.registry import registry
 from ..baselines.raylike import RaylikeTrainer, RaylikeWorker, ReplayActor
 from ..baselines.rpc import RpcChannel
-from ..core.config import MachineSpec, StopCondition, XingTianConfig
+from ..core.config import MachineSpec, StopCondition, TelemetrySpec, XingTianConfig
 from ..runtime import XingTianSession
 
 DEFAULT_COPY_BANDWIDTH = 200e6  # bytes/s; makes transfer comparable to train
@@ -48,6 +48,8 @@ class TrainingResult:
     wait_cdf: List[Tuple[float, float]] = field(default_factory=list)
     mean_train_s: float = 0.0
     returns: List[float] = field(default_factory=list)
+    #: ``repro.obs`` JSON snapshot when the run enabled telemetry
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     def best_window_return(self, window: int = 100) -> Optional[float]:
         """Best moving-average return over ``window`` episodes.
@@ -86,6 +88,7 @@ def run_training_xingtian(
     copy_bandwidth: Optional[float] = DEFAULT_COPY_BANDWIDTH,
     nic_bandwidth: float = DEFAULT_NIC_BANDWIDTH,
     seed: int = 0,
+    telemetry: Optional[TelemetrySpec] = None,
 ) -> TrainingResult:
     """One training run under XingTian; returns the figure quantities."""
     machine_specs = _machine_specs(explorers, machines)
@@ -105,6 +108,7 @@ def run_training_xingtian(
             total_trained_steps=max_trained_steps, max_seconds=max_seconds
         ),
         seed=seed,
+        telemetry=telemetry,
     )
     config.validate()
     result = XingTianSession(config).run()
@@ -124,6 +128,7 @@ def run_training_xingtian(
         wait_cdf=result.wait_cdf,
         mean_train_s=result.mean_train_s,
         returns=result.returns,
+        metrics=result.metrics,
     )
 
 

@@ -41,6 +41,7 @@ class Cluster:
         center: CenterController,
         data_fabric: Fabric,
         control_fabric: Fabric,
+        instrument_hooks: Optional[List[Callable[[Any], None]]] = None,
     ):
         self.config = config
         self.machines = machines
@@ -48,6 +49,18 @@ class Cluster:
         self.data_fabric = data_fabric
         self.control_fabric = control_fabric
         self._started = False
+        #: attached :class:`repro.obs.Telemetry`, if any
+        self.telemetry: Optional[Any] = None
+        # Shared with the supervisor's restart closures: every hook runs on
+        # a freshly built replacement process before it starts, so restarts
+        # stay instrumented (tracer + metrics re-attached).
+        self._instrument_hooks = (
+            instrument_hooks if instrument_hooks is not None else []
+        )
+
+    def add_instrument_hook(self, hook: Callable[[Any], None]) -> None:
+        """Run ``hook(process)`` on every restarted replacement process."""
+        self._instrument_hooks.append(hook)
 
     # -- lookups ---------------------------------------------------------------
     @property
@@ -184,6 +197,9 @@ def build_cluster(
         center.attach_supervisor(supervisor)
 
     seed_base = config.seed if config.seed is not None else 0
+    # Filled later by Cluster.add_instrument_hook (telemetry attachment);
+    # restart closures capture the list so late hooks still apply.
+    instrument_hooks: List[Callable[[Any], None]] = []
     explorer_index = 0
     for spec, machine in zip(config.machines, machines):
         broker = brokers[spec.name]
@@ -211,6 +227,7 @@ def build_cluster(
                     restart=_make_restart(
                         machine, broker, LEARNER_NAME, build_learner,
                         checkpointer=checkpointer,
+                        instrument_hooks=instrument_hooks,
                     ),
                 )
         for local_index in range(spec.explorers):
@@ -237,10 +254,16 @@ def build_cluster(
                     name,
                     explorer,
                     kind="explorer",
-                    restart=_make_restart(machine, broker, name, build_explorer),
+                    restart=_make_restart(
+                        machine, broker, name, build_explorer,
+                        instrument_hooks=instrument_hooks,
+                    ),
                 )
             explorer_index += 1
-    return Cluster(config, machines, center, data_fabric, control_fabric)
+    return Cluster(
+        config, machines, center, data_fabric, control_fabric,
+        instrument_hooks=instrument_hooks,
+    )
 
 
 def _make_restart(
@@ -250,6 +273,7 @@ def _make_restart(
     build: Callable[[], Any],
     *,
     checkpointer: Optional[Checkpointer] = None,
+    instrument_hooks: Optional[List[Callable[[Any], None]]] = None,
 ):
     """Restart recipe for one process: tear down, rebuild, re-register.
 
@@ -269,6 +293,8 @@ def _make_restart(
         replacement = build()
         if checkpointer is not None:
             checkpointer.restore_latest(replacement.algorithm)
+        for hook in instrument_hooks or ():
+            hook(replacement)
         machine.replace(old, replacement)
         replacement.start()
         return replacement

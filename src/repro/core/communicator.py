@@ -137,6 +137,12 @@ class ShareMemCommunicator:
         with self._lock:
             return list(self._id_queues)
 
+    def queue_depths(self) -> Dict[str, int]:
+        """Current depth of every per-process ID queue (telemetry probe)."""
+        with self._lock:
+            queues = dict(self._id_queues)
+        return {name: id_queue.qsize() for name, id_queue in queues.items()}
+
     def is_local(self, process_name: str) -> bool:
         with self._lock:
             return process_name in self._id_queues

@@ -101,6 +101,38 @@ class SupervisionSpec:
 
 
 @dataclass
+class TelemetrySpec:
+    """Observability knobs (see docs/OBSERVABILITY.md).
+
+    When attached to a config, the session builds a
+    :class:`~repro.obs.telemetry.Telemetry` object: a metrics registry, a
+    tracer feeding live message-lifecycle span aggregation, and a periodic
+    sampler polling queue depths / object-store totals / endpoint
+    backpressure.  The resulting snapshot lands in ``RunResult.metrics``.
+    ``None`` (the default) keeps telemetry fully off — endpoints and the
+    router then pay only a ``is None`` check per message.
+    """
+
+    enabled: bool = True
+    sample_interval: float = 0.05
+    tracer_capacity: int = 65536
+    series_capacity: int = 512
+    #: correlate sent→routed→delivered→consumed into latency histograms
+    spans: bool = True
+    max_pending_spans: int = 8192
+
+    def validate(self) -> None:
+        if self.sample_interval <= 0:
+            raise ConfigError("telemetry.sample_interval must be positive")
+        if self.tracer_capacity < 1:
+            raise ConfigError("telemetry.tracer_capacity must be >= 1")
+        if self.series_capacity < 1:
+            raise ConfigError("telemetry.series_capacity must be >= 1")
+        if self.max_pending_spans < 1:
+            raise ConfigError("telemetry.max_pending_spans must be >= 1")
+
+
+@dataclass
 class XingTianConfig:
     """Full run configuration."""
 
@@ -131,6 +163,8 @@ class XingTianConfig:
     seed: Optional[int] = None
     #: fault-tolerance layer; None keeps the seed behaviour (no supervision)
     supervision: Optional[SupervisionSpec] = None
+    #: observability layer; None keeps telemetry fully off
+    telemetry: Optional[TelemetrySpec] = None
 
     # -- derived -------------------------------------------------------------
     @property
@@ -182,6 +216,8 @@ class XingTianConfig:
         self.stop.validate()
         if self.supervision is not None:
             self.supervision.validate()
+        if self.telemetry is not None:
+            self.telemetry.validate()
 
     # -- (de)serialization ------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -208,7 +244,20 @@ class XingTianConfig:
             supervision = SupervisionSpec(**supervision_data)
         else:
             supervision = None
-        config = cls(machines=machines, stop=stop, supervision=supervision, **data)
+        telemetry_data = data.pop("telemetry", None)
+        if isinstance(telemetry_data, TelemetrySpec):
+            telemetry: Optional[TelemetrySpec] = telemetry_data
+        elif telemetry_data:
+            telemetry = TelemetrySpec(**telemetry_data)
+        else:
+            telemetry = None
+        config = cls(
+            machines=machines,
+            stop=stop,
+            supervision=supervision,
+            telemetry=telemetry,
+            **data,
+        )
         config.validate()
         return config
 

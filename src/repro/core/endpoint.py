@@ -14,7 +14,7 @@ properties under study — are identical (see DESIGN.md §2).
 from __future__ import annotations
 
 import threading
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from .broker import Broker
 from .buffers import ReceiveBuffer, SendBuffer
@@ -44,8 +44,39 @@ class ProcessEndpoint:
         self.sent_meter = ThroughputMeter()
         self.received_meter = ThroughputMeter()
         self.delivery_latency = LatencyRecorder(f"{name}.delivery")
-        #: optional :class:`Tracer` — records sent/delivered events when set
+        #: optional :class:`Tracer` — records sent/delivered/consumed events
         self.tracer: Optional[Tracer] = None
+        # Telemetry instruments (None until attach_metrics; hot paths only
+        # pay a None check while telemetry is off).
+        self._messages_sent: Optional[Any] = None
+        self._bytes_sent: Optional[Any] = None
+        self._messages_received: Optional[Any] = None
+        self._bytes_received: Optional[Any] = None
+        self._delivery_histogram: Optional[Any] = None
+
+    def attach_metrics(self, registry: Any) -> None:
+        """Register this endpoint's counters/histograms on ``registry``."""
+        labels = {"process": self.name}
+        self._messages_sent = registry.counter(
+            "endpoint_messages_sent_total", labels,
+            help="messages staged for transmission by the workhorse",
+        )
+        self._bytes_sent = registry.counter(
+            "endpoint_bytes_sent_total", labels,
+            help="payload bytes staged for transmission",
+        )
+        self._messages_received = registry.counter(
+            "endpoint_messages_received_total", labels,
+            help="messages landed in the local receive buffer",
+        )
+        self._bytes_received = registry.counter(
+            "endpoint_bytes_received_total", labels,
+            help="payload bytes landed in the local receive buffer",
+        )
+        self._delivery_histogram = registry.histogram(
+            "endpoint_delivery_latency_seconds", labels,
+            help="message age when the receiver thread lands it",
+        )
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
@@ -100,6 +131,9 @@ class ProcessEndpoint:
                 dst=",".join(message.dst), nbytes=message.body_size,
                 type=str(message.msg_type),
             )
+        if self._messages_sent is not None:
+            self._messages_sent.inc()
+            self._bytes_sent.inc(message.body_size)
         try:
             self.send_buffer.put(message)
         except RuntimeError:
@@ -110,7 +144,13 @@ class ProcessEndpoint:
 
     def receive(self, timeout: Optional[float] = None) -> Optional[Message]:
         """Blocking read from the local receive buffer."""
-        return self.receive_buffer.get(timeout=timeout)
+        message = self.receive_buffer.get(timeout=timeout)
+        if message is not None and self.tracer is not None:
+            self.tracer.record(
+                "consumed", self.name, seq=message.seq, src=message.src,
+                type=str(message.msg_type),
+            )
+        return message
 
     # -- internal threads -----------------------------------------------------
     @transfers_ownership("header carries the object ID across the queue")
@@ -166,8 +206,13 @@ class ProcessEndpoint:
             header[OBJECT_ID] = None
             header[COMPRESSED] = False
             message = Message(header, body)
-            self.delivery_latency.record(message.age())
+            age = message.age()
+            self.delivery_latency.record(age)
             self.received_meter.record(max(message.body_size, 1))
+            if self._messages_received is not None:
+                self._messages_received.inc()
+                self._bytes_received.inc(message.body_size)
+                self._delivery_histogram.observe(max(age, 0.0))
             if self.tracer is not None:
                 self.tracer.record(
                     "delivered", self.name, seq=message.seq, src=message.src,

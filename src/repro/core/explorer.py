@@ -11,7 +11,7 @@ weights before generating the next fragment (Fig. 1a).
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from ..api.agent import Agent
 from .broker import Broker
@@ -62,6 +62,26 @@ class ExplorerProcess:
         self._pending_returns: list = []
         self._steps_since_stats = 0
         self._episodes_reported = 0
+        # Telemetry instruments (None until attach_metrics).
+        self._steps_counter: Optional[Any] = None
+        self._fragments_counter: Optional[Any] = None
+        self._weight_updates_counter: Optional[Any] = None
+
+    def attach_metrics(self, registry: Any) -> None:
+        """Register rollout-progress counters on ``registry``."""
+        labels = {"process": self.name}
+        self._steps_counter = registry.counter(
+            "explorer_env_steps_total", labels,
+            help="environment steps generated",
+        )
+        self._fragments_counter = registry.counter(
+            "explorer_fragments_total", labels,
+            help="rollout fragments staged for the learner",
+        )
+        self._weight_updates_counter = registry.counter(
+            "explorer_weight_updates_total", labels,
+            help="weight broadcasts applied",
+        )
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
@@ -100,6 +120,8 @@ class ExplorerProcess:
         self._pending_returns.extend(finished_returns)
         steps = len(rollout.get("reward", ()))
         self.steps_meter.record(steps)
+        if self._steps_counter is not None:
+            self._steps_counter.inc(steps)
         message = make_message(
             self.name,
             [self.learner_name],
@@ -109,6 +131,8 @@ class ExplorerProcess:
         )
         self.endpoint.send(message)
         self.fragments_sent += 1
+        if self._fragments_counter is not None:
+            self._fragments_counter.inc()
         if self.agent.algorithm.on_policy:
             self._awaiting_weights = True
         self._maybe_send_stats(steps)
@@ -136,6 +160,8 @@ class ExplorerProcess:
         if latest_weights is not None:
             self.agent.set_weights(latest_weights)
             self.weight_updates += 1
+            if self._weight_updates_counter is not None:
+                self._weight_updates_counter.inc()
             self._awaiting_weights = False
             self._have_initial_weights = True
         return True

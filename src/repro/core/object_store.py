@@ -118,6 +118,7 @@ class InMemoryObjectStore(ObjectStore):
             raise ObjectStoreError("copy_bandwidth must be positive")
         self._copy_bandwidth = copy_bandwidth
         self._used_bytes = 0
+        self._total_refcounts = 0
         self.total_put = 0
         self.total_get = 0
 
@@ -164,6 +165,7 @@ class InMemoryObjectStore(ObjectStore):
                 )
             self._entries[object_id] = _Entry(stored, refcount, nbytes, compressed)
             self._used_bytes += nbytes
+            self._total_refcounts += refcount
             self.total_put += 1
         return object_id
 
@@ -187,6 +189,7 @@ class InMemoryObjectStore(ObjectStore):
             if entry is None:
                 raise UnknownObjectError(object_id)
             entry.refcount -= 1
+            self._total_refcounts -= 1
             if entry.refcount <= 0:
                 del self._entries[object_id]
                 self._used_bytes -= entry.nbytes
@@ -207,6 +210,16 @@ class InMemoryObjectStore(ObjectStore):
         with self._lock:
             return self._used_bytes
 
+    @property
+    def outstanding_refcounts(self) -> int:
+        """Sum of refcounts across live entries, maintained incrementally.
+
+        O(1) so the telemetry sampler can poll it without scanning the store
+        under its lock (``leak_report`` contends with the data path).
+        """
+        with self._lock:
+            return self._total_refcounts
+
 
 class SharedMemoryObjectStore(ObjectStore):
     """Object store over ``multiprocessing.shared_memory`` segments.
@@ -224,6 +237,7 @@ class SharedMemoryObjectStore(ObjectStore):
         self._compression = compression or disabled_policy()
         self._refcounts: Dict[str, int] = {}
         self._sizes: Dict[str, int] = {}
+        self._total_refcounts = 0
         self._lock = make_lock("object_store.shm")
 
     def put(self, body: Any, refcount: int = 1, nbytes: Optional[int] = None) -> str:
@@ -242,6 +256,7 @@ class SharedMemoryObjectStore(ObjectStore):
         with self._lock:
             self._refcounts[name] = refcount
             self._sizes[name] = len(framed)
+            self._total_refcounts += refcount
         return name
 
     def get(self, object_id: str) -> Any:
@@ -264,6 +279,7 @@ class SharedMemoryObjectStore(ObjectStore):
             if object_id not in self._refcounts:
                 raise UnknownObjectError(object_id)
             self._refcounts[object_id] -= 1
+            self._total_refcounts -= 1
             done = self._refcounts[object_id] <= 0
             if done:
                 del self._refcounts[object_id]
@@ -280,6 +296,11 @@ class SharedMemoryObjectStore(ObjectStore):
         with self._lock:
             return len(self._refcounts)
 
+    @property
+    def outstanding_refcounts(self) -> int:
+        with self._lock:
+            return self._total_refcounts
+
     def leak_report(self) -> List[Tuple[str, int, int]]:
         with self._lock:
             return [
@@ -293,6 +314,7 @@ class SharedMemoryObjectStore(ObjectStore):
             names = list(self._refcounts)
             self._refcounts.clear()
             self._sizes.clear()
+            self._total_refcounts = 0
         for name in names:
             try:
                 segment = self._shared_memory.SharedMemory(name=name)

@@ -24,7 +24,8 @@ from .communicator import ShareMemCommunicator
 from .concurrency import make_lock, spawn_thread
 from .ownership import receives_ownership, transfers_ownership
 from .errors import RoutingError, UnknownDestinationError, UnknownObjectError
-from .message import COMPRESSED, DST, OBJECT_ID
+from .message import COMPRESSED, DST, OBJECT_ID, SEQ, TYPE
+from .tracing import Tracer
 
 RemoteSend = Callable[[str, Dict[str, Any], Any, int], None]
 """(remote_broker, header, body, nbytes) -> ship over the fabric."""
@@ -62,6 +63,8 @@ class AlgorithmAgnosticRouter:
         self._routed_local = 0
         self._routed_remote = 0
         self._dropped = 0
+        #: optional :class:`Tracer` — records one "routed" event per header
+        self.tracer: Optional[Tracer] = None
 
     # -- counters ------------------------------------------------------------
     @property
@@ -111,6 +114,11 @@ class AlgorithmAgnosticRouter:
 
     def route(self, header: Dict[str, Any]) -> None:
         """Dispatch one header to all destinations (public for tests)."""
+        if self.tracer is not None:
+            self.tracer.record(
+                "routed", self.name, seq=header.get(SEQ),
+                dst=",".join(header.get(DST, [])), type=str(header.get(TYPE)),
+            )
         local, remote_groups = self._partition(header[DST])
         if remote_groups:
             self._route_remote(header, remote_groups)

@@ -22,20 +22,65 @@ class ThroughputMeter:
     ``record(n)`` adds ``n`` units; ``rate()`` is units/second since start;
     ``series(bucket)`` returns a (t, rate) time series bucketed at ``bucket``
     seconds, which is what the throughput-over-time figures plot.
+
+    Memory is bounded: once more than ``max_events`` samples are held, the
+    sample list is compacted — events falling in the same
+    ``compaction_resolution`` window merge into one aggregate sample at the
+    window midpoint (doubling the resolution until the list fits).  Totals
+    and rates stay exact; ``series(bucket)`` stays exact for any ``bucket``
+    at least as coarse as the (reported) ``resolution``.
     """
 
-    def __init__(self, clock: Callable[[], float] = time.monotonic):
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        *,
+        max_events: int = 8192,
+        compaction_resolution: float = 0.25,
+    ):
+        if max_events < 2:
+            raise ValueError("max_events must be >= 2")
+        if compaction_resolution <= 0:
+            raise ValueError("compaction_resolution must be positive")
         self._clock = clock
         self._lock = make_lock("stats.throughput_meter")
         self._events: List[Tuple[float, float]] = []
         self._total = 0.0
         self._start = clock()
+        self._max_events = max_events
+        self._resolution = compaction_resolution
+        self._compacted = False
 
     def record(self, amount: float = 1.0) -> None:
         now = self._clock()
         with self._lock:
             self._events.append((now, amount))
             self._total += amount
+            if len(self._events) > self._max_events:
+                self._compact_locked()
+
+    def _compact_locked(self) -> None:
+        """Merge samples into ``self._resolution`` windows (growing the
+        resolution until the list is at most half of ``max_events``)."""
+        self._compacted = True
+        while True:
+            buckets: Dict[int, float] = {}
+            for timestamp, amount in self._events:
+                index = int((timestamp - self._start) / self._resolution)
+                buckets[index] = buckets.get(index, 0.0) + amount
+            if len(buckets) <= self._max_events // 2:
+                break
+            self._resolution *= 2.0
+        self._events = [
+            (self._start + (index + 0.5) * self._resolution, amount)
+            for index, amount in sorted(buckets.items())
+        ]
+
+    @property
+    def resolution(self) -> Optional[float]:
+        """Coarsest compaction window applied so far (None if never)."""
+        with self._lock:
+            return self._resolution if self._compacted else None
 
     @property
     def total(self) -> float:

@@ -10,7 +10,7 @@ on in tests.
 from __future__ import annotations
 
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional
 
@@ -25,15 +25,49 @@ class TraceEvent:
     detail: Dict[str, Any] = field(default_factory=dict)
 
 
-class Tracer:
-    """Bounded in-memory event log."""
+@dataclass
+class SpanReport:
+    """Result of :meth:`Tracer.span_report`: durations plus match health.
 
-    def __init__(self, capacity: int = 10_000, clock: Callable[[], float] = time.monotonic):
+    ``unmatched_starts`` counts start events that never saw an end (lost or
+    dropped messages — routine under fault injection), ``unmatched_ends``
+    end events with no recorded start (start fell out of the ring or the
+    bounded pending map), and ``evicted_starts`` the starts discarded when
+    more than ``max_pending`` were simultaneously in flight.
+    """
+
+    durations: List[float] = field(default_factory=list)
+    unmatched_starts: int = 0
+    unmatched_ends: int = 0
+    evicted_starts: int = 0
+
+    @property
+    def unmatched(self) -> int:
+        return self.unmatched_starts + self.unmatched_ends + self.evicted_starts
+
+
+class Tracer:
+    """Bounded in-memory event log.
+
+    ``sink`` (optional) is called with every recorded event *outside* the
+    ring lock — the telemetry layer hangs its live span aggregation off
+    this, seeing every event even after the ring wraps.  Sinks must be
+    thread-safe and cheap; a raising sink disables itself rather than
+    poisoning the hot path.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 10_000,
+        clock: Callable[[], float] = time.monotonic,
+        sink: Optional[Callable[[TraceEvent], None]] = None,
+    ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._lock = make_lock("tracer")
         self._clock = clock
+        self._sink = sink
         self.enabled = True
 
     def record(self, kind: str, source: str, **detail: Any) -> None:
@@ -42,6 +76,11 @@ class Tracer:
         event = TraceEvent(self._clock(), kind, source, detail)
         with self._lock:
             self._events.append(event)
+        if self._sink is not None:
+            try:
+                self._sink(event)
+            except Exception:  # noqa: BLE001 - a broken sink must not kill senders
+                self._sink = None
 
     # -- queries -----------------------------------------------------------
     def events(
@@ -72,8 +111,29 @@ class Tracer:
     def span(self, start_kind: str, end_kind: str, key: str) -> List[float]:
         """Durations between matching start/end events correlated by
         ``detail[key]`` (e.g. a message seq): transmission latencies."""
-        starts: Dict[Any, float] = {}
-        durations: List[float] = []
+        return self.span_report(start_kind, end_kind, key).durations
+
+    def span_report(
+        self,
+        start_kind: str,
+        end_kind: str,
+        key: str,
+        *,
+        max_pending: int = 4096,
+    ) -> SpanReport:
+        """Like :meth:`span` but bounded and accounting for lost events.
+
+        At most ``max_pending`` unmatched start timestamps are held at once;
+        the oldest is evicted (and counted) beyond that, so a flood of
+        starts whose end events were dropped — e.g. messages lost by a
+        :class:`repro.testing.faults.FaultyLink` — cannot grow memory with
+        the trace length.  The report carries the unmatched counts so
+        callers can see correlation health instead of silently missing data.
+        """
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        starts: "OrderedDict[Any, float]" = OrderedDict()
+        report = SpanReport()
         with self._lock:
             snapshot = list(self._events)
         for event in snapshot:
@@ -81,10 +141,21 @@ class Tracer:
             if correlation is None:
                 continue
             if event.kind == start_kind:
+                if correlation in starts:
+                    # Duplicate start: the superseded one can never match.
+                    report.unmatched_starts += 1
                 starts[correlation] = event.timestamp
-            elif event.kind == end_kind and correlation in starts:
-                durations.append(event.timestamp - starts.pop(correlation))
-        return durations
+                if len(starts) > max_pending:
+                    starts.popitem(last=False)
+                    report.evicted_starts += 1
+            elif event.kind == end_kind:
+                started = starts.pop(correlation, None)
+                if started is None:
+                    report.unmatched_ends += 1
+                else:
+                    report.durations.append(event.timestamp - started)
+        report.unmatched_starts += len(starts)
+        return report
 
     def clear(self) -> None:
         with self._lock:

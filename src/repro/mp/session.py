@@ -32,6 +32,8 @@ class MpRunResult:
     throughput_steps_per_s: float = 0.0
     mean_wait_s: float = 0.0
     mean_train_s: float = 0.0
+    #: ``repro.obs`` JSON snapshot when the session enables telemetry
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     def average_return(self, window: int = 100) -> Optional[float]:
         if not self.episode_returns:
@@ -96,12 +98,14 @@ class MpSession:
         *,
         num_explorers: int = 2,
         broadcast_every: int = 1,
+        telemetry: bool = False,
     ):
         if "model_config" not in spec:
             raise ValueError("mp spec needs an explicit model_config")
         self.spec = dict(spec)
         self.num_explorers = num_explorers
         self.broadcast_every = broadcast_every
+        self.telemetry = telemetry
         self._context = mp.get_context("fork")
 
     def run(
@@ -145,6 +149,35 @@ class MpSession:
         rollouts_received = 0
         train_sessions = 0
 
+        registry_obs = None
+        wait_histogram = train_histogram = None
+        rollouts_counter = steps_counter = sessions_counter = None
+        if self.telemetry:
+            from ..obs import MetricsRegistry
+
+            registry_obs = MetricsRegistry()
+            labels = {"process": "learner"}
+            wait_histogram = registry_obs.histogram(
+                "trainer_wait_seconds", labels,
+                help="actual wait: idle time before a training session starts",
+            )
+            train_histogram = registry_obs.histogram(
+                "trainer_train_seconds", labels,
+                help="wall time of one training session",
+            )
+            rollouts_counter = registry_obs.counter(
+                "trainer_rollouts_received_total", labels,
+                help="rollout fragments received from explorer processes",
+            )
+            steps_counter = registry_obs.counter(
+                "trainer_trained_steps_total", labels,
+                help="rollout steps consumed by training",
+            )
+            sessions_counter = registry_obs.counter(
+                "trainer_train_sessions_total", labels,
+                help="completed training sessions",
+            )
+
         started = time.monotonic()
         deadline = started + max_seconds if max_seconds else None
         for worker in workers:
@@ -166,16 +199,28 @@ class MpSession:
                         break
                 if received is None:
                     continue
-                wait_recorder.record(time.monotonic() - wait_started)
+                waited = time.monotonic() - wait_started
+                wait_recorder.record(waited)
+                if wait_histogram is not None:
+                    wait_histogram.observe(waited)
                 explorer, rollout, metadata = received
                 episode_returns.extend(metadata.get("returns", []))
                 rollouts_received += 1
+                if rollouts_counter is not None:
+                    rollouts_counter.inc()
                 algorithm.prepare_data(rollout, source=explorer)
                 while algorithm.ready_to_train():
+                    train_started = time.monotonic()
                     with train_recorder.time():
                         metrics = algorithm.train()
+                    if train_histogram is not None:
+                        train_histogram.observe(time.monotonic() - train_started)
+                        sessions_counter.inc()
                     train_sessions += 1
-                    consumed.record(int(metrics.get("trained_steps", 0)))
+                    trained = int(metrics.get("trained_steps", 0))
+                    consumed.record(trained)
+                    if steps_counter is not None:
+                        steps_counter.inc(trained)
                     if train_sessions % self.broadcast_every == 0:
                         weights = algorithm.get_weights()
                         targets = algorithm.broadcast_targets(
@@ -193,6 +238,13 @@ class MpSession:
                     worker.terminate()
                     worker.join(timeout=2.0)
             self._drain(channels)
+        metrics_snapshot: Dict[str, Any] = {}
+        if registry_obs is not None:
+            from ..obs import snapshot as obs_snapshot
+
+            metrics_snapshot = obs_snapshot(
+                registry_obs, meta={"elapsed_s": round(elapsed, 6), "mode": "mp"}
+            )
         return MpRunResult(
             elapsed_s=elapsed,
             trained_steps=int(consumed.total),
@@ -202,6 +254,7 @@ class MpSession:
             throughput_steps_per_s=consumed.total / max(elapsed, 1e-9),
             mean_wait_s=wait_recorder.mean(),
             mean_train_s=train_recorder.mean(),
+            metrics=metrics_snapshot,
         )
 
     @staticmethod

@@ -1,0 +1,52 @@
+"""Unified telemetry layer (docs/OBSERVABILITY.md).
+
+* :mod:`repro.obs.metrics` — thread-safe Counter/Gauge/Histogram registry;
+* :mod:`repro.obs.spans` — message-lifecycle span correlation
+  (sent → routed → delivered → consumed) into per-stage histograms;
+* :mod:`repro.obs.sampler` — periodic queue-depth / object-store /
+  backpressure sampling on a supervised thread;
+* :mod:`repro.obs.exporters` — Prometheus text exposition and
+  deterministic JSON snapshots (schema ``repro.obs/v1``);
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade sessions use.
+"""
+
+from .exporters import (
+    SNAPSHOT_SCHEMA,
+    parse_prometheus,
+    snapshot,
+    snapshot_to_json,
+    to_prometheus,
+    validate_snapshot,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .sampler import TelemetrySampler
+from .spans import STAGES, SpanAggregator, SpanRecord, SpanStats
+from .telemetry import Telemetry
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "STAGES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanAggregator",
+    "SpanRecord",
+    "SpanStats",
+    "Telemetry",
+    "TelemetrySampler",
+    "parse_prometheus",
+    "snapshot",
+    "snapshot_to_json",
+    "to_prometheus",
+    "validate_snapshot",
+]

@@ -1,0 +1,149 @@
+"""The unified telemetry facade: registry + tracer + spans + sampler.
+
+One :class:`Telemetry` object instruments one deployment: it owns the
+:class:`~repro.obs.metrics.MetricsRegistry`, a
+:class:`~repro.core.tracing.Tracer` whose sink feeds the
+:class:`~repro.obs.spans.SpanAggregator` live, and the periodic
+:class:`~repro.obs.sampler.TelemetrySampler`.  Sessions build one from a
+:class:`~repro.core.config.TelemetrySpec`, attach it to a cluster, start it
+alongside the run, and export a snapshot into ``RunResult.metrics``.
+
+Everything is off unless a config opts in (``telemetry=TelemetrySpec()``):
+endpoints and routers only pay a ``tracer is None`` check per message, and
+the process-level instruments stay ``None`` so the hot paths skip them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from ..core.tracing import Tracer
+from .exporters import snapshot, snapshot_to_json, to_prometheus
+from .metrics import MetricsRegistry
+from .sampler import TelemetrySampler
+from .spans import SpanAggregator, SpanRecord, SpanStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.config import TelemetrySpec
+
+
+class Telemetry:
+    """Bundles the observability subsystems for one run."""
+
+    def __init__(
+        self,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        tracer_capacity: int = 65536,
+        sample_interval: float = 0.05,
+        series_capacity: int = 512,
+        spans: bool = True,
+        max_pending_spans: int = 8192,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.spans: Optional[SpanAggregator] = (
+            SpanAggregator(self.registry, max_pending=max_pending_spans)
+            if spans
+            else None
+        )
+        self.tracer = Tracer(
+            capacity=tracer_capacity,
+            sink=self.spans.observe if self.spans is not None else None,
+        )
+        self.sampler = TelemetrySampler(
+            self.registry,
+            interval=sample_interval,
+            series_capacity=series_capacity,
+        )
+        self._attached: List[Any] = []
+
+    @classmethod
+    def from_spec(cls, spec: "TelemetrySpec") -> "Telemetry":
+        return cls(
+            tracer_capacity=spec.tracer_capacity,
+            sample_interval=spec.sample_interval,
+            series_capacity=spec.series_capacity,
+            spans=spec.spans,
+            max_pending_spans=spec.max_pending_spans,
+        )
+
+    # -- wiring -------------------------------------------------------------
+    def attach_cluster(self, cluster: Any) -> None:
+        """Instrument every broker, router, and process of a built cluster."""
+        for machine in cluster.machines:
+            self.attach_broker(machine.broker)
+        for process in [cluster.learner, *cluster.explorers]:
+            self.instrument_process(process)
+        center_endpoint = getattr(cluster.center, "endpoint", None)
+        if center_endpoint is not None:
+            self.attach_endpoint(center_endpoint)
+        add_hook = getattr(cluster, "add_instrument_hook", None)
+        if add_hook is not None:
+            # Keep supervisor-restarted replacement processes instrumented.
+            add_hook(self.instrument_process)
+        cluster.telemetry = self
+
+    def attach_broker(self, broker: Any) -> None:
+        broker.router.tracer = self.tracer
+        self.sampler.add_broker(broker)
+
+    def attach_endpoint(self, endpoint: Any) -> None:
+        endpoint.tracer = self.tracer
+        endpoint.attach_metrics(self.registry)
+        self.sampler.add_endpoint(endpoint)
+
+    def instrument_process(self, process: Any) -> None:
+        """Instrument one explorer/learner (also used after a restart)."""
+        self.attach_endpoint(process.endpoint)
+        attach = getattr(process, "attach_metrics", None)
+        if attach is not None:
+            attach(self.registry)
+        self._attached.append(process)
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        self.sampler.start()
+
+    def stop(self) -> None:
+        self.sampler.stop()
+
+    # -- exports ------------------------------------------------------------
+    def span_stats(self) -> Optional[SpanStats]:
+        return self.spans.stats() if self.spans is not None else None
+
+    def span_records(self) -> List[SpanRecord]:
+        return self.spans.records() if self.spans is not None else []
+
+    def snapshot(self, meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        merged: Dict[str, Any] = dict(meta or {})
+        if self.spans is not None:
+            stats = self.spans.stats()
+            merged.setdefault(
+                "spans",
+                {
+                    "matched": stats.matched,
+                    "unmatched_ends": stats.unmatched_ends,
+                    "evicted_starts": stats.evicted_starts,
+                    "negative_durations": stats.negative_durations,
+                },
+            )
+        return snapshot(self.registry, meta=merged)
+
+    def snapshot_json(self, meta: Optional[Dict[str, Any]] = None) -> str:
+        import json
+
+        return json.dumps(self.snapshot(meta=meta), indent=2) + "\n"
+
+    def prometheus(self) -> str:
+        return to_prometheus(self.registry)
+
+
+__all__ = [
+    "Telemetry",
+    "MetricsRegistry",
+    "SpanAggregator",
+    "TelemetrySampler",
+    "snapshot",
+    "snapshot_to_json",
+    "to_prometheus",
+]

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from .cluster import Cluster, build_cluster
 from .core.config import XingTianConfig
@@ -42,6 +42,8 @@ class RunResult:
     wait_cdf: List[Tuple[float, float]] = field(default_factory=list)
     mean_train_s: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
+    #: ``repro.obs`` JSON snapshot when ``config.telemetry`` is set
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
 
 class XingTianSession:
@@ -51,14 +53,25 @@ class XingTianSession:
         config.validate()
         self.config = config
         self.cluster: Optional[Cluster] = None
+        self.telemetry: Optional[Any] = None
 
     def run(self, poll_interval: float = 0.05) -> RunResult:
         """Start the deployment, wait for the stop condition, tear down."""
         cluster = build_cluster(self.config)
         self.cluster = cluster
+        telemetry = None
+        spec = self.config.telemetry
+        if spec is not None and spec.enabled:
+            from .obs import Telemetry
+
+            telemetry = Telemetry.from_spec(spec)
+            telemetry.attach_cluster(cluster)
+        self.telemetry = telemetry
         supervisor = cluster.center.supervisor
         started = time.monotonic()
         cluster.start()
+        if telemetry is not None:
+            telemetry.start()
         try:
             while True:
                 reason = cluster.center.should_stop()
@@ -76,7 +89,13 @@ class XingTianSession:
         finally:
             elapsed = time.monotonic() - started
             result = self._collect(cluster, elapsed)
+            if telemetry is not None:
+                telemetry.stop()  # final sample before queues drain away
             cluster.stop()
+            if telemetry is not None:
+                result.metrics = telemetry.snapshot(
+                    meta={"elapsed_s": round(elapsed, 6)}
+                )
             if supervisor is None:
                 cluster.raise_worker_errors()
         return result

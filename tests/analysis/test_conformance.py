@@ -13,6 +13,7 @@ from repro.analysis.topology import (
     observed_edges,
 )
 from repro.core.tracing import TraceEvent
+from repro.obs import SpanRecord
 
 
 def sent(source: str, msg_type: str, dst: str) -> TraceEvent:
@@ -52,12 +53,51 @@ class TestObservedEdges:
         ]
         assert observed_edges(events) == set()
 
+    def test_span_records_accepted_alongside_events(self):
+        # One code path: telemetry span records and raw tracer events mix.
+        mixed = [
+            SpanRecord(
+                seq=4,
+                msg_type="rollout",
+                src="machine-0.explorer-1",
+                dst="learner",
+                durations=(("deliver", 0.01),),
+            ),
+            sent("learner", "MsgType.WEIGHTS", "explorer-0"),
+        ]
+        assert observed_edges(mixed) == {
+            ("explorer", "ROLLOUT", "learner"),
+            ("learner", "WEIGHTS", "explorer"),
+        }
+
+    def test_span_record_msgtype_forms_normalized(self):
+        for spelling in ("MsgType.STATS", "stats", "STATS"):
+            record = SpanRecord(
+                seq=1, msg_type=spelling, src="explorer-0", dst="controller"
+            )
+            assert observed_edges([record]) == {
+                ("explorer", "STATS", "controller")
+            }
+
 
 class TestConformance:
     def test_matching_trace_is_clean(self):
         topology = topology_for(STATIC)
         events = [sent("explorer-0", "MsgType.ROLLOUT", "learner")]
         assert conformance_violations(events, topology) == []
+
+    def test_span_records_flow_through_same_check(self):
+        topology = topology_for(STATIC)
+        records = [
+            SpanRecord(seq=1, msg_type="rollout", src="explorer-0", dst="learner")
+        ]
+        assert conformance_violations(records, topology) == []
+        bad = [
+            SpanRecord(seq=2, msg_type="weights", src="learner", dst="explorer-0")
+        ]
+        assert conformance_violations(bad, topology) == [
+            ("learner", "WEIGHTS", "explorer")
+        ]
 
     def test_unknown_edge_is_violation(self):
         topology = topology_for(STATIC)

@@ -69,6 +69,67 @@ class TestThroughputMeter:
         assert meter.total == pytest.approx(sum(amounts))
 
 
+class TestThroughputMeterCompaction:
+    def make_meter(self, max_events=8):
+        clock_value = [0.0]
+        meter = ThroughputMeter(
+            clock=lambda: clock_value[0], max_events=max_events
+        )
+        return meter, clock_value
+
+    def test_event_count_stays_bounded(self):
+        meter, clock_value = self.make_meter(max_events=8)
+        for tick in range(10_000):
+            clock_value[0] = tick * 0.01
+            meter.record(1)
+        assert len(meter._events) <= 8
+
+    def test_total_and_rate_exact_after_compaction(self):
+        meter, clock_value = self.make_meter(max_events=8)
+        for tick in range(1000):
+            clock_value[0] = tick * 0.1
+            meter.record(2)
+        assert meter.total == 2000
+        assert meter.rate() == pytest.approx(2000 / (999 * 0.1), rel=0.05)
+
+    def test_series_preserved_at_coarse_buckets(self):
+        meter, clock_value = self.make_meter(max_events=16)
+        # 100 events at 1/s: compaction merges them, but a bucket at least
+        # as coarse as the reported resolution still sums exactly.
+        for tick in range(100):
+            clock_value[0] = float(tick)
+            meter.record(1)
+        assert meter.resolution is not None
+        bucket = max(meter.resolution, 1.0) * 2
+        series = meter.series(bucket=bucket)
+        # series yields per-bucket rates; scaling back by the bucket width
+        # must recover the exact recorded total.
+        assert sum(rate * bucket for _, rate in series) == pytest.approx(100)
+
+    def test_resolution_none_before_compaction(self):
+        meter, clock_value = self.make_meter(max_events=100)
+        for tick in range(10):
+            clock_value[0] = float(tick)
+            meter.record(1)
+        assert meter.resolution is None
+
+    def test_max_events_validated(self):
+        with pytest.raises(ValueError):
+            ThroughputMeter(max_events=1)
+        with pytest.raises(ValueError):
+            ThroughputMeter(compaction_resolution=0.0)
+
+    @given(st.integers(min_value=2, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_property_compaction_preserves_total(self, count):
+        meter, clock_value = self.make_meter(max_events=4)
+        for tick in range(count):
+            clock_value[0] = tick * 0.3
+            meter.record(3)
+        assert meter.total == 3 * count
+        assert len(meter._events) <= 4
+
+
 class TestLatencyRecorder:
     def test_mean(self):
         recorder = LatencyRecorder()

@@ -60,6 +60,44 @@ class TestTracer:
         tracer.record("delivered", "l", seq=99)
         assert tracer.span("sent", "delivered", "seq") == []
 
+    def test_span_report_counts_unmatched(self):
+        tracer = Tracer()
+        tracer.record("sent", "e", seq=1)  # start, no end
+        tracer.record("delivered", "l", seq=99)  # end, no start
+        report = tracer.span_report("sent", "delivered", "seq")
+        assert report.durations == []
+        assert report.unmatched_starts == 1
+        assert report.unmatched_ends == 1
+        assert report.unmatched == 2
+
+    def test_span_report_duplicate_start_supersedes(self):
+        clock_value = [0.0]
+        tracer = Tracer(clock=lambda: clock_value[0])
+        tracer.record("sent", "e", seq=1)
+        clock_value[0] = 1.0
+        tracer.record("sent", "e", seq=1)  # duplicate: earlier one is lost
+        clock_value[0] = 1.5
+        tracer.record("delivered", "l", seq=1)
+        report = tracer.span_report("sent", "delivered", "seq")
+        assert report.durations == [pytest.approx(0.5)]
+        assert report.unmatched_starts == 1
+
+    def test_span_report_bounds_pending_starts(self):
+        tracer = Tracer(capacity=100_000)
+        for index in range(100):
+            tracer.record("sent", "e", seq=index)
+        # Only the newest max_pending starts can still match.
+        tracer.record("delivered", "l", seq=0)
+        tracer.record("delivered", "l", seq=99)
+        report = tracer.span_report("sent", "delivered", "seq", max_pending=10)
+        assert report.evicted_starts == 90
+        assert report.unmatched_ends == 1  # seq 0 was evicted
+        assert len(report.durations) == 1  # seq 99 survived
+
+    def test_span_report_max_pending_validated(self):
+        with pytest.raises(ValueError):
+            Tracer().span_report("sent", "delivered", "seq", max_pending=0)
+
     def test_clear(self):
         tracer = Tracer()
         tracer.record("sent", "e")
@@ -89,6 +127,29 @@ class TestTracer:
         for thread in threads:
             thread.join()
         assert tracer.count() == 4000
+
+
+class TestSink:
+    def test_sink_sees_every_event_past_ring_wrap(self):
+        seen = []
+        tracer = Tracer(capacity=2, sink=seen.append)
+        for index in range(10):
+            tracer.record("sent", "e", seq=index)
+        assert len(tracer.events()) == 2
+        assert len(seen) == 10
+
+    def test_raising_sink_disables_itself(self):
+        calls = []
+
+        def bad_sink(event):
+            calls.append(event)
+            raise RuntimeError("sink blew up")
+
+        tracer = Tracer(sink=bad_sink)
+        tracer.record("sent", "e", seq=1)
+        tracer.record("sent", "e", seq=2)  # must not raise, sink is gone
+        assert len(calls) == 1
+        assert tracer.count() == 2  # ring recording unaffected
 
 
 class TestTracerWiredIntoEndpoints:

@@ -1,0 +1,149 @@
+"""Sampler tests: queue-depth/backpressure probes against real components."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.message import MsgType, make_message
+from repro.obs import MetricsRegistry, TelemetrySampler
+
+
+def values(registry, name):
+    """{labels_dict_items: value} for every instrument with that name."""
+    return {
+        metric.labels: metric.value
+        for metric in registry.collect()
+        if metric.name == name
+    }
+
+
+def counter_value(registry, name):
+    (value,) = values(registry, name).values()
+    return value
+
+
+class TestProbeLoop:
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            TelemetrySampler(MetricsRegistry(), interval=0.0)
+
+    def test_sample_once_runs_probes_and_counts_ticks(self):
+        registry = MetricsRegistry()
+        sampler = TelemetrySampler(registry, interval=0.01)
+        seen = []
+        sampler.add_probe(seen.append)
+        sampler.sample_once()
+        sampler.sample_once()
+        assert len(seen) == 2
+        assert counter_value(registry, "sampler_ticks_total") == 2
+
+    def test_raising_probe_counted_and_skipped(self):
+        registry = MetricsRegistry()
+        sampler = TelemetrySampler(registry, interval=0.01)
+        seen = []
+
+        def bad_probe(timestamp):
+            raise RuntimeError("queue torn down")
+
+        sampler.add_probe(bad_probe)
+        sampler.add_probe(seen.append)  # later probes still run
+        sampler.sample_once()
+        assert len(seen) == 1
+        assert counter_value(registry, "sampler_errors_total") == 1
+        assert counter_value(registry, "sampler_ticks_total") == 1
+
+    def test_probe_gets_clock_timestamp(self):
+        registry = MetricsRegistry()
+        sampler = TelemetrySampler(registry, interval=0.01, clock=lambda: 42.0)
+        seen = []
+        sampler.add_probe(seen.append)
+        sampler.sample_once()
+        assert seen == [42.0]
+
+
+class TestBrokerProbe:
+    def test_broker_gauges_populated(self, broker, endpoint_pair):
+        alice, bob = endpoint_pair
+        registry = MetricsRegistry()
+        sampler = TelemetrySampler(registry, interval=0.01, clock=lambda: 1.0)
+        sampler.add_broker(broker)
+        sampler.sample_once()
+        assert values(registry, "broker_header_queue_depth")
+        assert values(registry, "object_store_objects")
+        assert values(registry, "object_store_bytes")
+        assert values(registry, "object_store_refcounts")
+        depth_labels = values(registry, "broker_id_queue_depth")
+        processes = {dict(labels)["process"] for labels in depth_labels}
+        assert {"alice", "bob"} <= processes
+
+    def test_series_recorded_per_sample(self, broker):
+        registry = MetricsRegistry()
+        clock_value = [0.0]
+        sampler = TelemetrySampler(
+            registry, interval=0.01, clock=lambda: clock_value[0]
+        )
+        sampler.add_broker(broker)
+        for tick in range(3):
+            clock_value[0] = float(tick)
+            sampler.sample_once()
+        (metric,) = [
+            m for m in registry.collect() if m.name == "broker_header_queue_depth"
+        ]
+        assert [timestamp for timestamp, _ in metric.series()] == [0.0, 1.0, 2.0]
+
+
+class TestEndpointProbe:
+    def test_backlog_gauges(self, endpoint_pair):
+        alice, bob = endpoint_pair
+        registry = MetricsRegistry()
+        sampler = TelemetrySampler(registry, interval=0.01, clock=lambda: 1.0)
+        sampler.add_endpoint(alice)
+        sampler.add_endpoint(bob)
+        sampler.sample_once()
+        send_backlogs = values(registry, "endpoint_send_backlog")
+        recv_backlogs = values(registry, "endpoint_receive_backlog")
+        assert len(send_backlogs) == 2
+        assert len(recv_backlogs) == 2
+        assert all(value >= 0 for value in send_backlogs.values())
+
+    def test_receive_backlog_sees_undrained_message(self, endpoint_pair):
+        alice, bob = endpoint_pair
+        alice.send(make_message("alice", ["bob"], MsgType.DATA, {"x": 1}))
+        deadline = time.monotonic() + 2.0
+        while bob.receive_buffer.qsize() == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        registry = MetricsRegistry()
+        sampler = TelemetrySampler(registry, interval=0.01, clock=lambda: 1.0)
+        sampler.add_endpoint(bob)
+        sampler.sample_once()
+        (backlog,) = values(registry, "endpoint_receive_backlog").values()
+        assert backlog == 1
+        assert bob.receive(timeout=1.0) is not None  # drain for clean teardown
+
+
+class TestLifecycle:
+    def test_start_stop(self):
+        registry = MetricsRegistry()
+        sampler = TelemetrySampler(registry, interval=0.005)
+        sampler.add_probe(lambda timestamp: None)
+        sampler.start()
+        assert sampler.running
+        sampler.start()  # idempotent
+        deadline = time.monotonic() + 2.0
+        while (
+            counter_value(registry, "sampler_ticks_total") < 2
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.005)
+        sampler.stop()
+        assert not sampler.running
+        assert sampler.error is None
+        assert counter_value(registry, "sampler_ticks_total") >= 3  # final sweep
+
+    def test_stop_without_start_still_sweeps(self):
+        registry = MetricsRegistry()
+        sampler = TelemetrySampler(registry, interval=0.01)
+        sampler.stop()
+        assert counter_value(registry, "sampler_ticks_total") == 1

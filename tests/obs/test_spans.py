@@ -1,0 +1,213 @@
+"""Span correlation: tracer lifecycle events -> per-stage latency histograms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.concurrency import spawn_thread
+from repro.core.tracing import TraceEvent, Tracer
+from repro.obs import MetricsRegistry, SpanAggregator, SpanRecord, STAGES
+
+
+def sent(seq, t, src="machine-0.explorer-0", msg_type="MsgType.ROLLOUT", dst="learner"):
+    return TraceEvent(t, "sent", src, {"seq": seq, "type": msg_type, "dst": dst})
+
+
+def routed(seq, t, broker="broker-0"):
+    return TraceEvent(t, "routed", broker, {"seq": seq})
+
+
+def delivered(seq, t, dst="learner"):
+    return TraceEvent(t, "delivered", dst, {"seq": seq})
+
+
+def consumed(seq, t, dst="learner"):
+    return TraceEvent(t, "consumed", dst, {"seq": seq})
+
+
+def lifecycle(seq, base, dst="learner", **kwargs):
+    """A clean four-event lifecycle at t = base, base+1, base+3, base+7."""
+    return [
+        sent(seq, base, dst=dst, **kwargs),
+        routed(seq, base + 1.0),
+        delivered(seq, base + 3.0, dst=dst),
+        consumed(seq, base + 7.0, dst=dst),
+    ]
+
+
+def make_aggregator(**kwargs):
+    registry = MetricsRegistry()
+    return registry, SpanAggregator(registry, **kwargs)
+
+
+class TestStageDurations:
+    def test_clean_lifecycle_matches_all_stages(self):
+        registry, aggregator = make_aggregator()
+        stats = aggregator.ingest(lifecycle(1, 10.0))
+        assert stats.matched == {"send": 1, "route": 1, "deliver": 1, "consume": 1}
+        assert stats.total_unmatched() == 0
+        assert stats.negative_durations == 0
+
+    def test_durations_land_in_histograms(self):
+        registry, aggregator = make_aggregator()
+        aggregator.ingest(lifecycle(1, 0.0))
+        by_stage = {}
+        for metric in registry.collect():
+            if metric.name == "message_stage_seconds":
+                by_stage[dict(metric.labels)["stage"]] = metric
+        assert by_stage["send"].sum == pytest.approx(1.0)  # sent -> routed
+        assert by_stage["route"].sum == pytest.approx(2.0)  # routed -> delivered
+        assert by_stage["deliver"].sum == pytest.approx(3.0)  # end to end
+        assert by_stage["consume"].sum == pytest.approx(4.0)  # dwell
+
+    def test_edge_histograms_carry_roles(self):
+        registry, aggregator = make_aggregator()
+        aggregator.ingest(lifecycle(1, 0.0))
+        edge_labels = [
+            dict(metric.labels)
+            for metric in registry.collect()
+            if metric.name == "message_edge_stage_seconds"
+        ]
+        assert edge_labels  # route/deliver/consume stages know the dst
+        for labels in edge_labels:
+            assert labels["src_role"] == "explorer"
+            assert labels["dst_role"] == "learner"
+            assert labels["type"] == "MsgType.ROLLOUT"
+
+    def test_fanout_one_sent_many_delivered(self):
+        # One WEIGHTS broadcast delivered to two explorers: the sent start
+        # must survive both matches (peek, not pop).
+        registry, aggregator = make_aggregator()
+        events = [
+            sent(5, 0.0, src="learner", msg_type="MsgType.WEIGHTS", dst="explorer"),
+            routed(5, 0.5),
+        ]
+        for dst in ("machine-0.explorer-0", "machine-0.explorer-1"):
+            events.append(delivered(5, 1.0, dst=dst))
+            events.append(consumed(5, 2.0, dst=dst))
+        stats = aggregator.ingest(events)
+        assert stats.matched["send"] == 1
+        assert stats.matched["deliver"] == 2
+        assert stats.matched["consume"] == 2
+        assert stats.total_unmatched() == 0
+
+
+class TestCorrelationHealth:
+    def test_end_without_start_is_unmatched(self):
+        registry, aggregator = make_aggregator()
+        stats = aggregator.ingest([delivered(99, 1.0), consumed(99, 2.0)])
+        # delivered with no sent: route + deliver unmatched; consumed still
+        # matches the delivered start, so consume dwell is measurable.
+        assert stats.unmatched_ends["route"] == 1
+        assert stats.unmatched_ends["deliver"] == 1
+        assert stats.matched["consume"] == 1
+        assert stats.matched["send"] == 0
+        assert stats.unmatched_ends["consume"] == 0
+
+    def test_negative_duration_counted_not_recorded(self):
+        registry, aggregator = make_aggregator()
+        stats = aggregator.ingest([sent(1, 10.0), routed(1, 5.0)])
+        assert stats.negative_durations == 1
+        assert stats.matched["send"] == 0
+        (counter,) = [
+            m for m in registry.collect() if m.name == "message_spans_negative_total"
+        ]
+        assert counter.value == 1
+
+    def test_pending_is_bounded_and_evictions_counted(self):
+        registry, aggregator = make_aggregator(max_pending=8)
+        for seq in range(20):
+            aggregator.observe(sent(seq, float(seq)))
+        assert aggregator.pending_counts()["sent"] <= 8
+        stats = aggregator.stats()
+        # Evicted never-matched sent starts are charged to "deliver".
+        assert stats.evicted_starts["deliver"] == 12
+
+    def test_matched_entries_evict_silently(self):
+        registry, aggregator = make_aggregator(max_pending=4)
+        for seq in range(4):
+            aggregator.observe(sent(seq, float(seq)))
+            aggregator.observe(routed(seq, float(seq) + 0.1))
+        for seq in range(4, 10):  # push the matched entries out
+            aggregator.observe(sent(seq, float(seq)))
+        assert aggregator.stats().evicted_starts["route"] == 0
+        # sent starts that matched "send" still count as matched-at-least-once.
+        assert aggregator.stats().matched["send"] == 4
+
+    def test_duplicate_start_keeps_earliest(self):
+        registry, aggregator = make_aggregator()
+        aggregator.ingest([sent(1, 0.0), sent(1, 5.0), routed(1, 6.0)])
+        (histogram,) = [
+            m for m in registry.collect() if m.name == "message_stage_seconds"
+        ]
+        assert histogram.sum == pytest.approx(6.0)  # not 1.0
+
+    def test_non_lifecycle_events_ignored(self):
+        registry, aggregator = make_aggregator()
+        aggregator.observe(TraceEvent(0.0, "train", "learner", {"seq": 1}))
+        aggregator.observe(TraceEvent(0.0, "sent", "x", {}))  # no seq
+        assert aggregator.stats().matched == {s: 0 for s in STAGES}
+        assert len(registry) >= 5  # only the pre-registered counters
+
+
+class TestRecordsAndEdges:
+    def test_records_expose_conformance_shape(self):
+        registry, aggregator = make_aggregator()
+        aggregator.ingest(lifecycle(1, 0.0))
+        (record,) = aggregator.records()
+        assert isinstance(record, SpanRecord)
+        assert record.seq == 1
+        assert record.msg_type == "MsgType.ROLLOUT"
+        assert record.src == "machine-0.explorer-0"
+        assert record.dst == "learner"
+        assert record.src_role == "explorer"
+        assert record.dst_role == "learner"
+        stages = dict(record.durations)
+        assert set(stages) == {"route", "deliver", "consume"}
+
+    def test_records_bounded(self):
+        registry, aggregator = make_aggregator(max_records=5)
+        for seq in range(12):
+            aggregator.ingest(lifecycle(seq, float(seq) * 10))
+        assert len(aggregator.records()) == 5
+
+    def test_edges_sorted_unique(self):
+        registry, aggregator = make_aggregator()
+        aggregator.ingest(lifecycle(1, 0.0))
+        aggregator.ingest(lifecycle(2, 100.0))
+        assert aggregator.edges() == [
+            ("machine-0.explorer-0", "MsgType.ROLLOUT", "learner")
+        ]
+
+
+class TestLiveSink:
+    def test_aggregates_past_ring_wrap(self):
+        # The tracer ring holds 4 events; the sink still sees all 8.
+        registry, aggregator = make_aggregator()
+        clock_value = [0.0]
+        tracer = Tracer(capacity=4, clock=lambda: clock_value[0], sink=aggregator.observe)
+        for seq in range(2):
+            for event in lifecycle(seq, float(seq) * 10):
+                clock_value[0] = event.timestamp
+                tracer.record(event.kind, event.source, **event.detail)
+        assert len(tracer.events()) == 4  # ring wrapped
+        assert aggregator.stats().matched["deliver"] == 2  # sink saw everything
+
+    def test_observe_is_thread_safe(self):
+        registry, aggregator = make_aggregator()
+
+        def worker(offset):
+            for index in range(200):
+                seq = offset + index
+                for event in lifecycle(seq, float(seq)):
+                    aggregator.observe(event)
+
+        threads = [
+            spawn_thread(f"span-worker-{offset}", worker, args=(offset,))
+            for offset in (0, 10_000, 20_000)
+        ]
+        for thread in threads:
+            thread.join()
+        stats = aggregator.stats()
+        assert stats.matched["deliver"] == 600
+        assert stats.negative_durations == 0
