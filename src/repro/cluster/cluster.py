@@ -148,6 +148,7 @@ def build_cluster(
             # length of a restart backoff; in-flight messages to it are
             # dropped (and counted) rather than poisoning the router.
             on_unroutable="drop" if supervision is not None else "raise",
+            coalescing=config.coalescing,
         )
         brokers[spec.name] = broker
         if spec.name == learner_machine_name:

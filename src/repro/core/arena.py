@@ -1,0 +1,297 @@
+"""Pooled shared-memory arena: size-class free lists over long-lived slabs.
+
+Creating and unlinking one ``multiprocessing.shared_memory`` segment per
+message is the dominant fixed cost of the SHM data path: every send pays a
+``shm_open``/``ftruncate``/``mmap`` round trip plus an ``unlink`` on
+release.  The :class:`SlabArena` replaces that churn with a small set of
+long-lived segments ("slabs") carved into power-of-two size classes.
+Allocation pops a block off the matching free list; release pushes it back
+— no syscalls on the steady-state path.
+
+Occupancy is bounded (``capacity_bytes``): when every free list is empty
+and growing would exceed the budget, :meth:`alloc` raises
+:class:`ArenaExhaustedError` so callers can fall back to a dedicated
+segment instead of growing without bound.  Double frees and foreign
+handles raise :class:`ArenaError`.  The arena is leak-audited at shutdown
+through the same machinery as the object store: :meth:`leak_report` /
+:meth:`assert_balanced` mirror :class:`~repro.core.object_store.ObjectStore`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from .concurrency import make_lock
+from .errors import ObjectStoreError, RefcountLeakError
+
+_ARENA_COUNTER = itertools.count()
+
+#: Default size classes: 4 KB … 4 MB in powers of two.
+DEFAULT_MIN_BLOCK = 1 << 12
+DEFAULT_MAX_BLOCK = 1 << 22
+#: Blocks carved per slab per size class.
+DEFAULT_SLAB_BLOCKS = 8
+#: Default occupancy bound across all slabs (including huge blocks).
+DEFAULT_CAPACITY = 1 << 28  # 256 MB
+
+
+def _drop_segment(segment: Any) -> None:
+    """Close + unlink a segment, tolerating still-alive consumer views.
+
+    A caller may hold a (now stale) ``Block.buf`` view when its block is
+    freed; ``mmap.close`` then raises ``BufferError``.  The POSIX unlink
+    still reclaims the name immediately and the mapping itself dies with
+    the last view's garbage collection.
+    """
+    try:
+        segment.close()
+    except BufferError:
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+
+
+class ArenaError(ObjectStoreError):
+    """Bad arena usage: double free, foreign handle, closed arena."""
+
+
+class ArenaExhaustedError(ArenaError):
+    """Allocation would exceed the arena's occupancy bound."""
+
+
+@dataclass(frozen=True)
+class BlockHandle:
+    """A serializable reference to one arena block.
+
+    ``segment`` is the slab's OS shared-memory name, so any process that
+    learns a handle can attach and read the block without copies.  ``size``
+    is the usable byte count (the size class, or the exact size for huge
+    blocks); ``huge`` marks blocks with a dedicated segment that is
+    unlinked on free rather than recycled.
+    """
+
+    segment: str
+    offset: int
+    size: int
+    huge: bool = False
+
+
+@dataclass
+class Block:
+    """An allocated block: its handle plus a writable view of its memory."""
+
+    handle: BlockHandle
+    buf: memoryview
+
+    def release(self) -> None:
+        """Drop the view.  Writers release before the reader can free the
+        block, so huge-block unlinks never race an exported buffer."""
+        self.buf.release()
+
+
+class SlabArena:
+    """Thread-safe slab allocator over shared-memory segments."""
+
+    def __init__(
+        self,
+        *,
+        name: str = "arena",
+        min_block: int = DEFAULT_MIN_BLOCK,
+        max_block: int = DEFAULT_MAX_BLOCK,
+        slab_blocks: int = DEFAULT_SLAB_BLOCKS,
+        capacity_bytes: int = DEFAULT_CAPACITY,
+    ):
+        from multiprocessing import shared_memory  # local import: optional path
+
+        if min_block < 1 or max_block < min_block:
+            raise ArenaError("need 1 <= min_block <= max_block")
+        if slab_blocks < 1:
+            raise ArenaError("slab_blocks must be >= 1")
+        self._shared_memory = shared_memory
+        # The pid keeps OS-level slab names collision-free across processes
+        # (the counter alone restarts in forked children).
+        self.name = f"{name}-{os.getpid()}-{next(_ARENA_COUNTER)}"
+        self._slab_blocks = slab_blocks
+        self._capacity_bytes = capacity_bytes
+        self._classes: List[int] = []
+        size = min_block
+        while size < max_block:
+            self._classes.append(size)
+            size <<= 1
+        self._classes.append(max_block)
+        self._lock = make_lock(f"{self.name}.freelists")
+        #: size class -> free handles (LIFO for cache warmth)
+        self._free: Dict[int, List[BlockHandle]] = {
+            cls: [] for cls in self._classes
+        }
+        #: slab segment name -> SharedMemory
+        self._slabs: Dict[str, Any] = {}
+        #: (segment, offset) -> handle for live allocations
+        self._allocated: Dict[Tuple[str, int], BlockHandle] = {}
+        self._slab_bytes = 0
+        self._allocated_bytes = 0
+        self._closed = False
+        self.total_alloc = 0
+        self.total_free = 0
+        self.total_slabs = 0
+        self.total_fallback = 0  # exhaustion signals surfaced to callers
+
+    # -- sizing ---------------------------------------------------------------
+    def _size_class(self, nbytes: int) -> int:
+        for cls in self._classes:
+            if nbytes <= cls:
+                return cls
+        return -1  # huge
+
+    @property
+    def max_block(self) -> int:
+        return self._classes[-1]
+
+    # -- allocation -----------------------------------------------------------
+    def alloc(self, nbytes: int) -> Block:
+        """Reserve a block of at least ``nbytes``; raises
+        :class:`ArenaExhaustedError` when growth would exceed capacity."""
+        if nbytes < 1:
+            nbytes = 1
+        cls = self._size_class(nbytes)
+        with self._lock:
+            if self._closed:
+                raise ArenaError(f"arena {self.name!r} is closed")
+            if cls == -1:
+                handle = self._alloc_huge(nbytes)
+            else:
+                free = self._free[cls]
+                if not free:
+                    self._grow(cls)
+                    free = self._free[cls]
+                handle = free.pop()
+            self._allocated[(handle.segment, handle.offset)] = handle
+            self._allocated_bytes += handle.size
+            self.total_alloc += 1
+            segment = self._slabs[handle.segment]
+        view = memoryview(segment.buf)[handle.offset : handle.offset + handle.size]
+        return Block(handle, view)
+
+    def _new_segment(self, nbytes: int) -> Any:
+        name = f"xt-{self.name}-{self.total_slabs}"
+        self.total_slabs += 1
+        return self._shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+
+    def _grow(self, cls: int) -> None:
+        """Carve one new slab for size class ``cls`` (lock held)."""
+        slab_size = cls * self._slab_blocks
+        if self._slab_bytes + slab_size > self._capacity_bytes:
+            self.total_fallback += 1
+            raise ArenaExhaustedError(
+                f"arena {self.name!r} exhausted: {self._slab_bytes}B of slabs "
+                f"+ {slab_size}B would exceed the {self._capacity_bytes}B bound"
+            )
+        segment = self._new_segment(slab_size)
+        self._slabs[segment.name] = segment
+        self._slab_bytes += slab_size
+        free = self._free[cls]
+        for index in range(self._slab_blocks):
+            free.append(BlockHandle(segment.name, index * cls, cls))
+
+    def _alloc_huge(self, nbytes: int) -> BlockHandle:
+        """One dedicated segment for an over-max-class body (lock held)."""
+        if self._slab_bytes + nbytes > self._capacity_bytes:
+            self.total_fallback += 1
+            raise ArenaExhaustedError(
+                f"arena {self.name!r} exhausted: huge block of {nbytes}B "
+                f"would exceed the {self._capacity_bytes}B bound"
+            )
+        segment = self._new_segment(nbytes)
+        self._slabs[segment.name] = segment
+        self._slab_bytes += nbytes
+        return BlockHandle(segment.name, 0, nbytes, huge=True)
+
+    # -- access ----------------------------------------------------------------
+    def view(self, handle: BlockHandle) -> memoryview:
+        """Writable view of a live block (readers slice what they need)."""
+        with self._lock:
+            if (handle.segment, handle.offset) not in self._allocated:
+                raise ArenaError(f"unknown or freed block {handle}")
+            segment = self._slabs[handle.segment]
+        return memoryview(segment.buf)[handle.offset : handle.offset + handle.size]
+
+    def free(self, handle: BlockHandle) -> None:
+        """Return a block to its free list (or unlink a huge block)."""
+        unlink = None
+        with self._lock:
+            live = self._allocated.pop((handle.segment, handle.offset), None)
+            if live is None:
+                raise ArenaError(
+                    f"double free or foreign handle on arena {self.name!r}: {handle}"
+                )
+            self._allocated_bytes -= live.size
+            self.total_free += 1
+            if live.huge:
+                unlink = self._slabs.pop(live.segment)
+                self._slab_bytes -= live.size
+            else:
+                self._free[live.size].append(live)
+        if unlink is not None:
+            _drop_segment(unlink)
+
+    # -- audit -----------------------------------------------------------------
+    def leak_report(self) -> List[Tuple[str, int, int]]:
+        """``(segment:offset, 1, size)`` per live block — the object-store
+        audit shape, so the same tooling inspects both."""
+        with self._lock:
+            return [
+                (f"{segment}:{offset}", 1, handle.size)
+                for (segment, offset), handle in sorted(self._allocated.items())
+            ]
+
+    def assert_balanced(self, context: str = "") -> None:
+        leaks = self.leak_report()
+        if not leaks:
+            return
+        where = f" at {context}" if context else ""
+        detail = ", ".join(
+            f"{block_id} ({nbytes}B)" for block_id, _, nbytes in leaks[:10]
+        )
+        more = "" if len(leaks) <= 10 else f" … and {len(leaks) - 10} more"
+        raise RefcountLeakError(
+            f"arena {self.name!r} block imbalance{where}: {len(leaks)} "
+            f"unfreed block(s): {detail}{more}"
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """Occupancy gauges for telemetry sampling."""
+        with self._lock:
+            return {
+                "allocated_blocks": len(self._allocated),
+                "allocated_bytes": self._allocated_bytes,
+                "slab_bytes": self._slab_bytes,
+                "capacity_bytes": self._capacity_bytes,
+                "free_blocks": sum(len(free) for free in self._free.values()),
+            }
+
+    # -- lifecycle --------------------------------------------------------------
+    def close(self) -> None:
+        """Unlink every slab.  Idempotent; live blocks become invalid."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            slabs = list(self._slabs.values())
+            self._slabs.clear()
+            self._allocated.clear()
+            for free in self._free.values():
+                free.clear()
+            self._slab_bytes = 0
+            self._allocated_bytes = 0
+        for segment in slabs:
+            _drop_segment(segment)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed

@@ -34,9 +34,13 @@ class Broker:
         fabric: Optional[Fabric] = None,
         rank: int = 0,
         on_unroutable: str = "raise",
+        coalescing: Optional[Any] = None,
     ):
         self.name = name
         self.rank = rank
+        #: :class:`~repro.core.config.CoalescingSpec` (or None) inherited by
+        #: every endpoint registered against this broker
+        self.coalescing = coalescing
         self.communicator = ShareMemCommunicator(f"{name}.comm", store=store)
         self._fabric = fabric
         self.router = AlgorithmAgnosticRouter(
@@ -66,16 +70,20 @@ class Broker:
             self._stopped = True
         self.router.stop()
         self._release_undispatched()
-        self.communicator.close()
-        if self._fabric is not None:
-            self._fabric.unregister(self.name)
-        if runtime_checks_enabled():
-            # Refcount audit (see repro.analysis.runtime): endpoints released
-            # their undrained ID queues at their own stop(); whatever is left
-            # in the store now is a leak.
-            self.communicator.object_store.assert_balanced(
-                context=f"broker {self.name!r} shutdown"
-            )
+        try:
+            if runtime_checks_enabled():
+                # Refcount audit (see repro.analysis.runtime): endpoints
+                # released their undrained ID queues at their own stop();
+                # whatever is left in the store now is a leak.  Must run
+                # before the communicator close below, which frees the
+                # store's remaining entries.
+                self.communicator.object_store.assert_balanced(
+                    context=f"broker {self.name!r} shutdown"
+                )
+        finally:
+            self.communicator.close()
+            if self._fabric is not None:
+                self._fabric.unregister(self.name)
 
     @receives_ownership("drains shares parked by stopped senders")
     def _release_undispatched(self) -> None:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .concurrency import make_lock
 from .message import Message
@@ -38,7 +38,9 @@ class MessageBuffer:
     def __init__(self, name: str = "", maxsize: int = 0):
         self.name = name
         self._headers: "queue.Queue[object]" = queue.Queue(maxsize=maxsize)
-        self._bodies: Dict[int, object] = {}
+        #: seq -> (body, cached frame): both survive the queue crossing so
+        #: the sender thread can reuse the workhorse's serialization work.
+        self._bodies: Dict[int, Tuple[object, object]] = {}
         self._lock = make_lock(f"buffer.{name}" if name else "buffer")
         self._closed = threading.Event()
         self.total_put = 0
@@ -48,7 +50,7 @@ class MessageBuffer:
         if self._closed.is_set():
             raise RuntimeError(f"buffer {self.name!r} is closed")
         with self._lock:
-            self._bodies[message.seq] = message.body
+            self._bodies[message.seq] = (message.body, message.frame)
             self.total_put += 1
         try:
             self._headers.put(message.header, timeout=timeout)
@@ -57,6 +59,28 @@ class MessageBuffer:
                 self._bodies.pop(message.seq, None)
                 self.total_put -= 1
             raise
+
+    def put_many(self, messages: Sequence[Message]) -> None:
+        """Stage several messages with one body-table lock acquisition.
+
+        Only for unbounded buffers (the framework default) — bounded ones
+        need the per-message blocking of :meth:`put`.
+        """
+        if self._headers.maxsize > 0:
+            for message in messages:
+                self.put(message)
+            return
+        if self._closed.is_set():
+            raise RuntimeError(f"buffer {self.name!r} is closed")
+        with self._lock:
+            for message in messages:
+                self._bodies[message.seq] = (message.body, message.frame)
+            self.total_put += len(messages)
+        headers = self._headers
+        with headers.mutex:
+            headers.queue.extend(message.header for message in messages)
+            headers.unfinished_tasks += len(messages)
+            headers.not_empty.notify(len(messages))
 
     def get(self, timeout: Optional[float] = None) -> Optional[Message]:
         """Blocking fetch; returns ``None`` once the buffer is closed and
@@ -70,9 +94,25 @@ class MessageBuffer:
             self._headers.put(_CLOSED)
             return None
         with self._lock:
-            body = self._bodies.pop(header["seq"], None)
+            body, frame = self._bodies.pop(header["seq"], (None, None))
             self.total_got += 1
-        return Message(header, body)
+        return Message(header, body, frame)
+
+    def get_many(
+        self, max_items: int, timeout: Optional[float] = None
+    ) -> List[Message]:
+        """One blocking :meth:`get` plus a non-blocking drain up to
+        ``max_items`` — the sender thread's per-wakeup batch."""
+        first = self.get(timeout=timeout)
+        if first is None:
+            return []
+        messages = [first]
+        while len(messages) < max_items:
+            extra = self.get(timeout=0.0)
+            if extra is None:
+                break
+            messages.append(extra)
+        return messages
 
     def get_nowait(self) -> Optional[Message]:
         return self.get(timeout=0.0) if not self.empty() else None

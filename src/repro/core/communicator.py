@@ -17,9 +17,9 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
-from .concurrency import make_lock
+from .concurrency import make_lock, runtime_checks_enabled
 from .errors import RoutingError
 from .object_store import InMemoryObjectStore, ObjectStore
 from .ownership import receives_ownership
@@ -57,6 +57,52 @@ class HeaderQueue:
             self._queue.put(self._CLOSED)  # wake any other waiters
             return None
         return item
+
+    def put_many(self, headers: Sequence[Dict[str, Any]]) -> bool:
+        """Enqueue several headers under one lock acquisition.
+
+        Returns ``False`` (enqueuing nothing) when the queue is closed —
+        the same all-or-nothing drop contract as :meth:`put`, so callers
+        release every affected refcount, not a guessed subset.  Bounded
+        queues fall back to per-item blocking puts.
+        """
+        if self._closed.is_set():
+            return False
+        if not headers:
+            return True
+        inner = self._queue
+        if inner.maxsize > 0:
+            for header in headers:
+                inner.put(header)
+            return True
+        with inner.mutex:
+            inner.queue.extend(headers)
+            inner.unfinished_tasks += len(headers)
+            inner.not_empty.notify(len(headers))
+        return True
+
+    def get_many(
+        self, max_items: int, timeout: Optional[float] = None
+    ) -> List[Dict[str, Any]]:
+        """One blocking :meth:`get` plus a same-lock drain up to
+        ``max_items`` — consumers (router, receiver threads) amortize the
+        queue lock over a whole wakeup's worth of headers."""
+        first = self.get(timeout=timeout)
+        if first is None:
+            return []
+        items = [first]
+        if max_items <= 1:
+            return items
+        inner = self._queue
+        with inner.mutex:
+            while len(items) < max_items and inner._qsize():
+                item = inner.queue[0]
+                if item is self._CLOSED:
+                    break  # leave the sentinel for other waiters
+                inner.queue.popleft()
+                inner.not_full.notify()
+                items.append(item)
+        return items
 
     def close(self) -> None:
         if not self._closed.is_set():
@@ -170,3 +216,7 @@ class ShareMemCommunicator:
             queues = list(self._id_queues.values())
         for id_queue in queues:
             id_queue.close()
+        # OS-backed stores hold segments / arena slabs that outlive their
+        # entries; in-memory stores make this a no-op.  Under runtime checks
+        # the close also audits the arena's block accounting.
+        self.object_store.close(audit=runtime_checks_enabled())

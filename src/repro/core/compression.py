@@ -91,13 +91,25 @@ class CompressionPolicy:
     threshold: int = DEFAULT_THRESHOLD
     codec: str = "zlib"
 
+    def should_compress(self, nbytes: int) -> bool:
+        """Whether a body of ``nbytes`` would be compressed by :meth:`encode`.
+
+        The zero-copy store path asks this *before* materializing a frame:
+        bodies below the threshold are scatter-gathered straight into their
+        destination buffer (with a raw prefix), and only would-be-compressed
+        bodies pay a contiguous intermediate copy for the codec.
+        """
+        return (
+            self.enabled and self.threshold is not None and nbytes >= self.threshold
+        )
+
     def encode(self, data: bytes) -> Tuple[bytes, bool]:
         """Maybe-compress ``data``; returns (framed bytes, compressed?).
 
         The one-byte frame prefix makes :meth:`decode` self-describing, so a
         receiver does not need to know the sender's policy.
         """
-        if self.enabled and self.threshold is not None and len(data) >= self.threshold:
+        if self.should_compress(len(data)):
             return _HDR_ZLIB + get_codec(self.codec).compress(data), True
         return _HDR_RAW + data, False
 

@@ -101,6 +101,32 @@ class SupervisionSpec:
 
 
 @dataclass
+class CoalescingSpec:
+    """Adaptive small-message coalescing knobs (see docs/PERFORMANCE.md).
+
+    When attached to a config, every endpoint's sender thread drains its
+    send buffer once per wakeup and packs consecutive sub-threshold bodies
+    for the same destination set into one ``MsgType.BATCH`` store entry —
+    one object-store insert, one header, one routing decision for the whole
+    run.  Receivers unpack transparently; workhorses never see the
+    envelope.  Disable (or set ``None`` on the config) for workloads
+    dominated by large bodies, or to measure the ablation.
+    """
+
+    enabled: bool = True
+    #: only bodies at most this many bytes are coalesced
+    max_message_bytes: int = 4096
+    #: cap on sub-messages per envelope (bounds unpack latency)
+    max_batch: int = 64
+
+    def validate(self) -> None:
+        if self.max_message_bytes < 0:
+            raise ConfigError("coalescing.max_message_bytes must be >= 0")
+        if self.max_batch < 2:
+            raise ConfigError("coalescing.max_batch must be >= 2")
+
+
+@dataclass
 class TelemetrySpec:
     """Observability knobs (see docs/OBSERVABILITY.md).
 
@@ -165,6 +191,9 @@ class XingTianConfig:
     supervision: Optional[SupervisionSpec] = None
     #: observability layer; None keeps telemetry fully off
     telemetry: Optional[TelemetrySpec] = None
+    #: small-message coalescing on the endpoint hot path; None keeps the
+    #: one-store-insert-per-message seed behaviour
+    coalescing: Optional[CoalescingSpec] = None
 
     # -- derived -------------------------------------------------------------
     @property
@@ -218,6 +247,8 @@ class XingTianConfig:
             self.supervision.validate()
         if self.telemetry is not None:
             self.telemetry.validate()
+        if self.coalescing is not None:
+            self.coalescing.validate()
 
     # -- (de)serialization ------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -251,11 +282,19 @@ class XingTianConfig:
             telemetry = TelemetrySpec(**telemetry_data)
         else:
             telemetry = None
+        coalescing_data = data.pop("coalescing", None)
+        if isinstance(coalescing_data, CoalescingSpec):
+            coalescing: Optional[CoalescingSpec] = coalescing_data
+        elif coalescing_data:
+            coalescing = CoalescingSpec(**coalescing_data)
+        else:
+            coalescing = None
         config = cls(
             machines=machines,
             stop=stop,
             supervision=supervision,
             telemetry=telemetry,
+            coalescing=coalescing,
             **data,
         )
         config.validate()

@@ -14,25 +14,57 @@ properties under study — are identical (see DESIGN.md §2).
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Optional
+import time
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from .broker import Broker
 from .buffers import ReceiveBuffer, SendBuffer
 from .concurrency import spawn_thread
+from .config import CoalescingSpec
 from .errors import LifecycleError
-from .message import COMPRESSED, OBJECT_ID, Message
+from .message import (
+    BODY_SIZE,
+    COMPRESSED,
+    DST,
+    OBJECT_ID,
+    TYPE,
+    Message,
+    MsgType,
+    pack_batch,
+    unpack_batch,
+)
 from .ownership import receives_ownership, transfers_ownership
-from .serialization import payload_nbytes
+from .serialization import measure
 from .stats import LatencyRecorder, ThroughputMeter
 from .tracing import Tracer
+
+#: One staged header: (header, object_id, refcount, originals) — ``originals``
+#: are the workhorse-visible messages the header carries (one, or a batch).
+_Staged = Tuple[dict, Optional[str], int, List[Message]]
+
+#: Per-wakeup drain bound when coalescing is off (amortizes queue locks
+#: without changing what crosses the wire).
+_DRAIN_LIMIT = 64
 
 
 class ProcessEndpoint:
     """One logical XingTian process attached to a broker."""
 
-    def __init__(self, name: str, broker: Broker):
+    def __init__(
+        self,
+        name: str,
+        broker: Broker,
+        *,
+        coalescing: Optional[CoalescingSpec] = None,
+    ):
         self.name = name
         self.broker = broker
+        #: small-message coalescing policy; inherited from the broker's
+        #: deployment config unless overridden per endpoint
+        self.coalescing = (
+            coalescing if coalescing is not None
+            else getattr(broker, "coalescing", None)
+        )
         self.send_buffer = SendBuffer(f"{name}.send")
         self.receive_buffer = ReceiveBuffer(f"{name}.recv")
         self._id_queue = broker.register_process(name)
@@ -53,6 +85,7 @@ class ProcessEndpoint:
         self._messages_received: Optional[Any] = None
         self._bytes_received: Optional[Any] = None
         self._delivery_histogram: Optional[Any] = None
+        self._coalesce_histogram: Optional[Any] = None
 
     def attach_metrics(self, registry: Any) -> None:
         """Register this endpoint's counters/histograms on ``registry``."""
@@ -76,6 +109,10 @@ class ProcessEndpoint:
         self._delivery_histogram = registry.histogram(
             "endpoint_delivery_latency_seconds", labels,
             help="message age when the receiver thread lands it",
+        )
+        self._coalesce_histogram = registry.histogram(
+            "endpoint_coalesce_batch_size", labels,
+            help="sub-messages per coalesced BATCH envelope",
         )
 
     # -- lifecycle ----------------------------------------------------------
@@ -124,7 +161,13 @@ class ProcessEndpoint:
         what lets communication overlap with the computation that follows.
         """
         if message.body_size == 0 and message.body is not None:
-            message.header["body_size"] = payload_nbytes(message.body)
+            nbytes, frame = measure(message.body)
+            message.header[BODY_SIZE] = nbytes
+            if frame is not None:
+                # The size came from a full serialization pass: keep the
+                # frame so the sender thread's store insert reuses it
+                # instead of pickling the same body a second time.
+                message.frame = frame
         if self.tracer is not None:
             self.tracer.record(
                 "sent", self.name, seq=message.seq,
@@ -152,74 +195,186 @@ class ProcessEndpoint:
             )
         return message
 
-    # -- internal threads -----------------------------------------------------
-    @transfers_ownership("header carries the object ID across the queue")
-    def _sender_loop(self) -> None:
-        """Monitor the send buffer; push each message into the communicator.
+    def receive_many(
+        self, max_items: int, timeout: Optional[float] = None
+    ) -> List[Message]:
+        """Drain up to ``max_items`` delivered messages in one buffer lock.
 
-        Inserts the body into the object store with a refcount equal to the
-        destination fan-out, attaches the object ID to the header, and puts
-        the header on the communicator's header queue (§3.2.1).
+        Blocks up to ``timeout`` for the first message, then takes whatever
+        else is already buffered — the batch-consuming counterpart of
+        :meth:`receive` for workhorses that process deliveries in bulk.
+        """
+        messages = self.receive_buffer.get_many(max_items, timeout=timeout)
+        if self.tracer is not None:
+            for message in messages:
+                self.tracer.record(
+                    "consumed", self.name, seq=message.seq, src=message.src,
+                    type=str(message.msg_type),
+                )
+        return messages
+
+    # -- internal threads -----------------------------------------------------
+    @transfers_ownership("staged header carries the object ID across the queue")
+    def _stage(self, message: Message) -> _Staged:
+        """Insert ``message``'s body into the object store; build its header.
+
+        The body goes in with a refcount equal to the destination fan-out;
+        the returned header carries the object ID across the header queue.
+        ``originals`` is the list of workhorse-level messages this header
+        represents — for a BATCH envelope, the coalesced sub-messages.
+        """
+        store = self.broker.communicator.object_store
+        refcount = max(1, len(message.dst))
+        if message.body is not None:
+            object_id: Optional[str] = store.put(
+                message.body,
+                refcount=refcount,
+                nbytes=message.body_size,
+                frame=message.frame,
+            )
+        else:
+            object_id = None
+        header = dict(message.header)
+        header[OBJECT_ID] = object_id
+        originals = [message]
+        return header, object_id, refcount, originals
+
+    def _stage_coalesced(
+        self, messages: Sequence[Message], spec: CoalescingSpec
+    ) -> List[_Staged]:
+        """Stage a drained batch, packing runs of small same-destination
+        messages into BATCH envelopes.
+
+        Only *consecutive* messages with an identical destination list are
+        packed, so per-destination FIFO order is exactly what it was without
+        coalescing.  Messages above the size threshold (or already BATCH,
+        or body-less control headers) pass through individually.
+        """
+        staged: List[_Staged] = []
+        run: List[Message] = []
+        run_dst: Optional[tuple] = None
+        for message in messages:
+            packable = (
+                message.body is not None
+                and message.body_size <= spec.max_message_bytes
+                and message.msg_type is not MsgType.BATCH
+            )
+            dst_key = tuple(message.header.get(DST, ())) if packable else None
+            if packable and dst_key == run_dst and len(run) < spec.max_batch:
+                run.append(message)
+                continue
+            self._flush_run(run, staged)
+            if packable:
+                run = [message]
+                run_dst = dst_key
+            else:
+                run = []
+                run_dst = None
+                staged.append(self._stage(message))
+        self._flush_run(run, staged)
+        return staged
+
+    def _flush_run(self, run: List[Message], staged: List[_Staged]) -> None:
+        if not run:
+            return
+        if len(run) == 1:
+            staged.append(self._stage(run[0]))
+            return
+        envelope = pack_batch(run)
+        header, object_id, refcount, _ = self._stage(envelope)
+        staged.append((header, object_id, refcount, list(run)))
+        if self._coalesce_histogram is not None:
+            self._coalesce_histogram.observe(len(run))
+
+    @transfers_ownership("headers carry the object IDs across the queue")
+    def _sender_loop(self) -> None:
+        """Monitor the send buffer; push staged messages into the communicator.
+
+        Each wakeup drains the send buffer (up to the batch cap), coalesces
+        small same-destination runs when configured, inserts bodies into the
+        object store with refcounts equal to their destination fan-out, and
+        pushes all resulting headers onto the communicator's header queue in
+        one batched put (§3.2.1).
         """
         communicator = self.broker.communicator
+        spec = self.coalescing
+        coalesce = spec is not None and spec.enabled
+        drain = spec.max_batch if coalesce else _DRAIN_LIMIT
         while not self._stop.is_set():
-            message = self.send_buffer.get(timeout=0.25)
-            if message is None:
+            messages = self.send_buffer.get_many(drain, timeout=0.25)
+            if not messages:
                 if self.send_buffer.closed:
                     return
                 continue
-            refcount = max(1, len(message.dst))
-            if message.body is not None:
-                object_id = communicator.object_store.put(
-                    message.body, refcount=refcount, nbytes=message.body_size
-                )
+            if coalesce:
+                staged = self._stage_coalesced(messages, spec)
             else:
-                object_id = None
-            header = dict(message.header)
-            header[OBJECT_ID] = object_id
-            if not communicator.header_queue.put(header):
-                # Header dropped (communicator closing): undo the store
-                # insert or the body leaks with its full fan-out refcount.
-                if object_id is not None:
-                    for _ in range(refcount):
-                        communicator.object_store.release(object_id)
+                staged = [self._stage(message) for message in messages]
+            headers = [entry[0] for entry in staged]
+            if not communicator.header_queue.put_many(headers):
+                # Headers dropped (communicator closing): undo every store
+                # insert or the bodies leak with their full fan-out refcounts.
+                for _, object_id, refcount, _ in staged:
+                    if object_id is not None:
+                        for _ in range(refcount):
+                            communicator.object_store.release(object_id)
                 continue
-            self.sent_meter.record(max(message.body_size, 1))
+            self.sent_meter.record_many(
+                [max(message.body_size, 1) for message in messages]
+            )
 
-    @receives_ownership("releases the share the sender acquired for us")
+    @receives_ownership("releases the shares the senders acquired for us")
     def _receiver_loop(self) -> None:
-        """Monitor the ID queue; copy bodies into the local receive buffer."""
+        """Monitor the ID queue; copy bodies into the local receive buffer.
+
+        BATCH envelopes are unpacked here — one store fetch covers the whole
+        run, then each restored sub-message lands in the receive buffer
+        individually, so workhorses never see the transport envelope.
+        """
         communicator = self.broker.communicator
         while not self._stop.is_set():
-            header = self._id_queue.get(timeout=0.25)
-            if header is None:
+            headers = self._id_queue.get_many(_DRAIN_LIMIT, timeout=0.25)
+            if not headers:
                 if self._id_queue.closed:
                     return
                 continue
-            object_id = header.get(OBJECT_ID)
-            if object_id is not None:
-                body = communicator.object_store.get(object_id)
-                communicator.object_store.release(object_id)
-            else:
-                body = None
-            header = dict(header)
-            header[OBJECT_ID] = None
-            header[COMPRESSED] = False
-            message = Message(header, body)
-            age = message.age()
-            self.delivery_latency.record(age)
-            self.received_meter.record(max(message.body_size, 1))
+            deliveries: List[Message] = []
+            for header in headers:
+                object_id = header.get(OBJECT_ID)
+                if object_id is not None:
+                    body = communicator.object_store.get(object_id)
+                    communicator.object_store.release(object_id)
+                else:
+                    body = None
+                if header.get(TYPE) == MsgType.BATCH and body is not None:
+                    envelope = Message(dict(header), body)
+                    deliveries.extend(unpack_batch(envelope))
+                    continue
+                header = dict(header)
+                header[OBJECT_ID] = None
+                header[COMPRESSED] = False
+                deliveries.append(Message(header, body))
+            now = time.monotonic()  # one clock read ages the whole batch
+            ages = [message.age(now) for message in deliveries]
+            self.delivery_latency.record_many(ages)
+            self.received_meter.record_many(
+                [max(message.body_size, 1) for message in deliveries]
+            )
             if self._messages_received is not None:
-                self._messages_received.inc()
-                self._bytes_received.inc(message.body_size)
-                self._delivery_histogram.observe(max(age, 0.0))
-            if self.tracer is not None:
-                self.tracer.record(
-                    "delivered", self.name, seq=message.seq, src=message.src,
-                    type=str(message.msg_type),
+                self._messages_received.inc(len(deliveries))
+                self._bytes_received.inc(
+                    sum(message.body_size for message in deliveries)
                 )
+                for age in ages:
+                    self._delivery_histogram.observe(max(age, 0.0))
+            if self.tracer is not None:
+                for message in deliveries:
+                    self.tracer.record(
+                        "delivered", self.name, seq=message.seq,
+                        src=message.src, type=str(message.msg_type),
+                    )
             try:
-                self.receive_buffer.put(message)
+                self.receive_buffer.put_many(deliveries)
             except RuntimeError:
                 return  # receive buffer closed during shutdown
 

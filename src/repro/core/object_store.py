@@ -11,8 +11,17 @@ IDs travel through queues (§3.2.1).  Two implementations are provided:
   freed after N fetch-and-release cycles.
 
 * :class:`SharedMemoryObjectStore` — bodies serialized into
-  ``multiprocessing.shared_memory`` segments, the closest stdlib analogue of
-  the paper's Arrow/Plasma store, usable across real OS processes.
+  ``multiprocessing.shared_memory``, the closest stdlib analogue of the
+  paper's Arrow/Plasma store, usable across real OS processes.  Bodies are
+  scatter-gathered directly into blocks of a pooled
+  :class:`~repro.core.arena.SlabArena` (no per-message segment creation, no
+  intermediate ``bytes``); the legacy one-segment-per-message path remains
+  as the arena-exhaustion fallback and as the ``use_arena=False`` baseline
+  the ablation benchmarks compare against.
+
+Both ``put`` methods accept an optional precomputed
+:class:`~repro.core.serialization.Frame` so senders that already framed the
+body (to size its header) never pickle it a second time.
 """
 
 from __future__ import annotations
@@ -20,12 +29,13 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
-from .compression import CompressionPolicy, disabled_policy
+from .arena import ArenaError, BlockHandle, SlabArena
+from .compression import _HDR_RAW, _HDR_ZLIB, CompressionPolicy, disabled_policy
 from .concurrency import make_lock
 from .errors import ObjectStoreError, RefcountLeakError, UnknownObjectError
-from .serialization import deserialize, serialize
+from .serialization import Frame, deserialize, make_frame, serialize
 
 _OBJECT_COUNTER = itertools.count()
 
@@ -46,10 +56,18 @@ class ObjectStore:
     """Interface: insert a body for N consumers, fetch by ID, release.
 
     ``nbytes`` is an optional caller-supplied payload size used purely for
-    cost accounting when the store itself does not serialize.
+    cost accounting when the store itself does not serialize.  ``frame`` is
+    an optional predigested scatter-gather descriptor of ``body`` — stores
+    that serialize reuse it instead of re-framing the same object.
     """
 
-    def put(self, body: Any, refcount: int = 1, nbytes: Optional[int] = None) -> str:
+    def put(
+        self,
+        body: Any,
+        refcount: int = 1,
+        nbytes: Optional[int] = None,
+        frame: Optional[Frame] = None,
+    ) -> str:
         raise NotImplementedError
 
     def get(self, object_id: str) -> Any:
@@ -60,6 +78,13 @@ class ObjectStore:
 
     def __len__(self) -> int:
         raise NotImplementedError
+
+    def close(self, audit: bool = False) -> None:
+        """Free any OS-backed resources (segments, arena slabs).
+
+        A no-op for stores that only hold Python references; called by the
+        communicator when its broker stops.  Must be idempotent.
+        """
 
     def leak_report(self) -> List[Tuple[str, int, int]]:
         """``(object_id, refcount, nbytes)`` for every unreleased entry.
@@ -136,11 +161,17 @@ class InMemoryObjectStore(ObjectStore):
         if self._copy_bandwidth is not None and nbytes > 0:
             time.sleep(nbytes / self._copy_bandwidth)
 
-    def put(self, body: Any, refcount: int = 1, nbytes: Optional[int] = None) -> str:
+    def put(
+        self,
+        body: Any,
+        refcount: int = 1,
+        nbytes: Optional[int] = None,
+        frame: Optional[Frame] = None,
+    ) -> str:
         if refcount < 1:
             raise ObjectStoreError(f"refcount must be >= 1, got {refcount}")
         if self._copy_on_fetch:
-            blob = serialize(body)
+            blob = frame.to_bytes() if frame is not None else serialize(body)
             framed, compressed = self._compression.encode(blob)
             stored: Any = framed
             nbytes = len(framed)
@@ -221,30 +252,76 @@ class InMemoryObjectStore(ObjectStore):
             return self._total_refcounts
 
 
-class SharedMemoryObjectStore(ObjectStore):
-    """Object store over ``multiprocessing.shared_memory`` segments.
+#: Where a SHM entry's bytes live: an arena block or a dedicated segment.
+_Location = Tuple[str, Union[BlockHandle, str]]
+_LOC_ARENA = "arena"
+_LOC_SEGMENT = "segment"
 
-    Each body is serialized (and maybe compressed) into its own shared
-    segment; the object ID is the segment name, so any process that learns
-    the ID can attach and read without copying through a pipe.  The creating
-    process owns unlinking, driven by refcounts it tracks.
+
+class SharedMemoryObjectStore(ObjectStore):
+    """Object store over ``multiprocessing.shared_memory``.
+
+    The fast path scatter-gathers each body's frame directly into a pooled
+    :class:`~repro.core.arena.SlabArena` block — one raw-prefix byte plus
+    the frame segments, no intermediate ``bytes`` object, no per-message
+    segment creation.  Bodies the compression policy wants compressed are
+    materialized once for the codec; arena exhaustion (or
+    ``use_arena=False``) falls back to the legacy dedicated-segment path.
+    The creating process owns block/segment reclamation, driven by the
+    refcounts it tracks.
     """
 
-    def __init__(self, *, compression: Optional[CompressionPolicy] = None):
+    def __init__(
+        self,
+        *,
+        compression: Optional[CompressionPolicy] = None,
+        use_arena: bool = True,
+        arena: Optional[SlabArena] = None,
+    ):
         from multiprocessing import shared_memory  # local import: optional path
 
         self._shared_memory = shared_memory
         self._compression = compression or disabled_policy()
         self._refcounts: Dict[str, int] = {}
         self._sizes: Dict[str, int] = {}
+        self._locations: Dict[str, _Location] = {}
         self._total_refcounts = 0
         self._lock = make_lock("object_store.shm")
+        if arena is not None:
+            self._arena: Optional[SlabArena] = arena
+        elif use_arena:
+            self._arena = SlabArena(name="store")
+        else:
+            self._arena = None
+        self.total_arena_put = 0
+        self.total_segment_put = 0
 
-    def put(self, body: Any, refcount: int = 1, nbytes: Optional[int] = None) -> str:
-        del nbytes  # the real serialization below defines the size
-        if refcount < 1:
-            raise ObjectStoreError(f"refcount must be >= 1, got {refcount}")
-        framed, _ = self._compression.encode(serialize(body))
+    @property
+    def arena(self) -> Optional[SlabArena]:
+        return self._arena
+
+    def arena_stats(self) -> Dict[str, int]:
+        """Occupancy gauges for the telemetry sampler (empty: arena off)."""
+        if self._arena is None:
+            return {}
+        return self._arena.stats()
+
+    # -- write paths --------------------------------------------------------
+    def _write_arena(self, frame: Frame) -> Optional[Tuple[BlockHandle, int]]:
+        """Scatter-gather ``frame`` into an arena block (None: fall back)."""
+        assert self._arena is not None
+        total = 1 + frame.nbytes  # raw-compression prefix + frame
+        try:
+            block = self._arena.alloc(total)
+        except ArenaError:
+            return None  # exhausted (or closed): dedicated-segment fallback
+        block.buf[0:1] = _HDR_RAW
+        frame.serialize_into(block.buf[1:total])
+        block.release()  # no exported view may outlive the block (huge unlink)
+        return block.handle, total
+
+    def _write_segment(self, framed: bytes) -> str:
+        """Legacy path: one dedicated segment per body."""
         name = _new_object_id("xtshm")
         segment = self._shared_memory.SharedMemory(
             name=name, create=True, size=max(1, len(framed))
@@ -253,44 +330,105 @@ class SharedMemoryObjectStore(ObjectStore):
             segment.buf[: len(framed)] = framed
         finally:
             segment.close()
-        with self._lock:
-            self._refcounts[name] = refcount
-            self._sizes[name] = len(framed)
-            self._total_refcounts += refcount
         return name
 
+    def put(
+        self,
+        body: Any,
+        refcount: int = 1,
+        nbytes: Optional[int] = None,
+        frame: Optional[Frame] = None,
+    ) -> str:
+        del nbytes  # the real serialization below defines the size
+        if refcount < 1:
+            raise ObjectStoreError(f"refcount must be >= 1, got {refcount}")
+        if frame is None:
+            frame = make_frame(body)
+        location: Optional[_Location] = None
+        total = 0
+        if self._arena is not None and not self._compression.should_compress(
+            frame.nbytes
+        ):
+            written = self._write_arena(frame)
+            if written is not None:
+                handle, total = written
+                location = (_LOC_ARENA, handle)
+                self.total_arena_put += 1
+        if location is None:
+            framed, _ = self._compression.encode(frame.to_bytes())
+            total = len(framed)
+            location = (_LOC_SEGMENT, self._write_segment(framed))
+            self.total_segment_put += 1
+        object_id = _new_object_id("xtobj")
+        with self._lock:
+            self._refcounts[object_id] = refcount
+            self._sizes[object_id] = total
+            self._locations[object_id] = location
+            self._total_refcounts += refcount
+        return object_id
+
+    # -- read path ----------------------------------------------------------
     def get(self, object_id: str) -> Any:
         with self._lock:
             size = self._sizes.get(object_id)
-        if size is None:
+            location = self._locations.get(object_id)
+        if size is None or location is None:
             raise UnknownObjectError(object_id)
+        kind, where = location
+        if kind == _LOC_ARENA:
+            assert self._arena is not None and isinstance(where, BlockHandle)
+            view = self._arena.view(where)[:size]
+            return self._decode_view(view)
+        assert isinstance(where, str)
         try:
-            segment = self._shared_memory.SharedMemory(name=object_id)
+            segment = self._shared_memory.SharedMemory(name=where)
         except FileNotFoundError:
             raise UnknownObjectError(object_id) from None
         try:
-            framed = bytes(segment.buf[:size])
+            return self._decode_view(memoryview(segment.buf)[:size])
         finally:
             segment.close()
-        return deserialize(self._compression.decode(framed))
 
+    def _decode_view(self, view: memoryview) -> Any:
+        """Deserialize a framed body straight from shared memory.
+
+        Raw bodies skip the contiguous ``decode`` copy entirely — the
+        deserializer parses the view in place and copies only the array
+        buffers (mandatory here: the block is recycled after release).
+        """
+        prefix = bytes(view[0:1])
+        if prefix == _HDR_RAW:
+            return deserialize(view[1:], copy=True)
+        if prefix == _HDR_ZLIB:
+            return deserialize(self._compression.decode(bytes(view)))
+        raise ObjectStoreError(f"unknown compression frame prefix {prefix!r}")
+
+    # -- release ------------------------------------------------------------
     def release(self, object_id: str) -> None:
+        location: Optional[_Location] = None
         with self._lock:
             if object_id not in self._refcounts:
                 raise UnknownObjectError(object_id)
             self._refcounts[object_id] -= 1
             self._total_refcounts -= 1
-            done = self._refcounts[object_id] <= 0
-            if done:
+            if self._refcounts[object_id] <= 0:
                 del self._refcounts[object_id]
                 del self._sizes[object_id]
-        if done:
-            try:
-                segment = self._shared_memory.SharedMemory(name=object_id)
-            except FileNotFoundError:
-                return
-            segment.close()
-            segment.unlink()
+                location = self._locations.pop(object_id)
+        if location is None:
+            return
+        kind, where = location
+        if kind == _LOC_ARENA:
+            assert self._arena is not None and isinstance(where, BlockHandle)
+            self._arena.free(where)
+            return
+        assert isinstance(where, str)
+        try:
+            segment = self._shared_memory.SharedMemory(name=where)
+        except FileNotFoundError:
+            return
+        segment.close()
+        segment.unlink()
 
     def __len__(self) -> int:
         with self._lock:
@@ -301,6 +439,11 @@ class SharedMemoryObjectStore(ObjectStore):
         with self._lock:
             return self._total_refcounts
 
+    @property
+    def used_bytes(self) -> int:
+        with self._lock:
+            return sum(self._sizes.values())
+
     def leak_report(self) -> List[Tuple[str, int, int]]:
         with self._lock:
             return [
@@ -308,17 +451,30 @@ class SharedMemoryObjectStore(ObjectStore):
                 for object_id, refcount in sorted(self._refcounts.items())
             ]
 
-    def close(self) -> None:
-        """Unlink every remaining segment (cleanup for tests/shutdown)."""
+    def close(self, audit: bool = False) -> None:
+        """Free every remaining entry and the arena's slabs.
+
+        With ``audit`` the arena's block accounting is checked first —
+        after all refcounts were balanced, every arena block must have been
+        freed, or the store leaked slab space.
+        """
         with self._lock:
-            names = list(self._refcounts)
+            locations = list(self._locations.values())
             self._refcounts.clear()
             self._sizes.clear()
+            self._locations.clear()
             self._total_refcounts = 0
-        for name in names:
+        for kind, where in locations:
+            if kind != _LOC_SEGMENT:
+                continue
+            assert isinstance(where, str)
             try:
-                segment = self._shared_memory.SharedMemory(name=name)
+                segment = self._shared_memory.SharedMemory(name=where)
             except FileNotFoundError:
                 continue
             segment.close()
             segment.unlink()
+        if self._arena is not None:
+            if audit and not locations:
+                self._arena.assert_balanced(context="store close")
+            self._arena.close()

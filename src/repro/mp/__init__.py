@@ -11,13 +11,25 @@ build custom topologies.  Bodies cross process boundaries zero-copy: only
 segment names travel through queues.
 """
 
-from .channel import MpChannel, read_segment, write_segment
+from .channel import (
+    MpChannel,
+    SharedSlabPool,
+    discard_body,
+    read_body,
+    read_segment,
+    write_body,
+    write_segment,
+)
 from .session import MpSession, MpRunResult
 
 __all__ = [
     "MpChannel",
+    "SharedSlabPool",
     "write_segment",
     "read_segment",
+    "write_body",
+    "read_body",
+    "discard_body",
     "MpSession",
     "MpRunResult",
 ]

@@ -19,7 +19,7 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from ..core.stats import LatencyRecorder, ThroughputMeter
-from .channel import MpChannel
+from .channel import MpChannel, SharedSlabPool, discard_body
 
 
 @dataclass
@@ -99,6 +99,9 @@ class MpSession:
         num_explorers: int = 2,
         broadcast_every: int = 1,
         telemetry: bool = False,
+        use_pool: bool = True,
+        pool_block_bytes: int = 1 << 20,
+        pool_blocks: int = 32,
     ):
         if "model_config" not in spec:
             raise ValueError("mp spec needs an explicit model_config")
@@ -106,6 +109,9 @@ class MpSession:
         self.num_explorers = num_explorers
         self.broadcast_every = broadcast_every
         self.telemetry = telemetry
+        self.use_pool = use_pool
+        self.pool_block_bytes = pool_block_bytes
+        self.pool_blocks = pool_blocks
         self._context = mp.get_context("fork")
 
     def run(
@@ -130,7 +136,18 @@ class MpSession:
         )
 
         stop_event = self._context.Event()
-        channels = [MpChannel() for _ in range(self.num_explorers)]
+        # The slab pool must exist before forking so every explorer inherits
+        # the mapping; all channels share the one pool and its free list.
+        pool = (
+            SharedSlabPool(
+                self._context,
+                block_bytes=self.pool_block_bytes,
+                num_blocks=self.pool_blocks,
+            )
+            if self.use_pool
+            else None
+        )
+        channels = [MpChannel(pool=pool) for _ in range(self.num_explorers)]
         workers = []
         for index, channel in enumerate(channels):
             spec = dict(self.spec)
@@ -238,6 +255,8 @@ class MpSession:
                     worker.terminate()
                     worker.join(timeout=2.0)
             self._drain(channels)
+            if pool is not None:
+                pool.close()
         metrics_snapshot: Dict[str, Any] = {}
         if registry_obs is not None:
             from ..obs import snapshot as obs_snapshot
@@ -259,29 +278,18 @@ class MpSession:
 
     @staticmethod
     def _drain(channels: List[MpChannel]) -> None:
-        """Free any segments still referenced by queued headers."""
-        from multiprocessing import shared_memory
-
+        """Free storage still referenced by queued handles (both kinds:
+        pooled blocks go back to the free list, segments are unlinked)."""
         for channel in channels:
             while True:
                 try:
-                    _, segment, _ = channel.headers.get_nowait()
+                    _, handle, _ = channel.headers.get_nowait()
                 except Exception:
                     break
-                try:
-                    stale = shared_memory.SharedMemory(name=segment)
-                    stale.close()
-                    stale.unlink()
-                except FileNotFoundError:
-                    pass
+                discard_body(handle, channel.pool)
             while True:
                 try:
-                    segment = channel.weights.get_nowait()
+                    handle = channel.weights.get_nowait()
                 except Exception:
                     break
-                try:
-                    stale = shared_memory.SharedMemory(name=segment)
-                    stale.close()
-                    stale.unlink()
-                except FileNotFoundError:
-                    pass
+                discard_body(handle, channel.pool)

@@ -92,6 +92,20 @@ class TelemetrySampler:
             "outstanding refcount shares across live entries",
         )
 
+        # Arena occupancy gauges (shared-memory stores only; see
+        # repro.core.arena.SlabArena.stats).
+        arena_gauges: dict = {}
+        if getattr(store, "arena_stats", None) is not None:
+            for stat_name, help_text in (
+                ("allocated_blocks", "live arena blocks"),
+                ("allocated_bytes", "bytes held by live arena blocks"),
+                ("slab_bytes", "total shared memory mapped by arena slabs"),
+                ("free_blocks", "recycled blocks parked on arena free lists"),
+            ):
+                arena_gauges[stat_name] = self._series_gauge(
+                    f"arena_{stat_name}", broker_label, help_text
+                )
+
         depth_gauges: dict = {}
 
         def probe(timestamp: float) -> None:
@@ -102,6 +116,11 @@ class TelemetrySampler:
             if outstanding is None:  # O(n) fallback for third-party stores
                 outstanding = sum(count for _, count, _ in store.leak_report())
             refcount_gauge.set(outstanding, timestamp)
+            if arena_gauges:
+                stats = store.arena_stats()
+                if stats:
+                    for stat_name, gauge in arena_gauges.items():
+                        gauge.set(stats.get(stat_name, 0), timestamp)
             for process_name, depth in communicator.queue_depths().items():
                 gauge = depth_gauges.get(process_name)
                 if gauge is None:

@@ -1,0 +1,200 @@
+"""Tests for the pooled shared-memory slab arena."""
+
+import sys
+
+import pytest
+
+from repro.core.arena import (
+    ArenaError,
+    ArenaExhaustedError,
+    SlabArena,
+)
+from repro.core.errors import RefcountLeakError
+
+pytestmark = pytest.mark.skipif(
+    sys.platform == "win32", reason="POSIX shared memory semantics assumed"
+)
+
+
+@pytest.fixture
+def arena():
+    instance = SlabArena(name="test", min_block=64, max_block=1024, slab_blocks=4)
+    yield instance
+    instance.close()
+
+
+class TestAllocation:
+    def test_roundtrip_bytes(self, arena):
+        block = arena.alloc(10)
+        block.buf[:10] = b"0123456789"
+        assert bytes(arena.view(block.handle)[:10]) == b"0123456789"
+        arena.free(block.handle)
+
+    def test_size_class_rounds_up(self, arena):
+        block = arena.alloc(65)
+        assert block.handle.size == 128
+        arena.free(block.handle)
+
+    def test_block_reuse_after_free(self, arena):
+        first = arena.alloc(64)
+        handle = first.handle
+        arena.free(handle)
+        second = arena.alloc(64)
+        # LIFO free list hands the warm block straight back.
+        assert second.handle == handle
+        arena.free(second.handle)
+
+    def test_no_new_slab_on_steady_state(self, arena):
+        for _ in range(100):
+            block = arena.alloc(500)
+            arena.free(block.handle)
+        assert arena.total_slabs == 1
+        assert arena.total_alloc == 100
+        assert arena.total_free == 100
+
+    def test_distinct_blocks_while_live(self, arena):
+        blocks = [arena.alloc(64) for _ in range(8)]
+        offsets = {(b.handle.segment, b.handle.offset) for b in blocks}
+        assert len(offsets) == 8
+        for block in blocks:
+            arena.free(block.handle)
+
+    def test_huge_block_gets_dedicated_segment(self, arena):
+        block = arena.alloc(4096)  # over max_block=1024
+        assert block.handle.huge
+        assert block.handle.size == 4096
+        block.buf[:3] = b"big"
+        assert bytes(arena.view(block.handle)[:3]) == b"big"
+        block.release()
+        arena.free(block.handle)
+        assert arena.stats()["slab_bytes"] == 0
+
+    def test_zero_byte_alloc_is_valid(self, arena):
+        block = arena.alloc(0)
+        assert block.handle.size >= 1
+        arena.free(block.handle)
+
+
+class TestExhaustion:
+    def test_alloc_raises_when_capacity_exceeded(self):
+        arena = SlabArena(
+            name="tiny", min_block=64, max_block=64,
+            slab_blocks=2, capacity_bytes=128,
+        )
+        try:
+            a = arena.alloc(64)
+            b = arena.alloc(64)
+            with pytest.raises(ArenaExhaustedError):
+                arena.alloc(64)
+            a.release()
+            arena.free(a.handle)
+            # Freed capacity is usable again.
+            c = arena.alloc(64)
+            for block in (b, c):
+                block.release()
+                arena.free(block.handle)
+        finally:
+            arena.close()
+
+    def test_huge_respects_capacity(self):
+        arena = SlabArena(
+            name="tiny-huge", min_block=64, max_block=64,
+            slab_blocks=1, capacity_bytes=256,
+        )
+        try:
+            with pytest.raises(ArenaExhaustedError):
+                arena.alloc(1024)
+        finally:
+            arena.close()
+
+
+class TestMisuse:
+    def test_double_free_detected(self, arena):
+        block = arena.alloc(64)
+        arena.free(block.handle)
+        with pytest.raises(ArenaError, match="double free"):
+            arena.free(block.handle)
+
+    def test_view_of_freed_block_rejected(self, arena):
+        block = arena.alloc(64)
+        arena.free(block.handle)
+        with pytest.raises(ArenaError):
+            arena.view(block.handle)
+
+    def test_alloc_after_close_rejected(self):
+        arena = SlabArena(name="closed", min_block=64, max_block=64)
+        arena.close()
+        with pytest.raises(ArenaError, match="closed"):
+            arena.alloc(1)
+
+    def test_bad_configuration_rejected(self):
+        with pytest.raises(ArenaError):
+            SlabArena(min_block=0)
+        with pytest.raises(ArenaError):
+            SlabArena(min_block=128, max_block=64)
+
+
+class TestAudit:
+    def test_leak_report_lists_live_blocks(self, arena):
+        block = arena.alloc(64)
+        report = arena.leak_report()
+        assert len(report) == 1
+        block_id, count, nbytes = report[0]
+        assert count == 1
+        assert nbytes == 64
+        assert block.handle.segment in block_id
+        arena.free(block.handle)
+        assert arena.leak_report() == []
+
+    def test_assert_balanced_passes_when_clean(self, arena):
+        block = arena.alloc(64)
+        arena.free(block.handle)
+        arena.assert_balanced(context="test")
+
+    def test_assert_balanced_raises_on_leak(self, arena):
+        arena.alloc(64)
+        with pytest.raises(RefcountLeakError, match="unfreed"):
+            arena.assert_balanced(context="test")
+        # fixture close() still succeeds
+
+    def test_stats_track_occupancy(self, arena):
+        stats = arena.stats()
+        assert stats["allocated_blocks"] == 0
+        block = arena.alloc(100)
+        stats = arena.stats()
+        assert stats["allocated_blocks"] == 1
+        assert stats["allocated_bytes"] == 128
+        assert stats["slab_bytes"] > 0
+        assert stats["free_blocks"] == 3  # slab_blocks=4, one taken
+        arena.free(block.handle)
+        assert arena.stats()["free_blocks"] == 4
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        arena = SlabArena(name="idem", min_block=64, max_block=64)
+        arena.alloc(1)
+        arena.close()
+        arena.close()
+        assert arena.closed
+
+    def test_close_unlinks_slabs(self):
+        from multiprocessing import shared_memory
+
+        arena = SlabArena(name="unlink", min_block=64, max_block=64)
+        block = arena.alloc(1)
+        segment_name = block.handle.segment
+        block.release()
+        arena.free(block.handle)
+        arena.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=segment_name)
+
+    def test_unique_names_across_instances(self):
+        a = SlabArena(name="same")
+        b = SlabArena(name="same")
+        try:
+            assert a.name != b.name
+        finally:
+            a.close()
+            b.close()

@@ -5,7 +5,16 @@ import sys
 import numpy as np
 import pytest
 
-from repro.mp import MpChannel, MpSession, read_segment, write_segment
+from repro.mp import (
+    MpChannel,
+    MpSession,
+    SharedSlabPool,
+    discard_body,
+    read_body,
+    read_segment,
+    write_body,
+    write_segment,
+)
 
 pytestmark = pytest.mark.skipif(
     sys.platform == "win32", reason="fork-based multiprocessing assumed"
@@ -47,6 +56,90 @@ class TestSegments:
         assert read_segment(write_segment(None)) is None
 
 
+class TestSharedSlabPool:
+    def test_pooled_roundtrip(self):
+        pool = SharedSlabPool(block_bytes=1 << 16, num_blocks=4)
+        try:
+            body = {"obs": np.arange(64).reshape(8, 8), "meta": [1]}
+            handle = pool.write(body)
+            assert handle is not None
+            restored = pool.read(handle)
+            assert np.array_equal(restored["obs"], body["obs"])
+        finally:
+            pool.close()
+
+    def test_blocks_recycled(self):
+        pool = SharedSlabPool(block_bytes=1 << 12, num_blocks=2)
+        try:
+            for index in range(20):
+                handle = pool.write({"i": index})
+                assert handle is not None
+                assert pool.read(handle) == {"i": index}
+            assert pool.free_blocks() == 2
+            assert pool.total_pool_writes == 20
+        finally:
+            pool.close()
+
+    def test_oversized_body_returns_none(self):
+        pool = SharedSlabPool(block_bytes=1 << 12, num_blocks=2)
+        try:
+            assert pool.write(np.zeros(1 << 14, dtype=np.uint8)) is None
+            assert pool.total_fallback == 1
+        finally:
+            pool.close()
+
+    def test_exhausted_pool_returns_none(self):
+        pool = SharedSlabPool(block_bytes=1 << 12, num_blocks=1)
+        try:
+            held = pool.write("occupies the only block")
+            assert held is not None
+            assert pool.free_blocks() == 0
+            assert pool.write("no room") is None
+            pool.discard(held)
+            assert pool.free_blocks() == 1
+        finally:
+            pool.close()
+
+    def test_write_body_falls_back_to_segment(self):
+        pool = SharedSlabPool(block_bytes=1 << 12, num_blocks=1)
+        try:
+            big = np.zeros(1 << 14, dtype=np.uint8)
+            handle = write_body(big, pool)
+            assert isinstance(handle, str)  # legacy segment name
+            assert np.array_equal(read_body(handle, pool), big)
+        finally:
+            pool.close()
+
+    def test_write_body_without_pool(self):
+        handle = write_body([1, 2, 3])
+        assert isinstance(handle, str)
+        assert read_body(handle) == [1, 2, 3]
+
+    def test_discard_body_recycles_block(self):
+        pool = SharedSlabPool(block_bytes=1 << 12, num_blocks=1)
+        try:
+            handle = pool.write("drained at shutdown")
+            discard_body(handle, pool)
+            assert pool.write("usable again") is not None
+        finally:
+            pool.close()
+
+    def test_close_unlinks_slab(self):
+        from multiprocessing import shared_memory
+
+        pool = SharedSlabPool(block_bytes=1 << 12, num_blocks=1)
+        name = pool.name
+        pool.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_bad_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            SharedSlabPool(block_bytes=4)
+        with pytest.raises(ValueError):
+            SharedSlabPool(num_blocks=0)
+
+
 class TestMpChannel:
     def test_rollout_roundtrip(self):
         channel = MpChannel()
@@ -77,6 +170,18 @@ class TestMpChannel:
 
     def test_poll_weights_empty(self):
         assert MpChannel().poll_weights() is None
+
+    def test_pooled_channel_roundtrip(self):
+        pool = SharedSlabPool(block_bytes=1 << 16, num_blocks=4)
+        try:
+            channel = MpChannel(pool=pool)
+            channel.send_rollout("e0", {"reward": np.ones(5)}, {"returns": []})
+            received = channel.receive_rollout(timeout=2)
+            assert received is not None
+            assert np.array_equal(received[1]["reward"], np.ones(5))
+            assert pool.total_pool_writes == 1
+        finally:
+            pool.close()
 
 
 class TestMpSession:
@@ -110,3 +215,8 @@ class TestMpSession:
         result = session.run(max_seconds=2.0)
         assert result.episode_returns
         assert result.average_return() is not None
+
+    def test_training_without_pool_still_works(self):
+        session = MpSession(dict(SPEC), num_explorers=1, use_pool=False)
+        result = session.run(max_trained_steps=64, max_seconds=30)
+        assert result.trained_steps >= 64

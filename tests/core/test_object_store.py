@@ -185,3 +185,128 @@ class TestSharedMemoryStore:
         store.put("x")
         store.close()
         store.close()
+
+
+@pytest.mark.skipif(
+    sys.platform == "win32", reason="POSIX shared memory semantics assumed"
+)
+class TestSharedMemoryArenaPath:
+    def test_small_bodies_take_the_arena(self):
+        store = SharedMemoryObjectStore()
+        try:
+            object_id = store.put({"small": np.arange(8)})
+            assert store.total_arena_put == 1
+            assert store.total_segment_put == 0
+            fetched = store.get(object_id)
+            assert np.array_equal(fetched["small"], np.arange(8))
+            store.release(object_id)
+            assert store.arena_stats()["allocated_blocks"] == 0
+        finally:
+            store.close()
+
+    def test_blocks_recycled_across_messages(self):
+        store = SharedMemoryObjectStore()
+        try:
+            for _ in range(50):
+                object_id = store.put(np.arange(256, dtype=np.float64))
+                store.get(object_id)
+                store.release(object_id)
+            arena = store.arena
+            assert arena is not None
+            assert arena.total_slabs == 1  # steady state: zero segment churn
+        finally:
+            store.close()
+
+    def test_frame_reuse_skips_second_pickle(self):
+        from repro.core.serialization import make_frame
+
+        store = SharedMemoryObjectStore()
+        try:
+            body = {"k": list(range(100))}
+            frame = make_frame(body)
+            object_id = store.put(body, frame=frame)
+            assert store.get(object_id) == body
+            store.release(object_id)
+        finally:
+            store.close()
+
+    def test_compression_routes_to_segment_path(self):
+        store = SharedMemoryObjectStore(
+            compression=CompressionPolicy(threshold=128)
+        )
+        try:
+            data = np.zeros(1 << 16, dtype=np.uint8)  # compressible, >128B
+            object_id = store.put(data)
+            assert store.total_segment_put == 1
+            assert np.array_equal(store.get(object_id), data)
+            store.release(object_id)
+        finally:
+            store.close()
+
+    def test_arena_disabled_falls_back_to_segments(self):
+        store = SharedMemoryObjectStore(use_arena=False)
+        try:
+            object_id = store.put([1, 2, 3])
+            assert store.total_segment_put == 1
+            assert store.get(object_id) == [1, 2, 3]
+            store.release(object_id)
+        finally:
+            store.close()
+
+    def test_exhausted_arena_falls_back_to_segments(self):
+        from repro.core.arena import SlabArena
+
+        arena = SlabArena(
+            name="cramped", min_block=1 << 12, max_block=1 << 12,
+            slab_blocks=1, capacity_bytes=1 << 12,
+        )
+        store = SharedMemoryObjectStore(arena=arena)
+        try:
+            first = store.put(np.zeros(16))  # takes the only block
+            second = store.put(np.zeros(16))  # exhausted -> segment
+            assert store.total_arena_put == 1
+            assert store.total_segment_put == 1
+            assert np.array_equal(store.get(second), np.zeros(16))
+            for object_id in (first, second):
+                store.release(object_id)
+        finally:
+            store.close()
+
+    def test_fetched_body_survives_block_recycling(self):
+        """get() must copy out of the block: after release the block is
+        recycled and overwritten by the next put."""
+        store = SharedMemoryObjectStore()
+        try:
+            object_id = store.put(np.arange(64, dtype=np.int64))
+            fetched = store.get(object_id)
+            store.release(object_id)
+            other = store.put(np.full(64, -1, dtype=np.int64))  # reuses block
+            assert np.array_equal(fetched, np.arange(64))
+            store.release(other)
+        finally:
+            store.close()
+
+    def test_close_audits_arena_when_clean(self):
+        store = SharedMemoryObjectStore()
+        object_id = store.put("x")
+        store.release(object_id)
+        store.close(audit=True)
+
+    def test_arena_stats_shape(self):
+        store = SharedMemoryObjectStore()
+        try:
+            stats = store.arena_stats()
+            for key in (
+                "allocated_blocks", "allocated_bytes",
+                "slab_bytes", "capacity_bytes", "free_blocks",
+            ):
+                assert key in stats
+        finally:
+            store.close()
+
+    def test_arena_off_stats_empty(self):
+        store = SharedMemoryObjectStore(use_arena=False)
+        try:
+            assert store.arena_stats() == {}
+        finally:
+            store.close()

@@ -6,7 +6,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.core.serialization import deserialize, payload_nbytes, roundtrip, serialize
+from repro.core.serialization import (
+    deserialize,
+    make_frame,
+    measure,
+    payload_nbytes,
+    roundtrip,
+    serialize,
+)
 
 
 class TestRoundTrip:
@@ -69,6 +76,150 @@ class TestRoundTrip:
     @settings(max_examples=40, deadline=None)
     def test_property_json_like_roundtrip(self, obj):
         assert deserialize(serialize(obj)) == obj
+
+
+class TestEdgeCaseArrays:
+    """Shapes and layouts the out-of-band fast path must not mangle."""
+
+    def _check(self, array):
+        restored = deserialize(serialize(array))
+        assert restored.dtype == array.dtype
+        assert restored.shape == array.shape
+        assert np.array_equal(restored, array)
+
+    def test_empty_array(self):
+        self._check(np.empty((0,), dtype=np.float32))
+
+    def test_empty_multidim(self):
+        self._check(np.empty((3, 0, 2), dtype=np.int64))
+
+    def test_zero_d_array(self):
+        array = np.array(3.5)
+        restored = deserialize(serialize(array))
+        assert restored.shape == ()
+        assert restored == array
+
+    def test_non_contiguous_slice(self):
+        base = np.arange(100, dtype=np.float64).reshape(10, 10)
+        self._check(base[::2, ::3])
+
+    def test_transposed_view(self):
+        self._check(np.arange(12, dtype=np.int32).reshape(3, 4).T)
+
+    def test_fortran_order(self):
+        array = np.asfortranarray(np.arange(24, dtype=np.float32).reshape(4, 6))
+        restored = deserialize(serialize(array))
+        assert np.array_equal(restored, array)
+
+    def test_structured_dtype(self):
+        dtype = np.dtype([("position", np.float32, (3,)), ("id", np.int64)])
+        array = np.zeros(5, dtype=dtype)
+        array["id"] = np.arange(5)
+        array["position"][:, 0] = 1.5
+        restored = deserialize(serialize(array))
+        assert restored.dtype == dtype
+        assert np.array_equal(restored["id"], array["id"])
+        assert np.array_equal(restored["position"], array["position"])
+
+    def test_deeply_nested_graph(self):
+        obj = {
+            "layers": [
+                {"w": np.ones((4, 4)), "b": np.zeros(4)},
+                {"w": np.ones((4, 2)), "b": np.zeros(2)},
+            ],
+            "meta": ("run", 7, [np.arange(3), {"nested": np.eye(2)}]),
+        }
+        restored = deserialize(serialize(obj))
+        assert np.array_equal(restored["layers"][1]["w"], obj["layers"][1]["w"])
+        assert np.array_equal(restored["meta"][2][1]["nested"], np.eye(2))
+
+
+class TestFrame:
+    def test_nbytes_matches_wire_length(self):
+        obj = {"a": np.arange(100, dtype=np.float64), "b": [1, 2, 3]}
+        frame = make_frame(obj)
+        assert frame.nbytes == len(frame.to_bytes()) == len(serialize(obj))
+
+    def test_serialize_into_equals_to_bytes(self):
+        obj = [np.ones((7, 3)), {"k": "v"}]
+        frame = make_frame(obj)
+        dest = bytearray(frame.nbytes)
+        written = frame.serialize_into(dest)
+        assert written == frame.nbytes
+        assert bytes(dest) == frame.to_bytes()
+
+    def test_serialize_into_roundtrips(self):
+        obj = {"weights": np.arange(64, dtype=np.float32)}
+        frame = make_frame(obj)
+        dest = bytearray(frame.nbytes)
+        frame.serialize_into(dest)
+        restored = deserialize(dest)
+        assert np.array_equal(restored["weights"], obj["weights"])
+
+    def test_buffer_views_alias_source_arrays(self):
+        """Frames copy nothing: mutating the source before the write shows
+        up in the written bytes (the contract senders must respect)."""
+        array = np.zeros(16, dtype=np.uint8)
+        frame = make_frame(array)
+        array[0] = 42
+        restored = deserialize(frame.to_bytes())
+        assert restored[0] == 42
+
+    def test_frame_of_plain_object_has_no_extra_buffers(self):
+        frame = make_frame({"k": [1, 2, 3]})
+        assert deserialize(frame.to_bytes()) == {"k": [1, 2, 3]}
+
+
+class TestZeroCopyDeserialize:
+    def test_no_copy_views_are_readonly(self):
+        array = np.arange(32, dtype=np.float64)
+        blob = serialize(array)
+        restored = deserialize(blob, copy=False)
+        assert np.array_equal(restored, array)
+        assert not restored.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            restored[0] = 1.0
+
+    def test_no_copy_aliases_source_buffer(self):
+        array = np.zeros(8, dtype=np.uint8)
+        blob = bytearray(serialize(array))
+        restored = deserialize(blob, copy=False)
+        # Find the array's bytes inside the blob and flip one.
+        offset = len(blob) - array.nbytes
+        blob[offset] = 7
+        assert restored[0] == 7
+
+    def test_copy_mode_is_writable_and_independent(self):
+        array = np.zeros(8)
+        restored = deserialize(serialize(array), copy=True)
+        restored[0] = 5.0
+        assert array[0] == 0.0
+
+    def test_no_copy_plain_objects_unaffected(self):
+        assert deserialize(serialize({"a": 1}), copy=False) == {"a": 1}
+
+
+class TestMeasure:
+    def test_array_fast_path_returns_no_frame(self):
+        nbytes, frame = measure(np.zeros(10, dtype=np.float64))
+        assert nbytes == 80
+        assert frame is None
+
+    def test_bytes_fast_path(self):
+        assert measure(b"12345") == (5, None)
+
+    def test_generic_object_returns_reusable_frame(self):
+        obj = {"k": [1, 2, 3], "arr": np.ones(4)}
+        nbytes, frame = measure(obj)
+        assert frame is not None
+        assert nbytes == frame.nbytes
+        # Reusing the frame writes the exact wire bytes — no second pickle.
+        assert frame.to_bytes() == serialize(obj)
+
+    def test_unpicklable_returns_zero(self):
+        nbytes, frame = measure(lambda x: x)
+        assert nbytes == 0
+        assert frame is None
 
 
 class TestPayloadNbytes:

@@ -68,6 +68,18 @@ class TestThroughputMeter:
             meter.record(amount)
         assert meter.total == pytest.approx(sum(amounts))
 
+    def test_record_many_totals_and_series(self):
+        clock_value = [0.5]
+        meter = ThroughputMeter(clock=lambda: clock_value[0])
+        meter.record_many([10, 20, 5])
+        assert meter.total == 35
+        assert dict(meter.series(bucket=1.0)) == {0.0: 35.0}
+
+    def test_record_many_empty_is_noop(self):
+        meter = ThroughputMeter()
+        meter.record_many([])
+        assert meter.total == 0
+
 
 class TestThroughputMeterCompaction:
     def make_meter(self, max_events=8):
@@ -135,6 +147,13 @@ class TestLatencyRecorder:
         recorder = LatencyRecorder()
         for value in (1.0, 2.0, 3.0):
             recorder.record(value)
+        assert recorder.mean() == pytest.approx(2.0)
+
+    def test_record_many(self):
+        recorder = LatencyRecorder()
+        recorder.record_many([1.0, 2.0, 3.0])
+        recorder.record_many([])
+        assert recorder.count == 3
         assert recorder.mean() == pytest.approx(2.0)
 
     def test_empty_stats_are_zero(self):
