@@ -61,6 +61,7 @@ _REGISTER_DECORATORS = {
 
 def _config_field_names() -> Dict[str, Set[str]]:
     from repro.core.config import (
+        FlowControlSpec,
         MachineSpec,
         StopCondition,
         SupervisionSpec,
@@ -73,6 +74,7 @@ def _config_field_names() -> Dict[str, Set[str]]:
         "StopCondition": {f.name for f in dataclasses.fields(StopCondition)},
         "SupervisionSpec": {f.name for f in dataclasses.fields(SupervisionSpec)},
         "TelemetrySpec": {f.name for f in dataclasses.fields(TelemetrySpec)},
+        "FlowControlSpec": {f.name for f in dataclasses.fields(FlowControlSpec)},
         "MachineSpec": {f.name for f in dataclasses.fields(MachineSpec)},
     }
 
@@ -170,7 +172,13 @@ class _ExampleVisitor(ast.NodeVisitor):
             for kw in node.keywords:
                 if kw.arg in _KIND_KEYWORDS:
                     self._check_name(_KIND_KEYWORDS[kw.arg], kw.value)
-        elif name in ("StopCondition", "SupervisionSpec", "TelemetrySpec", "MachineSpec"):
+        elif name in (
+            "StopCondition",
+            "SupervisionSpec",
+            "TelemetrySpec",
+            "FlowControlSpec",
+            "MachineSpec",
+        ):
             self._check_keys(name, keyword_sites)
         elif name == "from_dict" and node.args:
             literal = node.args[0]

@@ -132,6 +132,11 @@ THREADED_CLASS_NAMES = {
     "ShareMemCommunicator",
     "HeaderQueue",
     "ThrottledLink",
+    "LaneChannel",
+    "LaneHeaderQueue",
+    "FlowMessageBuffer",
+    "WireCompressor",
+    "FlowController",
 }
 
 #: Files allowed to construct threading.Thread directly.

@@ -149,6 +149,7 @@ def build_cluster(
             # dropped (and counted) rather than poisoning the router.
             on_unroutable="drop" if supervision is not None else "raise",
             coalescing=config.coalescing,
+            flow=config.flow_control,
         )
         brokers[spec.name] = broker
         if spec.name == learner_machine_name:

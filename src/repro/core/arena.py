@@ -140,6 +140,43 @@ class SlabArena:
         self.total_free = 0
         self.total_slabs = 0
         self.total_fallback = 0  # exhaustion signals surfaced to callers
+        # Occupancy watermarks (fractions of capacity).  Purely advisory:
+        # the arena latches a pressure flag for the FlowController to poll,
+        # with hysteresis so the signal does not flap around the threshold.
+        self._high_watermark = 1.0
+        self._low_watermark = 1.0
+        self._pressure = False
+        self.pressure_events = 0
+
+    # -- watermarks ------------------------------------------------------------
+    def set_watermarks(self, high_fraction: float, low_fraction: float) -> None:
+        """Arm occupancy watermarks (fractions of ``capacity_bytes``).
+
+        Pressure latches when live allocated bytes cross the high fraction
+        and clears below the low fraction (hysteresis).  Defaults leave the
+        arena unarmed: both at 1.0, so pressure never latches.
+        """
+        if not 0.0 < low_fraction <= high_fraction <= 1.0:
+            raise ArenaError("need 0 < low_fraction <= high_fraction <= 1")
+        with self._lock:
+            self._high_watermark = high_fraction
+            self._low_watermark = low_fraction
+            self._update_pressure()
+
+    def _update_pressure(self) -> None:
+        """Re-evaluate the pressure latch (lock held)."""
+        occupancy = self._allocated_bytes / max(1, self._capacity_bytes)
+        if self._pressure:
+            if occupancy < self._low_watermark:
+                self._pressure = False
+        elif occupancy >= self._high_watermark:
+            self._pressure = True
+            self.pressure_events += 1
+
+    @property
+    def pressure(self) -> bool:
+        with self._lock:
+            return self._pressure
 
     # -- sizing ---------------------------------------------------------------
     def _size_class(self, nbytes: int) -> int:
@@ -173,6 +210,7 @@ class SlabArena:
             self._allocated[(handle.segment, handle.offset)] = handle
             self._allocated_bytes += handle.size
             self.total_alloc += 1
+            self._update_pressure()
             segment = self._slabs[handle.segment]
         view = memoryview(segment.buf)[handle.offset : handle.offset + handle.size]
         return Block(handle, view)
@@ -231,6 +269,7 @@ class SlabArena:
                 )
             self._allocated_bytes -= live.size
             self.total_free += 1
+            self._update_pressure()
             if live.huge:
                 unlink = self._slabs.pop(live.segment)
                 self._slab_bytes -= live.size
@@ -272,6 +311,8 @@ class SlabArena:
                 "slab_bytes": self._slab_bytes,
                 "capacity_bytes": self._capacity_bytes,
                 "free_blocks": sum(len(free) for free in self._free.values()),
+                "pressure": int(self._pressure),
+                "pressure_events": self.pressure_events,
             }
 
     # -- lifecycle --------------------------------------------------------------

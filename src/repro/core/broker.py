@@ -17,6 +17,7 @@ from ..transport.fabric import Fabric
 from .communicator import HeaderQueue, ShareMemCommunicator
 from .concurrency import make_lock, runtime_checks_enabled
 from .errors import LifecycleError, UnknownObjectError
+from .flowcontrol import WireCompressor, wire_decode
 from .message import DST, OBJECT_ID
 from .object_store import ObjectStore
 from .ownership import receives_ownership
@@ -35,13 +36,35 @@ class Broker:
         rank: int = 0,
         on_unroutable: str = "raise",
         coalescing: Optional[Any] = None,
+        flow: Optional[Any] = None,
     ):
         self.name = name
         self.rank = rank
         #: :class:`~repro.core.config.CoalescingSpec` (or None) inherited by
         #: every endpoint registered against this broker
         self.coalescing = coalescing
-        self.communicator = ShareMemCommunicator(f"{name}.comm", store=store)
+        #: :class:`~repro.core.config.FlowControlSpec` (or None); when set,
+        #: the communicator's queues grow priority lanes and watermarks and
+        #: endpoints registered against this broker use flow-aware buffers
+        self.flow = flow if flow is not None and flow.enabled else None
+        self.communicator = ShareMemCommunicator(
+            f"{name}.comm", store=store, flow=self.flow
+        )
+        #: adaptive fabric-boundary codec the FlowController toggles; None
+        #: without flow control (and a no-op until enabled even with it)
+        self.wire: Optional[WireCompressor] = (
+            WireCompressor(
+                name, min_bytes=self.flow.wire_compression_min_bytes
+            )
+            if self.flow is not None
+            else None
+        )
+        if self.flow is not None:
+            arena = getattr(self.communicator.object_store, "arena", None)
+            if arena is not None and hasattr(arena, "set_watermarks"):
+                arena.set_watermarks(
+                    self.flow.arena_high_watermark, self.flow.arena_low_watermark
+                )
         self._fabric = fabric
         self.router = AlgorithmAgnosticRouter(
             self.communicator,
@@ -69,6 +92,13 @@ class Broker:
                 return
             self._stopped = True
         self.router.stop()
+        if self.flow is not None:
+            # Wake senders blocked on control-lane admission and wait for
+            # them to finish their queue-side reclaims, so the refcount
+            # audit below cannot race a woken producer.
+            queue = self.communicator.header_queue
+            queue.close()
+            queue.join_producers(timeout=2.0)
         self._release_undispatched()
         try:
             if runtime_checks_enabled():
@@ -128,8 +158,16 @@ class Broker:
         self, remote_broker: str, header: Dict[str, Any], body: Any, nbytes: int
     ) -> None:
         assert self._fabric is not None
+        if self.wire is not None and self.wire.wants(header, body, nbytes):
+            # Adaptive wire compression: trade sender CPU for link bytes
+            # when the FlowController decides throughput is sagging.  The
+            # reduced byte count is what a throttled NIC model charges.
+            header, body, nbytes = self.wire.encode(header, body, nbytes)
         self._fabric.send(self.name, remote_broker, (header, body), nbytes)
 
     def _on_fabric_receive(self, item: Any) -> None:
         header, body = item
+        # Always decode by header, not by local wire state: the *sending*
+        # broker decides whether a body was compressed on the wire.
+        header, body = wire_decode(header, body)
         self.router.on_remote_receive(header, body)

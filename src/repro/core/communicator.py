@@ -20,7 +20,13 @@ import threading
 from typing import Any, Dict, List, Optional, Sequence
 
 from .concurrency import make_lock, runtime_checks_enabled
+from .config import FlowControlSpec
 from .errors import RoutingError
+from .flowcontrol import (
+    CONTROL_UNBOUNDED,
+    LaneHeaderQueue,
+    release_header_shares,
+)
 from .object_store import InMemoryObjectStore, ObjectStore
 from .ownership import receives_ownership
 
@@ -147,20 +153,58 @@ class ShareMemCommunicator:
     queue; the router resolves header destinations to these queues.
     """
 
-    def __init__(self, name: str = "communicator", store: Optional[ObjectStore] = None):
+    def __init__(
+        self,
+        name: str = "communicator",
+        store: Optional[ObjectStore] = None,
+        *,
+        flow: Optional[FlowControlSpec] = None,
+    ):
         self.name = name
-        self.header_queue = HeaderQueue(f"{name}.headers")
+        self.flow = flow if flow is not None and flow.enabled else None
         self.object_store: ObjectStore = store if store is not None else InMemoryObjectStore()
-        self._id_queues: Dict[str, HeaderQueue] = {}
+        if self.flow is not None:
+            # Senders feel backpressure here: control blocks with a
+            # deadline, bulk sheds its oldest headers (whose shares the
+            # reclaim callback releases — bounded admission must not leak).
+            self.header_queue: Any = LaneHeaderQueue(
+                f"{name}.headers", self.flow, reclaim=self._reclaim_header
+            )
+        else:
+            self.header_queue = HeaderQueue(f"{name}.headers")
+        self._id_queues: Dict[str, Any] = {}
         self._lock = make_lock(f"{name}.registry")
 
+    # -- flow-control reclaim ----------------------------------------------
+    @receives_ownership("shed headers still carry their senders' shares")
+    def _reclaim_header(self, header: Dict[str, Any]) -> None:
+        """Release every share of a header shed before it crossed the router."""
+        release_header_shares(self.object_store, header)
+
+    @receives_ownership("shed headers still carry one routed share")
+    def _reclaim_routed_header(self, header: Dict[str, Any]) -> None:
+        """Release the single share of a header shed from an ID queue."""
+        release_header_shares(self.object_store, header, shares=1)
+
     # -- registration -----------------------------------------------------
-    def register(self, process_name: str) -> HeaderQueue:
+    def register(self, process_name: str) -> Any:
         """Create (or return) the ID queue for a local process."""
         with self._lock:
             id_queue = self._id_queues.get(process_name)
             if id_queue is None:
-                id_queue = HeaderQueue(f"{self.name}.id.{process_name}")
+                if self.flow is not None:
+                    # ID queues never block the router (one slow
+                    # destination must not stall every other lane), so
+                    # their control lane is unbounded; the broker header
+                    # queue already bounds control volume upstream.
+                    id_queue = LaneHeaderQueue(
+                        f"{self.name}.id.{process_name}",
+                        self.flow,
+                        reclaim=self._reclaim_routed_header,
+                        control_policy=CONTROL_UNBOUNDED,
+                    )
+                else:
+                    id_queue = HeaderQueue(f"{self.name}.id.{process_name}")
                 self._id_queues[process_name] = id_queue
             return id_queue
 
@@ -170,7 +214,7 @@ class ShareMemCommunicator:
         if id_queue is not None:
             id_queue.close()
 
-    def id_queue(self, process_name: str) -> HeaderQueue:
+    def id_queue(self, process_name: str) -> Any:
         with self._lock:
             try:
                 return self._id_queues[process_name]
@@ -188,6 +232,45 @@ class ShareMemCommunicator:
         with self._lock:
             queues = dict(self._id_queues)
         return {name: id_queue.qsize() for name, id_queue in queues.items()}
+
+    def lane_depths(self) -> Dict[str, Dict[str, int]]:
+        """Per-lane depth of every flow-controlled queue (telemetry probe).
+
+        Empty when flow control is off — plain queues have no lanes.
+        """
+        if self.flow is None:
+            return {}
+        with self._lock:
+            queues = dict(self._id_queues)
+        depths = {"headers": self.header_queue.lane_depths()}
+        for name, id_queue in queues.items():
+            depths[f"id.{name}"] = id_queue.lane_depths()
+        return depths
+
+    def flow_stats(self) -> Dict[str, Dict[str, float]]:
+        """Backpressure counters of every flow-controlled queue."""
+        if self.flow is None:
+            return {}
+        with self._lock:
+            queues = dict(self._id_queues)
+        stats = {"headers": self.header_queue.flow_stats()}
+        for name, id_queue in queues.items():
+            stats[f"id.{name}"] = id_queue.flow_stats()
+        return stats
+
+    def set_pressure(self, active: bool) -> None:
+        """Tighten (or relax) bulk admission on every flow-controlled queue.
+
+        Pulled by the FlowController when arena occupancy crosses its high
+        watermark; a no-op without flow control.
+        """
+        if self.flow is None:
+            return
+        with self._lock:
+            queues = list(self._id_queues.values())
+        self.header_queue.set_pressure(active)
+        for id_queue in queues:
+            id_queue.set_pressure(active)
 
     def is_local(self, process_name: str) -> bool:
         with self._lock:

@@ -127,6 +127,89 @@ class CoalescingSpec:
 
 
 @dataclass
+class FlowControlSpec:
+    """Overload-control knobs (see docs/FLOW_CONTROL.md).
+
+    When attached to a config, every broker header queue, per-destination
+    ID queue, and endpoint buffer becomes a two-lane bounded channel:
+    control traffic (weights, commands, heartbeats, stats) overtakes bulk
+    experience under load, bulk admission sheds the oldest trajectory past
+    the watermark, and control admission blocks its producer up to
+    ``control_deadline_s`` before failing loudly with
+    :class:`~repro.core.errors.BackpressureError`.  A
+    :class:`~repro.obs.flowcontroller.FlowController` polls the metrics
+    registry and adapts coalescing/compression/admission at runtime.
+    ``None`` (the default) keeps the seed behaviour — unbounded FIFO
+    queues, no lanes, no adaptation.
+    """
+
+    enabled: bool = True
+    #: max queued bulk entries per queue before shed-oldest kicks in
+    bulk_watermark: int = 512
+    #: max queued control entries before producers block (0 = unbounded)
+    control_watermark: int = 256
+    #: low watermark as a fraction of the high one (hysteresis: a blocked
+    #: control put resumes only once the lane drains below low)
+    low_fraction: float = 0.5
+    #: seconds a control/weights producer may block awaiting admission
+    control_deadline_s: float = 2.0
+    #: arena occupancy fractions driving admission tightening
+    arena_high_watermark: float = 0.85
+    arena_low_watermark: float = 0.60
+    #: bulk watermark multiplier applied while admission is tightened
+    pressure_scale: float = 0.5
+    # -- adaptation loop (FlowController) --
+    adapt_interval_s: float = 0.05
+    #: bulk depth (as a fraction of bulk_watermark) that counts as pressure
+    queue_pressure_fraction: float = 0.5
+    #: consecutive pressured / clear polls before escalating / relaxing
+    escalate_after: int = 2
+    relax_after: int = 10
+    #: ceiling when the controller raises CoalescingSpec.max_message_bytes
+    coalescing_max_bytes: int = 1 << 16
+    #: floor when the controller lowers the store compression threshold
+    compression_min_threshold: int = 1 << 14
+    #: bodies below this never get wire-compressed (codec overhead floor)
+    wire_compression_min_bytes: int = 1 << 10
+
+    def validate(self) -> None:
+        if self.bulk_watermark < 1:
+            raise ConfigError("flow_control.bulk_watermark must be >= 1")
+        if self.control_watermark < 0:
+            raise ConfigError("flow_control.control_watermark must be >= 0")
+        if not 0.0 < self.low_fraction <= 1.0:
+            raise ConfigError("flow_control.low_fraction must be in (0, 1]")
+        if self.control_deadline_s <= 0:
+            raise ConfigError("flow_control.control_deadline_s must be positive")
+        if not 0.0 < self.arena_low_watermark < self.arena_high_watermark <= 1.0:
+            raise ConfigError(
+                "flow_control arena watermarks need 0 < low < high <= 1"
+            )
+        if not 0.0 < self.pressure_scale <= 1.0:
+            raise ConfigError("flow_control.pressure_scale must be in (0, 1]")
+        if self.adapt_interval_s <= 0:
+            raise ConfigError("flow_control.adapt_interval_s must be positive")
+        if not 0.0 < self.queue_pressure_fraction <= 1.0:
+            raise ConfigError(
+                "flow_control.queue_pressure_fraction must be in (0, 1]"
+            )
+        if self.escalate_after < 1 or self.relax_after < 1:
+            raise ConfigError(
+                "flow_control.escalate_after and relax_after must be >= 1"
+            )
+        if self.coalescing_max_bytes < 1:
+            raise ConfigError("flow_control.coalescing_max_bytes must be >= 1")
+        if self.compression_min_threshold < 1:
+            raise ConfigError(
+                "flow_control.compression_min_threshold must be >= 1"
+            )
+        if self.wire_compression_min_bytes < 0:
+            raise ConfigError(
+                "flow_control.wire_compression_min_bytes must be >= 0"
+            )
+
+
+@dataclass
 class TelemetrySpec:
     """Observability knobs (see docs/OBSERVABILITY.md).
 
@@ -194,6 +277,9 @@ class XingTianConfig:
     #: small-message coalescing on the endpoint hot path; None keeps the
     #: one-store-insert-per-message seed behaviour
     coalescing: Optional[CoalescingSpec] = None
+    #: adaptive overload control (priority lanes, watermarks, backpressure);
+    #: None keeps the unbounded seed behaviour
+    flow_control: Optional[FlowControlSpec] = None
 
     # -- derived -------------------------------------------------------------
     @property
@@ -249,6 +335,8 @@ class XingTianConfig:
             self.telemetry.validate()
         if self.coalescing is not None:
             self.coalescing.validate()
+        if self.flow_control is not None:
+            self.flow_control.validate()
 
     # -- (de)serialization ------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -289,12 +377,20 @@ class XingTianConfig:
             coalescing = CoalescingSpec(**coalescing_data)
         else:
             coalescing = None
+        flow_data = data.pop("flow_control", None)
+        if isinstance(flow_data, FlowControlSpec):
+            flow_control: Optional[FlowControlSpec] = flow_data
+        elif flow_data:
+            flow_control = FlowControlSpec(**flow_data)
+        else:
+            flow_control = None
         config = cls(
             machines=machines,
             stop=stop,
             supervision=supervision,
             telemetry=telemetry,
             coalescing=coalescing,
+            flow_control=flow_control,
             **data,
         )
         config.validate()

@@ -13,15 +13,17 @@ properties under study — are identical (see DESIGN.md §2).
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from .broker import Broker
 from .buffers import ReceiveBuffer, SendBuffer
-from .concurrency import spawn_thread
+from .concurrency import make_lock, spawn_thread
 from .config import CoalescingSpec
-from .errors import LifecycleError
+from .errors import BackpressureError, LifecycleError
+from .flowcontrol import Lane, FlowReceiveBuffer, FlowSendBuffer, lane_of
 from .message import (
     BODY_SIZE,
     COMPRESSED,
@@ -46,6 +48,8 @@ _Staged = Tuple[dict, Optional[str], int, List[Message]]
 #: without changing what crosses the wire).
 _DRAIN_LIMIT = 64
 
+_LOG = logging.getLogger(__name__)
+
 
 class ProcessEndpoint:
     """One logical XingTian process attached to a broker."""
@@ -65,8 +69,23 @@ class ProcessEndpoint:
             coalescing if coalescing is not None
             else getattr(broker, "coalescing", None)
         )
-        self.send_buffer = SendBuffer(f"{name}.send")
-        self.receive_buffer = ReceiveBuffer(f"{name}.recv")
+        #: :class:`~repro.core.config.FlowControlSpec` inherited from the
+        #: broker; when set, the local buffers grow priority lanes and the
+        #: workhorse feels backpressure at :meth:`send`
+        self.flow = getattr(broker, "flow", None)
+        if self.flow is not None:
+            self.send_buffer: Any = FlowSendBuffer(f"{name}.send", self.flow)
+            self.receive_buffer: Any = FlowReceiveBuffer(
+                f"{name}.recv", self.flow
+            )
+        else:
+            self.send_buffer = SendBuffer(f"{name}.send")
+            self.receive_buffer = ReceiveBuffer(f"{name}.recv")
+        #: control-lane sends abandoned because their backpressure deadline
+        #: expired (written by the sender thread, read by telemetry)
+        self.backpressure_expired = 0
+        self._backpressure_warned = False
+        self._backpressure_lock = make_lock(f"{name}.backpressure")
         self._id_queue = broker.register_process(name)
         self._sender: Optional[threading.Thread] = None
         self._receiver: Optional[threading.Thread] = None
@@ -258,6 +277,10 @@ class ProcessEndpoint:
                 message.body is not None
                 and message.body_size <= spec.max_message_bytes
                 and message.msg_type is not MsgType.BATCH
+                # Under flow control a BATCH envelope rides the bulk lane,
+                # so packing a control message into one would forfeit its
+                # priority: control traffic always travels individually.
+                and (self.flow is None or lane_of(message.msg_type) is Lane.BULK)
             )
             dst_key = tuple(message.header.get(DST, ())) if packable else None
             if packable and dst_key == run_dst and len(run) < spec.max_batch:
@@ -297,10 +320,12 @@ class ProcessEndpoint:
         one batched put (§3.2.1).
         """
         communicator = self.broker.communicator
-        spec = self.coalescing
-        coalesce = spec is not None and spec.enabled
-        drain = spec.max_batch if coalesce else _DRAIN_LIMIT
         while not self._stop.is_set():
+            # Re-read the spec every wakeup: the FlowController retunes the
+            # coalescing threshold at runtime by swapping self.coalescing.
+            spec = self.coalescing
+            coalesce = spec is not None and spec.enabled
+            drain = spec.max_batch if coalesce else _DRAIN_LIMIT
             messages = self.send_buffer.get_many(drain, timeout=0.25)
             if not messages:
                 if self.send_buffer.closed:
@@ -311,14 +336,39 @@ class ProcessEndpoint:
             else:
                 staged = [self._stage(message) for message in messages]
             headers = [entry[0] for entry in staged]
-            if not communicator.header_queue.put_many(headers):
-                # Headers dropped (communicator closing): undo every store
-                # insert or the bodies leak with their full fan-out refcounts.
-                for _, object_id, refcount, _ in staged:
-                    if object_id is not None:
-                        for _ in range(refcount):
-                            communicator.object_store.release(object_id)
-                continue
+            try:
+                result = communicator.header_queue.put_many(headers)
+            except BackpressureError as exc:
+                # A control header hit its admission deadline: fail loudly
+                # (once) and drop it plus the unenqueued remainder below.
+                with self._backpressure_lock:
+                    self.backpressure_expired += 1
+                if not self._backpressure_warned:
+                    self._backpressure_warned = True
+                    _LOG.warning(
+                        "endpoint %s: control-lane send expired under "
+                        "backpressure (%s); further expiries counted silently",
+                        self.name, exc,
+                    )
+                result = exc.accepted
+            # Plain HeaderQueue.put_many returns all-or-nothing booleans;
+            # LaneHeaderQueue returns the admitted prefix length.  Normalize
+            # before slicing — bool is an int and True would slice at 1.
+            accepted = len(staged) if result is True else int(result)
+            if accepted < len(staged):
+                if self.flow is None:
+                    # Plain HeaderQueue: headers dropped because the
+                    # communicator is closing — we still own their shares,
+                    # so undo the store inserts or the bodies leak with
+                    # their full fan-out refcounts.
+                    for _, object_id, refcount, _ in staged[accepted:]:
+                        if object_id is not None:
+                            for _ in range(refcount):
+                                communicator.object_store.release(object_id)
+                # LaneHeaderQueue (CONTROL_BLOCK) reclaimed the rejected
+                # remainder itself — releasing here would double-free.
+                if accepted == 0:
+                    continue
             self.sent_meter.record_many(
                 [max(message.body_size, 1) for message in messages]
             )

@@ -20,6 +20,32 @@ class TransportError(XingTianError):
     """Raised when a communication channel fails."""
 
 
+class BackpressureError(TransportError):
+    """Raised when a control-lane send cannot be admitted before its deadline.
+
+    Bounded admission (docs/FLOW_CONTROL.md) blocks control/weights
+    producers at the high watermark; if the queue has not drained below the
+    low watermark within the configured deadline the put fails loudly with
+    this error instead of waiting forever.  ``accepted`` carries how many
+    headers of a batched put were admitted before the expiry so callers can
+    release the object-store shares of the unenqueued remainder.
+    """
+
+    def __init__(self, message: str, accepted: int = 0):
+        super().__init__(message)
+        self.accepted = accepted
+
+
+class BufferClosedError(TransportError, RuntimeError):
+    """Raised by flow-controlled buffers on ``put`` after ``close()``.
+
+    Subclasses ``RuntimeError`` so existing callers that treat a closed
+    :class:`~repro.core.buffers.MessageBuffer` as a shutdown signal keep
+    working; blocked senders woken by a shutdown observe this instead of
+    hanging until their backpressure deadline.
+    """
+
+
 class ObjectStoreError(XingTianError):
     """Raised on object-store failures (unknown ID, store full, ...)."""
 

@@ -1,0 +1,758 @@
+"""Adaptive overload control: priority lanes, watermarks, backpressure.
+
+The broker degrades *gracefully* instead of silently when producers outrun
+consumers (docs/FLOW_CONTROL.md).  Three pieces live here:
+
+* :class:`LaneChannel` — the bounded two-lane primitive every flow-aware
+  queue is built on.  The **control** lane (weights, commands, heartbeats,
+  stats) drains first and blocks its producer with a deadline at the high
+  watermark; the **bulk** lane (rollouts, generic data, batch envelopes)
+  sheds its *oldest* entry past the watermark — in DRL the freshest
+  trajectory is the most on-policy one, so old experience is the right
+  thing to lose.  Within a lane FIFO order is untouched, so
+  per-(destination, lane) ordering is exactly what it was without lanes.
+
+* :class:`LaneHeaderQueue` — a drop-in for
+  :class:`~repro.core.communicator.HeaderQueue` carrying header dicts.
+  Shed headers still own their senders' object-store shares; a ``reclaim``
+  callback releases them so bounded admission never turns into a refcount
+  leak.
+
+* :class:`FlowSendBuffer` / :class:`FlowReceiveBuffer` — drop-ins for the
+  endpoint's :class:`~repro.core.buffers.MessageBuffer` subclasses, and
+  :class:`WireCompressor` — the broker's adaptive fabric-boundary codec
+  the :class:`~repro.obs.flowcontroller.FlowController` switches on when
+  link throughput sags.
+
+Everything is opt-in via :class:`~repro.core.config.FlowControlSpec`; with
+the spec unset none of these classes is ever constructed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from enum import Enum
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .compression import get_codec
+from .concurrency import make_lock
+from .config import FlowControlSpec
+from .errors import BackpressureError, BufferClosedError
+from .message import DST, LANE, OBJECT_ID, TYPE, WIRE_CODEC, Message, MsgType
+from .ownership import receives_ownership
+from .serialization import deserialize, serialize
+
+
+class Lane(str, Enum):
+    """Priority lanes: control overtakes bulk under load."""
+
+    CONTROL = "control"
+    BULK = "bulk"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Message types that ride the control lane.  Weight broadcasts are control
+#: traffic: a stale-weights explorer produces off-policy rollouts, which is
+#: strictly worse than a late trajectory.
+CONTROL_TYPES = frozenset(
+    {MsgType.WEIGHTS, MsgType.COMMAND, MsgType.HEARTBEAT, MsgType.STATS}
+)
+
+
+def lane_of(msg_type: Any) -> Lane:
+    """The lane a message type rides (unknown types default to bulk)."""
+    try:
+        msg_type = MsgType(msg_type)
+    except (ValueError, TypeError):
+        return Lane.BULK
+    return Lane.CONTROL if msg_type in CONTROL_TYPES else Lane.BULK
+
+
+def header_lane(header: Dict[str, Any]) -> Lane:
+    """The lane of a header: its stamped LANE field, else its type's lane."""
+    stamped = header.get(LANE)
+    if stamped is not None:
+        try:
+            return Lane(stamped)
+        except ValueError:
+            return Lane.BULK
+    return lane_of(header.get(TYPE))
+
+
+class _LaneCounters:
+    """Per-lane accounting, mutated only under the channel lock."""
+
+    __slots__ = ("put", "got", "shed", "blocked", "block_seconds", "expired")
+
+    def __init__(self) -> None:
+        self.put = 0
+        self.got = 0
+        self.shed = 0
+        self.blocked = 0
+        self.block_seconds = 0.0
+        self.expired = 0
+
+
+class LaneChannel:
+    """Bounded two-lane channel with watermark admission control.
+
+    ``control_watermark == 0`` leaves the control lane unbounded (used by
+    per-destination ID queues, where blocking would stall the router for
+    every destination; the bound is enforced upstream at the broker header
+    queue).  ``set_pressure(True)`` scales the bulk watermark by
+    ``pressure_scale`` — the admission-tightening hook the FlowController
+    pulls when arena occupancy crosses its watermark.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        bulk_watermark: int,
+        control_watermark: int,
+        low_fraction: float = 0.5,
+        pressure_scale: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.name = name
+        self._clock = clock
+        self._bulk_high = max(1, int(bulk_watermark))
+        self._control_high = max(0, int(control_watermark))
+        # The release point must sit strictly below the gate point or the
+        # hysteresis latch opens the instant it closes (degenerate at
+        # control_watermark == 1, where the low watermark must be 0).
+        self._control_low = min(
+            max(0, self._control_high - 1),
+            int(self._control_high * low_fraction),
+        )
+        self._pressure_scale = pressure_scale
+        self._lock = make_lock(f"flow.{name}")
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._lanes: Dict[Lane, Deque[Any]] = {
+            Lane.CONTROL: deque(),
+            Lane.BULK: deque(),
+        }
+        self._counters = {Lane.CONTROL: _LaneCounters(), Lane.BULK: _LaneCounters()}
+        self._gated = False  # control-lane hysteresis latch
+        self._pressure = False
+        self._closed = False
+
+    # -- admission -----------------------------------------------------------
+    def _effective_bulk_high(self) -> int:
+        if self._pressure:
+            return max(1, int(self._bulk_high * self._pressure_scale))
+        return self._bulk_high
+
+    def _control_gated(self) -> bool:
+        """Hysteresis: gate at the high watermark, release below the low."""
+        depth = len(self._lanes[Lane.CONTROL])
+        if self._gated:
+            if depth <= self._control_low:
+                self._gated = False
+        elif depth >= self._control_high:
+            self._gated = True
+        return self._gated
+
+    def offer(
+        self, item: Any, lane: Lane, *, deadline_s: Optional[float] = None
+    ) -> Tuple[bool, List[Any]]:
+        """Admit ``item`` to ``lane``; returns ``(admitted, shed)``.
+
+        Bulk admission always succeeds on an open channel but may shed the
+        oldest queued bulk entries (returned so the caller can reclaim any
+        resources they own — never under the channel lock).  Control
+        admission blocks until the lane drains below its low watermark, the
+        channel closes (``admitted=False``), or ``deadline_s`` elapses
+        (:class:`~repro.core.errors.BackpressureError`).
+        """
+        shed: List[Any] = []
+        with self._lock:
+            if self._closed:
+                return False, shed
+            counters = self._counters[lane]
+            queue = self._lanes[lane]
+            if lane is Lane.BULK:
+                high = self._effective_bulk_high()
+                while len(queue) >= high:
+                    shed.append(queue.popleft())
+                    counters.shed += 1
+                queue.append(item)
+                counters.put += 1
+                self._not_empty.notify()
+                return True, shed
+            if self._control_high > 0 and self._control_gated():
+                counters.blocked += 1
+                wait_start = self._clock()
+                deadline = (
+                    None if deadline_s is None else wait_start + deadline_s
+                )
+                try:
+                    while not self._closed and self._control_gated():
+                        if deadline is None:
+                            self._not_full.wait(1.0)
+                            continue
+                        remaining = deadline - self._clock()
+                        if remaining <= 0:
+                            counters.expired += 1
+                            raise BackpressureError(
+                                f"channel {self.name!r}: control-lane "
+                                f"admission deadline ({deadline_s}s) expired "
+                                f"at depth {len(queue)}"
+                            )
+                        self._not_full.wait(remaining)
+                finally:
+                    counters.block_seconds += self._clock() - wait_start
+                if self._closed:
+                    return False, shed
+            queue.append(item)
+            counters.put += 1
+            self._not_empty.notify()
+            return True, shed
+
+    # -- consumption ---------------------------------------------------------
+    def _pop_locked(self) -> Tuple[bool, Any]:
+        for lane in (Lane.CONTROL, Lane.BULK):
+            queue = self._lanes[lane]
+            if queue:
+                item = queue.popleft()
+                self._counters[lane].got += 1
+                if lane is Lane.CONTROL:
+                    self._not_full.notify()
+                return True, item
+        return False, None
+
+    def take(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Blocking control-first pop; None on timeout or once closed+empty."""
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._lock:
+            while True:
+                found, item = self._pop_locked()
+                if found:
+                    return item
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._not_empty.wait(1.0)
+                    continue
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    return None
+                self._not_empty.wait(remaining)
+
+    def take_many(
+        self, max_items: int, timeout: Optional[float] = None
+    ) -> List[Any]:
+        """One blocking :meth:`take` plus a same-lock control-first drain."""
+        first = self.take(timeout=timeout)
+        if first is None:
+            return []
+        items = [first]
+        if max_items <= 1:
+            return items
+        with self._lock:
+            while len(items) < max_items:
+                found, item = self._pop_locked()
+                if not found:
+                    break
+                items.append(item)
+        return items
+
+    def drain(self) -> List[Any]:
+        """Pop everything without blocking (control lane first)."""
+        with self._lock:
+            items = list(self._lanes[Lane.CONTROL]) + list(self._lanes[Lane.BULK])
+            self._lanes[Lane.CONTROL].clear()
+            self._lanes[Lane.BULK].clear()
+            self._not_full.notify_all()
+            return items
+
+    # -- pressure / lifecycle -------------------------------------------------
+    def set_pressure(self, active: bool) -> List[Any]:
+        """Tighten (or relax) bulk admission; returns freshly shed entries."""
+        shed: List[Any] = []
+        with self._lock:
+            if self._pressure == active:
+                return shed
+            self._pressure = active
+            if active:
+                queue = self._lanes[Lane.BULK]
+                high = self._effective_bulk_high()
+                counters = self._counters[Lane.BULK]
+                while len(queue) > high:
+                    shed.append(queue.popleft())
+                    counters.shed += 1
+            return shed
+
+    @property
+    def pressure(self) -> bool:
+        with self._lock:
+            return self._pressure
+
+    def close(self) -> None:
+        """Close and wake every blocked producer and consumer."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    # -- introspection --------------------------------------------------------
+    def qsize(self) -> int:
+        with self._lock:
+            return sum(len(queue) for queue in self._lanes.values())
+
+    def lane_depths(self) -> Dict[str, int]:
+        with self._lock:
+            return {str(lane): len(queue) for lane, queue in self._lanes.items()}
+
+    def flow_stats(self) -> Dict[str, float]:
+        """Backpressure accounting for the telemetry sampler."""
+        with self._lock:
+            stats: Dict[str, float] = {"pressure": float(self._pressure)}
+            for lane, counters in self._counters.items():
+                prefix = str(lane)
+                stats[f"{prefix}_depth"] = float(len(self._lanes[lane]))
+                stats[f"{prefix}_put"] = float(counters.put)
+                stats[f"{prefix}_got"] = float(counters.got)
+                stats[f"{prefix}_shed"] = float(counters.shed)
+                stats[f"{prefix}_blocked"] = float(counters.blocked)
+                stats[f"{prefix}_block_seconds"] = counters.block_seconds
+                stats[f"{prefix}_expired"] = float(counters.expired)
+            return stats
+
+
+#: How a flow-aware queue treats its control lane.
+CONTROL_BLOCK = "block"  # block-with-deadline (header queue, send buffer)
+CONTROL_UNBOUNDED = "unbounded"  # never block (ID queues, receive buffer)
+
+
+class LaneHeaderQueue:
+    """Flow-controlled drop-in for :class:`~repro.core.communicator.HeaderQueue`.
+
+    Headers are stamped with their lane on admission.  ``reclaim`` is
+    invoked (outside the channel lock) for every shed header so its
+    object-store shares are released — bounded admission must not leak.
+
+    Ownership of *rejected* headers depends on the control policy:
+
+    * ``CONTROL_BLOCK`` (the broker header queue) — the queue owns every
+      header handed to ``put``: shed, deadline-expired, and
+      rejected-on-close headers are all reclaimed internally, and
+      :meth:`join_producers` lets ``Broker.stop()`` wait until every
+      blocked producer has been woken *and* finished reclaiming, so the
+      shutdown refcount audit is deterministic.
+    * ``CONTROL_UNBOUNDED`` (per-destination ID queues) — the classic
+      ``HeaderQueue`` contract: the caller releases on a ``False`` return
+      (the router already does exactly that for dead destinations).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        spec: FlowControlSpec,
+        *,
+        reclaim: Optional[Callable[[Dict[str, Any]], None]] = None,
+        control_policy: str = CONTROL_BLOCK,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.name = name
+        self._spec = spec
+        self._reclaim = reclaim
+        self._blocking = control_policy == CONTROL_BLOCK
+        self._clock = clock
+        self._channel = LaneChannel(
+            name,
+            bulk_watermark=spec.bulk_watermark,
+            control_watermark=spec.control_watermark if self._blocking else 0,
+            low_fraction=spec.low_fraction,
+            pressure_scale=spec.pressure_scale,
+            clock=clock,
+        )
+        self._inflight = 0
+        self._inflight_lock = make_lock(f"{name}.inflight")
+        self._inflight_idle = threading.Condition(self._inflight_lock)
+
+    @receives_ownership("shed headers still carry their senders' shares")
+    def _reclaim_all(self, shed: Sequence[Dict[str, Any]]) -> None:
+        if self._reclaim is None:
+            return
+        for header in shed:
+            self._reclaim(header)
+
+    def _enter_put(self) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+
+    def _exit_put(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._inflight_idle.notify_all()
+
+    def put(self, header: Dict[str, Any]) -> bool:
+        """Admit one header; ``False`` when dropped (queue closed).
+
+        See the class docstring for who releases a rejected header's
+        shares: this queue itself under ``CONTROL_BLOCK``, the caller
+        under ``CONTROL_UNBOUNDED``.
+        """
+        self._enter_put()
+        try:
+            return self._put_locked_out(header)
+        finally:
+            self._exit_put()
+
+    def _put_locked_out(self, header: Dict[str, Any]) -> bool:
+        lane = header_lane(header)
+        header[LANE] = str(lane)
+        deadline = (
+            self._spec.control_deadline_s
+            if self._blocking and lane is Lane.CONTROL
+            else None
+        )
+        try:
+            admitted, shed = self._channel.offer(
+                header, lane, deadline_s=deadline
+            )
+        except BackpressureError:
+            if self._blocking:
+                self._reclaim_all([header])
+            raise
+        self._reclaim_all(shed)
+        if not admitted and self._blocking:
+            self._reclaim_all([header])
+        return admitted
+
+    def put_many(self, headers: Sequence[Dict[str, Any]]) -> int:
+        """Admit several headers; returns how many were enqueued.
+
+        Unlike ``HeaderQueue.put_many`` (all-or-nothing on an unbounded
+        queue), bounded admission can stop part-way: when the queue closes
+        mid-batch the count is returned, and when a control deadline
+        expires the raised :class:`BackpressureError` carries it as
+        ``accepted``.  Under ``CONTROL_BLOCK`` the unenqueued remainder is
+        reclaimed here; under ``CONTROL_UNBOUNDED`` the caller releases
+        ``headers[accepted:]``.
+        """
+        self._enter_put()
+        try:
+            accepted = 0
+            total = len(headers)
+            for index, header in enumerate(headers):
+                try:
+                    if not self._put_locked_out(header):
+                        break
+                except BackpressureError as exc:
+                    if self._blocking:
+                        self._reclaim_all(headers[index + 1 :])
+                    exc.accepted = accepted
+                    raise
+                accepted += 1
+            if accepted < total and self._blocking:
+                # _put_locked_out reclaimed the rejected header itself;
+                # the untried remainder is reclaimed here.
+                self._reclaim_all(headers[accepted + 1 :])
+            return accepted
+        finally:
+            self._exit_put()
+
+    def join_producers(self, timeout: float = 2.0) -> bool:
+        """Wait until no ``put``/``put_many`` is in flight.
+
+        Called by ``Broker.stop()`` after :meth:`close`: once this returns
+        ``True``, every producer woken by the close has finished reclaiming
+        its rejected headers, so a refcount audit cannot race them.
+        """
+        deadline = self._clock() + timeout
+        with self._inflight_lock:
+            while self._inflight > 0:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    return False
+                self._inflight_idle.wait(remaining)
+        return True
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        return self._channel.take(timeout=timeout)
+
+    def get_many(
+        self, max_items: int, timeout: Optional[float] = None
+    ) -> List[Dict[str, Any]]:
+        return self._channel.take_many(max_items, timeout=timeout)
+
+    @receives_ownership("drained headers still carry their senders' shares")
+    def drain(self) -> List[Dict[str, Any]]:
+        return self._channel.drain()
+
+    def set_pressure(self, active: bool) -> None:
+        self._reclaim_all(self._channel.set_pressure(active))
+
+    def close(self) -> None:
+        self._channel.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._channel.closed
+
+    def qsize(self) -> int:
+        return self._channel.qsize()
+
+    def lane_depths(self) -> Dict[str, int]:
+        return self._channel.lane_depths()
+
+    def flow_stats(self) -> Dict[str, float]:
+        return self._channel.flow_stats()
+
+
+class FlowMessageBuffer:
+    """Flow-controlled drop-in for :class:`~repro.core.buffers.MessageBuffer`.
+
+    Holds whole :class:`~repro.core.message.Message` objects (no
+    object-store shares, so sheds only lose the message itself).  ``put``
+    raises :class:`~repro.core.errors.BufferClosedError` on a closed
+    buffer — including a blocked control put woken by ``close()`` — which
+    existing shutdown paths already treat as the end of the world
+    (``RuntimeError`` subclass).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        spec: FlowControlSpec,
+        *,
+        control_policy: str = CONTROL_BLOCK,
+        on_shed: Optional[Callable[[Message], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.name = name
+        self._spec = spec
+        self._blocking = control_policy == CONTROL_BLOCK
+        self._on_shed = on_shed
+        self._channel = LaneChannel(
+            f"buffer.{name}",
+            bulk_watermark=spec.bulk_watermark,
+            control_watermark=spec.control_watermark if self._blocking else 0,
+            low_fraction=spec.low_fraction,
+            pressure_scale=spec.pressure_scale,
+            clock=clock,
+        )
+        self.total_put = 0
+        self.total_got = 0
+        self.total_shed = 0
+        self._totals_lock = make_lock(f"buffer.{name}.totals")
+
+    def put(self, message: Message, timeout: Optional[float] = None) -> None:
+        del timeout  # admission is watermark-driven, not queue.Full-driven
+        if self._channel.closed:
+            raise BufferClosedError(f"buffer {self.name!r} is closed")
+        lane = lane_of(message.msg_type)
+        message.header[LANE] = str(lane)
+        deadline = (
+            self._spec.control_deadline_s
+            if self._blocking and lane is Lane.CONTROL
+            else None
+        )
+        admitted, shed = self._channel.offer(message, lane, deadline_s=deadline)
+        if shed:
+            with self._totals_lock:
+                self.total_shed += len(shed)
+            if self._on_shed is not None:
+                for lost in shed:
+                    self._on_shed(lost)
+        if not admitted:
+            raise BufferClosedError(
+                f"buffer {self.name!r} closed while a send awaited admission"
+            )
+        with self._totals_lock:
+            self.total_put += 1
+
+    def put_many(self, messages: Sequence[Message]) -> None:
+        for message in messages:
+            self.put(message)
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Message]:
+        message = self._channel.take(timeout=timeout)
+        if message is not None:
+            with self._totals_lock:
+                self.total_got += 1
+        return message
+
+    def get_many(
+        self, max_items: int, timeout: Optional[float] = None
+    ) -> List[Message]:
+        messages = self._channel.take_many(max_items, timeout=timeout)
+        if messages:
+            with self._totals_lock:
+                self.total_got += len(messages)
+        return messages
+
+    def get_nowait(self) -> Optional[Message]:
+        return self.get(timeout=0.0) if not self.empty() else None
+
+    def drain(self) -> Iterator[Message]:
+        while True:
+            message = self.get(timeout=0.0)
+            if message is None:
+                return
+            yield message
+
+    def empty(self) -> bool:
+        return self._channel.qsize() == 0
+
+    def qsize(self) -> int:
+        return self._channel.qsize()
+
+    def lane_depths(self) -> Dict[str, int]:
+        return self._channel.lane_depths()
+
+    def flow_stats(self) -> Dict[str, float]:
+        return self._channel.flow_stats()
+
+    def close(self) -> None:
+        self._channel.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._channel.closed
+
+
+class FlowSendBuffer(FlowMessageBuffer):
+    """Send-side staging with real producer backpressure.
+
+    Control/weights sends block the *workhorse* at the watermark (deadline
+    bounded — this is where "explicit backpressure propagated to senders"
+    reaches the API surface); bulk trajectory sends shed the oldest staged
+    rollout instead.
+    """
+
+    def __init__(self, name: str, spec: FlowControlSpec, **kwargs: Any):
+        super().__init__(name, spec, control_policy=CONTROL_BLOCK, **kwargs)
+
+
+class FlowReceiveBuffer(FlowMessageBuffer):
+    """Receive-side staging: control consumed first, bulk bounded.
+
+    The receiver thread must never block on a deadline (it would stall
+    deliveries for every lane), so the control lane is unbounded here — its
+    volume is already bounded upstream by the header-queue watermark.  A
+    slow consumer sheds its own oldest bulk deliveries, which keeps memory
+    bounded end-to-end instead of moving the unbounded queue one hop
+    downstream.
+    """
+
+    def __init__(self, name: str, spec: FlowControlSpec, **kwargs: Any):
+        super().__init__(name, spec, control_policy=CONTROL_UNBOUNDED, **kwargs)
+
+
+class WireCompressor:
+    """Adaptive fabric-boundary compression for bulk-lane bodies.
+
+    Off by default; the FlowController enables it when a link's throughput
+    sags (CPU-for-bandwidth, the same trade the store-level
+    :class:`~repro.core.compression.CompressionPolicy` makes at rest).
+    ``encode`` serializes+compresses the body and rewrites the wire byte
+    count, so a throttled NIC model charges the compressed size; ``decode``
+    on the receiving broker restores the original body before routing.
+    """
+
+    def __init__(self, name: str, *, codec: str = "zlib", min_bytes: int = 1 << 10):
+        self.name = name
+        self.codec = codec
+        self.min_bytes = min_bytes
+        self._enabled = False
+        self._lock = make_lock(f"wire.{name}")
+        self.compressed_total = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    @property
+    def enabled(self) -> bool:
+        with self._lock:
+            return self._enabled
+
+    def set_enabled(self, active: bool) -> None:
+        with self._lock:
+            self._enabled = active
+
+    def wants(self, header: Dict[str, Any], body: Any, nbytes: int) -> bool:
+        return (
+            self.enabled
+            and body is not None
+            and nbytes >= self.min_bytes
+            and header.get(WIRE_CODEC) is None
+            and header_lane(header) is Lane.BULK
+        )
+
+    def encode(
+        self, header: Dict[str, Any], body: Any, nbytes: int
+    ) -> Tuple[Dict[str, Any], Any, int]:
+        blob = get_codec(self.codec).compress(serialize(body))
+        header = dict(header)
+        header[WIRE_CODEC] = self.codec
+        with self._lock:
+            self.compressed_total += 1
+            self.bytes_in += max(0, int(nbytes))
+            self.bytes_out += len(blob)
+        return header, blob, len(blob)
+
+    def decode(
+        self, header: Dict[str, Any], body: Any
+    ) -> Tuple[Dict[str, Any], Any]:
+        return wire_decode(header, body)
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "enabled": float(self._enabled),
+                "compressed_total": float(self.compressed_total),
+                "bytes_in": float(self.bytes_in),
+                "bytes_out": float(self.bytes_out),
+            }
+
+
+def wire_decode(header: Dict[str, Any], body: Any) -> Tuple[Dict[str, Any], Any]:
+    """Restore a body the sending broker compressed at the fabric boundary.
+
+    Driven purely by the header's ``WIRE_CODEC`` stamp so a receiving broker
+    decodes correctly regardless of its own wire-compression state.
+    """
+    codec = header.get(WIRE_CODEC)
+    if codec is None:
+        return header, body
+    restored = deserialize(get_codec(codec).decompress(body))
+    header = dict(header)
+    header[WIRE_CODEC] = None
+    return header, restored
+
+
+def release_header_shares(
+    store: Any, header: Dict[str, Any], *, shares: Optional[int] = None
+) -> None:
+    """Release ``shares`` object-store refcounts held by ``header``.
+
+    ``shares=None`` releases the full destination fan-out (a header that
+    never crossed the router still owns one share per destination); ID
+    queues pass ``shares=1`` (the router already split the fan-out).
+    Already-released bodies are tolerated — reclamation races shutdown.
+    """
+    object_id = header.get(OBJECT_ID)
+    if object_id is None:
+        return
+    if shares is None:
+        shares = max(1, len(header.get(DST) or ()))
+    for _ in range(shares):
+        try:
+            store.release(object_id)
+        except Exception:  # noqa: BLE001 - already freed (late shed/shutdown)
+            break

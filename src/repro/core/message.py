@@ -45,6 +45,12 @@ CREATED_AT = "created_at"
 BODY_SIZE = "body_size"
 COMPRESSED = "compressed"
 BATCH_COUNT = "batch_count"  # sub-message count of a MsgType.BATCH envelope
+#: priority lane ("control" or "bulk") stamped by flow-controlled queues;
+#: absent when overload control is off, so default headers are unchanged
+LANE = "lane"
+#: codec name set by the broker when a body was compressed at the fabric
+#: boundary (adaptive wire compression; see docs/FLOW_CONTROL.md)
+WIRE_CODEC = "wire_codec"
 
 
 def make_header(

@@ -27,6 +27,7 @@ body (to size its header) never pickle it a second time.
 from __future__ import annotations
 
 import itertools
+import logging
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
@@ -38,6 +39,8 @@ from .errors import ObjectStoreError, RefcountLeakError, UnknownObjectError
 from .serialization import Frame, deserialize, make_frame, serialize
 
 _OBJECT_COUNTER = itertools.count()
+
+_LOG = logging.getLogger(__name__)
 
 
 def _new_object_id(prefix: str) -> str:
@@ -251,6 +254,20 @@ class InMemoryObjectStore(ObjectStore):
         with self._lock:
             return self._total_refcounts
 
+    @property
+    def compression(self) -> CompressionPolicy:
+        return self._compression
+
+    def set_compression(self, policy: CompressionPolicy) -> None:
+        """Swap the copy-on-fetch compression policy (atomic ref swap).
+
+        Safe at runtime only because stored blobs are self-describing
+        (codec frame prefix): decode never consults the current policy's
+        threshold, and ``decode`` on any :class:`CompressionPolicy`
+        dispatches on the prefix byte.
+        """
+        self._compression = policy
+
 
 #: Where a SHM entry's bytes live: an arena block or a dedicated segment.
 _Location = Tuple[str, Union[BlockHandle, str]]
@@ -295,10 +312,28 @@ class SharedMemoryObjectStore(ObjectStore):
             self._arena = None
         self.total_arena_put = 0
         self.total_segment_put = 0
+        #: segment-path puts forced by arena exhaustion specifically — the
+        #: silent-degradation signal (total_segment_put also counts bodies
+        #: that *chose* the segment path: compressed, or ``use_arena=False``)
+        self.total_overflow_put = 0
+        self._overflow_warned = False
 
     @property
     def arena(self) -> Optional[SlabArena]:
         return self._arena
+
+    @property
+    def compression(self) -> CompressionPolicy:
+        return self._compression
+
+    def set_compression(self, policy: CompressionPolicy) -> None:
+        """Swap the at-rest compression policy (FlowController adaptation).
+
+        An atomic reference swap: in-flight puts finish under whichever
+        policy they read; entries already stored are self-describing (the
+        frame prefix byte), so reads never depend on the current policy.
+        """
+        self._compression = policy
 
     def arena_stats(self) -> Dict[str, int]:
         """Occupancy gauges for the telemetry sampler (empty: arena off)."""
@@ -346,15 +381,29 @@ class SharedMemoryObjectStore(ObjectStore):
             frame = make_frame(body)
         location: Optional[_Location] = None
         total = 0
-        if self._arena is not None and not self._compression.should_compress(
+        wanted_arena = self._arena is not None and not self._compression.should_compress(
             frame.nbytes
-        ):
+        )
+        if wanted_arena:
             written = self._write_arena(frame)
             if written is not None:
                 handle, total = written
                 location = (_LOC_ARENA, handle)
                 self.total_arena_put += 1
         if location is None:
+            if wanted_arena:
+                # Arena exhausted: degrade loudly, not silently — the
+                # per-message segment path pays the full shm_open/unlink
+                # round trip the arena exists to avoid.
+                self.total_overflow_put += 1
+                if not self._overflow_warned:
+                    self._overflow_warned = True
+                    _LOG.warning(
+                        "shared-memory store: arena exhausted, falling back "
+                        "to per-message overflow segments (%dB body); "
+                        "counted in total_overflow_put from here on",
+                        frame.nbytes,
+                    )
             framed, _ = self._compression.encode(frame.to_bytes())
             total = len(framed)
             location = (_LOC_SEGMENT, self._write_segment(framed))

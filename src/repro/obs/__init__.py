@@ -26,6 +26,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .flowcontroller import FlowController
 from .sampler import TelemetrySampler
 from .spans import STAGES, SpanAggregator, SpanRecord, SpanStats
 from .telemetry import Telemetry
@@ -36,6 +37,7 @@ __all__ = [
     "DEFAULT_SIZE_BUCKETS",
     "STAGES",
     "Counter",
+    "FlowController",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

@@ -1,0 +1,255 @@
+"""Telemetry-driven adaptation: the flow-control feedback loop.
+
+PR 4 built the sensors (queue-depth gauges, arena occupancy, span
+latencies); the :class:`FlowController` closes the loop.  One supervised
+thread polls the shared :class:`~repro.obs.metrics.MetricsRegistry` — the
+very gauges the :class:`~repro.obs.sampler.TelemetrySampler` populates —
+and actuates three degradation levers when the pipeline falls behind:
+
+* **coalescing** — raise each endpoint's ``CoalescingSpec`` size threshold
+  so more small messages ride per BATCH envelope (fewer headers, fewer
+  routing decisions) while queues are pressured;
+* **wire compression** — enable the broker's
+  :class:`~repro.core.flowcontrol.WireCompressor` so bulk bodies cross
+  throttled links compressed (CPU for bandwidth);
+* **admission + at-rest compression** — when arena occupancy trips its
+  watermark, tighten bulk admission (scaled watermarks shed earlier) and
+  lower the store's compression threshold so large bodies move off the
+  arena into compressed overflow segments.
+
+Escalation needs ``escalate_after`` consecutive pressured polls; full
+relaxation back to the configured baseline needs ``relax_after`` clear
+polls (asymmetric on purpose: degrade fast, recover cautiously).  Every
+decision is exported through the registry (``flow_*`` gauges/counters) so
+snapshots show *when* and *why* the system degraded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from typing import Any, Callable, List, Optional
+
+from ..core.concurrency import make_lock, spawn_thread
+from ..core.config import FlowControlSpec
+from .metrics import Gauge, MetricsRegistry
+
+
+class FlowController:
+    """Polls backpressure gauges; retunes coalescing/compression/admission."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        spec: FlowControlSpec,
+        *,
+        name: str = "flow-controller",
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.registry = registry
+        self.spec = spec
+        self.name = name
+        self._clock = clock
+        self._lock = make_lock(f"{name}.state")
+        self._brokers: List[Any] = []
+        self._endpoints: List[Any] = []
+        #: (gauge, original CompressionPolicy, store) triples per broker
+        self._stores: List[Any] = []
+        self._bulk_depth_gauges: List[Gauge] = []
+        self._arena_pressure_gauges: List[Gauge] = []
+        self._original_coalescing: dict = {}
+        self._original_compression: dict = {}
+        self._pressured_polls = 0
+        self._clear_polls = 0
+        self._escalated = False
+        self._admission_tight = False
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self.error: Optional[BaseException] = None
+        # Decision telemetry.
+        self._escalations = registry.counter(
+            "flow_adaptations_total", {"direction": "escalate"},
+            help="degradation steps taken by the flow controller",
+        )
+        self._relaxations = registry.counter(
+            "flow_adaptations_total", {"direction": "relax"},
+            help="recoveries back to the configured baseline",
+        )
+        self._level_gauge = registry.gauge(
+            "flow_degradation_level",
+            help="0 at baseline, 1 while degraded (coalescing/compression on)",
+        )
+        self._admission_gauge = registry.gauge(
+            "flow_admission_tightened",
+            help="1 while scaled (pressure) bulk admission is active",
+        )
+        self._polls = registry.counter(
+            "flow_polls_total", help="completed flow-controller polls"
+        )
+
+    # -- attachment -----------------------------------------------------------
+    def attach_broker(self, broker: Any) -> None:
+        """Watch a broker's header-queue bulk lane and arena pressure."""
+        with self._lock:
+            self._brokers.append(broker)
+            # Same (kind, name, labels) → the registry returns the very
+            # Gauge objects the sampler writes; no side channel needed.
+            self._bulk_depth_gauges.append(
+                self.registry.gauge(
+                    "backpressure_lane_depth",
+                    {
+                        "component": broker.name,
+                        "queue": "headers",
+                        "lane": "bulk",
+                    },
+                )
+            )
+            store = broker.communicator.object_store
+            if getattr(store, "arena", None) is not None:
+                self._arena_pressure_gauges.append(
+                    self.registry.gauge(
+                        "arena_pressure", {"broker": broker.name}
+                    )
+                )
+            if getattr(store, "set_compression", None) is not None:
+                self._stores.append(store)
+                self._original_compression[id(store)] = store.compression
+
+    def attach_endpoint(self, endpoint: Any) -> None:
+        """Manage an endpoint's coalescing spec (None: nothing to retune)."""
+        with self._lock:
+            self._endpoints.append(endpoint)
+            self._original_coalescing[id(endpoint)] = endpoint.coalescing
+
+    # -- signals --------------------------------------------------------------
+    def _queue_pressured(self) -> bool:
+        threshold = self.spec.queue_pressure_fraction * self.spec.bulk_watermark
+        return any(
+            gauge.value >= threshold for gauge in self._bulk_depth_gauges
+        )
+
+    def _arena_pressured(self) -> bool:
+        return any(gauge.value > 0 for gauge in self._arena_pressure_gauges)
+
+    # -- actuation ------------------------------------------------------------
+    def _escalate(self, arena_pressured: bool) -> None:
+        """Apply the degradation levers (controller thread only)."""
+        self._escalated = True
+        self._escalations.inc()
+        self._level_gauge.set(1)
+        for endpoint in self._endpoints:
+            current = endpoint.coalescing
+            if current is None or not current.enabled:
+                continue
+            raised = min(
+                self.spec.coalescing_max_bytes, current.max_message_bytes * 2
+            )
+            if raised != current.max_message_bytes:
+                # Atomic reference swap; the sender loop re-reads the spec
+                # every wakeup, so the new threshold applies immediately.
+                endpoint.coalescing = dataclasses.replace(
+                    current, max_message_bytes=raised
+                )
+        for broker in self._brokers:
+            wire = getattr(broker, "wire", None)
+            if wire is not None:
+                wire.set_enabled(True)
+        if arena_pressured and not self._admission_tight:
+            self._admission_tight = True
+            self._admission_gauge.set(1)
+            for broker in self._brokers:
+                broker.communicator.set_pressure(True)
+            for store in self._stores:
+                current = store.compression
+                lowered = max(
+                    self.spec.compression_min_threshold,
+                    (current.threshold or self.spec.compression_min_threshold)
+                    // 2,
+                )
+                store.set_compression(
+                    dataclasses.replace(
+                        current, enabled=True, threshold=lowered
+                    )
+                )
+
+    def _relax(self) -> None:
+        """Restore the configured baseline (controller thread only)."""
+        self._escalated = False
+        self._relaxations.inc()
+        self._level_gauge.set(0)
+        for endpoint in self._endpoints:
+            endpoint.coalescing = self._original_coalescing.get(id(endpoint))
+        for broker in self._brokers:
+            wire = getattr(broker, "wire", None)
+            if wire is not None:
+                wire.set_enabled(False)
+        if self._admission_tight:
+            self._admission_tight = False
+            self._admission_gauge.set(0)
+            for broker in self._brokers:
+                broker.communicator.set_pressure(False)
+            for store in self._stores:
+                original = self._original_compression.get(id(store))
+                if original is not None:
+                    store.set_compression(original)
+
+    # -- control loop ---------------------------------------------------------
+    def poll_once(self) -> None:
+        """One observe-decide-act step (also the unit tests' entry point)."""
+        with self._lock:
+            queue_pressured = self._queue_pressured()
+            arena_pressured = self._arena_pressured()
+            if queue_pressured or arena_pressured:
+                self._pressured_polls += 1
+                self._clear_polls = 0
+            else:
+                self._clear_polls += 1
+                self._pressured_polls = 0
+            if self._pressured_polls >= self.spec.escalate_after:
+                self._escalate(arena_pressured)
+                self._pressured_polls = 0  # re-arm (repeat escalations
+                # keep doubling coalescing up to the configured cap)
+            elif self._clear_polls >= self.spec.relax_after and (
+                self._escalated or self._admission_tight
+            ):
+                self._relax()
+                self._clear_polls = 0
+            self._polls.inc()
+
+    @property
+    def degraded(self) -> bool:
+        with self._lock:
+            return self._escalated
+
+    @property
+    def admission_tightened(self) -> bool:
+        with self._lock:
+            return self._admission_tight
+
+    def _run(self) -> None:
+        try:
+            while not self._stop.wait(self.spec.adapt_interval_s):
+                self.poll_once()
+        except BaseException as exc:  # noqa: BLE001 - surfaced like a workhorse
+            self.error = exc
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = spawn_thread(self.name, self._run)
+
+    def stop(self, timeout: float = 2.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+
+__all__ = ["FlowController"]

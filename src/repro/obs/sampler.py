@@ -72,6 +72,68 @@ class TelemetrySampler:
             name, labels, help=help, series_capacity=self.series_capacity
         )
 
+    #: flow_stats keys mirrored per lane into the backpressure family
+    _FLOW_STATS = (
+        ("depth", "backpressure_lane_depth",
+         "entries queued in one priority lane"),
+        ("shed", "backpressure_shed_total",
+         "oldest bulk entries dropped at the watermark (running total)"),
+        ("blocked", "backpressure_blocked_total",
+         "control puts that had to wait at the watermark (running total)"),
+        ("block_seconds", "backpressure_block_seconds_total",
+         "cumulative seconds control producers spent blocked"),
+        ("expired", "backpressure_expired_total",
+         "control puts abandoned at their deadline (running total)"),
+    )
+
+    def add_flow_source(
+        self, component: str, flow_stats_fn: Callable[[], dict]
+    ) -> None:
+        """Mirror a flow-controlled component's per-lane counters.
+
+        ``flow_stats_fn`` returns ``{queue_name: flow_stats_dict}`` (see
+        :meth:`repro.core.flowcontrol.LaneChannel.flow_stats`).  Queues are
+        discovered lazily — ID queues appear as processes register.
+        """
+        gauges: dict = {}
+
+        def gauge_for(queue_name: str, stat: str, lane: str) -> Gauge:
+            key = (queue_name, stat, lane)
+            gauge = gauges.get(key)
+            if gauge is None:
+                metric, help_text = next(
+                    (m, h) for s, m, h in self._FLOW_STATS if s == stat
+                )
+                gauge = self._series_gauge(
+                    metric,
+                    {"component": component, "queue": queue_name, "lane": lane},
+                    help_text,
+                )
+                gauges[key] = gauge
+            return gauge
+
+        def probe(timestamp: float) -> None:
+            for queue_name, stats in flow_stats_fn().items():
+                for lane in ("control", "bulk"):
+                    for stat, _, _ in self._FLOW_STATS:
+                        value = stats.get(f"{lane}_{stat}")
+                        if value is not None:
+                            gauge_for(queue_name, stat, lane).set(
+                                value, timestamp
+                            )
+                pressure_key = (queue_name, "pressure", "")
+                gauge = gauges.get(pressure_key)
+                if gauge is None:
+                    gauge = self._series_gauge(
+                        "backpressure_admission_pressure",
+                        {"component": component, "queue": queue_name},
+                        "1 while tightened (scaled) bulk admission is active",
+                    )
+                    gauges[pressure_key] = gauge
+                gauge.set(stats.get("pressure", 0.0), timestamp)
+
+        self.add_probe(probe)
+
     def add_broker(self, broker: Any) -> None:
         """Sample a :class:`repro.core.broker.Broker`'s communicator+store."""
         communicator = broker.communicator
@@ -101,12 +163,38 @@ class TelemetrySampler:
                 ("allocated_bytes", "bytes held by live arena blocks"),
                 ("slab_bytes", "total shared memory mapped by arena slabs"),
                 ("free_blocks", "recycled blocks parked on arena free lists"),
+                ("capacity_bytes", "arena occupancy bound"),
+                ("pressure", "1 while arena occupancy is above its watermark"),
+                ("pressure_events", "times the arena pressure latch tripped"),
             ):
                 arena_gauges[stat_name] = self._series_gauge(
                     f"arena_{stat_name}", broker_label, help_text
                 )
 
         depth_gauges: dict = {}
+
+        # Overload-control gauges (flow-enabled brokers only).
+        overflow_gauge: Optional[Gauge] = None
+        if getattr(store, "total_overflow_put", None) is not None:
+            overflow_gauge = self._series_gauge(
+                "store_overflow_puts_total", broker_label,
+                "puts forced onto per-message overflow segments by arena "
+                "exhaustion (running total)",
+            )
+        wire = getattr(broker, "wire", None)
+        wire_gauges: dict = {}
+        if wire is not None:
+            for stat_name, help_text in (
+                ("enabled", "1 while adaptive wire compression is active"),
+                ("compressed_total", "bodies compressed at the fabric boundary"),
+                ("bytes_in", "pre-compression bytes offered to the wire codec"),
+                ("bytes_out", "post-compression bytes sent on the fabric"),
+            ):
+                wire_gauges[stat_name] = self._series_gauge(
+                    f"wire_compression_{stat_name}", broker_label, help_text
+                )
+        if getattr(broker.communicator, "flow", None) is not None:
+            self.add_flow_source(broker.name, broker.communicator.flow_stats)
 
         def probe(timestamp: float) -> None:
             header_gauge.set(communicator.header_queue.qsize(), timestamp)
@@ -121,6 +209,12 @@ class TelemetrySampler:
                 if stats:
                     for stat_name, gauge in arena_gauges.items():
                         gauge.set(stats.get(stat_name, 0), timestamp)
+            if overflow_gauge is not None:
+                overflow_gauge.set(store.total_overflow_put, timestamp)
+            if wire_gauges:
+                wire_stats = wire.stats()
+                for stat_name, gauge in wire_gauges.items():
+                    gauge.set(wire_stats.get(stat_name, 0.0), timestamp)
             for process_name, depth in communicator.queue_depths().items():
                 gauge = depth_gauges.get(process_name)
                 if gauge is None:
@@ -147,9 +241,26 @@ class TelemetrySampler:
             "messages delivered but not yet consumed by the workhorse",
         )
 
+        expired_gauge: Optional[Gauge] = None
+        if getattr(endpoint, "flow", None) is not None:
+            self.add_flow_source(
+                endpoint.name,
+                lambda: {
+                    "send": endpoint.send_buffer.flow_stats(),
+                    "recv": endpoint.receive_buffer.flow_stats(),
+                },
+            )
+            expired_gauge = self._series_gauge(
+                "backpressure_send_expired_total", labels,
+                "control-lane sends the sender thread abandoned at their "
+                "admission deadline (running total)",
+            )
+
         def probe(timestamp: float) -> None:
             send_gauge.set(endpoint.send_buffer.qsize(), timestamp)
             recv_gauge.set(endpoint.receive_buffer.qsize(), timestamp)
+            if expired_gauge is not None:
+                expired_gauge.set(endpoint.backpressure_expired, timestamp)
 
         self.add_probe(probe)
 

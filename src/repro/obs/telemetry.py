@@ -19,12 +19,13 @@ from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 from ..core.tracing import Tracer
 from .exporters import snapshot, snapshot_to_json, to_prometheus
+from .flowcontroller import FlowController
 from .metrics import MetricsRegistry
 from .sampler import TelemetrySampler
 from .spans import SpanAggregator, SpanRecord, SpanStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..core.config import TelemetrySpec
+    from ..core.config import FlowControlSpec, TelemetrySpec
 
 
 class Telemetry:
@@ -56,6 +57,10 @@ class Telemetry:
             series_capacity=series_capacity,
         )
         self._attached: List[Any] = []
+        #: telemetry-driven adaptation loop; None until
+        #: :meth:`enable_flow_control` (sessions call it when the config
+        #: carries a FlowControlSpec)
+        self.flow_controller: Optional[FlowController] = None
 
     @classmethod
     def from_spec(cls, spec: "TelemetrySpec") -> "Telemetry":
@@ -68,6 +73,16 @@ class Telemetry:
         )
 
     # -- wiring -------------------------------------------------------------
+    def enable_flow_control(self, spec: "FlowControlSpec") -> FlowController:
+        """Create the adaptation loop (call before :meth:`attach_cluster`).
+
+        The controller shares this telemetry's registry, so it reads the
+        exact gauge objects the sampler writes.
+        """
+        if self.flow_controller is None:
+            self.flow_controller = FlowController(self.registry, spec)
+        return self.flow_controller
+
     def attach_cluster(self, cluster: Any) -> None:
         """Instrument every broker, router, and process of a built cluster."""
         for machine in cluster.machines:
@@ -86,11 +101,15 @@ class Telemetry:
     def attach_broker(self, broker: Any) -> None:
         broker.router.tracer = self.tracer
         self.sampler.add_broker(broker)
+        if self.flow_controller is not None and getattr(broker, "flow", None):
+            self.flow_controller.attach_broker(broker)
 
     def attach_endpoint(self, endpoint: Any) -> None:
         endpoint.tracer = self.tracer
         endpoint.attach_metrics(self.registry)
         self.sampler.add_endpoint(endpoint)
+        if self.flow_controller is not None and getattr(endpoint, "flow", None):
+            self.flow_controller.attach_endpoint(endpoint)
 
     def instrument_process(self, process: Any) -> None:
         """Instrument one explorer/learner (also used after a restart)."""
@@ -103,8 +122,12 @@ class Telemetry:
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
         self.sampler.start()
+        if self.flow_controller is not None:
+            self.flow_controller.start()
 
     def stop(self) -> None:
+        if self.flow_controller is not None:
+            self.flow_controller.stop()
         self.sampler.stop()
 
     # -- exports ------------------------------------------------------------
@@ -140,6 +163,7 @@ class Telemetry:
 
 __all__ = [
     "Telemetry",
+    "FlowController",
     "MetricsRegistry",
     "SpanAggregator",
     "TelemetrySampler",

@@ -61,10 +61,27 @@ class XingTianSession:
         self.cluster = cluster
         telemetry = None
         spec = self.config.telemetry
+        flow = self.config.flow_control
+        if flow is not None and not flow.enabled:
+            flow = None
         if spec is not None and spec.enabled:
             from .obs import Telemetry
 
             telemetry = Telemetry.from_spec(spec)
+        elif flow is not None:
+            # Flow control's feedback loop reads the sampler's gauges, so a
+            # flow-enabled run gets an internal telemetry pipeline even when
+            # the config left telemetry off.  Spans stay disabled: only the
+            # sampler/controller threads run, and RunResult.metrics stays
+            # empty (the user did not ask for a snapshot).
+            from .obs import Telemetry
+
+            telemetry = Telemetry(
+                sample_interval=flow.adapt_interval_s, spans=False
+            )
+        if telemetry is not None:
+            if flow is not None:
+                telemetry.enable_flow_control(flow)
             telemetry.attach_cluster(cluster)
         self.telemetry = telemetry
         supervisor = cluster.center.supervisor
@@ -92,7 +109,7 @@ class XingTianSession:
             if telemetry is not None:
                 telemetry.stop()  # final sample before queues drain away
             cluster.stop()
-            if telemetry is not None:
+            if telemetry is not None and spec is not None and spec.enabled:
                 result.metrics = telemetry.snapshot(
                     meta={"elapsed_s": round(elapsed, 6)}
                 )
