@@ -20,6 +20,12 @@ messages hide.  This package turns that debugging into tooling:
   any control-flow path, double releases of single-share handles, and
   handles escaping without a
   :func:`repro.core.ownership.transfers_ownership` annotation;
+* :mod:`repro.analysis.lifetime` — a zero-copy lifetime pass over the same
+  CFGs tracking views derived from ``deserialize(copy=False)``, arena
+  blocks, and pool handles: view-escapes past the owning block's release,
+  release-while-borrowed, writes through read-only views, and
+  ``LaneHeaderQueue`` call sites violating their CONTROL_BLOCK /
+  CONTROL_UNBOUNDED reclaim contracts (``lane-contract``);
 * :mod:`repro.analysis.topology` — static extraction of the communication
   topology (which component sends which ``MsgType`` to which role), the
   ``docs/topology.json``/DOT artifacts, the ``orphan-destination`` and
@@ -44,6 +50,7 @@ from __future__ import annotations
 
 from .engine import analyze_path, analyze_paths, analyze_source
 from .findings import Baseline, Finding, Severity
+from .lifetime import run_lifetime_rules
 from .ownership import run_ownership_rules
 from .protocol import EXPLICITLY_UNROUTED, Protocol, extract_protocol
 from .topology import (
@@ -64,6 +71,7 @@ __all__ = [
     "extract_protocol",
     "EXPLICITLY_UNROUTED",
     "run_ownership_rules",
+    "run_lifetime_rules",
     "Topology",
     "extract_topology",
     "observed_edges",

@@ -8,6 +8,7 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Set, Tuple
 
 from .findings import Finding, Severity, sort_findings
+from .lifetime import run_lifetime_rules
 from .ownership import run_ownership_rules
 from .protocol import extract_from_sources
 from .rules import SYNTAX_ERROR, run_file_rules, run_protocol_rule
@@ -139,6 +140,7 @@ def analyze_sources(
         findings.extend(run_file_rules(path, tree))
     findings.extend(_run_protocol_rules(sources, ignored_msgtypes))
     findings.extend(run_ownership_rules(sources))
+    findings.extend(run_lifetime_rules(sources))
     findings.extend(run_topology_rules(sources))
     return sort_findings(findings)
 

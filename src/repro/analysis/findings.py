@@ -41,6 +41,19 @@ class Finding:
     message: str
     scope: str = ""  #: dotted enclosing scope, e.g. ``Broker.stop``
 
+    def __post_init__(self) -> None:
+        # Every finding must be addressable as ``path:line`` — GitHub
+        # workflow annotations silently drop the file link otherwise.
+        # Rules that anchor to synthesized nodes (lineno fallbacks of 0)
+        # or whole-tree facts (no single file) get pinned to line 1 /
+        # ``<unknown>`` rather than emitting an unclickable annotation.
+        if not self.path:
+            object.__setattr__(self, "path", "<unknown>")
+        else:
+            object.__setattr__(self, "path", self.path.replace("\\", "/"))
+        if self.line < 1:
+            object.__setattr__(self, "line", 1)
+
     def format(self) -> str:
         """The canonical ``file:line severity rule message`` output line."""
         return f"{self.path}:{self.line} {self.severity} {self.rule} {self.message}"

@@ -41,6 +41,12 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from .configcheck import UNKNOWN_CONFIG_KEY, UNREGISTERED_NAME
 from .findings import Finding, Severity
+from .lifetime import (
+    LANE_CONTRACT,
+    RELEASE_WHILE_BORROWED,
+    VIEW_ESCAPE,
+    WRITE_THROUGH_READONLY_VIEW,
+)
 from .ownership import DOUBLE_RELEASE, REFCOUNT_LEAK, UNANNOTATED_HANDLE_ESCAPE
 from .protocol import Protocol, Site
 from .topology import BOUNDED_QUEUE_CYCLE, ORPHAN_DESTINATION
@@ -107,6 +113,22 @@ RULES: Dict[str, RuleInfo] = {
     UNREGISTERED_NAME: RuleInfo(
         UNREGISTERED_NAME, Severity.ERROR,
         "environment/model/algorithm/agent name is not registered",
+    ),
+    VIEW_ESCAPE: RuleInfo(
+        VIEW_ESCAPE, Severity.WARNING,
+        "zero-copy view escapes its frame without @detaches_view",
+    ),
+    RELEASE_WHILE_BORROWED: RuleInfo(
+        RELEASE_WHILE_BORROWED, Severity.ERROR,
+        "block released while a derived zero-copy view is still live",
+    ),
+    WRITE_THROUGH_READONLY_VIEW: RuleInfo(
+        WRITE_THROUGH_READONLY_VIEW, Severity.ERROR,
+        "element/slice write through a read-only deserialize view",
+    ),
+    LANE_CONTRACT: RuleInfo(
+        LANE_CONTRACT, Severity.ERROR,
+        "LaneHeaderQueue call site violates its reclaim-ownership contract",
     ),
 }
 

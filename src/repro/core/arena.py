@@ -15,16 +15,37 @@ segment instead of growing without bound.  Double frees and foreign
 handles raise :class:`ArenaError`.  The arena is leak-audited at shutdown
 through the same machinery as the object store: :meth:`leak_report` /
 :meth:`assert_balanced` mirror :class:`~repro.core.object_store.ObjectStore`.
+
+**Sanitizer.**  Under ``REPRO_RUNTIME_CHECKS=1`` (or ``sanitize=True``)
+the arena arms a use-after-free sanitizer for the zero-copy pipeline:
+
+* *generation tags* — every ``(segment, offset)`` location carries a
+  monotonically increasing generation; a stale :class:`BlockHandle` from a
+  previous incarnation of the block raises :class:`ArenaError` on
+  :meth:`view`/:meth:`free` instead of silently aliasing the new tenant;
+* *poison-on-free* — freed block bytes are memset to ``0xDB`` so a dangling
+  view reads obviously-corrupt data rather than plausible stale payloads;
+* *quarantine* — freed blocks sit out ``quarantine_depth`` subsequent
+  frees (``REPRO_ARENA_QUARANTINE``) before rejoining the LIFO free list,
+  widening the window in which stale handles fault instead of aliasing;
+* *view registration* — consumers exporting zero-copy views
+  (:meth:`register_export`, or ``deserialize(..., view_registry=...)`` via
+  :meth:`export_registry`) make :meth:`free`/:meth:`close` raise while any
+  exported view is still alive, instead of leaving it dangling.
+
+All sanitizer state is behind one ``self._sanitize`` flag; with checks off
+the steady-state alloc/free path is unchanged.
 """
 
 from __future__ import annotations
 
 import itertools
 import os
-from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
-from .concurrency import make_lock
+from .concurrency import make_lock, runtime_checks_enabled
 from .errors import ObjectStoreError, RefcountLeakError
 
 _ARENA_COUNTER = itertools.count()
@@ -36,6 +57,13 @@ DEFAULT_MAX_BLOCK = 1 << 22
 DEFAULT_SLAB_BLOCKS = 8
 #: Default occupancy bound across all slabs (including huge blocks).
 DEFAULT_CAPACITY = 1 << 28  # 256 MB
+
+#: Environment knob for the sanitizer's free-list quarantine depth.
+QUARANTINE_ENV = "REPRO_ARENA_QUARANTINE"
+#: Blocks held back per size class before re-entering the free list.
+DEFAULT_QUARANTINE_DEPTH = 4
+#: Fill pattern for freed blocks under the sanitizer.
+POISON_BYTE = 0xDB
 
 
 def _drop_segment(segment: Any) -> None:
@@ -72,13 +100,17 @@ class BlockHandle:
     learns a handle can attach and read the block without copies.  ``size``
     is the usable byte count (the size class, or the exact size for huge
     blocks); ``huge`` marks blocks with a dedicated segment that is
-    unlinked on free rather than recycled.
+    unlinked on free rather than recycled.  ``generation`` counts how many
+    times this location has been recycled — under the sanitizer a handle
+    whose generation lags the location's current one is *stale* (its block
+    was freed, and possibly reallocated to someone else) and faults fast.
     """
 
     segment: str
     offset: int
     size: int
     huge: bool = False
+    generation: int = 0
 
 
 @dataclass
@@ -105,6 +137,8 @@ class SlabArena:
         max_block: int = DEFAULT_MAX_BLOCK,
         slab_blocks: int = DEFAULT_SLAB_BLOCKS,
         capacity_bytes: int = DEFAULT_CAPACITY,
+        sanitize: Optional[bool] = None,
+        quarantine_depth: Optional[int] = None,
     ):
         from multiprocessing import shared_memory  # local import: optional path
 
@@ -140,6 +174,24 @@ class SlabArena:
         self.total_free = 0
         self.total_slabs = 0
         self.total_fallback = 0  # exhaustion signals surfaced to callers
+        self.total_huge = 0  # huge-block allocations (dedicated segments)
+        # -- sanitizer (opt-in; defaults follow REPRO_RUNTIME_CHECKS) --------
+        self._sanitize = runtime_checks_enabled() if sanitize is None else sanitize
+        if quarantine_depth is None:
+            quarantine_depth = int(
+                os.environ.get(QUARANTINE_ENV, DEFAULT_QUARANTINE_DEPTH)
+            )
+        self._quarantine_depth = max(0, quarantine_depth)
+        #: size class -> freed blocks sitting out their quarantine window
+        self._quarantine: Dict[int, Deque[BlockHandle]] = {
+            cls: deque() for cls in self._classes
+        }
+        #: (segment, offset) -> current generation of that location
+        self._generations: Dict[Tuple[str, int], int] = {}
+        #: (segment, offset) -> export token -> registered view (None: counted)
+        self._exports: Dict[Tuple[str, int], Dict[int, Optional[memoryview]]] = {}
+        self._export_tokens = itertools.count(1)
+        self.stale_handle_faults = 0  # generation mismatches caught
         # Occupancy watermarks (fractions of capacity).  Purely advisory:
         # the arena latches a pressure flag for the FlowController to poll,
         # with hysteresis so the signal does not flap around the threshold.
@@ -201,12 +253,29 @@ class SlabArena:
                 raise ArenaError(f"arena {self.name!r} is closed")
             if cls == -1:
                 handle = self._alloc_huge(nbytes)
+                self.total_huge += 1
             else:
                 free = self._free[cls]
                 if not free:
-                    self._grow(cls)
+                    quarantine = self._quarantine[cls]
+                    if quarantine:
+                        # Quarantine delays reuse; it never costs capacity.
+                        # Recycle the oldest held-back block rather than
+                        # growing a new slab at steady state.
+                        free.append(quarantine.popleft())
+                    else:
+                        self._grow(cls)
                     free = self._free[cls]
                 handle = free.pop()
+                if self._sanitize:
+                    # Recycled handles carry the generation they were freed
+                    # at; stamp the location's current generation so this
+                    # tenant's handle is the only valid one.
+                    current = self._generations.get(
+                        (handle.segment, handle.offset), 0
+                    )
+                    if handle.generation != current:
+                        handle = replace(handle, generation=current)
             self._allocated[(handle.segment, handle.offset)] = handle
             self._allocated_bytes += handle.size
             self.total_alloc += 1
@@ -252,17 +321,33 @@ class SlabArena:
     # -- access ----------------------------------------------------------------
     def view(self, handle: BlockHandle) -> memoryview:
         """Writable view of a live block (readers slice what they need)."""
+        key = (handle.segment, handle.offset)
         with self._lock:
-            if (handle.segment, handle.offset) not in self._allocated:
+            if self._closed:
+                raise ArenaError(f"arena {self.name!r} is closed")
+            if key not in self._allocated:
                 raise ArenaError(f"unknown or freed block {handle}")
+            if self._sanitize:
+                self._check_generation(handle, key, "view")
             segment = self._slabs[handle.segment]
         return memoryview(segment.buf)[handle.offset : handle.offset + handle.size]
 
     def free(self, handle: BlockHandle) -> None:
-        """Return a block to its free list (or unlink a huge block)."""
+        """Return a block to its free list (or unlink a huge block).
+
+        Under the sanitizer a stale-generation handle and a free with live
+        exported views both raise :class:`ArenaError` — the caller is about
+        to recycle memory somebody can still read.
+        """
         unlink = None
+        key = (handle.segment, handle.offset)
         with self._lock:
-            live = self._allocated.pop((handle.segment, handle.offset), None)
+            if self._closed:
+                raise ArenaError(f"arena {self.name!r} is closed")
+            if self._sanitize and key in self._allocated:
+                self._check_generation(handle, key, "free")
+                self._check_exports(key)
+            live = self._allocated.pop(key, None)
             if live is None:
                 raise ArenaError(
                     f"double free or foreign handle on arena {self.name!r}: {handle}"
@@ -270,21 +355,133 @@ class SlabArena:
             self._allocated_bytes -= live.size
             self.total_free += 1
             self._update_pressure()
+            if self._sanitize:
+                self._generations[key] = self._generations.get(key, 0) + 1
+                self._exports.pop(key, None)
+                self._poison(live)
             if live.huge:
                 unlink = self._slabs.pop(live.segment)
                 self._slab_bytes -= live.size
+            elif self._sanitize and self._quarantine_depth > 0:
+                quarantine = self._quarantine[live.size]
+                quarantine.append(live)
+                while len(quarantine) > self._quarantine_depth:
+                    self._free[live.size].append(quarantine.popleft())
             else:
                 self._free[live.size].append(live)
         if unlink is not None:
             _drop_segment(unlink)
 
+    # -- sanitizer internals (lock held) ----------------------------------------
+    def _check_generation(
+        self, handle: BlockHandle, key: Tuple[str, int], op: str
+    ) -> None:
+        current = self._generations.get(key, 0)
+        if handle.generation != current:
+            self.stale_handle_faults += 1
+            raise ArenaError(
+                f"stale handle on arena {self.name!r}: {op} of {handle} at "
+                f"generation {handle.generation}, but the block is at "
+                f"generation {current} (freed and reallocated since)"
+            )
+
+    def _check_exports(self, key: Tuple[str, int]) -> None:
+        live = self._live_exports(key)
+        if live:
+            raise ArenaError(
+                f"releasing block {key[0]}:{key[1]} on arena {self.name!r} "
+                f"with {live} live exported view(s) — release the views "
+                "before freeing the block"
+            )
+
+    def _live_exports(self, key: Tuple[str, int]) -> int:
+        """Count still-alive registered views, pruning released ones."""
+        entries = self._exports.get(key)
+        if not entries:
+            return 0
+        live = 0
+        for token, view in list(entries.items()):
+            if view is None:
+                live += 1  # count-based export: live until unregistered
+                continue
+            try:
+                view.nbytes  # noqa: B018 - released views raise ValueError
+            except ValueError:
+                del entries[token]
+            else:
+                live += 1
+        if not entries:
+            self._exports.pop(key, None)
+        return live
+
+    def _poison(self, live: BlockHandle) -> None:
+        segment = self._slabs.get(live.segment)
+        if segment is None:  # pragma: no cover - defensive
+            return
+        try:
+            memoryview(segment.buf)[
+                live.offset : live.offset + live.size
+            ] = bytes([POISON_BYTE]) * live.size
+        except (ValueError, BufferError):  # pragma: no cover - defensive
+            pass
+
+    # -- view export registration ------------------------------------------------
+    def register_export(
+        self, handle: BlockHandle, view: Optional[memoryview] = None
+    ) -> int:
+        """Record an exported zero-copy view of ``handle``'s block.
+
+        Returns a token for :meth:`unregister_export`.  With a ``view`` the
+        registration expires by itself once the view is ``release()``-d;
+        without one it is a plain count the exporter must balance.  While
+        any registered view is alive, :meth:`free` and :meth:`close` raise
+        instead of recycling the memory under the reader.  No-op (token 0)
+        when the sanitizer is off.
+        """
+        if not self._sanitize:
+            return 0
+        key = (handle.segment, handle.offset)
+        with self._lock:
+            if self._closed:
+                raise ArenaError(f"arena {self.name!r} is closed")
+            if key not in self._allocated:
+                raise ArenaError(f"unknown or freed block {handle}")
+            self._check_generation(handle, key, "export")
+            token = next(self._export_tokens)
+            self._exports.setdefault(key, {})[token] = view
+            return token
+
+    def unregister_export(self, handle: BlockHandle, token: int) -> None:
+        """Balance a :meth:`register_export` (idempotent, closed-safe)."""
+        if not self._sanitize or token == 0:
+            return
+        key = (handle.segment, handle.offset)
+        with self._lock:
+            entries = self._exports.get(key)
+            if entries is not None:
+                entries.pop(token, None)
+                if not entries:
+                    self._exports.pop(key, None)
+
+    def export_registry(self, handle: BlockHandle) -> "ExportRegistry":
+        """A ``deserialize(..., view_registry=...)`` adapter for ``handle``.
+
+        Every read-only buffer the deserializer creates over this block is
+        registered, so freeing the block while any of those views is alive
+        raises instead of dangling.
+        """
+        return ExportRegistry(self, handle)
+
     # -- audit -----------------------------------------------------------------
     def leak_report(self) -> List[Tuple[str, int, int]]:
-        """``(segment:offset, 1, size)`` per live block — the object-store
-        audit shape, so the same tooling inspects both."""
+        """``(segment:offset, count, size)`` per live block — the
+        object-store audit shape, so the same tooling inspects both.  The
+        count charges a huge block its dedicated segment *and* its block
+        (it leaks both on a missed free); pooled blocks count 1.
+        """
         with self._lock:
             return [
-                (f"{segment}:{offset}", 1, handle.size)
+                (f"{segment}:{offset}", 2 if handle.huge else 1, handle.size)
                 for (segment, offset), handle in sorted(self._allocated.items())
             ]
 
@@ -293,6 +490,20 @@ class SlabArena:
         if not leaks:
             return
         where = f" at {context}" if context else ""
+        if self._sanitize:
+            # Distinguish the actionable case: the block is unfreed
+            # *because* a consumer still holds a zero-copy view of it.
+            with self._lock:
+                pinned = [
+                    key for key in list(self._exports) if self._live_exports(key)
+                ]
+            if pinned:
+                names = ", ".join(f"{seg}:{off}" for seg, off in pinned[:10])
+                raise ArenaError(
+                    f"arena {self.name!r}{where}: {len(pinned)} block(s) "
+                    f"pinned by live exported view(s): {names} — release "
+                    "the views before shutdown"
+                )
         detail = ", ".join(
             f"{block_id} ({nbytes}B)" for block_id, _, nbytes in leaks[:10]
         )
@@ -303,36 +514,99 @@ class SlabArena:
         )
 
     def stats(self) -> Dict[str, int]:
-        """Occupancy gauges for telemetry sampling."""
+        """Occupancy gauges for telemetry sampling.
+
+        ``free_blocks`` includes quarantined blocks — they are free
+        capacity, just not immediately reusable; ``quarantined_blocks``
+        breaks them out.  ``huge_blocks`` counts live dedicated-segment
+        allocations (also in ``allocated_blocks``); ``total_huge`` is the
+        cumulative huge-allocation counter.
+        """
         with self._lock:
+            quarantined = sum(len(q) for q in self._quarantine.values())
             return {
                 "allocated_blocks": len(self._allocated),
                 "allocated_bytes": self._allocated_bytes,
                 "slab_bytes": self._slab_bytes,
                 "capacity_bytes": self._capacity_bytes,
-                "free_blocks": sum(len(free) for free in self._free.values()),
+                "free_blocks": sum(len(free) for free in self._free.values())
+                + quarantined,
+                "quarantined_blocks": quarantined,
+                "huge_blocks": sum(
+                    1 for handle in self._allocated.values() if handle.huge
+                ),
+                "total_huge": self.total_huge,
+                "live_exports": sum(len(views) for views in self._exports.values()),
+                "stale_handle_faults": self.stale_handle_faults,
                 "pressure": int(self._pressure),
                 "pressure_events": self.pressure_events,
             }
 
     # -- lifecycle --------------------------------------------------------------
     def close(self) -> None:
-        """Unlink every slab.  Idempotent; live blocks become invalid."""
+        """Unlink every slab.  Idempotent; live blocks become invalid.
+
+        Under the sanitizer, closing while registered zero-copy views are
+        still alive raises — those views would dangle over unlinked
+        segments otherwise.
+        """
         with self._lock:
             if self._closed:
                 return
+            if self._sanitize:
+                live = sum(self._live_exports(key) for key in list(self._exports))
+                if live:
+                    raise ArenaError(
+                        f"closing arena {self.name!r} with {live} live "
+                        "exported view(s) — consumers must release "
+                        "zero-copy views before shutdown"
+                    )
             self._closed = True
             slabs = list(self._slabs.values())
             self._slabs.clear()
             self._allocated.clear()
             for free in self._free.values():
                 free.clear()
+            for quarantine in self._quarantine.values():
+                quarantine.clear()
+            self._exports.clear()
             self._slab_bytes = 0
             self._allocated_bytes = 0
         for segment in slabs:
             _drop_segment(segment)
 
     @property
+    def sanitizing(self) -> bool:
+        """Whether the use-after-free sanitizer is armed."""
+        return self._sanitize
+
+    @property
     def closed(self) -> bool:
         with self._lock:
             return self._closed
+
+
+class ExportRegistry:
+    """Registers zero-copy views of one block as they are created.
+
+    The shape :func:`repro.core.serialization.deserialize` expects from its
+    ``view_registry`` argument: one ``register(view)`` per read-only buffer
+    it exports.  Registered views expire automatically when released; the
+    arena refuses to free or close under any that are still alive.
+    """
+
+    __slots__ = ("_arena", "_handle", "tokens")
+
+    def __init__(self, arena: SlabArena, handle: BlockHandle):
+        self._arena = arena
+        self._handle = handle
+        self.tokens: List[int] = []
+
+    def register(self, view: memoryview) -> None:
+        self.tokens.append(self._arena.register_export(self._handle, view))
+
+    def release(self) -> None:
+        """Drop every registration without waiting for view GC."""
+        for token in self.tokens:
+            self._arena.unregister_export(self._handle, token)
+        self.tokens.clear()

@@ -36,6 +36,7 @@ from .arena import ArenaError, BlockHandle, SlabArena
 from .compression import _HDR_RAW, _HDR_ZLIB, CompressionPolicy, disabled_policy
 from .concurrency import make_lock
 from .errors import ObjectStoreError, RefcountLeakError, UnknownObjectError
+from .ownership import borrows_view
 from .serialization import Frame, deserialize, make_frame, serialize
 
 _OBJECT_COUNTER = itertools.count()
@@ -426,8 +427,16 @@ class SharedMemoryObjectStore(ObjectStore):
         kind, where = location
         if kind == _LOC_ARENA:
             assert self._arena is not None and isinstance(where, BlockHandle)
-            view = self._arena.view(where)[:size]
-            return self._decode_view(view)
+            # Pin the block for the duration of the decode: a concurrent
+            # release() of the final refcount now raises in the releasing
+            # thread (sanitizer mode) instead of recycling memory we are
+            # still parsing.
+            token = self._arena.register_export(where)
+            try:
+                view = self._arena.view(where)[:size]
+                return self._decode_view(view)
+            finally:
+                self._arena.unregister_export(where, token)
         assert isinstance(where, str)
         try:
             segment = self._shared_memory.SharedMemory(name=where)
@@ -438,6 +447,7 @@ class SharedMemoryObjectStore(ObjectStore):
         finally:
             segment.close()
 
+    @borrows_view("decodes in place; only copied buffers leave the call")
     def _decode_view(self, view: memoryview) -> Any:
         """Deserialize a framed body straight from shared memory.
 

@@ -19,7 +19,20 @@ These decorators make the transfer explicit and machine-checkable:
   not acquire (they arrive via drained headers or arguments).  Documentary
   for readers and tooling; the analyzer never charges foreign releases.
 
-Both are runtime no-ops: they neither wrap nor inspect the function.
+The zero-copy lifetime pass (:mod:`repro.analysis.lifetime`) adds the same
+intent vocabulary for *views* — memory borrowed from an arena block or a
+``deserialize(copy=False)`` buffer rather than refcount shares:
+
+* :func:`borrows_view` — this function accepts a view argument and finishes
+  with it before returning (it parses, copies, or measures — it never
+  stores the view).  Passing a view into an annotated function is not a
+  ``view-escape``.
+* :func:`detaches_view` — views created in this function legitimately
+  outlive it: the function copies them first, or hands them off together
+  with ownership of the backing block.  Suppresses ``view-escape`` inside
+  the annotated function.
+
+All four are runtime no-ops: they neither wrap nor inspect the function.
 """
 
 from __future__ import annotations
@@ -62,6 +75,56 @@ def receives_ownership(func: str) -> Callable[[F], F]: ...
 
 def receives_ownership(func: Union[F, str]) -> Union[F, Callable[[F], F]]:
     """Mark a function that releases handle shares acquired elsewhere."""
+    if isinstance(func, str):
+
+        def decorator(inner: F) -> F:
+            return inner
+
+        return decorator
+    return func
+
+
+@overload
+def borrows_view(func: F) -> F: ...
+
+
+@overload
+def borrows_view(func: str) -> Callable[[F], F]: ...
+
+
+def borrows_view(func: Union[F, str]) -> Union[F, Callable[[F], F]]:
+    """Mark a function that borrows view arguments without keeping them.
+
+    An annotated function promises its view parameters do not survive the
+    call: it decodes, copies, or inspects them and returns.  The lifetime
+    pass then treats passing a zero-copy view into it as a borrow, not a
+    ``view-escape``.
+    """
+    if isinstance(func, str):
+
+        def decorator(inner: F) -> F:
+            return inner
+
+        return decorator
+    return func
+
+
+@overload
+def detaches_view(func: F) -> F: ...
+
+
+@overload
+def detaches_view(func: str) -> Callable[[F], F]: ...
+
+
+def detaches_view(func: Union[F, str]) -> Union[F, Callable[[F], F]]:
+    """Mark a function whose views intentionally outlive it.
+
+    Use when a view escapes *with* its backing storage (a ``Block`` handed
+    to the caller) or after being detached from reusable memory (copied).
+    Suppresses ``view-escape`` inside the annotated function; stale-use and
+    readonly-write findings still apply.
+    """
     if isinstance(func, str):
 
         def decorator(inner: F) -> F:

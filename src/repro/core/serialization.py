@@ -96,7 +96,7 @@ def serialize(obj: Any) -> bytes:
     return make_frame(obj).to_bytes()
 
 
-def deserialize(data: Any, *, copy: bool = True) -> Any:
+def deserialize(data: Any, *, copy: bool = True, view_registry: Any = None) -> Any:
     """Inverse of :func:`serialize` / :func:`make_frame`.
 
     With ``copy=True`` (the default) every out-of-band buffer is copied
@@ -111,6 +111,14 @@ def deserialize(data: Any, *, copy: bool = True) -> Any:
     hand the result to an in-place mutator.  Consumers that repack anyway
     (trainer batch assembly concatenates fragments into new arrays) take
     this mode for free.
+
+    ``view_registry`` (zero-copy mode only) receives one ``register(view)``
+    call per exported read-only buffer.  When ``data`` is an arena block,
+    pass :meth:`SlabArena.export_registry(handle)
+    <repro.core.arena.SlabArena.export_registry>` — the arena then refuses
+    to recycle the block while any of the exported views is still alive,
+    turning a silent use-after-free into an immediate
+    :class:`~repro.core.arena.ArenaError`.
     """
     view = memoryview(data)
     if view.format != "B" or view.ndim != 1:
@@ -129,7 +137,13 @@ def deserialize(data: Any, *, copy: bool = True) -> Any:
         buf_len = int.from_bytes(view[offset : offset + 8], "little")
         offset += 8
         chunk = view[offset : offset + buf_len]
-        buffers.append(bytearray(chunk) if copy else chunk.toreadonly())
+        if copy:
+            buffers.append(bytearray(chunk))
+        else:
+            exported = chunk.toreadonly()
+            if view_registry is not None:
+                view_registry.register(exported)
+            buffers.append(exported)
         offset += buf_len
     return pickle.loads(payload, buffers=buffers)
 

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from typing import Any, Dict, Optional, Tuple, Union
 
+from ..core.concurrency import runtime_checks_enabled
 from ..core.serialization import Frame, deserialize, make_frame
 
 _SIZE_HEADER = 8
@@ -118,7 +119,9 @@ class SharedSlabPool:
     :func:`write_segment`.  The pool never blocks a sender.
     """
 
-    _TOP = 8  # control layout: 8-byte stack depth, then 4-byte indices
+    # Control layout: 8-byte stack depth, 4-byte indices, then one state
+    # byte per block (0 = free, 1 = allocated) shared by every process.
+    _TOP = 8
 
     def __init__(
         self,
@@ -139,8 +142,11 @@ class SharedSlabPool:
         self._shm = shared_memory.SharedMemory(
             name=self.name, create=True, size=block_bytes * num_blocks
         )
+        self._state_off = self._TOP + 4 * num_blocks
         self._ctrl = shared_memory.SharedMemory(
-            name=f"{self.name}-ctrl", create=True, size=self._TOP + 4 * num_blocks
+            name=f"{self.name}-ctrl",
+            create=True,
+            size=self._state_off + num_blocks,
         )
         ctrl = self._ctrl.buf
         ctrl[: self._TOP] = num_blocks.to_bytes(self._TOP, "little")
@@ -148,12 +154,15 @@ class SharedSlabPool:
             ctrl[self._TOP + 4 * index : self._TOP + 4 * index + 4] = (
                 index.to_bytes(4, "little")
             )
+        # State bytes start zeroed (shared memory is zero-filled) == free.
         self._lock = ctx.Lock()
         self._owner_pid = os.getpid()
         self._closed = False
         # Per-process counters (each fork gets its own copies).
         self.total_pool_writes = 0
         self.total_fallback = 0
+        self.total_double_discard = 0
+        self.total_stale_reads = 0
 
     # -- free-index stack -------------------------------------------------
     def _pop_free(self) -> Optional[int]:
@@ -166,15 +175,30 @@ class SharedSlabPool:
             slot = self._TOP + 4 * top
             index = int.from_bytes(ctrl[slot : slot + 4], "little")
             ctrl[: self._TOP] = top.to_bytes(self._TOP, "little")
+            ctrl[self._state_off + index] = 1
             return index
 
-    def _push_free(self, index: int) -> None:
+    def _push_free(self, index: int) -> bool:
+        """Return the block to the free stack.
+
+        ``False`` means the block was *already* free — a double discard.
+        Pushing anyway would duplicate the index on the stack and hand the
+        same block to two writers, so the push is skipped instead.
+        """
         with self._lock:
             ctrl = self._ctrl.buf
+            if ctrl[self._state_off + index] == 0:
+                return False
+            ctrl[self._state_off + index] = 0
             top = int.from_bytes(ctrl[: self._TOP], "little")
             slot = self._TOP + 4 * top
             ctrl[slot : slot + 4] = index.to_bytes(4, "little")
             ctrl[: self._TOP] = (top + 1).to_bytes(self._TOP, "little")
+            return True
+
+    def _allocated(self, index: int) -> bool:
+        with self._lock:
+            return self._ctrl.buf[self._state_off + index] == 1
 
     # -- hot path ---------------------------------------------------------
     def write(self, body: Any, frame: Optional[Frame] = None) -> Optional[PoolHandle]:
@@ -203,6 +227,12 @@ class SharedSlabPool:
     def read(self, handle: PoolHandle) -> Any:
         """Deserialize a block's body (with copy) and recycle the block."""
         _, index, total = handle
+        if runtime_checks_enabled() and not self._allocated(index):
+            self.total_stale_reads += 1
+            raise ValueError(
+                f"stale pool handle {handle!r} on {self.name!r}: the block "
+                "was already read or discarded"
+            )
         start = index * self.block_bytes
         buf = self._shm.buf
         length = int.from_bytes(bytes(buf[start : start + _SIZE_HEADER]), "little")
@@ -214,10 +244,26 @@ class SharedSlabPool:
         return body
 
     def discard(self, handle: PoolHandle) -> None:
-        """Recycle a block without reading it (shutdown drains)."""
+        """Recycle a block without reading it (shutdown drains).
+
+        Discarding a handle whose block is already free is bookkeeping
+        corruption waiting to happen (the index would sit on the free stack
+        twice, so two writers would later share one block).  The push is
+        skipped, the per-process ``total_double_discard`` counter ticks,
+        and under ``REPRO_RUNTIME_CHECKS=1`` the caller gets a
+        ``ValueError`` instead of a silent save.
+        """
         if self._closed:
             return
-        self._push_free(handle[1])
+        index = handle[1]
+        if self._push_free(index):
+            return
+        self.total_double_discard += 1
+        if runtime_checks_enabled():
+            raise ValueError(
+                f"double discard of pool block {index} on {self.name!r}: "
+                "the block is already on the free list"
+            )
 
     # -- lifecycle --------------------------------------------------------
     def free_blocks(self) -> int:

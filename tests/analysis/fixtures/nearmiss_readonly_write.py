@@ -1,0 +1,18 @@
+"""Fixture: near-misses of ``write-through-readonly-view`` — none may
+trigger."""
+
+
+def copy_mode_is_writable(blob):
+    data = deserialize(blob)  # copy=True: caller owns writable buffers
+    data[0] = 1
+
+
+def arena_views_are_writable(arena, handle):
+    view = arena.view(handle)  # writer-side view, not a read-only export
+    view[0] = 1
+    view.release()
+
+
+def rebinding_is_not_a_write(blob):
+    view = deserialize(blob, copy=False)
+    view = None  # rebinding the name touches no buffer

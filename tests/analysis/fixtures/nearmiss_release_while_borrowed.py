@@ -1,0 +1,21 @@
+"""Fixture: near-misses of ``release-while-borrowed`` — none may trigger."""
+
+
+def release_view_first(arena, handle):
+    view = arena.view(handle)
+    view.release()  # the borrow ends before the block does
+    arena.free(handle)
+
+
+def copy_then_free(arena, nbytes):
+    block = arena.alloc(nbytes)
+    payload = bytes(block.buf)  # detached copy, no live view
+    arena.free(block.handle)
+    return payload
+
+
+def free_then_realloc(arena, nbytes):
+    block = arena.alloc(nbytes)
+    arena.free(block.handle)
+    block = arena.alloc(nbytes)  # rebinding starts a fresh lifetime
+    arena.free(block.handle)

@@ -1,0 +1,27 @@
+"""Fixture: near-misses of ``view-escape`` — none may trigger."""
+
+
+def copy_before_return(blob):
+    view = deserialize(blob, copy=False)
+    return bytes(view)  # the copy escapes, not the view
+
+
+@borrows_view
+def parse_in_place(view):
+    return bytes(view)
+
+
+def borrowing_callee_is_not_an_escape(blob):
+    view = deserialize(blob, copy=False)
+    return parse_in_place(view)  # annotated borrower finishes with it
+
+
+@detaches_view
+def annotated_handoff(blob):
+    view = deserialize(blob, copy=False)
+    return view  # declared: the caller takes the view with its storage
+
+
+def copied_deserialize_is_untracked(blob):
+    data = deserialize(blob)  # copy=True default: plain owned data
+    return data

@@ -1,0 +1,12 @@
+"""Fixture: writes through read-only zero-copy views — every function
+must trigger ``write-through-readonly-view`` (and nothing else)."""
+
+
+def element_write(blob):
+    view = deserialize(blob, copy=False)
+    view[0] = 1  # read-only by contract; raises at runtime
+
+
+def augmented_slice_write(blob):
+    view = deserialize(blob, copy=False)
+    view[:4] += b"\x00"  # read-modify-write through the view

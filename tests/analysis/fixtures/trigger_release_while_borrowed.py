@@ -1,0 +1,15 @@
+"""Fixture: blocks released under live views — every function must
+trigger ``release-while-borrowed`` (and nothing else)."""
+
+
+def release_then_use(arena, handle):
+    view = arena.view(handle)
+    arena.free(handle)  # view still borrows the block
+    return bytes(view)  # and reads it after the release
+
+
+def free_under_buf_view(arena, nbytes):
+    block = arena.alloc(nbytes)
+    buf = block.buf
+    arena.free(block.handle)  # buf still aliases the block's bytes
+    return len(buf)  # reads the view after the release

@@ -1,0 +1,17 @@
+"""Fixture: zero-copy views escaping their frame — every function must
+trigger ``view-escape`` (and nothing else)."""
+
+
+def escape_by_return(blob):
+    view = deserialize(blob, copy=False)
+    return view  # outlives the frame; nothing ties it to the buffer
+
+
+def escape_by_store(holder, blob):
+    view = deserialize(blob, copy=False)
+    holder.cache = view  # stored outside the frame
+
+
+def escape_by_call(sink, blob):
+    view = deserialize(blob, copy=False)
+    sink.submit(view)  # callee may retain it past the block's life

@@ -134,6 +134,10 @@ class TestBaselineWorkflow:
             "bounded-queue-cycle",
             "unknown-config-key",
             "unregistered-name",
+            "view-escape",
+            "release-while-borrowed",
+            "write-through-readonly-view",
+            "lane-contract",
         ):
             assert rule in out
 
@@ -155,6 +159,21 @@ class TestOutputFormats:
         assert out.startswith(
             "::error file=dirty.py,line=5,title=lock-held-blocking-call::"
         )
+
+    def test_gha_annotations_always_carry_path_and_line(self, project, capsys):
+        # Every finding kind must produce a clickable file=...,line=N
+        # annotation — configcheck and topology findings included.
+        (project / "example.py").write_text(
+            "from repro.api.config import single_machine_config\n"
+            "cfg = single_machine_config('ppo', 'CartPole', fragement_steps=3)\n"
+        )
+        assert main(["example.py", "--validate-configs", "--format", "gha"]) == 1
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            assert ",line=" in line and "file=" in line, line
+            path = line.split("file=")[1].split(",")[0]
+            lineno = int(line.split("line=")[1].split(",")[0])
+            assert path and lineno >= 1, line
 
     def test_exclude_skips_matching_files(self, project, capsys):
         (project / "dirty.py").write_text(CLEAN)
@@ -232,6 +251,22 @@ class TestValidateConfigs:
             "cfg = single_machine_config('ppo', 'CartPole', explorers=2)\n"
         )
         assert main(["example.py", "--validate-configs"]) == 0
+
+
+class TestFindingNormalization:
+    def test_zero_line_pinned_to_one(self):
+        finding = Finding("a.py", 0, Severity.ERROR, "r", "m")
+        assert finding.line == 1
+        assert finding.format().startswith("a.py:1 ")
+
+    def test_empty_path_becomes_placeholder(self):
+        finding = Finding("", 3, Severity.ERROR, "r", "m")
+        assert finding.path == "<unknown>"
+
+    def test_backslash_paths_normalized(self):
+        finding = Finding("src\\repro\\x.py", 3, Severity.ERROR, "r", "m")
+        assert finding.path == "src/repro/x.py"
+        assert finding.fingerprint().startswith("src/repro/x.py::")
 
 
 class TestBaselineRoundTrip:

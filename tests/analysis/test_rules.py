@@ -8,6 +8,12 @@ from pathlib import Path
 
 from repro.analysis import analyze_path, analyze_source
 from repro.analysis.findings import Severity
+from repro.analysis.lifetime import (
+    LANE_CONTRACT,
+    RELEASE_WHILE_BORROWED,
+    VIEW_ESCAPE,
+    WRITE_THROUGH_READONLY_VIEW,
+)
 from repro.analysis.ownership import (
     DOUBLE_RELEASE,
     REFCOUNT_LEAK,
@@ -51,6 +57,10 @@ class TestFixtures:
             "trigger_refcount_leak.py": REFCOUNT_LEAK,
             "trigger_double_release.py": DOUBLE_RELEASE,
             "trigger_handle_escape.py": UNANNOTATED_HANDLE_ESCAPE,
+            "trigger_view_escape.py": VIEW_ESCAPE,
+            "trigger_release_while_borrowed.py": RELEASE_WHILE_BORROWED,
+            "trigger_readonly_write.py": WRITE_THROUGH_READONLY_VIEW,
+            "trigger_lane_contract.py": LANE_CONTRACT,
         }
         for trigger_file, rule in expected_rules.items():
             findings = grouped.get(trigger_file, [])
@@ -68,6 +78,10 @@ class TestFixtures:
         assert counts[REFCOUNT_LEAK] == 4
         assert counts[DOUBLE_RELEASE] == 2
         assert counts[UNANNOTATED_HANDLE_ESCAPE] == 3
+        assert counts[VIEW_ESCAPE] == 3
+        assert counts[RELEASE_WHILE_BORROWED] == 4
+        assert counts[WRITE_THROUGH_READONLY_VIEW] == 2
+        assert counts[LANE_CONTRACT] == 3
 
 
 class TestContainerMutation:

@@ -35,14 +35,27 @@ class TestAllocation:
         assert block.handle.size == 128
         arena.free(block.handle)
 
-    def test_block_reuse_after_free(self, arena):
-        first = arena.alloc(64)
-        handle = first.handle
-        arena.free(handle)
-        second = arena.alloc(64)
-        # LIFO free list hands the warm block straight back.
-        assert second.handle == handle
-        arena.free(second.handle)
+    def test_block_reuse_after_free(self):
+        # quarantine_depth=0: no sanitizer hold-back, pure LIFO warmth.
+        arena = SlabArena(
+            name="warm", min_block=64, max_block=1024,
+            slab_blocks=4, quarantine_depth=0,
+        )
+        try:
+            first = arena.alloc(64)
+            handle = first.handle
+            first.release()
+            arena.free(handle)
+            second = arena.alloc(64)
+            # LIFO free list hands the warm block straight back (the
+            # sanitizer bumps its generation; the location is what counts).
+            assert (second.handle.segment, second.handle.offset) == (
+                handle.segment, handle.offset
+            )
+            second.release()
+            arena.free(second.handle)
+        finally:
+            arena.close()
 
     def test_no_new_slab_on_steady_state(self, arena):
         for _ in range(100):

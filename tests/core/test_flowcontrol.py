@@ -166,7 +166,8 @@ class TestLaneChannel:
 
 class TestLaneHeaderQueue:
     def test_put_stamps_lane(self):
-        queue = LaneHeaderQueue("q", spec())
+        # reclaim=None: these headers carry no store shares to reclaim.
+        queue = LaneHeaderQueue("q", spec(), reclaim=None)
         header = make_header("a", ["b"], MsgType.WEIGHTS)
         assert queue.put(header)
         assert queue.get(timeout=0)[LANE] == "control"
@@ -193,7 +194,7 @@ class TestLaneHeaderQueue:
         assert store.leak_report()[0][0] in object_ids[2:]
 
     def test_put_many_returns_accepted_count(self):
-        queue = LaneHeaderQueue("q", spec(bulk_watermark=16))
+        queue = LaneHeaderQueue("q", spec(bulk_watermark=16), reclaim=None)
         headers = [make_header("a", ["b"], MsgType.DATA) for _ in range(5)]
         assert queue.put_many(headers) == 5
         queue.close()
@@ -201,7 +202,7 @@ class TestLaneHeaderQueue:
 
     def test_backpressure_error_carries_accepted_prefix(self):
         queue = LaneHeaderQueue(
-            "q", spec(control_watermark=2, control_deadline_s=0.05)
+            "q", spec(control_watermark=2, control_deadline_s=0.05), reclaim=None
         )
         headers = [make_header("a", ["b"], MsgType.COMMAND) for _ in range(4)]
         with pytest.raises(BackpressureError) as exc_info:
@@ -217,7 +218,7 @@ class TestLaneHeaderQueue:
         assert queue.qsize() == 10
 
     def test_drain_returns_everything(self):
-        queue = LaneHeaderQueue("q", spec())
+        queue = LaneHeaderQueue("q", spec(), reclaim=None)
         queue.put(make_header("a", ["b"], MsgType.DATA))
         queue.put(make_header("a", ["b"], MsgType.WEIGHTS))
         drained = queue.drain()
