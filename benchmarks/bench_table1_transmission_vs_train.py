@@ -12,6 +12,8 @@ become 84x84 single frames at reduced fragment counts; the *ordering*
 
 from __future__ import annotations
 
+import json
+import os
 import time
 
 import numpy as np
@@ -24,8 +26,10 @@ from repro.algorithms.dqn import DQNAlgorithm, QNetworkModel
 from repro.algorithms.impala import ImpalaAlgorithm
 from repro.algorithms.ppo import PPOAlgorithm
 from repro.algorithms.ppo.model import ActorCriticModel
+from repro.obs.trace.__main__ import main as trace_cli
+from repro.obs.trace.events import write_events
 
-from .conftest import emit
+from .conftest import RESULTS_DIR, emit
 
 COPY_BANDWIDTH = 200e6
 BUFFER_BANDWIDTH = 8e6
@@ -49,14 +53,16 @@ def _rollout(steps: int, seed: int = 0, extras: tuple = ()) -> dict:
     return rollout
 
 
-def _transmission_time_pull(payload) -> float:
+def _transmission_time_pull(payload) -> tuple:
+    """(elapsed_s, start_ts, end_ts) — the ts pair doubles as stage events."""
     channel = RpcChannel(call_latency=0.0005, copy_bandwidth=COPY_BANDWIDTH)
     started = time.monotonic()
     channel.transfer(payload)
-    return time.monotonic() - started
+    ended = time.monotonic()
+    return ended - started, started, ended
 
 
-def _transmission_time_buffer(payload) -> float:
+def _transmission_time_buffer(payload) -> tuple:
     server = BufferServer(
         processing_bandwidth=BUFFER_BANDWIDTH, item_overhead=BUFFER_OVERHEAD
     )
@@ -64,9 +70,24 @@ def _transmission_time_buffer(payload) -> float:
         started = time.monotonic()
         server.insert(payload, timeout=600)
         server.sample(timeout=600)
-        return time.monotonic() - started
+        ended = time.monotonic()
+        return ended - started, started, ended
     finally:
         server.stop()
+
+
+def _stage_events(events: list, source: str, stage: str, spans: list) -> None:
+    """Append begin/end trace events sharing the measurement's timestamps,
+    so the offline critical-path analyzer sees exactly what was timed."""
+    for _, started, ended in spans:
+        events.append(
+            {"ts": started, "kind": "stage_begin", "source": source,
+             "detail": {"stage": stage}}
+        )
+        events.append(
+            {"ts": ended, "kind": "stage_end", "source": source,
+             "detail": {"stage": stage}}
+        )
 
 
 def _algorithm_rows():
@@ -109,18 +130,37 @@ def _algorithm_rows():
 
 @pytest.mark.benchmark(group="table1")
 def test_table1_transmission_vs_training(once):
+    trace_path = os.path.join(RESULTS_DIR, "table1.trace.jsonl")
+
     def experiment():
         rows = []
         results = {}
+        events: list = []
         for name, payloads, algorithm in _algorithm_rows():
+            source = f"bench.{name}"
             size_kb = sum(
                 sum(np.asarray(v).nbytes for v in p.values()) for p in payloads
             ) / 1024
-            pull_ms = sum(_transmission_time_pull(p) for p in payloads) * 1e3
-            buffer_ms = sum(_transmission_time_buffer(p) for p in payloads) * 1e3
-            started = time.monotonic()
+            pull = [_transmission_time_pull(p) for p in payloads]
+            buffer = [_transmission_time_buffer(p) for p in payloads]
+            pull_ms = sum(r[0] for r in pull) * 1e3
+            buffer_ms = sum(r[0] for r in buffer) * 1e3
+            _stage_events(events, source, "transmission", pull + buffer)
+            train_started = time.monotonic()
             algorithm.train()
-            train_ms = (time.monotonic() - started) * 1e3
+            train_ended = time.monotonic()
+            train_ms = (train_ended - train_started) * 1e3
+            _stage_events(
+                events, source, "train", [(None, train_started, train_ended)]
+            )
+            events.append(
+                {"ts": train_started, "kind": "train_start",
+                 "source": source, "detail": {}}
+            )
+            events.append(
+                {"ts": train_ended, "kind": "train_end",
+                 "source": source, "detail": {}}
+            )
             rows.append([name, size_kb, pull_ms, buffer_ms, train_ms])
             results[name] = (pull_ms, buffer_ms, train_ms)
         emit(
@@ -132,6 +172,8 @@ def test_table1_transmission_vs_training(once):
                 title="Table 1 (scaled): transmission vs training time",
             ),
         )
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        write_events(trace_path, events, process="bench_table1")
         return results
 
     results = once(experiment)
@@ -142,3 +184,18 @@ def test_table1_transmission_vs_training(once):
     # communication-heavy algorithms in the pull framework.
     pull_ms, buffer_ms, train_ms = results["IMPALA"]
     assert buffer_ms > train_ms
+
+    # The offline critical-path analyzer must reproduce the benchmark's own
+    # transmission-vs-train split from the emitted trace (within 10%).
+    report_path = os.path.join(RESULTS_DIR, "table1.critical_path.json")
+    assert trace_cli(["critical-path", trace_path, "-o", report_path]) == 0
+    with open(report_path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    split = report["transmission_vs_train"]
+    expected_transmission = sum(p + b for p, b, _ in results.values()) / 1e3
+    expected_train = sum(t for _, _, t in results.values()) / 1e3
+    assert split["transmission_from"] == "stage_events"
+    assert abs(split["transmission_s"] - expected_transmission) <= (
+        0.10 * expected_transmission
+    )
+    assert abs(split["train_s"] - expected_train) <= 0.10 * expected_train

@@ -10,8 +10,16 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 
 import pytest
+
+# Fault-injection benchmarks trip crash-path flight-recorder dumps on
+# purpose; keep them out of the working tree.
+os.environ.setdefault(
+    "REPRO_FLIGHTREC_DIR",
+    os.path.join(tempfile.gettempdir(), f"repro-flightrec-{os.getpid()}"),
+)
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 

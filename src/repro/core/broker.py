@@ -22,6 +22,7 @@ from .message import DST, OBJECT_ID
 from .object_store import ObjectStore
 from .ownership import receives_ownership
 from .router import AlgorithmAgnosticRouter
+from .tracing import flight_dump
 
 
 class Broker:
@@ -107,9 +108,15 @@ class Broker:
                 # whatever is left in the store now is a leak.  Must run
                 # before the communicator close below, which frees the
                 # store's remaining entries.
-                self.communicator.object_store.assert_balanced(
-                    context=f"broker {self.name!r} shutdown"
-                )
+                try:
+                    self.communicator.object_store.assert_balanced(
+                        context=f"broker {self.name!r} shutdown"
+                    )
+                except Exception:
+                    # The channel misbehaved: preserve the last seconds of
+                    # message flow for post-mortem before re-raising.
+                    flight_dump("refcount_audit")
+                    raise
         finally:
             self.communicator.close()
             if self._fabric is not None:

@@ -174,6 +174,20 @@ class ShareMemCommunicator:
             self.header_queue = HeaderQueue(f"{name}.headers")
         self._id_queues: Dict[str, Any] = {}
         self._lock = make_lock(f"{name}.registry")
+        self._tracer: Any = None
+
+    # -- tracing -----------------------------------------------------------
+    def set_tracer(self, tracer: Any) -> None:
+        """Attach a tracer to every flow-controlled queue (current and
+        future): shed/expired/rejected headers then leave terminal trace
+        events instead of silently vanishing.  A no-op for plain queues —
+        they never drop admitted headers."""
+        with self._lock:
+            self._tracer = tracer
+            queues = list(self._id_queues.values())
+        for queue in [self.header_queue, *queues]:
+            if isinstance(queue, LaneHeaderQueue):
+                queue.tracer = tracer
 
     # -- flow-control reclaim ----------------------------------------------
     @receives_ownership("shed headers still carry their senders' shares")
@@ -203,6 +217,7 @@ class ShareMemCommunicator:
                         reclaim=self._reclaim_routed_header,
                         control_policy=CONTROL_UNBOUNDED,
                     )
+                    id_queue.tracer = self._tracer
                 else:
                     id_queue = HeaderQueue(f"{self.name}.id.{process_name}")
                 self._id_queues[process_name] = id_queue

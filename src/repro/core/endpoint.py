@@ -28,17 +28,22 @@ from .message import (
     BODY_SIZE,
     COMPRESSED,
     DST,
+    LANE,
     OBJECT_ID,
+    SEQ,
+    SPAN,
+    TRACE,
     TYPE,
     Message,
     MsgType,
+    ensure_trace,
     pack_batch,
     unpack_batch,
 )
 from .ownership import receives_ownership, transfers_ownership
 from .serialization import measure
 from .stats import LatencyRecorder, ThroughputMeter
-from .tracing import Tracer
+from .tracing import Tracer, flight_dump, flight_recorder
 
 #: One staged header: (header, object_id, refcount, originals) — ``originals``
 #: are the workhorse-visible messages the header carries (one, or a batch).
@@ -73,10 +78,16 @@ class ProcessEndpoint:
         #: broker; when set, the local buffers grow priority lanes and the
         #: workhorse feels backpressure at :meth:`send`
         self.flow = getattr(broker, "flow", None)
+        #: per-process flight recorder (None when disabled via env)
+        self._flightrec = flight_recorder()
         if self.flow is not None:
-            self.send_buffer: Any = FlowSendBuffer(f"{name}.send", self.flow)
+            self.send_buffer: Any = FlowSendBuffer(
+                f"{name}.send", self.flow,
+                on_shed=lambda lost: self._record_shed(lost, f"{name}.send"),
+            )
             self.receive_buffer: Any = FlowReceiveBuffer(
-                f"{name}.recv", self.flow
+                f"{name}.recv", self.flow,
+                on_shed=lambda lost: self._record_shed(lost, f"{name}.recv"),
             )
         else:
             self.send_buffer = SendBuffer(f"{name}.send")
@@ -105,6 +116,20 @@ class ProcessEndpoint:
         self._bytes_received: Optional[Any] = None
         self._delivery_histogram: Optional[Any] = None
         self._coalesce_histogram: Optional[Any] = None
+
+    def _record_shed(self, message: Message, source: str) -> None:
+        """Terminal "shed" event for a message lost in a local flow buffer."""
+        header = message.header
+        if self.tracer is not None:
+            self.tracer.record(
+                "shed", source, seq=header.get(SEQ),
+                trace=header.get(TRACE), dst=",".join(header.get(DST) or ()),
+                type=str(header.get(TYPE)), lane=header.get(LANE),
+            )
+        if self._flightrec is not None:
+            self._flightrec.record(
+                "shed", source, header.get(SEQ, -1), header.get(TRACE) or 0,
+            )
 
     def attach_metrics(self, registry: Any) -> None:
         """Register this endpoint's counters/histograms on ``registry``."""
@@ -187,12 +212,15 @@ class ProcessEndpoint:
                 # frame so the sender thread's store insert reuses it
                 # instead of pickling the same body a second time.
                 message.frame = frame
+        trace_id, span_id = ensure_trace(message.header)
         if self.tracer is not None:
             self.tracer.record(
                 "sent", self.name, seq=message.seq,
                 dst=",".join(message.dst), nbytes=message.body_size,
-                type=str(message.msg_type),
+                type=str(message.msg_type), trace=trace_id, span=span_id,
             )
+        if self._flightrec is not None:
+            self._flightrec.record("sent", self.name, message.seq, trace_id)
         if self._messages_sent is not None:
             self._messages_sent.inc()
             self._bytes_sent.inc(message.body_size)
@@ -207,11 +235,19 @@ class ProcessEndpoint:
     def receive(self, timeout: Optional[float] = None) -> Optional[Message]:
         """Blocking read from the local receive buffer."""
         message = self.receive_buffer.get(timeout=timeout)
-        if message is not None and self.tracer is not None:
-            self.tracer.record(
-                "consumed", self.name, seq=message.seq, src=message.src,
-                type=str(message.msg_type),
-            )
+        if message is not None:
+            if self.tracer is not None:
+                self.tracer.record(
+                    "consumed", self.name, seq=message.seq, src=message.src,
+                    type=str(message.msg_type),
+                    trace=message.header.get(TRACE),
+                    span=message.header.get(SPAN),
+                )
+            if self._flightrec is not None:
+                self._flightrec.record(
+                    "consumed", self.name, message.seq,
+                    message.header.get(TRACE) or 0,
+                )
         return message
 
     def receive_many(
@@ -229,6 +265,14 @@ class ProcessEndpoint:
                 self.tracer.record(
                     "consumed", self.name, seq=message.seq, src=message.src,
                     type=str(message.msg_type),
+                    trace=message.header.get(TRACE),
+                    span=message.header.get(SPAN),
+                )
+        if self._flightrec is not None:
+            for message in messages:
+                self._flightrec.record(
+                    "consumed", self.name, message.seq,
+                    message.header.get(TRACE) or 0,
                 )
         return messages
 
@@ -350,6 +394,9 @@ class ProcessEndpoint:
                         "backpressure (%s); further expiries counted silently",
                         self.name, exc,
                     )
+                    # First escalation only: snapshot the last seconds of
+                    # channel activity for post-mortem (docs/OBSERVABILITY.md).
+                    flight_dump("backpressure")
                 result = exc.accepted
             # Plain HeaderQueue.put_many returns all-or-nothing booleans;
             # LaneHeaderQueue returns the admitted prefix length.  Normalize
@@ -422,6 +469,14 @@ class ProcessEndpoint:
                     self.tracer.record(
                         "delivered", self.name, seq=message.seq,
                         src=message.src, type=str(message.msg_type),
+                        trace=message.header.get(TRACE),
+                        span=message.header.get(SPAN),
+                    )
+            if self._flightrec is not None:
+                for message in deliveries:
+                    self._flightrec.record(
+                        "delivered", self.name, message.seq,
+                        message.header.get(TRACE) or 0,
                     )
             try:
                 self.receive_buffer.put_many(deliveries)

@@ -40,9 +40,18 @@ from .compression import get_codec
 from .concurrency import make_lock
 from .config import FlowControlSpec
 from .errors import BackpressureError, BufferClosedError
-from .message import DST, LANE, OBJECT_ID, TYPE, WIRE_CODEC, Message, MsgType
+from .message import DST, LANE, OBJECT_ID, SEQ, TRACE, TYPE, WIRE_CODEC, Message, MsgType
 from .ownership import receives_ownership
 from .serialization import deserialize, serialize
+from .tracing import Tracer
+
+#: Terminal trace-event kinds: a message that hits one of these will never
+#: see "delivered"/"consumed", so span aggregation closes its pending state
+#: instead of leaking it (see repro.obs.spans and docs/OBSERVABILITY.md).
+TERMINAL_SHED = "shed"
+TERMINAL_EXPIRED = "expired"
+TERMINAL_REJECTED = "rejected"
+TERMINAL_KINDS = frozenset({TERMINAL_SHED, TERMINAL_EXPIRED, TERMINAL_REJECTED})
 
 
 class Lane(str, Enum):
@@ -382,6 +391,24 @@ class LaneHeaderQueue:
         self._inflight = 0
         self._inflight_lock = make_lock(f"{name}.inflight")
         self._inflight_idle = threading.Condition(self._inflight_lock)
+        #: optional :class:`Tracer` — records one terminal event per header
+        #: this queue sheds, expires, or rejects, so span aggregation sees a
+        #: definite outcome instead of a forever-pending entry
+        self.tracer: Optional[Tracer] = None
+
+    def _record_terminal(
+        self, outcome: str, headers: Sequence[Dict[str, Any]]
+    ) -> None:
+        tracer = self.tracer
+        if tracer is None or not headers:
+            return
+        for header in headers:
+            tracer.record(
+                outcome, self.name,
+                seq=header.get(SEQ), trace=header.get(TRACE),
+                dst=",".join(header.get(DST) or ()),
+                type=str(header.get(TYPE)), lane=header.get(LANE),
+            )
 
     @receives_ownership("shed headers still carry their senders' shares")
     def _reclaim_all(self, shed: Sequence[Dict[str, Any]]) -> None:
@@ -426,11 +453,16 @@ class LaneHeaderQueue:
                 header, lane, deadline_s=deadline
             )
         except BackpressureError:
+            self._record_terminal(TERMINAL_EXPIRED, [header])
             if self._blocking:
                 self._reclaim_all([header])
             raise
+        self._record_terminal(TERMINAL_SHED, shed)
         self._reclaim_all(shed)
         if not admitted and self._blocking:
+            # Non-blocking (ID-queue) rejects are terminal-traced by the
+            # caller, who owns the header's shares on a False return.
+            self._record_terminal(TERMINAL_REJECTED, [header])
             self._reclaim_all([header])
         return admitted
 
@@ -455,6 +487,9 @@ class LaneHeaderQueue:
                         break
                 except BackpressureError as exc:
                     if self._blocking:
+                        self._record_terminal(
+                            TERMINAL_REJECTED, headers[index + 1 :]
+                        )
                         self._reclaim_all(headers[index + 1 :])
                     exc.accepted = accepted
                     raise
@@ -462,6 +497,9 @@ class LaneHeaderQueue:
             if accepted < total and self._blocking:
                 # _put_locked_out reclaimed the rejected header itself;
                 # the untried remainder is reclaimed here.
+                self._record_terminal(
+                    TERMINAL_REJECTED, headers[accepted + 1 :]
+                )
                 self._reclaim_all(headers[accepted + 1 :])
             return accepted
         finally:
@@ -496,7 +534,9 @@ class LaneHeaderQueue:
         return self._channel.drain()
 
     def set_pressure(self, active: bool) -> None:
-        self._reclaim_all(self._channel.set_pressure(active))
+        shed = self._channel.set_pressure(active)
+        self._record_terminal(TERMINAL_SHED, shed)
+        self._reclaim_all(shed)
 
     def close(self) -> None:
         self._channel.close()

@@ -11,10 +11,12 @@ statistics, or control commands.
 from __future__ import annotations
 
 import itertools
+import os
+import random
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 class MsgType(str, Enum):
@@ -45,12 +47,70 @@ CREATED_AT = "created_at"
 BODY_SIZE = "body_size"
 COMPRESSED = "compressed"
 BATCH_COUNT = "batch_count"  # sub-message count of a MsgType.BATCH envelope
+#: ``[(seq, trace_id), ...]`` of a BATCH envelope's sub-messages, stamped by
+#: :func:`pack_batch` so the router can attribute one "routed" event to each
+#: coalesced message without opening the envelope body
+BATCH_SEQS = "batch_seqs"
+#: compact causal-trace context (see :mod:`repro.obs.trace`): ``TRACE`` is a
+#: u64 id shared by every event in one message's causal chain, ``SPAN`` a u64
+#: id unique to this hop.  Stamped by :func:`make_header`, so the ids survive
+#: coalescing (sub-headers travel whole through pack/unpack), mp metadata
+#: hops, and flow-control sheds.
+TRACE = "trace"
+SPAN = "span"
+PARENT_SPAN = "parent_span"
 #: priority lane ("control" or "bulk") stamped by flow-controlled queues;
 #: absent when overload control is off, so default headers are unchanged
 LANE = "lane"
 #: codec name set by the broker when a body was compressed at the fabric
 #: boundary (adaptive wire compression; see docs/FLOW_CONTROL.md)
 WIRE_CODEC = "wire_codec"
+
+
+# -- trace-context ids ------------------------------------------------------
+# Trace/span ids are u64 ints: (32-bit per-process nonce << 32) | 32-bit
+# counter.  Ints pack straight into the flight recorder's fixed-size records
+# (no allocation, no string interning) and render as hex in exports.  The
+# nonce mixes the pid with random bits and is re-derived after fork, so ids
+# from forked explorers never collide even though the counter state is
+# inherited.
+_TRACE_COUNTER = itertools.count(1)
+_TRACE_NONCE: Dict[str, Any] = {"pid": None, "bits": 0}
+
+
+def _trace_nonce() -> int:
+    pid = os.getpid()
+    if _TRACE_NONCE["pid"] != pid:
+        _TRACE_NONCE["pid"] = pid
+        _TRACE_NONCE["bits"] = (
+            ((pid & 0xFFFF) << 16) | random.getrandbits(16)
+        ) << 32
+    return _TRACE_NONCE["bits"]
+
+
+def new_trace_id() -> int:
+    """A fresh process-unique u64 trace (or span) id."""
+    return _trace_nonce() | (next(_TRACE_COUNTER) & 0xFFFFFFFF)
+
+
+def format_trace_id(trace_id: Optional[int]) -> str:
+    """Hex rendering used by exports (``0`` / ``None`` -> ``"-"``)."""
+    if not trace_id:
+        return "-"
+    return f"{trace_id:016x}"
+
+
+def ensure_trace(header: Dict[str, Any]) -> Tuple[int, int]:
+    """Stamp trace context into ``header`` if absent; return (trace, span)."""
+    trace_id = header.get(TRACE)
+    if not trace_id:
+        trace_id = new_trace_id()
+        header[TRACE] = trace_id
+    span_id = header.get(SPAN)
+    if not span_id:
+        span_id = new_trace_id()
+        header[SPAN] = span_id
+    return trace_id, span_id
 
 
 def make_header(
@@ -76,6 +136,8 @@ def make_header(
         CREATED_AT: time.monotonic(),
         BODY_SIZE: int(body_size),
         COMPRESSED: False,
+        TRACE: new_trace_id(),
+        SPAN: new_trace_id(),
     }
     if extra:
         header.update(extra)
@@ -174,7 +236,13 @@ def pack_batch(messages: Sequence[Message]) -> Message:
         first.dst,
         MsgType.BATCH,
         body_size=sum(message.body_size for message in messages),
-        extra={BATCH_COUNT: len(messages)},
+        extra={
+            BATCH_COUNT: len(messages),
+            BATCH_SEQS: [
+                (message.seq, message.header.get(TRACE))
+                for message in messages
+            ],
+        },
     )
     return Message(header, bodies)
 

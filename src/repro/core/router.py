@@ -24,8 +24,8 @@ from .communicator import ShareMemCommunicator
 from .concurrency import make_lock, spawn_thread
 from .ownership import receives_ownership, transfers_ownership
 from .errors import RoutingError, UnknownDestinationError, UnknownObjectError
-from .message import COMPRESSED, DST, OBJECT_ID, SEQ, TYPE
-from .tracing import Tracer
+from .message import BATCH_SEQS, COMPRESSED, DST, OBJECT_ID, SEQ, TRACE, TYPE
+from .tracing import Tracer, flight_recorder
 
 RemoteSend = Callable[[str, Dict[str, Any], Any, int], None]
 """(remote_broker, header, body, nbytes) -> ship over the fabric."""
@@ -68,7 +68,10 @@ class AlgorithmAgnosticRouter:
         self._routed_remote = 0
         self._dropped = 0
         #: optional :class:`Tracer` — records one "routed" event per header
+        #: (per *sub-message* for coalesced BATCH envelopes)
         self.tracer: Optional[Tracer] = None
+        #: per-process flight recorder (None when disabled via env)
+        self._flightrec = flight_recorder()
 
     # -- counters ------------------------------------------------------------
     @property
@@ -119,16 +122,49 @@ class AlgorithmAgnosticRouter:
 
     def route(self, header: Dict[str, Any]) -> None:
         """Dispatch one header to all destinations (public for tests)."""
-        if self.tracer is not None:
-            self.tracer.record(
-                "routed", self.name, seq=header.get(SEQ),
-                dst=",".join(header.get(DST, [])), type=str(header.get(TYPE)),
-            )
+        if self.tracer is not None or self._flightrec is not None:
+            self._record_routed(header)
         local, remote_groups = self._partition(header[DST])
         if remote_groups:
             self._route_remote(header, remote_groups)
         for destination in local:
             self._deliver_local(destination, dict(header))
+
+    def _record_routed(self, header: Dict[str, Any]) -> None:
+        """Trace the routing decision.
+
+        A coalesced BATCH envelope yields one "routed" event *per
+        sub-message* (seq + trace context stamped by ``pack_batch``): the
+        envelope is a transport artifact — its sub-messages got "sent" at
+        the producing endpoint and will get "delivered" on unpack, so span
+        accounting must see the same seqs here or every coalesced message
+        shows up as unmatched in both directions.
+        """
+        dst = ",".join(header.get(DST, []))
+        msg_type = str(header.get(TYPE))
+        batch_seqs = header.get(BATCH_SEQS)
+        if batch_seqs:
+            for sub_seq, sub_trace in batch_seqs:
+                if self.tracer is not None:
+                    self.tracer.record(
+                        "routed", self.name, seq=sub_seq, dst=dst,
+                        type=msg_type, trace=sub_trace,
+                    )
+                if self._flightrec is not None:
+                    self._flightrec.record(
+                        "routed", self.name, sub_seq, sub_trace or 0
+                    )
+            return
+        if self.tracer is not None:
+            self.tracer.record(
+                "routed", self.name, seq=header.get(SEQ), dst=dst,
+                type=msg_type, trace=header.get(TRACE),
+            )
+        if self._flightrec is not None:
+            self._flightrec.record(
+                "routed", self.name, header.get(SEQ, -1),
+                header.get(TRACE) or 0,
+            )
 
     @receives_ownership("releases the share of an undeliverable destination")
     def _deliver_local(self, destination: str, header: Dict[str, Any]) -> None:
@@ -146,6 +182,14 @@ class AlgorithmAgnosticRouter:
             return
         with self._counters_lock:
             self._dropped += 1
+        if self.tracer is not None:
+            # Terminal outcome: this (seq, dst) will never be delivered, so
+            # span accounting closes its pending state instead of leaking it.
+            self.tracer.record(
+                "rejected", self.name, seq=header.get(SEQ),
+                trace=header.get(TRACE), dst=destination,
+                type=str(header.get(TYPE)),
+            )
         object_id = header.get(OBJECT_ID)
         if object_id is not None:
             try:

@@ -40,6 +40,7 @@ from typing import Any, Callable, Dict, List, Optional
 from .concurrency import make_rlock, spawn_thread
 from .errors import ConfigError, TrainingFailedError
 from .stats import StatsCollector
+from .tracing import flight_dump
 
 LOG = logging.getLogger("repro.supervision")
 
@@ -352,4 +353,8 @@ class Supervisor:
         """Raise :class:`TrainingFailedError` when the run is unrecoverable."""
         reason = self.failure()
         if reason is not None:
+            # Preserve the flight-recorder ring before the run dies — the
+            # last seconds of channel activity are exactly the post-mortem
+            # evidence for *why* the workers went silent.
+            flight_dump("training_failed")
             raise TrainingFailedError(reason)

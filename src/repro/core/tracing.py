@@ -177,6 +177,30 @@ class Tracer:
         return "\n".join(lines)
 
 
+def flight_recorder() -> Optional[Any]:
+    """The process-wide flight recorder, or ``None`` when disabled.
+
+    Lazy import: the recorder lives in :mod:`repro.obs.trace.flightrec`
+    (obs layers on core), but core hot paths — endpoint, router, broker —
+    record into it.  Resolved at component construction time, never at
+    module import time, so layering stays acyclic.
+    """
+    try:
+        from ..obs.trace.flightrec import get_recorder
+    except Exception:  # noqa: BLE001 - recorder is strictly best-effort
+        return None
+    return get_recorder()
+
+
+def flight_dump(reason: str) -> None:
+    """Best-effort crash dump of this process's flight-recorder ring."""
+    try:
+        from ..obs.trace.flightrec import dump_all
+    except Exception:  # noqa: BLE001 - recorder is strictly best-effort
+        return
+    dump_all(reason)
+
+
 class TracingEndpointMixin:
     """Hook points components call when a tracer is attached."""
 

@@ -25,12 +25,15 @@ from __future__ import annotations
 import itertools
 import multiprocessing as mp
 import os
+import time
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from typing import Any, Dict, Optional, Tuple, Union
 
 from ..core.concurrency import runtime_checks_enabled
+from ..core.message import new_trace_id
 from ..core.serialization import Frame, deserialize, make_frame
+from ..core.tracing import flight_recorder
 
 _SIZE_HEADER = 8
 
@@ -42,6 +45,14 @@ PoolHandle = Tuple[str, int, int]
 BodyHandle = Union[str, PoolHandle]
 
 _POOL_COUNTER = itertools.count()
+
+#: reserved metadata key carrying cross-process trace context; the receiving
+#: session pops it before handing metadata to the algorithm
+TRACE_META = "_trace"
+
+#: per-process rollout sequence (trace ids are globally unique via their
+#: pid-keyed nonce; seq only orders one sender's stream)
+_MP_SEQ = itertools.count(1)
 
 
 def write_segment(
@@ -345,9 +356,35 @@ class MpChannel:
     weights: Any = field(default_factory=lambda: mp.Queue())
     pool: Optional[SharedSlabPool] = None
 
-    def send_rollout(self, explorer: str, body: Any, metadata: Optional[Dict] = None) -> None:
+    def send_rollout(
+        self, explorer: str, body: Any, metadata: Optional[Dict] = None
+    ) -> Dict[str, Any]:
+        """Ship one rollout; returns the trace context stamped into it.
+
+        Every rollout carries ``metadata[TRACE_META]`` — trace/span ids, a
+        per-sender seq, and the sender's monotonic send timestamp — so the
+        learner can reconstruct cross-process causal chains offline.  On one
+        host ``CLOCK_MONOTONIC`` is system-wide, so ``sent_ts`` and the
+        learner's receive timestamps share a timebase.
+        """
         handle = write_body(body, self.pool)
-        self.headers.put((explorer, handle, metadata or {}))
+        trace = new_trace_id()
+        context: Dict[str, Any] = {
+            "trace": trace,
+            "span": new_trace_id(),
+            "seq": next(_MP_SEQ),
+            "src": explorer,
+            "sent_ts": time.monotonic(),
+        }
+        stamped = dict(metadata or {})
+        stamped[TRACE_META] = context
+        recorder = flight_recorder()
+        if recorder is not None:
+            recorder.record(
+                "sent", f"{explorer}.send", seq=context["seq"], trace=trace
+            )
+        self.headers.put((explorer, handle, stamped))
+        return context
 
     def receive_rollout(self, timeout: Optional[float] = None) -> Optional[Tuple[str, Any, Dict]]:
         try:

@@ -11,7 +11,9 @@ training.
 
 from __future__ import annotations
 
+import glob
 import multiprocessing as mp
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
@@ -19,7 +21,7 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from ..core.stats import LatencyRecorder, ThroughputMeter
-from .channel import MpChannel, SharedSlabPool, discard_body
+from .channel import TRACE_META, MpChannel, SharedSlabPool, discard_body
 
 
 @dataclass
@@ -34,6 +36,9 @@ class MpRunResult:
     mean_train_s: float = 0.0
     #: ``repro.obs`` JSON snapshot when the session enables telemetry
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: per-process JSONL trace files when the session sets ``trace_dir``
+    #: (merge them with ``python -m repro.obs.trace``)
+    trace_files: List[str] = field(default_factory=list)
 
     def average_return(self, window: int = 100) -> Optional[float]:
         if not self.episode_returns:
@@ -69,18 +74,44 @@ def _explorer_main(
     algorithm = algorithm_cls(model_cls(dict(spec["model_config"])), algorithm_config)
     agent = agent_cls(algorithm, env_cls(env_config), agent_config)
     fragment_steps = int(spec.get("fragment_steps", 200))
+    trace_dir = spec.get("trace_dir")
+    trace_events: List[Dict[str, Any]] = []
 
-    while not stop_event.is_set():
-        weights = channel.poll_weights()
-        if weights is not None:
-            agent.set_weights(weights)
-        rollout, finished = agent.run_fragment(fragment_steps)
-        if stop_event.is_set():
-            return
-        try:
-            channel.send_rollout(name, rollout, {"returns": finished})
-        except (OSError, ValueError):
-            return  # queues torn down during shutdown
+    try:
+        while not stop_event.is_set():
+            weights = channel.poll_weights()
+            if weights is not None:
+                agent.set_weights(weights)
+            rollout, finished = agent.run_fragment(fragment_steps)
+            if stop_event.is_set():
+                return
+            try:
+                context = channel.send_rollout(name, rollout, {"returns": finished})
+            except (OSError, ValueError):
+                return  # queues torn down during shutdown
+            if trace_dir is not None:
+                trace_events.append(
+                    {
+                        "ts": context["sent_ts"],
+                        "kind": "sent",
+                        "source": f"{name}.send",
+                        "detail": {
+                            "seq": context["seq"],
+                            "trace": context["trace"],
+                            "span": context["span"],
+                            "dst": "learner",
+                        },
+                    }
+                )
+    finally:
+        if trace_dir is not None and trace_events:
+            from ..obs.trace.events import write_events
+
+            write_events(
+                os.path.join(trace_dir, f"{name}.jsonl"),
+                trace_events,
+                process=name,
+            )
 
 
 class MpSession:
@@ -99,6 +130,7 @@ class MpSession:
         num_explorers: int = 2,
         broadcast_every: int = 1,
         telemetry: bool = False,
+        trace_dir: Optional[str] = None,
         use_pool: bool = True,
         pool_block_bytes: int = 1 << 20,
         pool_blocks: int = 32,
@@ -109,6 +141,9 @@ class MpSession:
         self.num_explorers = num_explorers
         self.broadcast_every = broadcast_every
         self.telemetry = telemetry
+        #: when set, every process writes its trace ring here as JSONL
+        #: (``<process>.jsonl``) at shutdown; use a fresh directory per run
+        self.trace_dir = trace_dir
         self.use_pool = use_pool
         self.pool_block_bytes = pool_block_bytes
         self.pool_blocks = pool_blocks
@@ -147,11 +182,15 @@ class MpSession:
             if self.use_pool
             else None
         )
+        if self.trace_dir is not None:
+            os.makedirs(self.trace_dir, exist_ok=True)
         channels = [MpChannel(pool=pool) for _ in range(self.num_explorers)]
         workers = []
         for index, channel in enumerate(channels):
             spec = dict(self.spec)
             spec["seed"] = int(self.spec.get("seed", 0)) + index
+            if self.trace_dir is not None:
+                spec["trace_dir"] = self.trace_dir
             worker = self._context.Process(
                 target=_explorer_main,
                 args=(f"explorer-{index}", channel, spec, stop_event),
@@ -165,6 +204,7 @@ class MpSession:
         episode_returns: List[float] = []
         rollouts_received = 0
         train_sessions = 0
+        trace_events: List[Dict[str, Any]] = []
 
         registry_obs = None
         wait_histogram = train_histogram = None
@@ -221,15 +261,59 @@ class MpSession:
                 if wait_histogram is not None:
                     wait_histogram.observe(waited)
                 explorer, rollout, metadata = received
+                context = metadata.pop(TRACE_META, None)
+                if self.trace_dir is not None and context is not None:
+                    detail = {
+                        "seq": context.get("seq"),
+                        "trace": context.get("trace"),
+                        "span": context.get("span"),
+                        "dst": "learner",
+                        "src": explorer,
+                    }
+                    trace_events.append(
+                        {
+                            "ts": time.monotonic(),
+                            "kind": "delivered",
+                            "source": "learner.recv",
+                            "detail": detail,
+                        }
+                    )
                 episode_returns.extend(metadata.get("returns", []))
                 rollouts_received += 1
                 if rollouts_counter is not None:
                     rollouts_counter.inc()
                 algorithm.prepare_data(rollout, source=explorer)
+                if self.trace_dir is not None and context is not None:
+                    trace_events.append(
+                        {
+                            "ts": time.monotonic(),
+                            "kind": "consumed",
+                            "source": "learner.recv",
+                            "detail": dict(detail),
+                        }
+                    )
                 while algorithm.ready_to_train():
                     train_started = time.monotonic()
+                    if self.trace_dir is not None:
+                        trace_events.append(
+                            {
+                                "ts": train_started,
+                                "kind": "train_start",
+                                "source": "learner",
+                                "detail": {},
+                            }
+                        )
                     with train_recorder.time():
                         metrics = algorithm.train()
+                    if self.trace_dir is not None:
+                        trace_events.append(
+                            {
+                                "ts": time.monotonic(),
+                                "kind": "train_end",
+                                "source": "learner",
+                                "detail": {},
+                            }
+                        )
                     if train_histogram is not None:
                         train_histogram.observe(time.monotonic() - train_started)
                         sessions_counter.inc()
@@ -257,6 +341,19 @@ class MpSession:
             self._drain(channels)
             if pool is not None:
                 pool.close()
+        trace_files: List[str] = []
+        if self.trace_dir is not None:
+            from ..obs.trace.events import write_events
+
+            write_events(
+                os.path.join(self.trace_dir, "learner.jsonl"),
+                trace_events,
+                process="learner",
+            )
+            # Explorer files were written by the (now-joined) children.
+            trace_files = sorted(
+                glob.glob(os.path.join(self.trace_dir, "*.jsonl"))
+            )
         metrics_snapshot: Dict[str, Any] = {}
         if registry_obs is not None:
             from ..obs import snapshot as obs_snapshot
@@ -274,6 +371,7 @@ class MpSession:
             mean_wait_s=wait_recorder.mean(),
             mean_train_s=train_recorder.mean(),
             metrics=metrics_snapshot,
+            trace_files=trace_files,
         )
 
     @staticmethod

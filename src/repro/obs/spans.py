@@ -55,6 +55,13 @@ STAGES: Dict[str, Tuple[str, str]] = {
 
 _LIFECYCLE_KINDS = ("sent", "routed", "delivered", "consumed")
 
+#: Terminal outcomes emitted by flow-controlled queues and the router for
+#: messages that will never complete their lifecycle (shed under a bulk
+#: watermark, control deadline expired, rejected by a closed/dead
+#: destination).  A terminal event *closes* the message's pending state —
+#: a bulk shed must not leak a forever-pending (seq, dst) entry.
+TERMINAL_KINDS = ("shed", "expired", "rejected")
+
 
 _ROLE_CACHE: Dict[str, str] = {}
 
@@ -106,10 +113,15 @@ class SpanStats:
     matched: Dict[str, int] = field(default_factory=dict)
     unmatched_ends: Dict[str, int] = field(default_factory=dict)
     evicted_starts: Dict[str, int] = field(default_factory=dict)
+    #: terminal outcome name -> messages closed by it (shed/expired/rejected)
+    terminated: Dict[str, int] = field(default_factory=dict)
     negative_durations: int = 0
 
     def total_unmatched(self) -> int:
         return sum(self.unmatched_ends.values()) + sum(self.evicted_starts.values())
+
+    def total_terminated(self) -> int:
+        return sum(self.terminated.values())
 
 
 class _PendingMap:
@@ -183,6 +195,7 @@ class SpanAggregator:
             matched={stage: 0 for stage in STAGES},
             unmatched_ends={stage: 0 for stage in STAGES},
             evicted_starts={stage: 0 for stage in STAGES},
+            terminated={outcome: 0 for outcome in TERMINAL_KINDS},
         )
         self._records: "OrderedDict[Tuple[int, str], Dict[str, float]]" = OrderedDict()
         self._record_meta: Dict[Tuple[int, str], Tuple[str, str]] = {}
@@ -196,9 +209,26 @@ class SpanAggregator:
             stage: registry.counter(
                 "message_spans_unmatched_total",
                 {"stage": stage},
-                help="lifecycle end events with no matching start (or evicted starts)",
+                help="lifecycle end events with no matching start",
             )
             for stage in STAGES
+        }
+        self._evicted_counter = {
+            stage: registry.counter(
+                "message_spans_evicted_total",
+                {"stage": stage},
+                help="pending starts FIFO-evicted before any end matched",
+            )
+            for stage in STAGES
+        }
+        self._terminal_counter = {
+            outcome: registry.counter(
+                "message_spans_terminal_total",
+                {"outcome": outcome},
+                help="messages closed by a terminal outcome "
+                     "(flow-control shed/expired, routing rejected)",
+            )
+            for outcome in TERMINAL_KINDS
         }
         self._negative_counter = registry.counter(
             "message_spans_negative_total",
@@ -210,6 +240,8 @@ class SpanAggregator:
         """Tracer-sink entry point: one TraceEvent-shaped object."""
         kind = getattr(event, "kind", None)
         if kind not in _LIFECYCLE_KINDS:
+            if kind in TERMINAL_KINDS:
+                self._observe_terminal(kind, event)
             return
         detail = getattr(event, "detail", None) or {}
         seq = detail.get("seq")
@@ -251,6 +283,51 @@ class SpanAggregator:
         for event in events:
             self.observe(event)
         return self.stats()
+
+    def _observe_terminal(self, outcome: str, event: Any) -> None:
+        """A shed/expired/rejected message: close its pending state.
+
+        Without this, a bulk shed under ``FlowControlSpec`` leaves its
+        ``sent`` (and possibly ``routed``/``(seq, dst)``) entries pending
+        until FIFO eviction mislabels them as unmatched.  The terminal
+        event instead records a definite outcome in a labeled counter.
+        """
+        detail = getattr(event, "detail", None) or {}
+        seq = detail.get("seq")
+        if seq is None:
+            return
+        with self._lock:
+            dsts = [d for d in str(detail.get("dst") or "").split(",") if d]
+            for dst in dsts:
+                self._delivered.pop((seq, dst))
+            meta = self._meta.peek(seq)
+            sent_dsts = (
+                {d for d in str(meta[2]).split(",") if d} if meta else None
+            )
+            # A router reject is per-destination: when other destinations of
+            # the same fan-out are still in flight, the sent/routed starts
+            # must survive to match their deliveries.  peek() marks them
+            # matched, so a later FIFO eviction stays silent.
+            partial = (
+                sent_dsts is not None and dsts and set(dsts) < sent_dsts
+            )
+            if partial:
+                known = (
+                    self._sent.peek(seq) is not None
+                    or self._routed.peek(seq) is not None
+                )
+            else:
+                known = self._sent.pop(seq) is not None
+                known = (self._routed.pop(seq) is not None) or known
+                self._meta.pop(seq)
+            if not known:
+                # Duplicate terminal (e.g. queue and router both report the
+                # same rejected header) or untraced sender: count once.
+                return
+            self._stats.terminated[outcome] = (
+                self._stats.terminated.get(outcome, 0) + 1
+            )
+            self._terminal_counter[outcome].inc()
 
     # -- correlation internals (call with lock held) -----------------------
     def _close_stage(
@@ -349,7 +426,7 @@ class SpanAggregator:
             while pending.evicted > 0:
                 pending.evicted -= 1
                 self._stats.evicted_starts[stage] += 1
-                self._unmatched_counter[stage].inc()
+                self._evicted_counter[stage].inc()
 
     # -- reads -------------------------------------------------------------
     def stats(self) -> SpanStats:
@@ -358,6 +435,7 @@ class SpanAggregator:
                 matched=dict(self._stats.matched),
                 unmatched_ends=dict(self._stats.unmatched_ends),
                 evicted_starts=dict(self._stats.evicted_starts),
+                terminated=dict(self._stats.terminated),
                 negative_durations=self._stats.negative_durations,
             )
 

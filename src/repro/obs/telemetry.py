@@ -100,6 +100,11 @@ class Telemetry:
 
     def attach_broker(self, broker: Any) -> None:
         broker.router.tracer = self.tracer
+        # Flow-controlled queues need the tracer too: a shed/expired header
+        # must leave a terminal trace event, not a forever-pending span.
+        set_tracer = getattr(broker.communicator, "set_tracer", None)
+        if set_tracer is not None:
+            set_tracer(self.tracer)
         self.sampler.add_broker(broker)
         if self.flow_controller is not None and getattr(broker, "flow", None):
             self.flow_controller.attach_broker(broker)
@@ -137,6 +142,19 @@ class Telemetry:
     def span_records(self) -> List[SpanRecord]:
         return self.spans.records() if self.spans is not None else []
 
+    def export_trace(self, path: str, *, process: str = "main") -> int:
+        """Write the tracer ring to ``path`` as a JSONL trace file.
+
+        The output is what ``python -m repro.obs.trace`` consumes: one
+        process's contribution to a merged cross-process timeline.  Returns
+        the number of events written.
+        """
+        from .trace.events import write_events
+
+        events = self.tracer.events()
+        write_events(path, events, process=process)
+        return len(events)
+
     def snapshot(self, meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         merged: Dict[str, Any] = dict(meta or {})
         if self.spans is not None:
@@ -148,6 +166,7 @@ class Telemetry:
                     "unmatched_ends": stats.unmatched_ends,
                     "evicted_starts": stats.evicted_starts,
                     "negative_durations": stats.negative_durations,
+                    "terminated": dict(stats.terminated),
                 },
             )
         return snapshot(self.registry, meta=merged)

@@ -1,0 +1,59 @@
+"""Distributed causal tracing (docs/OBSERVABILITY.md).
+
+* :mod:`repro.obs.trace.flightrec` — always-on per-process binary flight
+  recorder ring, dumped on crashes (``flightrec/*.bin``);
+* :mod:`repro.obs.trace.events` — JSONL trace files + event normalization;
+* :mod:`repro.obs.trace.merge` — join per-process rings by trace id, with
+  dedup, clock alignment, and lost-chain markers;
+* :mod:`repro.obs.trace.critical` — per-iteration critical paths with
+  stage attribution (the automated Table 1);
+* :mod:`repro.obs.trace.chrome` — Perfetto-loadable Chrome-trace export
+  plus a schema validator;
+* ``python -m repro.obs.trace`` — the ``merge`` / ``critical-path`` /
+  ``export`` / ``validate`` CLI.
+"""
+
+from .chrome import CHROME_SCHEMA, to_chrome_trace, validate_chrome_trace
+from .critical import analyze, format_report
+from .events import (
+    TRACE_SCHEMA,
+    event_to_dict,
+    load_trace_file,
+    read_events,
+    write_events,
+)
+from .flightrec import (
+    FLIGHTREC_SCHEMA,
+    FlightRecorder,
+    configure,
+    dump_all,
+    get_recorder,
+    install_signal_handler,
+    load_dump,
+    set_process,
+)
+from .merge import Chain, MergedTrace, merge
+
+__all__ = [
+    "CHROME_SCHEMA",
+    "FLIGHTREC_SCHEMA",
+    "TRACE_SCHEMA",
+    "Chain",
+    "FlightRecorder",
+    "MergedTrace",
+    "analyze",
+    "configure",
+    "dump_all",
+    "event_to_dict",
+    "format_report",
+    "get_recorder",
+    "install_signal_handler",
+    "load_dump",
+    "load_trace_file",
+    "merge",
+    "read_events",
+    "set_process",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_events",
+]

@@ -1,0 +1,255 @@
+"""Join per-process trace rings into one causally-consistent timeline.
+
+Every message carries a u64 trace id (stamped at ``make_header``), so its
+events — ``sent`` in the producing process, ``routed`` in the broker,
+``delivered``/``consumed`` in the consuming process, or a terminal
+``shed``/``expired``/``rejected`` in a flow-controlled queue — can be
+re-joined offline into a *chain* even though each process recorded them
+into its own ring.
+
+The merger:
+
+* **dedups** events by span/trace id — a link that duplicates a message
+  (see :class:`repro.testing.faults.FaultyLink`) yields two identical
+  ``delivered`` records; only the earliest survives;
+* **clock-aligns** processes — per-process monotonic clocks can disagree,
+  so offsets are relaxed until no effect precedes its cause (on one Linux
+  host ``CLOCK_MONOTONIC`` is system-wide and offsets stay ~0);
+* marks chains that never reached a terminal or delivered state as
+  **lost** (open spans — dropped messages under fault injection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ...core.message import format_trace_id
+from .events import TERMINAL_KINDS, event_to_dict, kind_rank
+
+#: clock-alignment relaxation passes (see :func:`_align_clocks`)
+_ALIGN_PASSES = 4
+
+
+@dataclass
+class Chain:
+    """All events of one message's causal chain, ordered causally."""
+
+    trace: int
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    status: str = "open"
+    lost: bool = False
+
+    def first(self, kind: str) -> Optional[Dict[str, Any]]:
+        for event in self.events:
+            if event["kind"] == kind:
+                return event
+        return None
+
+    def last(self, kind: str) -> Optional[Dict[str, Any]]:
+        found = None
+        for event in self.events:
+            if event["kind"] == kind:
+                found = event
+        return found
+
+    def gap(self, start_kind: str, end_kind: str) -> Optional[float]:
+        """Seconds between the first ``start_kind`` and first ``end_kind``."""
+        start = self.first(start_kind)
+        end = self.first(end_kind)
+        if start is None or end is None:
+            return None
+        return max(0.0, end["ts"] - start["ts"])
+
+    @property
+    def trace_hex(self) -> str:
+        return format_trace_id(self.trace)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace": self.trace_hex,
+            "status": self.status,
+            "lost": self.lost,
+            "events": self.events,
+        }
+
+
+@dataclass
+class MergedTrace:
+    """Result of :func:`merge`: aligned events plus per-message chains."""
+
+    processes: List[str]
+    offsets: Dict[str, float]
+    events: List[Dict[str, Any]]
+    chains: List[Chain]
+    duplicates_dropped: int = 0
+
+    def chain(self, trace: int) -> Optional[Chain]:
+        for chain in self.chains:
+            if chain.trace == trace:
+                return chain
+        return None
+
+    def chain_stats(self) -> Dict[str, Any]:
+        stats: Dict[str, Any] = {
+            "total": len(self.chains),
+            "complete": 0,
+            "open": 0,
+            "lost": 0,
+            "terminal": {},
+        }
+        for chain in self.chains:
+            if chain.status == "complete":
+                stats["complete"] += 1
+            elif chain.status in TERMINAL_KINDS:
+                terminal = stats["terminal"]
+                terminal[chain.status] = terminal.get(chain.status, 0) + 1
+            else:
+                stats["open"] += 1
+            if chain.lost:
+                stats["lost"] += 1
+        return stats
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": "repro.trace.merged/v1",
+            "processes": self.processes,
+            "offsets": self.offsets,
+            "duplicates_dropped": self.duplicates_dropped,
+            "chains": [chain.to_dict() for chain in self.chains],
+            "chain_stats": self.chain_stats(),
+            "events": self.events,
+        }
+
+
+def _dedup_key(event: Dict[str, Any]) -> Optional[Tuple[Any, ...]]:
+    """Identity of a message-lifecycle event; ``None`` = never dedup."""
+    detail = event["detail"]
+    span = detail.get("span") or detail.get("trace")
+    if span is None:
+        return None
+    return (event["kind"], event["source"], span, detail.get("seq"))
+
+
+def _align_clocks(
+    by_process: Dict[str, List[Dict[str, Any]]],
+) -> Dict[str, float]:
+    """Per-process offsets such that no effect precedes its cause.
+
+    Builds (cause, effect) constraints from same-trace event pairs that
+    crossed a process boundary and relaxes offsets upward until every
+    constraint holds (bounded passes — cycles cannot occur because the
+    relation follows lifecycle order).
+    """
+    offsets = {process: 0.0 for process in by_process}
+    # (cause_process, cause_ts, effect_process, effect_ts)
+    constraints: List[Tuple[str, float, str, float]] = []
+    chains: Dict[Any, List[Tuple[str, Dict[str, Any]]]] = {}
+    for process, events in by_process.items():
+        for event in events:
+            trace = event["detail"].get("trace")
+            if trace is not None:
+                chains.setdefault(trace, []).append((process, event))
+    for members in chains.values():
+        # One representative per lifecycle kind (the earliest), in causal
+        # order — concurrent same-kind events (fan-out deliveries) are not
+        # ordered against each other.
+        by_kind: Dict[int, Tuple[str, Dict[str, Any]]] = {}
+        for process, event in members:
+            rank = kind_rank(event["kind"])
+            held = by_kind.get(rank)
+            if held is None or event["ts"] < held[1]["ts"]:
+                by_kind[rank] = (process, event)
+        ordered = [by_kind[rank] for rank in sorted(by_kind)]
+        for (proc_a, event_a), (proc_b, event_b) in zip(ordered, ordered[1:]):
+            if proc_a != proc_b:
+                constraints.append(
+                    (proc_a, event_a["ts"], proc_b, event_b["ts"])
+                )
+    for _ in range(_ALIGN_PASSES):
+        dirty = False
+        for proc_a, ts_a, proc_b, ts_b in constraints:
+            violation = (ts_a + offsets[proc_a]) - (ts_b + offsets[proc_b])
+            if violation > 0:
+                offsets[proc_b] += violation
+                dirty = True
+        if not dirty:
+            break
+    return offsets
+
+
+def merge(
+    traces: Sequence[Tuple[str, Sequence[Any]]], *, align: bool = True
+) -> MergedTrace:
+    """Merge ``[(process_name, events), ...]`` into one timeline.
+
+    ``events`` may be :class:`~repro.core.tracing.TraceEvent` objects or
+    already-normalized dicts (flight-recorder decodes, JSONL reads).
+    """
+    by_process: Dict[str, List[Dict[str, Any]]] = {}
+    duplicates = 0
+    seen: set = set()
+    for process, raw_events in traces:
+        bucket = by_process.setdefault(process, [])
+        for raw in raw_events:
+            event = event_to_dict(raw)
+            key = _dedup_key(event)
+            if key is not None:
+                if key in seen:
+                    duplicates += 1
+                    continue
+                seen.add(key)
+            bucket.append(event)
+
+    offsets = _align_clocks(by_process) if align else {
+        process: 0.0 for process in by_process
+    }
+
+    merged_events: List[Dict[str, Any]] = []
+    for process, events in by_process.items():
+        offset = offsets[process]
+        for event in events:
+            aligned = dict(event)
+            aligned["ts"] = event["ts"] + offset
+            aligned["process"] = process
+            merged_events.append(aligned)
+    merged_events.sort(key=lambda event: event["ts"])
+
+    chains = _build_chains(merged_events)
+    return MergedTrace(
+        processes=sorted(by_process),
+        offsets=offsets,
+        events=merged_events,
+        chains=chains,
+        duplicates_dropped=duplicates,
+    )
+
+
+def _build_chains(events: Sequence[Dict[str, Any]]) -> List[Chain]:
+    grouped: Dict[int, List[Dict[str, Any]]] = {}
+    for event in events:
+        trace = event["detail"].get("trace")
+        if trace is None:
+            continue
+        grouped.setdefault(int(trace), []).append(event)
+    chains: List[Chain] = []
+    for trace, members in sorted(grouped.items()):
+        members.sort(key=lambda event: (kind_rank(event["kind"]), event["ts"]))
+        kinds = {event["kind"] for event in members}
+        terminal = next(
+            (kind for kind in TERMINAL_KINDS if kind in kinds), None
+        )
+        if terminal is not None:
+            status = terminal
+            lost = False
+        elif "consumed" in kinds:
+            status = "complete"
+            lost = False
+        elif "delivered" in kinds:
+            status = "open"  # delivered but never read (e.g. shutdown)
+            lost = False
+        else:
+            status = "open"
+            lost = True  # dropped in flight: an open span with no outcome
+        chains.append(Chain(trace, members, status, lost))
+    return chains

@@ -10,8 +10,15 @@ for refcount leaks at shutdown.  The env var must be set before any
 from __future__ import annotations
 
 import os
+import tempfile
 
 os.environ.setdefault("REPRO_RUNTIME_CHECKS", "1")
+# Crash-path flight-recorder dumps (deliberately triggered by supervision
+# and backpressure tests) go to a throwaway dir, not the working tree.
+os.environ.setdefault(
+    "REPRO_FLIGHTREC_DIR",
+    os.path.join(tempfile.gettempdir(), f"repro-flightrec-{os.getpid()}"),
+)
 
 import numpy as np
 import pytest

@@ -1,0 +1,199 @@
+"""Trace merging: dedup, clock alignment, chain status, fault integrity.
+
+The merger joins per-process rings into causal chains keyed by trace id.
+A lossy/duplicating/reordering fabric must not corrupt the result: dropped
+messages become *lost* open chains, duplicated deliveries dedup by span
+id, and reordering never yields an effect before its cause.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import build_cluster
+from repro.core.config import (
+    MachineSpec,
+    StopCondition,
+    TelemetrySpec,
+    XingTianConfig,
+)
+from repro.obs import Telemetry
+from repro.obs.trace import merge
+from repro.obs.trace.events import TERMINAL_KINDS, load_trace_file
+from repro.testing.faults import FaultSpec, FaultyFabric
+
+
+def _event(ts, kind, source, **detail):
+    return {"ts": ts, "kind": kind, "source": source, "detail": detail}
+
+
+def _chain_events(trace_id=0xA1, span=0x51, drop_after=None):
+    events = [
+        _event(1.0, "sent", "alice", seq=1, trace=trace_id, span=span,
+               dst="bob"),
+        _event(1.1, "routed", "broker", seq=1, trace=trace_id, dst="bob"),
+        _event(1.2, "delivered", "bob", seq=1, trace=trace_id, span=span + 1,
+               dst="bob"),
+        _event(1.3, "consumed", "bob", seq=1, trace=trace_id, span=span + 1,
+               dst="bob"),
+    ]
+    return events[:drop_after] if drop_after is not None else events
+
+
+class TestMergeBasics:
+    def test_complete_chain(self):
+        merged = merge([("p", _chain_events())])
+        assert len(merged.chains) == 1
+        chain = merged.chains[0]
+        assert chain.status == "complete"
+        assert not chain.lost
+        assert [e["kind"] for e in chain.events] == [
+            "sent", "routed", "delivered", "consumed",
+        ]
+
+    def test_duplicates_dropped_by_span(self):
+        events = _chain_events()
+        merged = merge([("p", events + [dict(events[2])])])
+        assert merged.duplicates_dropped == 1
+        assert len(merged.chains[0].events) == 4
+
+    def test_dropped_message_marked_lost(self):
+        merged = merge([("p", _chain_events(drop_after=2))])
+        chain = merged.chains[0]
+        assert chain.status == "open"
+        assert chain.lost
+
+    def test_delivered_but_unread_is_open_not_lost(self):
+        merged = merge([("p", _chain_events(drop_after=3))])
+        chain = merged.chains[0]
+        assert chain.status == "open"
+        assert not chain.lost
+
+    def test_terminal_status_wins(self):
+        events = _chain_events(drop_after=2)
+        events.append(_event(1.15, "shed", "q", seq=1, trace=0xA1, dst="bob"))
+        merged = merge([("p", events)])
+        chain = merged.chains[0]
+        assert chain.status == "shed"
+        assert not chain.lost
+        assert merged.chain_stats()["terminal"] == {"shed": 1}
+
+    def test_clock_alignment_restores_causality(self):
+        # bob's clock runs 10s behind: its delivered precedes alice's sent.
+        alice = [_event(100.0, "sent", "alice", seq=1, trace=0xB, span=1,
+                        dst="bob")]
+        bob = [
+            _event(90.5, "delivered", "bob", seq=1, trace=0xB, span=2,
+                   dst="bob"),
+            _event(90.6, "consumed", "bob", seq=1, trace=0xB, span=2,
+                   dst="bob"),
+        ]
+        merged = merge([("alice", alice), ("bob", bob)])
+        assert merged.offsets["bob"] >= 9.5
+        chain = merged.chains[0]
+        kinds_in_ts_order = [
+            e["kind"] for e in sorted(chain.events, key=lambda e: e["ts"])
+        ]
+        assert kinds_in_ts_order.index("sent") < kinds_in_ts_order.index(
+            "delivered"
+        )
+
+    def test_merged_to_dict_is_schema_tagged(self):
+        merged = merge([("p", _chain_events())])
+        doc = merged.to_dict()
+        assert doc["format"] == "repro.trace.merged/v1"
+        assert doc["chain_stats"]["complete"] == 1
+
+
+@pytest.fixture(scope="module")
+def faulty_trace(tmp_path_factory):
+    """A two-machine run over a drop/duplicate/reorder fabric, exported."""
+    config = XingTianConfig(
+        algorithm="dqn",
+        environment="CartPole",
+        model="qnet",
+        machines=[
+            MachineSpec("m0", explorers=1, has_learner=True),
+            MachineSpec("m1", explorers=2),
+        ],
+        fragment_steps=20,
+        stop=StopCondition(max_seconds=3.0),
+        seed=7,
+        telemetry=TelemetrySpec(sample_interval=0.02),
+    )
+    config.validate()
+    fabric = FaultyFabric(
+        "lossy-data",
+        spec=FaultSpec(drop=0.15, duplicate=0.15, reorder=0.15,
+                       delay=0.1, delay_s=0.002),
+        seed=13,
+    )
+    cluster = build_cluster(config, data_fabric=fabric)
+    telemetry = Telemetry.from_spec(config.telemetry)
+    telemetry.attach_cluster(cluster)
+    cluster.start()
+    telemetry.start()
+    try:
+        cluster.center.wait()
+    finally:
+        telemetry.stop()
+        cluster.stop()
+    path = str(tmp_path_factory.mktemp("faulty") / "run.jsonl")
+    telemetry.export_trace(path, process="run")
+    merged = merge([load_trace_file(path)])
+    return merged, fabric
+
+
+class TestFaultIntegrity:
+    """Satellite: faults must not corrupt the merged trace."""
+
+    def test_fabric_was_actually_faulty(self, faulty_trace):
+        _, fabric = faulty_trace
+        counts = fabric.fault_counts()
+        assert counts["dropped"] > 0
+        assert counts["duplicated"] > 0
+        assert counts["reordered"] > 0
+
+    def test_chains_deduped_by_span(self, faulty_trace):
+        merged, _ = faulty_trace
+        for chain in merged.chains:
+            keys = [
+                (e["kind"], e["source"],
+                 e["detail"].get("span") or e["detail"].get("trace"),
+                 e["detail"].get("seq"))
+                for e in chain.events
+            ]
+            assert len(keys) == len(set(keys)), (
+                f"duplicate events in chain {chain.trace_hex}"
+            )
+
+    def test_every_chain_has_definite_status(self, faulty_trace):
+        merged, _ = faulty_trace
+        allowed = {"complete", "open", *TERMINAL_KINDS}
+        for chain in merged.chains:
+            assert chain.status in allowed
+            # Lost = open with no delivery and no terminal outcome.
+            if chain.lost:
+                assert chain.status == "open"
+                kinds = {e["kind"] for e in chain.events}
+                assert "delivered" not in kinds
+                assert not kinds.intersection(TERMINAL_KINDS)
+
+    def test_stats_account_for_every_chain(self, faulty_trace):
+        merged, _ = faulty_trace
+        stats = merged.chain_stats()
+        assert stats["total"] == len(merged.chains) > 0
+        assert stats["complete"] > 0, "no traffic survived the faults?"
+        terminal_total = sum(stats["terminal"].values())
+        assert (
+            stats["complete"] + stats["open"] + terminal_total
+            == stats["total"]
+        )
+
+    def test_causality_holds_within_chains(self, faulty_trace):
+        merged, _ = faulty_trace
+        for chain in merged.chains:
+            sent = chain.first("sent")
+            consumed = chain.last("consumed")
+            if sent is not None and consumed is not None:
+                assert consumed["ts"] >= sent["ts"], chain.trace_hex
