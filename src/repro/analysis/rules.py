@@ -25,6 +25,13 @@ triggering fixture and a near-miss fixture under ``tests/analysis/fixtures``):
     the spawn registry, so diagnostics and the supervision layer cannot see
     them.
 
+``raw-socket-creation`` (warning)
+    ``socket.socket(...)`` / ``socket.create_connection(...)`` constructed
+    anywhere but :mod:`repro.transport.tcp`.  Sockets opened elsewhere
+    bypass the wire protocol's framing, counters, and shutdown draining —
+    their traffic is invisible to telemetry and their teardown races the
+    fabric's.
+
 ``unrouted-msgtype`` (error)
     A ``make_message``/``make_header``/``Message`` call site whose literal
     ``MsgType.X`` has no handler anywhere in the analyzed tree (no ``==``,
@@ -54,6 +61,7 @@ from .topology import BOUNDED_QUEUE_CYCLE, ORPHAN_DESTINATION
 LOCK_HELD_BLOCKING_CALL = "lock-held-blocking-call"
 UNGUARDED_SHARED_MUTATION = "unguarded-shared-mutation"
 RAW_THREAD_CREATION = "raw-thread-creation"
+RAW_SOCKET_CREATION = "raw-socket-creation"
 UNROUTED_MSGTYPE = "unrouted-msgtype"
 SYNTAX_ERROR = "syntax-error"
 
@@ -77,6 +85,10 @@ RULES: Dict[str, RuleInfo] = {
     RAW_THREAD_CREATION: RuleInfo(
         RAW_THREAD_CREATION, Severity.WARNING,
         "raw threading.Thread bypasses the spawn_thread factory",
+    ),
+    RAW_SOCKET_CREATION: RuleInfo(
+        RAW_SOCKET_CREATION, Severity.WARNING,
+        "raw socket constructed outside the wire transport module",
     ),
     UNROUTED_MSGTYPE: RuleInfo(
         UNROUTED_MSGTYPE, Severity.ERROR,
@@ -159,10 +171,22 @@ THREADED_CLASS_NAMES = {
     "FlowMessageBuffer",
     "WireCompressor",
     "FlowController",
+    "SocketLink",
+    "SocketListener",
+    "SocketFabric",
+    "_Connection",
 }
 
 #: Files allowed to construct threading.Thread directly.
 _THREAD_FACTORY_PATH_SUFFIXES = ("core/concurrency.py",)
+
+#: Files allowed to open raw sockets (the wire transport itself).
+_SOCKET_FACTORY_PATH_SUFFIXES = ("transport/tcp.py",)
+
+#: ``socket`` module constructors that yield a live socket.
+_SOCKET_CONSTRUCTORS = {
+    "socket", "create_connection", "create_server", "socketpair",
+}
 
 #: Method names that mutate a container in place (``self.items.append(x)``).
 _MUTATING_METHODS = {
@@ -200,6 +224,22 @@ def _is_thread_call(node: ast.Call) -> bool:
     if isinstance(func, ast.Attribute):
         return func.attr == "Thread" and _dotted_name(func.value).endswith("threading")
     return isinstance(func, ast.Name) and func.id == "Thread"
+
+
+def _is_socket_call(node: ast.Call) -> bool:
+    """``socket.socket(...)`` / ``socket.create_connection(...)`` & co.
+
+    Only the dotted ``socket.<ctor>`` forms are matched: a bare name like
+    ``socket(...)`` is far more often a local factory or a type annotation
+    call than the stdlib constructor, and the dotted form is the idiom this
+    codebase uses everywhere.
+    """
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr in _SOCKET_CONSTRUCTORS
+        and _dotted_name(func.value).endswith("socket")
+    )
 
 
 class _FileVisitor(ast.NodeVisitor):
@@ -278,6 +318,21 @@ class _FileVisitor(ast.NodeVisitor):
                     "threading.Thread() constructed directly; use "
                     "repro.core.concurrency.spawn_thread so the thread is "
                     "registered for supervision/diagnostics",
+                    self.scope(),
+                )
+            )
+        if _is_socket_call(node) and not self.path.endswith(
+            _SOCKET_FACTORY_PATH_SUFFIXES
+        ):
+            self.findings.append(
+                Finding(
+                    self.path,
+                    node.lineno,
+                    RULES[RAW_SOCKET_CREATION].severity,
+                    RAW_SOCKET_CREATION,
+                    "raw socket constructed directly; open connections "
+                    "through repro.transport.tcp (SocketFabric/SocketLink) "
+                    "so traffic is framed, counted, and drained on shutdown",
                     self.scope(),
                 )
             )

@@ -35,7 +35,9 @@ from ..core.compression import CompressionPolicy, disabled_policy
 from ..core.endpoint import ProcessEndpoint
 from ..core.message import MsgType, make_message
 from ..core.object_store import InMemoryObjectStore
+from ..core.serialization import serialization_copies_total
 from ..transport.fabric import Fabric
+from ..transport.tcp import SocketFabric
 
 LEARNER = "learner"
 
@@ -58,6 +60,11 @@ class TransmissionResult:
     elapsed_s: float
     rounds: int
     round_latencies: List[float] = field(default_factory=list)
+    #: per-link socket counters when the run used ``transport="wire"``
+    wire_stats: Optional[dict] = None
+    #: contiguous-buffer materializations incurred during the run (the
+    #: zero-copy acceptance metric; stays 0 on the sendmsg path)
+    serialization_copies: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -92,33 +99,50 @@ def run_dummy_xingtian(
     nic_latency: float = 0.0002,
     compression: Optional[CompressionPolicy] = None,
     timeout_s: float = 300.0,
+    transport: str = "sim",
 ) -> TransmissionResult:
     """Dummy algorithm on XingTian.
 
     ``machines`` lists explorer counts per machine; the learner lives on
     machine 0 (which may host 0 explorers — the "16 remote explorers"
     configuration of Fig. 5).  ``None`` means everything on one machine.
+
+    ``transport="sim"`` models the NIC (``nic_bandwidth``/``nic_latency``
+    on in-proc throttled links); ``transport="wire"`` sends cross-machine
+    traffic through real loopback TCP sockets instead — the throughput is
+    then *measured*, not modelled, and the result carries the per-link
+    socket counters and the copy count of the run.
     """
     if machines is None:
         machines = [num_explorers]
     if sum(machines) != num_explorers:
         raise ValueError("machines must sum to num_explorers")
+    if transport not in ("sim", "wire"):
+        raise ValueError(f"transport must be 'sim' or 'wire', got {transport!r}")
     compression = compression or disabled_policy()
 
-    fabric = Fabric("dummy-data")
+    wire = transport == "wire"
+    fabric: Fabric = SocketFabric("dummy-data") if wire else Fabric("dummy-data")
     brokers: List[Broker] = []
     for index in range(len(machines)):
         store = InMemoryObjectStore(
             copy_on_fetch=False, compression=compression, copy_bandwidth=copy_bandwidth
         )
         brokers.append(Broker(f"m{index}.broker", store=store, fabric=fabric))
+    if wire and len(brokers) > 1:
+        # The learner's broker listens on an ephemeral loopback port; every
+        # remote broker's traffic to it crosses a real socket.
+        fabric.listen(brokers[0].name)  # type: ignore[union-attr]
     for index in range(1, len(brokers)):
-        fabric.connect_bidirectional(
-            brokers[index].name,
-            brokers[0].name,
-            bandwidth=nic_bandwidth,
-            latency=nic_latency,
-        )
+        if wire:
+            fabric.connect_bidirectional(brokers[index].name, brokers[0].name)
+        else:
+            fabric.connect_bidirectional(
+                brokers[index].name,
+                brokers[0].name,
+                bandwidth=nic_bandwidth,
+                latency=nic_latency,
+            )
 
     learner_endpoint = ProcessEndpoint(LEARNER, brokers[0])
     explorer_endpoints: List[ProcessEndpoint] = []
@@ -168,6 +192,7 @@ def run_dummy_xingtian(
     for endpoint in explorer_endpoints:
         endpoint.start()
 
+    copies_before = serialization_copies_total()
     started = time.monotonic()
     learner_thread = spawn_thread("bench-learner", learner_loop)
     explorer_threads = [
@@ -177,6 +202,8 @@ def run_dummy_xingtian(
 
     finished = done.wait(timeout=timeout_s)
     elapsed = time.monotonic() - started
+    copies_during = serialization_copies_total() - copies_before
+    wire_stats = fabric.link_stats() if wire else None  # type: ignore[union-attr]
     done.set()
     learner_thread.join(timeout=5.0)
     for endpoint in explorer_endpoints:
@@ -198,6 +225,8 @@ def run_dummy_xingtian(
         elapsed_s=elapsed,
         rounds=messages_per_explorer,
         round_latencies=round_latencies,
+        wire_stats=wire_stats,
+        serialization_copies=copies_during,
     )
 
 

@@ -1,6 +1,14 @@
-"""Multi-machine deployment of XingTian (simulated; see DESIGN.md §2)."""
+"""Multi-machine deployment of XingTian (simulated or real TCP wire)."""
 
 from .machine import SimulatedMachine
 from .cluster import Cluster, build_cluster
+from .wire import WireRunReport, run_wire_session, two_machine_wire_config
 
-__all__ = ["SimulatedMachine", "Cluster", "build_cluster"]
+__all__ = [
+    "SimulatedMachine",
+    "Cluster",
+    "build_cluster",
+    "WireRunReport",
+    "run_wire_session",
+    "two_machine_wire_config",
+]

@@ -26,6 +26,7 @@ from ..core.learner import LearnerProcess
 from ..core.object_store import InMemoryObjectStore
 from ..core.supervision import RestartPolicy, Supervisor
 from ..transport.fabric import Fabric
+from ..transport.tcp import SocketFabric
 from .machine import SimulatedMachine
 
 LEARNER_NAME = "learner"
@@ -122,7 +123,13 @@ def build_cluster(
     model_config = _fill_model_config(config, probe_env)
     probe_env.close()
 
-    data_fabric = data_fabric if data_fabric is not None else Fabric("data")
+    if data_fabric is None:
+        # The wire transport swaps the simulated data plane for real TCP
+        # sockets; the control fabric stays in-proc (commands are tiny and
+        # this process hosts every controller either way).
+        data_fabric = (
+            SocketFabric("data") if config.transport == "wire" else Fabric("data")
+        )
     control_fabric = control_fabric if control_fabric is not None else Fabric("control")
     compression = CompressionPolicy(
         enabled=config.compression_enabled, threshold=config.compression_threshold
@@ -328,17 +335,37 @@ def _wire_fabrics(
     learner_machine: str,
 ) -> None:
     """Star data fabric centered on the learner's machine; fully-connected
-    control fabric (commands are tiny, links stay direct)."""
+    control fabric (commands are tiny, links stay direct).
+
+    ``sim`` transport models each inter-machine link as a throttled NIC.
+    ``wire`` transport opens one TCP listener per machine (at its
+    configured ``address``, or loopback with an ephemeral port) and
+    connects the same star over real sockets — bandwidth comes from the
+    kernel, not a model.
+    """
     names = [spec.name for spec in config.machines]
+    wire = config.transport == "wire" and isinstance(data_fabric, SocketFabric)
+    if wire and len(names) > 1:
+        for spec in config.machines:
+            if spec.address is not None:
+                host, _, port = spec.address.rpartition(":")
+                data_fabric.listen(brokers[spec.name].name, host, int(port))
+            else:
+                data_fabric.listen(brokers[spec.name].name)
     for name in names:
         if name == learner_machine:
             continue
-        data_fabric.connect_bidirectional(
-            brokers[name].name,
-            brokers[learner_machine].name,
-            bandwidth=config.nic_bandwidth if len(names) > 1 else None,
-            latency=config.nic_latency,
-        )
+        if wire:
+            data_fabric.connect_bidirectional(
+                brokers[name].name, brokers[learner_machine].name
+            )
+        else:
+            data_fabric.connect_bidirectional(
+                brokers[name].name,
+                brokers[learner_machine].name,
+                bandwidth=config.nic_bandwidth if len(names) > 1 else None,
+                latency=config.nic_latency,
+            )
 
 
 def _register_routes(

@@ -1,0 +1,163 @@
+"""The ``wire`` deployment mode: machines joined by real TCP sockets.
+
+Third mode next to in-proc threads and ``repro.mp`` processes: the
+cluster's data fabric becomes a :class:`~repro.transport.tcp.SocketFabric`
+whose inter-machine star is real TCP connections, addressed by each
+:class:`~repro.core.config.MachineSpec`'s ``host:port`` ``address`` (or
+auto-bound loopback listeners when unset).  Everything above the fabric —
+brokers, routers, coalescing, flow control, tracing — is unchanged, which
+is the point: the two-machine benchmarks stop *modelling* a NIC and start
+*measuring* one.
+
+:func:`run_wire_session` is the one-call loopback entry point the
+wire-smoke CI job and ``bench_fig5_two_machines.py --transport wire`` use.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.config import MachineSpec, StopCondition, XingTianConfig
+from ..core.tracing import Tracer
+from ..transport.tcp import SocketFabric
+
+
+def two_machine_wire_config(
+    *,
+    algorithm: str = "dqn",
+    environment: str = "CartPole",
+    model: str = "qnet",
+    local_explorers: int = 1,
+    remote_explorers: int = 2,
+    addresses: Optional[Sequence[str]] = None,
+    stop: Optional[StopCondition] = None,
+    seed: Optional[int] = 0,
+    **overrides: Any,
+) -> XingTianConfig:
+    """A two-machine config on the ``wire`` transport.
+
+    Machine 0 hosts the learner (the data-transmission center, Fig. 2b)
+    plus ``local_explorers``; machine 1 hosts ``remote_explorers`` whose
+    rollouts cross a real socket.  ``addresses`` pins the two listeners to
+    explicit ``host:port`` endpoints for an actual two-host deployment;
+    unset, both bind loopback ephemerals — same code path, one host.
+    """
+    if addresses is not None and len(addresses) != 2:
+        raise ValueError("addresses must name exactly two machines")
+    machines = [
+        MachineSpec(
+            "m0",
+            explorers=local_explorers,
+            has_learner=True,
+            address=addresses[0] if addresses else None,
+        ),
+        MachineSpec(
+            "m1",
+            explorers=remote_explorers,
+            address=addresses[1] if addresses else None,
+        ),
+    ]
+    return XingTianConfig(
+        algorithm=algorithm,
+        environment=environment,
+        model=model,
+        machines=machines,
+        transport="wire",
+        stop=stop or StopCondition(max_seconds=5.0),
+        seed=seed,
+        **overrides,
+    )
+
+
+@dataclass
+class WireRunReport:
+    """A wire-mode run plus what actually crossed the sockets."""
+
+    result: Any  #: the :class:`~repro.runtime.RunResult`
+    #: per-link wire counters from :meth:`SocketFabric.link_stats`
+    link_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: fabric tracer events (wire_send/wire_deliver stage pairs), ready to
+    #: merge with other per-process trace files
+    trace_events: List[Any] = field(default_factory=list)
+
+    @property
+    def wire_bytes_sent(self) -> float:
+        return sum(
+            stats.get("bytes_sent", 0.0)
+            for name, stats in self.link_stats.items()
+            if not name.startswith("listen:")
+        )
+
+    @property
+    def wire_items_received(self) -> float:
+        return sum(
+            stats.get("items_received", 0.0)
+            for name, stats in self.link_stats.items()
+            if name.startswith("listen:")
+        )
+
+
+def run_wire_session(
+    config: Optional[XingTianConfig] = None,
+    *,
+    trace: bool = False,
+    require_traffic: bool = True,
+) -> WireRunReport:
+    """Run a wire-transport session end to end and report link activity.
+
+    Builds the cluster around an explicitly-constructed
+    :class:`SocketFabric` so link counters (and, with ``trace``, the wire
+    stage events) survive the run; asserts the session actually pushed
+    bytes through sockets when ``require_traffic`` — a wire smoke that
+    silently fell back to in-proc links must fail, not pass.
+    """
+    # Local imports: runtime imports this package, and the registries must
+    # be populated (runtime pulls in algorithms/envs) before build_cluster.
+    from ..runtime import XingTianSession
+    from .cluster import build_cluster
+
+    if config is None:
+        config = two_machine_wire_config()
+    if config.transport != "wire":
+        raise ValueError("run_wire_session needs config.transport == 'wire'")
+    tracer = Tracer() if trace else None
+    fabric = SocketFabric("data", tracer=tracer)
+    session = XingTianSession(config)
+
+    # XingTianSession.run builds its own cluster; run the same lifecycle
+    # here with our fabric substituted (the documented build_cluster hook)
+    # so counters and trace events survive past teardown.
+    cluster = build_cluster(config, data_fabric=fabric)
+    started = time.monotonic()
+    cluster.start()
+    try:
+        while True:
+            reason = cluster.center.should_stop()
+            if reason is not None:
+                cluster.center.shutdown_reason = reason
+                break
+            cluster.raise_worker_errors()
+            time.sleep(0.05)
+    finally:
+        elapsed = time.monotonic() - started
+        result = session._collect(cluster, elapsed)
+        link_stats = fabric.link_stats()
+        trace_events = list(tracer.events()) if tracer is not None else []
+        fabric.raise_errors()
+        cluster.stop()
+    if require_traffic:
+        sent = sum(
+            stats.get("bytes_sent", 0.0)
+            for name, stats in link_stats.items()
+            if not name.startswith("listen:")
+        )
+        if sent <= 0:
+            raise RuntimeError(
+                "wire session moved no bytes over sockets — the data plane "
+                "fell back to in-proc links"
+            )
+    return WireRunReport(
+        result=result, link_stats=link_stats, trace_events=trace_events
+    )

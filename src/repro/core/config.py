@@ -18,17 +18,31 @@ from .errors import ConfigError
 @dataclass
 class MachineSpec:
     """One machine in the deployment: a name, an explorer count, and
-    whether the learner runs here (exactly one machine must host it)."""
+    whether the learner runs here (exactly one machine must host it).
+
+    ``address`` is the machine's ``host:port`` wire endpoint, used only by
+    the ``wire`` transport (docs/NETWORKING.md); ``None`` binds a loopback
+    listener on an ephemeral port — the two-machine-on-one-host topology
+    the wire-smoke CI job measures.
+    """
 
     name: str
     explorers: int = 1
     has_learner: bool = False
+    address: Optional[str] = None
 
     def validate(self) -> None:
         if not self.name:
             raise ConfigError("machine name must be non-empty")
         if self.explorers < 0:
             raise ConfigError(f"machine {self.name!r}: explorers must be >= 0")
+        if self.address is not None:
+            host, sep, port = self.address.rpartition(":")
+            if not sep or not host or not port.isdigit():
+                raise ConfigError(
+                    f"machine {self.name!r}: address must be host:port, "
+                    f"got {self.address!r}"
+                )
 
 
 @dataclass
@@ -268,6 +282,11 @@ class XingTianConfig:
     copy_bandwidth: Optional[float] = None  # modelled memcpy bandwidth (bytes/s)
     nic_bandwidth: float = 118.04e6  # bytes/s, the paper's measured 1GbE
     nic_latency: float = 0.0002
+    #: inter-machine transport: ``"sim"`` models NICs with throttled links
+    #: (charging ``nic_bandwidth``); ``"wire"`` ships bytes over real TCP
+    #: sockets between the machines' ``address`` endpoints — measured, not
+    #: modelled (docs/NETWORKING.md)
+    transport: str = "sim"
     stop: StopCondition = field(default_factory=lambda: StopCondition(max_seconds=10.0))
     seed: Optional[int] = None
     #: fault-tolerance layer; None keeps the seed behaviour (no supervision)
@@ -328,6 +347,10 @@ class XingTianConfig:
             raise ConfigError("fragment_steps must be >= 1")
         if self.nic_bandwidth <= 0:
             raise ConfigError("nic_bandwidth must be positive")
+        if self.transport not in ("sim", "wire"):
+            raise ConfigError(
+                f"transport must be 'sim' or 'wire', got {self.transport!r}"
+            )
         self.stop.validate()
         if self.supervision is not None:
             self.supervision.validate()

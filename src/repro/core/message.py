@@ -65,6 +65,10 @@ LANE = "lane"
 #: codec name set by the broker when a body was compressed at the fabric
 #: boundary (adaptive wire compression; see docs/FLOW_CONTROL.md)
 WIRE_CODEC = "wire_codec"
+#: name of the socket link a message crossed, stamped by
+#: :class:`repro.transport.tcp.SocketLink` so receiver-side trace events
+#: can attribute the message to a real wire hop (docs/NETWORKING.md)
+WIRE_HOP = "wire_hop"
 
 
 # -- trace-context ids ------------------------------------------------------

@@ -17,6 +17,7 @@ contiguous-bytes convenience built on the same frame.
 
 from __future__ import annotations
 
+import itertools
 import pickle
 from typing import Any, List, Optional, Tuple, Union
 
@@ -26,6 +27,26 @@ _MAGIC = b"XTSER1"
 _LEN_MAGIC = len(_MAGIC)
 
 Segment = Union[bytes, memoryview]
+
+# -- copy accounting --------------------------------------------------------
+# Every contiguous-bytes materialization of a frame (``Frame.to_bytes`` and
+# therefore ``serialize``) bumps this counter.  The scatter-gather wire path
+# (``serialize_into`` targets, ``socket.sendmsg`` from frame segments) never
+# materializes, so "zero-copy" is an asserted invariant: take a snapshot,
+# drive the path, assert the delta is 0.  Exported by the telemetry sampler
+# as ``serialization_copies_total``.  ``itertools.count`` keeps the bump
+# atomic under the GIL without a lock on the hot fallback path.
+_COPIES = itertools.count()
+
+
+def _count_copy() -> None:
+    next(_COPIES)
+
+
+def serialization_copies_total() -> int:
+    """Total contiguous-bytes frame materializations in this process."""
+    # Peek the counter without consuming a tick: clone via __reduce__.
+    return _COPIES.__reduce__()[1][0]
 
 
 def _segment_nbytes(segment: Segment) -> int:
@@ -64,7 +85,12 @@ class Frame:
         return offset
 
     def to_bytes(self) -> bytes:
-        """Contiguous wire bytes (one copy; prefer :meth:`serialize_into`)."""
+        """Contiguous wire bytes (one copy; prefer :meth:`serialize_into`).
+
+        Counted in :func:`serialization_copies_total` — the wire transport
+        asserts this fallback never fires on its send path.
+        """
+        _count_copy()
         return b"".join(self.segments)
 
 

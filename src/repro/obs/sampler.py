@@ -228,6 +228,64 @@ class TelemetrySampler:
 
         self.add_probe(probe)
 
+    #: SocketLink/SocketListener stats mirrored into per-link wire gauges
+    _WIRE_LINK_STATS = (
+        ("bytes_sent", "bytes written to the socket (running total)"),
+        ("items_sent", "messages written to the socket (running total)"),
+        ("syscalls_total", "sendmsg/sendall syscalls issued (running total)"),
+        ("syscalls_per_message", "mean gather-write syscalls per message"),
+        ("segments_per_message", "mean scatter-gather segments per message"),
+        ("partial_writes", "messages needing more than one syscall"),
+        ("send_errors", "sends that died on a connection error"),
+        ("bytes_received", "bytes read off the socket (running total)"),
+        ("items_received", "messages delivered to the broker"),
+        ("protocol_errors", "poisoned streams dropped by the listener"),
+        ("connections_total", "peer connections accepted"),
+    )
+
+    def add_wire_fabric(self, fabric: Any) -> None:
+        """Sample a :class:`repro.transport.tcp.SocketFabric`'s links.
+
+        Mirrors every counter in :meth:`SocketFabric.link_stats` into a
+        ``wire_link_*`` gauge labelled by link (``"src->dst"`` senders,
+        ``"listen:node"`` receivers), plus the process-wide zero-copy
+        regression canary
+        :func:`~repro.core.serialization.serialization_copies_total` — a
+        send path that starts materializing contiguous buffers shows up
+        here before it shows up in a benchmark.
+        """
+        from ..core.serialization import serialization_copies_total
+
+        gauges: dict = {}
+        copies_gauge = self._series_gauge(
+            "serialization_copies_total", {},
+            "contiguous-bytes frame materializations in this process "
+            "(zero-copy send paths keep this flat)",
+        )
+
+        def gauge_for(link_name: str, stat: str) -> Gauge:
+            key = (link_name, stat)
+            gauge = gauges.get(key)
+            if gauge is None:
+                help_text = next(
+                    h for s, h in self._WIRE_LINK_STATS if s == stat
+                )
+                gauge = self._series_gauge(
+                    f"wire_link_{stat}", {"link": link_name}, help_text
+                )
+                gauges[key] = gauge
+            return gauge
+
+        def probe(timestamp: float) -> None:
+            copies_gauge.set(serialization_copies_total(), timestamp)
+            for link_name, stats in fabric.link_stats().items():
+                for stat, _ in self._WIRE_LINK_STATS:
+                    value = stats.get(stat)
+                    if value is not None:
+                        gauge_for(link_name, stat).set(value, timestamp)
+
+        self.add_probe(probe)
+
     def add_endpoint(self, endpoint: Any) -> None:
         """Sample a :class:`repro.core.endpoint.ProcessEndpoint`'s buffers."""
         labels = {"endpoint": endpoint.name}

@@ -92,6 +92,16 @@ class Telemetry:
         center_endpoint = getattr(cluster.center, "endpoint", None)
         if center_endpoint is not None:
             self.attach_endpoint(center_endpoint)
+        data_fabric = getattr(cluster, "data_fabric", None)
+        if callable(getattr(data_fabric, "link_stats", None)):
+            # Wire deployments: per-socket-link gauges + the zero-copy canary.
+            self.sampler.add_wire_fabric(data_fabric)
+            set_fabric_tracer = getattr(data_fabric, "set_tracer", None)
+            if (
+                set_fabric_tracer is not None
+                and getattr(data_fabric, "tracer", None) is None
+            ):
+                set_fabric_tracer(self.tracer)
         add_hook = getattr(cluster, "add_instrument_hook", None)
         if add_hook is not None:
             # Keep supervisor-restarted replacement processes instrumented.

@@ -5,8 +5,10 @@ from .faults import (
     FaultSpec,
     FaultyFabric,
     FaultyLink,
+    FaultySocketLink,
     Fuse,
     HangingAgent,
+    SocketFaultSpec,
 )
 
 __all__ = [
@@ -14,6 +16,8 @@ __all__ = [
     "FaultSpec",
     "FaultyFabric",
     "FaultyLink",
+    "FaultySocketLink",
     "Fuse",
     "HangingAgent",
+    "SocketFaultSpec",
 ]

@@ -6,6 +6,10 @@ be replayed exactly:
 * :class:`FaultyFabric` / :class:`FaultyLink` — wrap every link a fabric
   creates and drop / delay / duplicate / reorder items according to a
   :class:`FaultSpec` driven by a seeded ``random.Random``.
+* :class:`FaultySocketLink` / :class:`SocketFaultSpec` — wrap a real
+  :class:`~repro.transport.tcp.SocketLink` and exercise the *wire* failure
+  modes the in-proc faults cannot: send delay, short (partial) writes, and
+  a mid-message connection reset.
 * :class:`CrashingAgent` / :class:`HangingAgent` — agent wrappers that blow
   up (or stall) inside ``run_fragment`` after a configured number of calls,
   simulating an explorer workhorse dying mid-run.
@@ -16,6 +20,7 @@ be replayed exactly:
 from __future__ import annotations
 
 import random
+import socket
 import threading
 import time
 from dataclasses import dataclass
@@ -170,6 +175,98 @@ class FaultyFabric(Fabric):
             totals["reordered"] += link.reordered
             totals["delayed"] += link.delayed
         return totals
+
+
+@dataclass
+class SocketFaultSpec:
+    """Wire-level fault knobs for :class:`FaultySocketLink`.
+
+    These are deterministic (no probabilities): wire tests assert exact
+    protocol behaviour — a partial write *must* happen, a reset *must*
+    land mid-message — so the faults fire on every send.
+    """
+
+    #: sleep before every send (slow peer / congested path)
+    delay_s: float = 0.0
+    #: cap bytes accepted per sendmsg syscall, forcing partial writes the
+    #: link must recover from by advancing its gather list
+    max_send_bytes: Optional[int] = None
+    #: hard-close the underlying socket after this many sendmsg calls —
+    #: with ``max_send_bytes`` small enough the reset lands *mid-message*
+    reset_after_syscalls: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+        if self.max_send_bytes is not None and self.max_send_bytes < 1:
+            raise ValueError("max_send_bytes must be >= 1")
+        if self.reset_after_syscalls is not None and self.reset_after_syscalls < 1:
+            raise ValueError("reset_after_syscalls must be >= 1")
+
+
+class _ResettingSocket:
+    """Socket proxy that kills the connection after N sendmsg calls.
+
+    The real socket is shut down and closed *before* the fatal sendmsg, so
+    the failing call raises ``OSError`` from inside the kernel write path —
+    the same shape as a genuine peer reset — which the link must convert
+    into a loud :class:`~repro.transport.tcp.WireConnectionError`.
+    """
+
+    def __init__(self, sock: Any, limit: int):
+        self._sock = sock
+        self._limit = limit
+        self.calls = 0
+
+    def sendmsg(self, buffers: Any) -> int:
+        self.calls += 1
+        if self.calls > self._limit:
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+        return self._sock.sendmsg(buffers)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._sock, name)
+
+
+class FaultySocketLink(Link):
+    """Wraps a :class:`~repro.transport.tcp.SocketLink` with wire faults.
+
+    Unlike :class:`FaultyLink` (which perturbs *delivery order*), this
+    perturbs the *wire itself*: sends crawl, sendmsg accepts only a few
+    bytes at a time, the connection dies mid-message.  The wrapped link's
+    own counters (``partial_writes``, ``send_errors``) then record how it
+    coped — that is what the protocol edge-case tests assert on.
+    """
+
+    def __init__(self, inner: Any, spec: SocketFaultSpec):
+        spec.validate()
+        self.inner = inner
+        self.spec = spec
+        self.sent = 0
+        self.delayed = 0
+        if spec.max_send_bytes is not None:
+            inner._max_send_bytes = spec.max_send_bytes
+        if spec.reset_after_syscalls is not None:
+            inner._sock = _ResettingSocket(
+                inner._sock, spec.reset_after_syscalls
+            )
+
+    def send(self, item: Any, nbytes: int = 0) -> None:
+        if self.spec.delay_s > 0:
+            self.delayed += 1
+            time.sleep(self.spec.delay_s)
+        self.sent += 1
+        self.inner.send(item, nbytes)
+
+    def stats(self) -> dict:
+        return self.inner.stats()
+
+    def close(self) -> None:
+        self.inner.close()
 
 
 class _AgentWrapper:

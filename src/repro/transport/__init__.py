@@ -1,6 +1,24 @@
-"""Transport substrate: thread channels, throttled links, broker fabrics."""
+"""Transport substrate: links (direct, throttled, TCP), broker fabrics.
+
+Three deployment modes share the :class:`Link`/:class:`Fabric` interface:
+in-proc (:class:`DirectLink`), simulated NICs (:class:`ThrottledLink`),
+and the real TCP wire (:class:`~repro.transport.tcp.SocketLink` behind a
+:class:`~repro.transport.tcp.SocketFabric`; see docs/NETWORKING.md).
+"""
 
 from .link import DirectLink, Link, ThrottledLink
 from .fabric import Fabric
+from .tcp import SocketFabric, SocketLink, SocketListener, WireConnectionError
+from .wire import WireProtocolError
 
-__all__ = ["Link", "DirectLink", "ThrottledLink", "Fabric"]
+__all__ = [
+    "Link",
+    "DirectLink",
+    "ThrottledLink",
+    "Fabric",
+    "SocketFabric",
+    "SocketLink",
+    "SocketListener",
+    "WireConnectionError",
+    "WireProtocolError",
+]

@@ -1,0 +1,21 @@
+"""Fixture: near-miss of ``raw-socket-creation`` — the transport is clean."""
+
+import socket
+
+from repro.transport.tcp import SocketLink
+
+
+def open_channel(host, port):
+    # Connections go through the wire transport, not a raw socket.
+    return SocketLink((host, port), src="a", dst="b")
+
+
+def socket_constants():
+    # socket attributes other than constructors are fine.
+    return socket.AF_INET, socket.SOCK_STREAM, socket.SHUT_RDWR
+
+
+def close_channel(sock):
+    # Methods *on* a socket object are fine too.
+    sock.shutdown(socket.SHUT_RDWR)
+    sock.close()

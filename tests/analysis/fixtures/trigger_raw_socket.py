@@ -1,0 +1,9 @@
+"""Fixture: raw socket construction — must trigger ``raw-socket-creation``."""
+
+import socket
+
+
+def open_channel(host, port):
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.connect((host, port))
+    return sock

@@ -21,6 +21,7 @@ from repro.analysis.ownership import (
 )
 from repro.analysis.rules import (
     LOCK_HELD_BLOCKING_CALL,
+    RAW_SOCKET_CREATION,
     RAW_THREAD_CREATION,
     UNGUARDED_SHARED_MUTATION,
     UNROUTED_MSGTYPE,
@@ -53,6 +54,7 @@ class TestFixtures:
             "trigger_unguarded_mutation.py": UNGUARDED_SHARED_MUTATION,
             "trigger_container_mutation.py": UNGUARDED_SHARED_MUTATION,
             "trigger_raw_thread.py": RAW_THREAD_CREATION,
+            "trigger_raw_socket.py": RAW_SOCKET_CREATION,
             "trigger_unrouted_msgtype.py": UNROUTED_MSGTYPE,
             "trigger_refcount_leak.py": REFCOUNT_LEAK,
             "trigger_double_release.py": DOUBLE_RELEASE,
@@ -74,6 +76,7 @@ class TestFixtures:
         assert counts[LOCK_HELD_BLOCKING_CALL] == 5
         assert counts[UNGUARDED_SHARED_MUTATION] == 4
         assert counts[RAW_THREAD_CREATION] == 1
+        assert counts[RAW_SOCKET_CREATION] == 1
         assert counts[UNROUTED_MSGTYPE] == 1
         assert counts[REFCOUNT_LEAK] == 4
         assert counts[DOUBLE_RELEASE] == 2

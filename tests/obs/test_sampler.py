@@ -147,3 +147,35 @@ class TestLifecycle:
         sampler = TelemetrySampler(registry, interval=0.01)
         sampler.stop()
         assert counter_value(registry, "sampler_ticks_total") == 1
+
+
+class TestWireFabricProbe:
+    def test_wire_gauges_and_copy_canary(self):
+        import threading
+
+        import numpy as np
+
+        from repro.transport.tcp import SocketFabric
+
+        registry = MetricsRegistry()
+        sampler = TelemetrySampler(registry, interval=0.01, clock=lambda: 1.0)
+        fabric = SocketFabric("gauge-fabric")
+        delivered = threading.Event()
+        try:
+            fabric.register("node", lambda item: delivered.set())
+            fabric.listen("node")
+            sampler.add_wire_fabric(fabric)
+            body = np.arange(10_000, dtype=np.uint8)
+            fabric.send("peer", "node", ({"k": 1}, body), nbytes=body.nbytes)
+            assert delivered.wait(5.0)
+            sampler.sample_once()
+            sent = values(registry, "wire_link_bytes_sent")
+            assert sent and all(value > 0 for value in sent.values())
+            per_message = values(registry, "wire_link_syscalls_per_message")
+            assert all(value <= 2.0 for value in per_message.values())
+            received = values(registry, "wire_link_items_received")
+            assert any(value >= 1 for value in received.values())
+            # The process-wide zero-copy canary is exported alongside.
+            assert values(registry, "serialization_copies_total")
+        finally:
+            fabric.close()

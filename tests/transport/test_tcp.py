@@ -1,0 +1,322 @@
+"""Loopback TCP tests: scatter-gather sends, zero-copy receives, shutdown.
+
+Every test runs over a real socket pair on 127.0.0.1 — nothing here is
+simulated.  Corruption tests write raw bytes through an established link's
+socket (``link._sock.sendall``), which keeps framing mistakes byte-exact
+without opening out-of-band connections.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.message import WIRE_HOP
+from repro.core.serialization import serialization_copies_total
+from repro.transport.tcp import (
+    SocketFabric,
+    SocketLink,
+    SocketListener,
+    WireConnectionError,
+    format_address,
+    parse_address,
+)
+from repro.transport.wire import WireProtocolError, encode_wire_header
+
+
+class _Sink:
+    """Collects delivered items and signals arrival."""
+
+    def __init__(self):
+        self.items = []
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._expected = 0
+
+    def deliver(self, src_node, item):
+        with self._lock:
+            self.items.append((src_node, item))
+            if self._expected and len(self.items) >= self._expected:
+                self._event.set()
+
+    def wait_for(self, count, timeout=5.0):
+        with self._lock:
+            self._expected = count
+            if len(self.items) >= count:
+                return True
+            self._event.clear()
+        return self._event.wait(timeout)
+
+
+@pytest.fixture
+def listener():
+    sink = _Sink()
+    server = SocketListener(sink.deliver, name="test-listener")
+    server.sink = sink
+    yield server
+    server.close(timeout=5.0)
+
+
+def _link(server, **kwargs):
+    return SocketLink(server.address, src="m1", dst="m0", **kwargs)
+
+
+class TestAddressing:
+    def test_parse_roundtrip(self):
+        assert parse_address("10.0.0.1:9000") == ("10.0.0.1", 9000)
+        assert format_address(("10.0.0.1", 9000)) == "10.0.0.1:9000"
+
+    def test_parse_rejects_portless(self):
+        with pytest.raises(ValueError):
+            parse_address("just-a-host")
+
+
+class TestRoundtrip:
+    def test_header_body_tuple(self, listener):
+        link = _link(listener)
+        try:
+            body = np.arange(10_000, dtype=np.float64)
+            link.send(({"src": "m1", "kind": "test"}, body), nbytes=body.nbytes)
+            assert listener.sink.wait_for(1)
+            src_node, (header, got) = listener.sink.items[0]
+            assert src_node == "m1"  # learned from the handshake
+            assert header["kind"] == "test"
+            assert header[WIRE_HOP] == link.name
+            np.testing.assert_array_equal(got, body)
+            assert not got.flags.writeable  # zero-copy view
+        finally:
+            link.close()
+
+    def test_raw_item_wrapped_and_unwrapped(self, listener):
+        link = _link(listener)
+        try:
+            link.send("plain string item")
+            assert listener.sink.wait_for(1)
+            _, item = listener.sink.items[0]
+            assert item == "plain string item"
+        finally:
+            link.close()
+
+    def test_many_messages_in_order(self, listener):
+        link = _link(listener)
+        try:
+            for index in range(50):
+                link.send(({"seq": index}, index))
+            assert listener.sink.wait_for(50)
+            sequence = [header["seq"] for _, (header, _) in listener.sink.items]
+            assert sequence == list(range(50))
+        finally:
+            link.close()
+
+    def test_concurrent_senders_interleave_cleanly(self, listener):
+        link = _link(listener)
+        try:
+            def blast(tag):
+                for index in range(25):
+                    link.send(({"tag": tag, "i": index}, None))
+
+            threads = [
+                threading.Thread(target=blast, args=(tag,)) for tag in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert listener.sink.wait_for(100)
+            assert listener.stats()["protocol_errors"] == 0
+        finally:
+            link.close()
+
+
+class TestZeroCopyAcceptance:
+    def test_no_copies_and_few_syscalls_for_1mb_bodies(self, listener):
+        """The ISSUE acceptance bars, measured on a live socket."""
+        link = _link(listener)
+        try:
+            body = np.random.default_rng(0).integers(
+                0, 256, size=1 << 20, dtype=np.uint8
+            )
+            before = serialization_copies_total()
+            for _ in range(8):
+                link.send(({"k": 1}, body), nbytes=body.nbytes)
+            assert listener.sink.wait_for(8)
+            assert serialization_copies_total() - before == 0
+            stats = link.stats()
+            # 8 messages + 1 handshake write: amortized <= 2 per message.
+            assert stats["syscalls_per_message"] <= 2.0
+            assert stats["bytes_sent"] > 8 * (1 << 20)
+        finally:
+            link.close()
+
+
+class TestPartialWrites:
+    def test_capped_sendmsg_still_delivers_intact(self, listener):
+        link = _link(listener)
+        try:
+            link._max_send_bytes = 4096  # force many partial gather writes
+            body = np.arange(100_000, dtype=np.uint8)
+            link.send(({"k": 1}, body), nbytes=body.nbytes)
+            assert listener.sink.wait_for(1)
+            _, (_, got) = listener.sink.items[0]
+            np.testing.assert_array_equal(got, body)
+            assert link.stats()["partial_writes"] >= 1
+        finally:
+            link.close()
+
+
+class TestProtocolErrors:
+    def _poison(self, listener, raw_bytes):
+        """Open a link, then write raw bytes at a message boundary."""
+        link = _link(listener)
+        link._sock.sendall(raw_bytes)
+        link._sock.close()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if listener.stats()["protocol_errors"] > 0:
+                return
+            time.sleep(0.01)
+        pytest.fail("listener never recorded a protocol error")
+
+    def test_garbage_stream_is_loud(self, listener):
+        self._poison(listener, b"\x00" * 64)
+        with pytest.raises(WireProtocolError, match="bad magic"):
+            listener.raise_errors()
+
+    def test_short_read_peer_death_mid_message(self, listener):
+        # A valid header promising 1000 payload bytes, then EOF.
+        self._poison(listener, encode_wire_header([1000]) + b"x" * 10)
+        with pytest.raises(WireProtocolError, match="short read"):
+            listener.raise_errors()
+
+    def test_oversized_message_rejected(self):
+        sink = _Sink()
+        server = SocketListener(
+            sink.deliver, name="small-listener", max_message_bytes=1024
+        )
+        try:
+            link = SocketLink(server.address, src="a", dst="b")
+            link._sock.sendall(encode_wire_header([1 << 20]))
+            link._sock.close()
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if server.stats()["protocol_errors"] > 0:
+                    break
+                time.sleep(0.01)
+            with pytest.raises(WireProtocolError, match="oversized"):
+                server.raise_errors()
+        finally:
+            server.close()
+
+    def test_oversized_send_rejected_locally(self, listener):
+        link = _link(listener, max_message_bytes=1024)
+        try:
+            with pytest.raises(WireProtocolError, match="exceeds"):
+                link.send(({"k": 1}, np.zeros(1 << 20, dtype=np.uint8)))
+        finally:
+            link.close()
+
+    def test_send_on_dead_connection_raises_connection_error(self, listener):
+        link = _link(listener)
+        link._sock.close()
+        with pytest.raises(WireConnectionError):
+            link.send(({"k": 1}, None))
+        assert link.stats()["send_errors"] == 1
+
+    def test_poisoned_connection_does_not_kill_healthy_one(self, listener):
+        self._poison(listener, b"\xff" * 32)
+        link = _link(listener)
+        try:
+            link.send(({"k": 2}, None))
+            assert listener.sink.wait_for(1)
+        finally:
+            link.close()
+
+
+class TestShutdown:
+    def test_graceful_close_with_in_flight_messages(self):
+        """close() drains messages already on the wire — never hangs."""
+        sink = _Sink()
+        server = SocketListener(sink.deliver, name="drain-listener")
+        link = SocketLink(server.address, src="a", dst="b")
+        body = np.arange(200_000, dtype=np.uint8)
+        for _ in range(20):
+            link.send(({"k": 1}, body), nbytes=body.nbytes)
+        started = time.monotonic()
+        server.close(timeout=10.0)
+        assert time.monotonic() - started < 10.0
+        link.close()
+        # Whatever was fully received was delivered; nothing was garbled.
+        assert server.stats()["protocol_errors"] == 0
+
+    def test_close_idempotent(self, listener):
+        link = _link(listener)
+        link.close()
+        link.close()
+        link.send(({"k": 1}, None))  # dropped, not raised
+
+    def test_clean_eof_between_messages_is_silent(self, listener):
+        link = _link(listener)
+        link.send(({"k": 1}, None))
+        assert listener.sink.wait_for(1)
+        link.close()  # EOF lands at a message boundary
+        time.sleep(0.1)
+        assert listener.stats()["protocol_errors"] == 0
+
+
+class TestSocketFabric:
+    def test_mixed_local_and_wire_links(self):
+        fabric = SocketFabric("mixed")
+        local_items = []
+        wire_sink = _Sink()
+        try:
+            fabric.register("local", local_items.append)
+            fabric.register("remote", lambda item: None)
+            remote_listener = SocketListener(wire_sink.deliver, name="remote")
+            fabric.add_address("remote", format_address(remote_listener.address))
+            fabric.send("a", "local", "in-proc item")
+            fabric.send("a", "remote", ({"k": 1}, "wire item"))
+            assert local_items == ["in-proc item"]
+            assert wire_sink.wait_for(1)
+            stats = fabric.link_stats()
+            assert stats["a->remote"]["items_sent"] == 1
+        finally:
+            fabric.close()
+            remote_listener.close()
+
+    def test_listen_registers_address_and_delivers_to_handler(self):
+        fabric = SocketFabric("listen-fabric")
+        received = []
+        try:
+            fabric.register("node", received.append)
+            host, port = fabric.listen("node")
+            assert port > 0
+            fabric.send("peer", "node", ({"k": 7}, None))
+            deadline = time.monotonic() + 5.0
+            while not received and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert received and received[0][0]["k"] == 7
+            assert "listen:node" in fabric.link_stats()
+        finally:
+            fabric.close()
+
+    def test_set_tracer_reaches_existing_links(self):
+        from repro.core.tracing import Tracer
+
+        fabric = SocketFabric("traced")
+        try:
+            fabric.register("node", lambda item: None)
+            fabric.listen("node")
+            link = fabric.connect("peer", "node")
+            tracer = Tracer()
+            fabric.set_tracer(tracer)
+            assert link.tracer is tracer
+            assert fabric.listener("node").tracer is tracer
+            fabric.send("peer", "node", ({"k": 1}, None))
+            assert any(
+                event.kind == "stage_begin"
+                and event.detail.get("stage") == "wire_send"
+                for event in tracer.events()
+            )
+        finally:
+            fabric.close()

@@ -1,0 +1,197 @@
+"""Wire-protocol unit tests: framing, integrity checks, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core.message import MsgType, make_header
+from repro.transport.wire import (
+    DEFAULT_MAX_MESSAGE_BYTES,
+    MAGIC,
+    MAX_FRAMES,
+    PREAMBLE,
+    WireProtocolError,
+    decode_frame_table,
+    decode_message,
+    decode_preamble,
+    encode_message,
+    encode_wire_header,
+    wire_header_size,
+)
+
+
+def _header():
+    return make_header("a", ["b"], MsgType.DATA)
+
+
+def _split(buffers):
+    """(wire_header_bytes, payload_bytes) from an encode_message result."""
+    wire_header = bytes(buffers[0])
+    payload = b"".join(bytes(memoryview(buf).cast("B")) for buf in buffers[1:])
+    return wire_header, payload
+
+
+def _decode_header(wire_header):
+    preamble = wire_header[: PREAMBLE.size]
+    table = wire_header[PREAMBLE.size :]
+    frame_count, msg_length = decode_preamble(preamble)
+    lengths = decode_frame_table(preamble, table)
+    return frame_count, msg_length, lengths
+
+
+class TestHeaderFraming:
+    def test_roundtrip(self):
+        wire_header = encode_wire_header([100, 2000])
+        assert len(wire_header) == wire_header_size(2)
+        frame_count, msg_length, lengths = _decode_header(wire_header)
+        assert frame_count == 2
+        assert msg_length == 2100
+        assert lengths == [100, 2000]
+
+    def test_empty_rejected(self):
+        with pytest.raises(WireProtocolError, match="at least one frame"):
+            encode_wire_header([])
+
+    def test_too_many_frames_rejected(self):
+        with pytest.raises(WireProtocolError, match="too many frames"):
+            encode_wire_header([1] * (MAX_FRAMES + 1))
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(WireProtocolError, match="out of range"):
+            encode_wire_header([-1])
+
+    def test_bad_magic(self):
+        wire_header = bytearray(encode_wire_header([10]))
+        wire_header[0] ^= 0xFF
+        with pytest.raises(WireProtocolError, match="bad magic"):
+            decode_preamble(bytes(wire_header))
+
+    def test_bad_version(self):
+        wire_header = bytearray(encode_wire_header([10]))
+        wire_header[4] = 99
+        with pytest.raises(WireProtocolError, match="version"):
+            decode_preamble(bytes(wire_header))
+
+    def test_reserved_flags(self):
+        wire_header = bytearray(encode_wire_header([10]))
+        wire_header[5] = 1
+        with pytest.raises(WireProtocolError, match="flags"):
+            decode_preamble(bytes(wire_header))
+
+    def test_crc_mismatch_is_loud(self):
+        wire_header = bytearray(encode_wire_header([10, 20]))
+        # Corrupt a frame-length byte: the preamble still parses, the crc
+        # must catch it.
+        wire_header[PREAMBLE.size] ^= 0xFF
+        preamble = bytes(wire_header[: PREAMBLE.size])
+        table = bytes(wire_header[PREAMBLE.size :])
+        with pytest.raises(WireProtocolError, match="crc mismatch"):
+            decode_frame_table(preamble, table)
+
+    def test_oversized_message_rejected_before_allocation(self):
+        wire_header = encode_wire_header([1 << 20])
+        with pytest.raises(WireProtocolError, match="oversized"):
+            decode_preamble(wire_header, max_message_bytes=1 << 10)
+
+    def test_default_size_bound(self):
+        head = PREAMBLE.pack(MAGIC, 1, 0, 1, DEFAULT_MAX_MESSAGE_BYTES + 1)
+        with pytest.raises(WireProtocolError, match="oversized"):
+            decode_preamble(head)
+
+    def test_length_sum_mismatch(self):
+        import struct
+        import zlib
+
+        head = PREAMBLE.pack(MAGIC, 1, 0, 2, 999)  # lengths sum to 30
+        table = struct.pack("<II", 10, 20)
+        crc = zlib.crc32(table, zlib.crc32(head))
+        with pytest.raises(WireProtocolError, match="sum"):
+            decode_frame_table(head, table + struct.pack("<I", crc))
+
+    def test_short_preamble(self):
+        with pytest.raises(WireProtocolError, match="short preamble"):
+            decode_preamble(b"\x00" * 4)
+
+    def test_short_table(self):
+        wire_header = encode_wire_header([10, 20])
+        with pytest.raises(WireProtocolError, match="short frame table"):
+            decode_frame_table(
+                wire_header[: PREAMBLE.size],
+                wire_header[PREAMBLE.size : PREAMBLE.size + 3],
+            )
+
+
+class TestMessageCodec:
+    def test_roundtrip_array_body(self):
+        header = _header()
+        body = np.arange(4096, dtype=np.float32)
+        buffers, payload_nbytes = encode_message(header, body)
+        wire_header, payload = _split(buffers)
+        _, msg_length, lengths = _decode_header(wire_header)
+        assert msg_length == payload_nbytes == len(payload)
+        got_header, got_body = decode_message(bytearray(payload), lengths)
+        assert got_header["src"] == "a"
+        np.testing.assert_array_equal(got_body, body)
+
+    def test_zero_copy_body_is_readonly_view(self):
+        body = np.arange(1024, dtype=np.int64)
+        buffers, _ = encode_message(_header(), body)
+        wire_header, payload = _split(buffers)
+        _, _, lengths = _decode_header(wire_header)
+        buf = bytearray(payload)
+        _, got = decode_message(buf, lengths, zero_copy=True)
+        assert not got.flags.writeable
+        # The array really is a view into the receive buffer.
+        assert np.shares_memory(got, np.frombuffer(buf, dtype=np.uint8))
+
+    def test_copy_mode_detaches(self):
+        body = np.arange(16, dtype=np.int64)
+        buffers, _ = encode_message(_header(), body)
+        wire_header, payload = _split(buffers)
+        _, _, lengths = _decode_header(wire_header)
+        buf = bytearray(payload)
+        _, got = decode_message(buf, lengths, zero_copy=False)
+        assert not np.shares_memory(got, np.frombuffer(buf, dtype=np.uint8))
+
+    def test_header_only_message(self):
+        buffers, _ = encode_message(_header(), None)
+        wire_header, payload = _split(buffers)
+        _, _, lengths = _decode_header(wire_header)
+        assert len(lengths) == 1
+        got_header, got_body = decode_message(bytearray(payload), lengths)
+        assert got_body is None
+        assert got_header["src"] == "a"
+
+    def test_sendmsg_buffers_share_body_memory(self):
+        """The gather list must reference the array's memory, not a copy."""
+        body = np.arange(65536, dtype=np.uint8)
+        buffers, _ = encode_message(_header(), body)
+        assert any(
+            isinstance(buf, memoryview) and np.shares_memory(
+                np.frombuffer(buf.cast("B"), dtype=np.uint8), body
+            )
+            for buf in buffers[1:]
+        )
+
+    def test_three_frames_rejected(self):
+        with pytest.raises(WireProtocolError, match="1 or 2 frames"):
+            decode_message(bytearray(30), [10, 10, 10])
+
+    def test_short_payload_rejected(self):
+        with pytest.raises(WireProtocolError, match="short payload"):
+            decode_message(bytearray(5), [10])
+
+    def test_non_dict_header_rejected(self):
+        buffers, _ = encode_message(_header(), None)
+        _, payload = _split(buffers)
+        # Decode the body slot as if it were the header: a bytes blob that
+        # unpickles to a non-dict must be rejected, not delivered.
+        from repro.core.serialization import make_frame
+
+        frame = make_frame([1, 2, 3])
+        blob = frame.to_bytes()
+        with pytest.raises(WireProtocolError, match="expected dict"):
+            decode_message(bytearray(blob), [len(blob)])
+
+    def test_garbage_header_frame_rejected(self):
+        with pytest.raises(WireProtocolError, match="undecodable header"):
+            decode_message(bytearray(b"\xff" * 64), [64])
